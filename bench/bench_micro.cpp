@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot paths of the checking
+ * pipeline: template extraction, identifier-set operations, automaton
+ * transitions, mining, and end-to-end per-message monitoring cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/uuid.hpp"
+#include "core/mining/dependency_miner.hpp"
+#include "core/mining/model_builder.hpp"
+#include "eval/accuracy_harness.hpp"
+#include "eval/modeling_harness.hpp"
+#include "logging/variable_extractor.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+const eval::ModeledSystem &
+models()
+{
+    static eval::ModeledSystem system = [] {
+        eval::ModelingConfig config;
+        config.minRuns = 60;
+        config.checkEvery = 20;
+        config.stableChecks = 3;
+        config.maxRuns = 300;
+        return eval::buildModels(config);
+    }();
+    return system;
+}
+
+const eval::GeneratedDataset &
+dataset()
+{
+    static eval::GeneratedDataset generated = [] {
+        eval::DatasetConfig config;
+        config.users = 4;
+        config.tasksPerUser = 40;
+        config.seed = 77;
+        return eval::generateDataset(config);
+    }();
+    return generated;
+}
+
+void
+BM_VariableExtraction(benchmark::State &state)
+{
+    logging::VariableExtractor extractor;
+    const std::string body =
+        "[req-11111111-2222-3333-4444-555555555555] 10.1.2.3 "
+        "\"POST /v2/aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeee/servers "
+        "HTTP/1.1\" status: 202 len: 1748";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(extractor.parse(body));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VariableExtraction);
+
+void
+BM_IdentifierSetOverlap(benchmark::State &state)
+{
+    common::Rng rng(1);
+    std::vector<std::string> pool;
+    for (int i = 0; i < 24; ++i)
+        pool.push_back(common::makeUuid(rng));
+    core::IdentifierSet set(pool);
+    std::vector<std::string> probe = {pool[3], pool[9],
+                                      common::makeUuid(rng)};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(set.overlap(probe));
+        benchmark::DoNotOptimize(set.symmetricDifference(probe));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdentifierSetOverlap);
+
+void
+BM_AutomatonWalk(benchmark::State &state)
+{
+    const core::TaskAutomaton &boot = models().automata[0];
+    // One full accepting walk through the boot automaton per iteration.
+    std::vector<logging::TemplateId> order;
+    {
+        core::AutomatonInstance probe(&boot);
+        while (!probe.accepting()) {
+            auto expected = probe.expectedTemplates();
+            order.push_back(expected.front());
+            probe.consume(expected.front());
+        }
+    }
+    for (auto _ : state) {
+        core::AutomatonInstance instance(&boot);
+        for (logging::TemplateId tpl : order)
+            benchmark::DoNotOptimize(instance.consume(tpl));
+        benchmark::DoNotOptimize(instance.accepting());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * order.size()));
+}
+BENCHMARK(BM_AutomatonWalk);
+
+void
+BM_TransitiveReduction(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    std::vector<std::pair<int, int>> order;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            order.emplace_back(a, b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::transitiveReduction(n, order));
+    }
+}
+BENCHMARK(BM_TransitiveReduction)->Arg(10)->Arg(23)->Arg(40);
+
+void
+BM_MineBootDependencies(benchmark::State &state)
+{
+    // Mining cost over the run count (the modeling loop's inner step).
+    auto catalog = std::make_shared<logging::TemplateCatalog>();
+    core::TaskModeler modeler(*catalog);
+    sim::SimConfig sim_config;
+    sim_config.enableNoise = false;
+    sim::Simulation simulation(sim_config, 5);
+    sim::UserProfile user = simulation.makeUser();
+    std::vector<core::TemplateSequence> runs;
+    std::size_t cursor = 0;
+    for (int r = 0; r < static_cast<int>(state.range(0)); ++r) {
+        sim::VmHandle vm = simulation.makeVm();
+        simulation.submit(sim::TaskType::Boot, r * 30.0, user, vm);
+        simulation.run();
+        std::vector<logging::LogRecord> window(
+            simulation.records().begin() + static_cast<long>(cursor),
+            simulation.records().end());
+        cursor = simulation.records().size();
+        runs.push_back(modeler.toTemplateSequence(window));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            modeler.buildAutomaton("boot", runs));
+    }
+}
+BENCHMARK(BM_MineBootDependencies)->Arg(20)->Arg(100);
+
+void
+BM_MonitorFeedThroughput(benchmark::State &state)
+{
+    const eval::GeneratedDataset &data = dataset();
+    core::MonitorConfig config;
+    for (auto _ : state) {
+        core::WorkflowMonitor monitor(config, models().catalog,
+                                      models().automataCopy());
+        for (const logging::LogRecord &record : data.stream)
+            benchmark::DoNotOptimize(monitor.feed(record));
+        benchmark::DoNotOptimize(monitor.finish());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * data.stream.size()));
+    state.counters["msgs"] =
+        static_cast<double>(data.stream.size());
+}
+BENCHMARK(BM_MonitorFeedThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_MonitorScalesWithUsers(benchmark::State &state)
+{
+    // Per-message checking cost as concurrency rises (the paper's
+    // Table 6 x-axis, as a microbenchmark).
+    eval::DatasetConfig config;
+    config.users = static_cast<int>(state.range(0));
+    config.tasksPerUser = 20;
+    config.seed = 500 + static_cast<std::uint64_t>(state.range(0));
+    eval::GeneratedDataset data = eval::generateDataset(config);
+
+    core::MonitorConfig monitor_config;
+    for (auto _ : state) {
+        core::WorkflowMonitor monitor(monitor_config,
+                                      models().catalog,
+                                      models().automataCopy());
+        for (const logging::LogRecord &record : data.stream)
+            benchmark::DoNotOptimize(monitor.feed(record));
+        benchmark::DoNotOptimize(monitor.finish());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * data.stream.size()));
+}
+BENCHMARK(BM_MonitorScalesWithUsers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StreamMerge(benchmark::State &state)
+{
+    const eval::GeneratedDataset &data = dataset();
+    collect::ShippingConfig config;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            collect::mergeStream(data.stream, config));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * data.stream.size()));
+}
+BENCHMARK(BM_StreamMerge)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces the paper's Table 5: checking accuracy on interleaved
+ * logs over the six experiment groups of Table 3 (10 datasets each,
+ * 80 tasks per user).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "bench_util.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+/** Paper Table 5 reference (median accuracy, % interleaved >= 2). */
+struct PaperRow
+{
+    const char *range;
+    const char *median;
+};
+
+const PaperRow kPaper[] = {
+    {"93.24% - 100.0%", "96.83%"}, {"96.82% - 100.0%", "98.09%"},
+    {"95.78% - 98.72%", "97.22%"}, {"96.15% - 97.47%", "97.47%"},
+    {"94.16% - 99.37%", "98.07%"}, {"92.08% - 97.87%", "96.51%"},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table 5",
+                       "experiment results for checking accuracy");
+    const eval::ModeledSystem &models = bench::paperModels();
+    core::MonitorConfig monitor;
+    monitor.timeoutSeconds = 10.0;
+
+    common::TextTable table({"Grp.", "Acc. Range", "Median",
+                             "% Interleaved (>=2, 3, 4)",
+                             "Paper Median"});
+
+    for (const eval::ExperimentGroup &group : eval::table3Groups()) {
+        common::SampleStats accuracy;
+        common::SampleStats inter2, inter3, inter4;
+        for (int d = 0; d < group.datasets; ++d) {
+            eval::DatasetResult result = eval::runDataset(
+                models, bench::datasetFor(group, d), monitor);
+            accuracy.add(result.accuracy);
+            inter2.add(result.interleavedFraction2);
+            inter3.add(result.interleavedFraction3);
+            inter4.add(result.interleavedFraction4);
+        }
+
+        std::string interleaved =
+            common::formatPercent(inter2.mean());
+        if (group.users >= 3)
+            interleaved += ", " + common::formatPercent(inter3.mean());
+        if (group.users >= 4)
+            interleaved += ", " + common::formatPercent(inter4.mean());
+
+        table.addRow({std::to_string(group.group),
+                      common::formatPercent(accuracy.min()) + " - " +
+                          common::formatPercent(accuracy.max()),
+                      common::formatPercent(accuracy.median()),
+                      interleaved,
+                      kPaper[group.group - 1].median});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "Shape claims under reproduction: accuracy stays >= ~92%% on\n"
+        "interleaved logs across every group, with no strong link to\n"
+        "user count or identifier diversity (paper §5.4).\n");
+    return 0;
+}

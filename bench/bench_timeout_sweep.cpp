@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension experiment: timeout-value sensitivity.
+ *
+ * The paper fixes the timeout at 10 s and leaves choosing it to
+ * future work (§4). This bench sweeps the global timeout over the
+ * detection experiment (all six injection points pooled) and adds a
+ * final row using the learned per-task policy from TimeoutEstimator:
+ * short timeouts detect fast but misfire on slow-but-healthy tasks;
+ * long ones are quiet but slow; the per-task policy gets both.
+ */
+
+#include <cstdio>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "eval/detection_harness.hpp"
+#include "eval/timeout_learning.hpp"
+#include "bench_util.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+/** Pool detection over all six injection points for one monitor. */
+eval::DetectionResult
+pooledDetection(const eval::ModeledSystem &models,
+                const core::MonitorConfig &monitor)
+{
+    eval::DetectionResult pooled;
+    for (std::size_t i = 0; i < sim::kAllInjectionPoints.size(); ++i) {
+        eval::DetectionConfig config;
+        config.point = sim::kAllInjectionPoints[i];
+        config.targetProblems = 6;
+        config.seed = 3000 + static_cast<std::uint64_t>(i);
+        config.shipping = bench::checkingShipping();
+        eval::DetectionResult result =
+            eval::runDetectionExperiment(models, config, monitor);
+        pooled.tasksRun += result.tasksRun;
+        pooled.delayProblems += result.delayProblems;
+        pooled.abortProblems += result.abortProblems;
+        pooled.silentProblems += result.silentProblems;
+        pooled.detected += result.detected;
+        pooled.falsePositives += result.falsePositives;
+        pooled.falseNegatives += result.falseNegatives;
+        pooled.detectedByError += result.detectedByError;
+        pooled.detectedByTimeout += result.detectedByTimeout;
+        // Pool per-point mean latencies (point sample counts are
+        // equal by construction, so the mean of means is unbiased).
+        if (result.detectionLatency.count() > 0) {
+            pooled.detectionLatency.add(result.detectionLatency.mean());
+        }
+    }
+    return pooled;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Extension", "timeout sensitivity and the learned policy");
+    const eval::ModeledSystem &models = bench::paperModels();
+
+    common::TextTable table({"Timeout", "Detected", "F/P", "F/N",
+                             "Precision", "Recall",
+                             "Mean latency (s)"});
+
+    for (double timeout : {3.0, 5.0, 10.0, 20.0, 40.0}) {
+        core::MonitorConfig monitor;
+        monitor.timeoutSeconds = timeout;
+        eval::DetectionResult result = pooledDetection(models, monitor);
+        common::DetectionStats stats = result.asStats();
+        table.addRow({common::formatDouble(timeout, 0) + "s (global)",
+                      std::to_string(result.detected),
+                      std::to_string(result.falsePositives),
+                      std::to_string(result.falseNegatives),
+                      common::formatPercent(stats.precision()),
+                      common::formatPercent(stats.recall()),
+                      common::formatDouble(
+                          result.detectionLatency.mean(), 2)});
+    }
+
+    // Learned per-task policy.
+    core::TimeoutPolicy policy =
+        eval::learnTimeoutPolicy(60, 2016, 3.0, 2.0);
+    core::MonitorConfig monitor;
+    monitor.timeoutSeconds = policy.defaultTimeout;
+    monitor.perTaskTimeouts = policy.perTask;
+    eval::DetectionResult result = pooledDetection(models, monitor);
+    common::DetectionStats stats = result.asStats();
+    table.addRow({"learned per-task",
+                  std::to_string(result.detected),
+                  std::to_string(result.falsePositives),
+                  std::to_string(result.falseNegatives),
+                  common::formatPercent(stats.precision()),
+                  common::formatPercent(stats.recall()),
+                  common::formatDouble(result.detectionLatency.mean(),
+                                       2)});
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Learned per-task timeouts:\n");
+    for (const auto &[task, timeout] : policy.perTask) {
+        std::printf("  %-8s %5.2fs\n", task.c_str(), timeout);
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the evaluation benches: paper-scale modeling and
+ * dataset construction for the Table 3 experiment matrix.
+ */
+
+#ifndef CLOUDSEER_BENCH_BENCH_UTIL_HPP
+#define CLOUDSEER_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+
+#include "eval/accuracy_harness.hpp"
+#include "eval/experiment_config.hpp"
+#include "eval/modeling_harness.hpp"
+
+namespace cloudseer::bench {
+
+/**
+ * Offline models at paper scale: convergence-driven with the paper's
+ * 800-run cap. Built once per process.
+ */
+inline const eval::ModeledSystem &
+paperModels()
+{
+    static eval::ModeledSystem system = [] {
+        eval::ModelingConfig config;
+        config.minRuns = 100;
+        config.checkEvery = 20;
+        config.stableChecks = 5;
+        config.maxRuns = 800;
+        return eval::buildModels(config);
+    }();
+    return system;
+}
+
+/** Checking-time shipping model: healthy, with a small slow tail. */
+inline collect::ShippingConfig
+checkingShipping()
+{
+    collect::ShippingConfig config;
+    config.tailProbability = 0.005;
+    config.tailMin = 0.05;
+    config.tailMax = 0.4;
+    return config;
+}
+
+/** Dataset config for one Table 3 group/repeat. */
+inline eval::DatasetConfig
+datasetFor(const eval::ExperimentGroup &group, int dataset)
+{
+    eval::DatasetConfig config;
+    config.users = group.users;
+    config.singleUid = group.singleUid;
+    config.tasksPerUser = group.tasksPerUser;
+    config.seed = eval::datasetSeed(group.group, dataset);
+    config.shipping = checkingShipping();
+    return config;
+}
+
+/** Print a header for one reproduced table. */
+inline void
+printHeader(const char *table, const char *title)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s — %s\n", table, title);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+} // namespace cloudseer::bench
+
+#endif // CLOUDSEER_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Model lifecycle: mine once, persist, reload, monitor, refine.
+ *
+ * Demonstrates how a deployment operates CloudSeer over time:
+ *
+ *  1. Mine task automata from correct executions and learn per-task
+ *     timeouts.
+ *  2. Persist everything to a model file (survives restarts).
+ *  3. Reload in a "new process" and monitor a workload whose log
+ *     shipper reorders messages under load.
+ *  4. Harvest the false dependencies the checker removed on the fly
+ *     and refine the models — the next generation accepts those
+ *     reorderings natively.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "core/mining/model_io.hpp"
+#include "eval/accuracy_harness.hpp"
+#include "eval/modeling_harness.hpp"
+#include "eval/timeout_learning.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+/** Check a reordering-heavy dataset; returns recovery-(d) count. */
+std::uint64_t
+monitorOnce(const eval::ModeledSystem &models,
+            const core::MonitorConfig &config,
+            core::RemovalCounts *removals_out)
+{
+    eval::DatasetConfig dataset;
+    dataset.users = 3;
+    dataset.tasksPerUser = 20;
+    dataset.seed = 99;
+    dataset.shipping.tailProbability = 0.03; // loaded shipper
+    dataset.shipping.tailMin = 0.2;
+    dataset.shipping.tailMax = 0.8;
+    eval::GeneratedDataset generated = eval::generateDataset(dataset);
+
+    core::WorkflowMonitor monitor(config, models.catalog,
+                                  models.automataCopy());
+    for (const logging::LogRecord &record : generated.stream)
+        monitor.feed(record);
+    monitor.finish();
+    if (removals_out != nullptr)
+        *removals_out = monitor.dependencyRemovals();
+    return monitor.stats().recoveredFalseDependency;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CloudSeer model lifecycle\n"
+                "=========================\n\n");
+
+    const char *model_path = "cloudseer.models";
+
+    // --- generation 1: mine, learn timeouts, persist -----------------
+    {
+        eval::ModelingConfig modeling;
+        modeling.minRuns = 60;
+        modeling.maxRuns = 300;
+        eval::ModeledSystem models = eval::buildModels(modeling);
+        std::ofstream out(model_path);
+        core::saveModels(out, *models.catalog, models.automata);
+        std::printf("[gen 1] mined %zu automata, saved to %s\n",
+                    models.automata.size(), model_path);
+    }
+    core::TimeoutPolicy policy = eval::learnTimeoutPolicy(40, 5);
+    std::printf("[gen 1] learned per-task timeouts (boot %.1fs, "
+                "stop %.1fs)\n\n",
+                policy.timeoutFor("boot"), policy.timeoutFor("stop"));
+
+    // --- restart: reload and monitor under a loaded shipper -----------
+    std::ifstream in(model_path);
+    auto bundle = core::loadModels(in);
+    if (!bundle) {
+        std::fprintf(stderr, "failed to reload %s\n", model_path);
+        return 1;
+    }
+    eval::ModeledSystem reloaded;
+    reloaded.catalog = bundle->catalog;
+    reloaded.automata = std::move(bundle->automata);
+    std::printf("[gen 1] reloaded %zu automata from disk\n",
+                reloaded.automata.size());
+
+    core::MonitorConfig config;
+    config.timeoutSeconds = policy.defaultTimeout;
+    config.perTaskTimeouts = policy.perTask;
+
+    core::RemovalCounts removals;
+    std::uint64_t repairs = monitorOnce(reloaded, config, &removals);
+    std::printf("[gen 1] loaded shipper reordered messages; checker "
+                "removed %llu false dependencies on the fly\n",
+                static_cast<unsigned long long>(repairs));
+    for (const auto &[task, edges] : removals) {
+        for (const auto &[edge, count] : edges) {
+            std::printf("        %s: edge %d->%d removed %d time(s)\n",
+                        task.c_str(), edge.first, edge.second, count);
+        }
+    }
+
+    // --- generation 2: refine and re-monitor ---------------------------
+    eval::ModeledSystem refined;
+    refined.catalog = reloaded.catalog;
+    refined.automata =
+        core::refineFromRemovals(reloaded.automata, removals, 2);
+    std::uint64_t repairs_after = monitorOnce(refined, config, nullptr);
+    std::printf("\n[gen 2] after refinement the same workload needs "
+                "%llu on-the-fly removals (was %llu)\n",
+                static_cast<unsigned long long>(repairs_after),
+                static_cast<unsigned long long>(repairs));
+
+    std::remove(model_path);
+    return repairs_after <= repairs ? 0 : 1;
+}

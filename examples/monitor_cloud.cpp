@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Operations scenario: monitor a faulty cloud in real time.
+ *
+ * A four-user workload runs while faults are injected at the
+ * AMQP-receiver boundary (network problems between controller and
+ * compute nodes). CloudSeer watches the merged log stream; every
+ * problem report is printed with its workflow context, and the central
+ * log store is then queried around the report time — the diagnosis
+ * workflow an administrator would follow (paper §2.3, "Interpreting
+ * Results").
+ */
+
+#include <cstdio>
+
+#include "collect/log_store.hpp"
+#include "common/string_util.hpp"
+#include "core/monitor/report_json.hpp"
+#include "eval/accuracy_harness.hpp"
+#include "eval/modeling_harness.hpp"
+#include "eval/streaming_session.hpp"
+#include "workload/workload_generator.hpp"
+
+using namespace cloudseer;
+
+int
+main()
+{
+    std::printf("CloudSeer cloud-monitoring drill\n"
+                "================================\n\n");
+
+    // Offline stage: model the eight tasks from correct executions.
+    eval::ModelingConfig modeling;
+    modeling.minRuns = 60;
+    modeling.maxRuns = 300;
+    eval::ModeledSystem models = eval::buildModels(modeling);
+    std::printf("Modeled %zu task automata over %zu message "
+                "templates.\n\n",
+                models.automata.size(), models.catalog->size());
+
+    // A faulty deployment: AMQP problems trigger on 25%% of crossings.
+    sim::SimConfig sim_config;
+    sim::Simulation simulation(sim_config, 4242);
+    simulation.setInjector(sim::FaultInjector(
+        sim::InjectionPoint::AmqpReceiver, 0.25, 0.7, 99,
+        /*max_problems=*/3));
+
+    workload::WorkloadConfig wl;
+    wl.users = 4;
+    wl.tasksPerUser = 8;
+    wl.seed = 7;
+    workload::WorkloadGenerator generator(wl);
+    std::size_t tasks = generator.submitAll(simulation);
+
+    // Everything also lands in the central store (Elasticsearch role)
+    // as it is emitted; the monitor runs live off the same tail.
+    collect::LogStore store;
+
+    core::MonitorConfig config;
+    config.timeoutSeconds = 10.0;
+    core::WorkflowMonitor monitor(config, models.catalog,
+                                  models.automataCopy());
+
+    std::size_t accepted = 0;
+    auto handle = [&](const core::MonitorReport &report) {
+        if (report.event.kind == core::CheckEventKind::Accepted) {
+            ++accepted;
+            return;
+        }
+        std::printf("--- problem report "
+                    "---------------------------------------\n");
+        std::printf("%s", report.describe(monitor.catalog()).c_str());
+        std::printf("  webhook payload: %s\n",
+                    core::reportToJson(report,
+                                       monitor.catalog()).c_str());
+
+        // Diagnosis: pull surrounding ERROR messages from the store.
+        collect::LogQuery query;
+        query.errorOnly = true;
+        query.fromTime = report.event.time - 15.0;
+        query.toTime = report.event.time + 1.0;
+        auto errors = store.search(query);
+        if (errors.empty()) {
+            std::printf("  (no error messages near this report — a "
+                        "silent failure or delay)\n");
+        } else {
+            std::printf("  error messages within 15s:\n");
+            for (const logging::LogRecord &record : errors) {
+                std::printf("    %s %s: %s\n",
+                            record.node.c_str(),
+                            record.service.c_str(),
+                            record.body.c_str());
+            }
+        }
+        std::printf("\n");
+    };
+
+    // Live monitoring: reports fire while the cluster is running. The
+    // session owns the emission tail; it feeds the monitor, and the
+    // monitor's feed path sees each record after its shipping delay.
+    // The store fills from the same records as they land, so the
+    // diagnosis queries inside handle() see everything shipped so far.
+    eval::StreamingSession live(
+        simulation, monitor, collect::ShippingConfig{},
+        [&](const core::MonitorReport &report) { handle(report); });
+    // Mirror the stream into the store via a wrapper tail (the session
+    // installed its own callback at construction; replace it with one
+    // that feeds both consumers).
+    simulation.setEmissionCallback(
+        [&store, &live](const logging::LogRecord &record) {
+            store.append(record);
+            live.tail(record);
+        });
+    live.run();
+    std::size_t messages = simulation.records().size();
+    std::printf("Workload: %zu tasks from %d users -> %zu messages; "
+                "%zu problems injected (monitored live).\n\n",
+                tasks, wl.users, messages,
+                simulation.injector().records().size());
+
+    std::printf("Summary: %zu/%zu sequences accepted; %llu timeout "
+                "and %llu error reports; decisive checking %s.\n",
+                accepted, tasks,
+                static_cast<unsigned long long>(
+                    monitor.stats().timeoutsReported),
+                static_cast<unsigned long long>(
+                    monitor.stats().errorsReported),
+                common::formatPercent(
+                    monitor.stats().decisiveFraction()).c_str());
+    return 0;
+}

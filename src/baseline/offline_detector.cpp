@@ -1,0 +1,129 @@
+#include "baseline/offline_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudseer::baseline {
+
+OfflineAnomalyDetector::OfflineAnomalyDetector(
+    const OfflineDetectorConfig &config_)
+    : config(config_)
+{
+}
+
+std::vector<OfflineAnomalyDetector::Window>
+OfflineAnomalyDetector::slice(
+    const std::vector<logging::LogRecord> &stream, bool intern_new)
+{
+    std::vector<Window> windows;
+    if (stream.empty())
+        return windows;
+
+    double origin = stream.front().timestamp;
+    for (const logging::LogRecord &record : stream) {
+        std::size_t index = static_cast<std::size_t>(
+            std::max(0.0, (record.timestamp - origin) /
+                              config.windowSeconds));
+        while (windows.size() <= index) {
+            Window window;
+            window.start = origin + static_cast<double>(windows.size()) *
+                                        config.windowSeconds;
+            windows.push_back(std::move(window));
+        }
+        Window &window = windows[index];
+
+        logging::ParsedBody parsed = extractor.parse(record.body);
+        logging::TemplateId tpl;
+        if (intern_new) {
+            tpl = catalog.intern(record.service, parsed.templateText);
+        } else {
+            tpl = catalog.find(record.service, parsed.templateText);
+            if (tpl == logging::kInvalidTemplate)
+                window.hadUnseen = true;
+        }
+        if (tpl != logging::kInvalidTemplate)
+            ++window.counts[tpl];
+        window.records.push_back(record.id);
+        if (logging::isErrorLevel(record.level))
+            window.hadError = true;
+    }
+    return windows;
+}
+
+void
+OfflineAnomalyDetector::train(
+    const std::vector<logging::LogRecord> &correct_stream)
+{
+    std::vector<Window> windows = slice(correct_stream, true);
+    if (moments.size() < catalog.size())
+        moments.resize(catalog.size());
+    for (const Window &window : windows) {
+        for (const auto &[tpl, count] : window.counts) {
+            moments[tpl].sum += count;
+            moments[tpl].sumSquares +=
+                static_cast<double>(count) * count;
+        }
+        ++windowsSeen;
+    }
+}
+
+double
+OfflineAnomalyDetector::meanOf(logging::TemplateId tpl) const
+{
+    if (windowsSeen == 0 || tpl >= moments.size())
+        return 0.0;
+    return moments[tpl].sum / static_cast<double>(windowsSeen);
+}
+
+double
+OfflineAnomalyDetector::stddevOf(logging::TemplateId tpl) const
+{
+    if (windowsSeen == 0 || tpl >= moments.size())
+        return 0.0;
+    double mean = meanOf(tpl);
+    double variance = moments[tpl].sumSquares /
+                          static_cast<double>(windowsSeen) -
+                      mean * mean;
+    return variance <= 0.0 ? 0.0 : std::sqrt(variance);
+}
+
+std::vector<AnomalousWindow>
+OfflineAnomalyDetector::analyze(
+    const std::vector<logging::LogRecord> &stream)
+{
+    std::vector<AnomalousWindow> out;
+    std::vector<Window> windows = slice(stream, false);
+    for (const Window &window : windows) {
+        int deviant = 0;
+        for (const auto &[tpl, count] : window.counts) {
+            double sigma = stddevOf(tpl);
+            double mean = meanOf(tpl);
+            // A flat training distribution (sigma 0) flags any count
+            // different from the mean.
+            double deviation = sigma > 0.0
+                ? std::fabs(count - mean) / sigma
+                : (std::fabs(count - mean) > 0.5
+                       ? config.deviationSigma + 1.0
+                       : 0.0);
+            if (deviation > config.deviationSigma)
+                ++deviant;
+        }
+        bool alarm =
+            deviant >= config.minDeviantTemplates ||
+            (config.flagErrorMessages && window.hadError) ||
+            (config.flagUnseenTemplates && window.hadUnseen);
+        if (!alarm)
+            continue;
+        AnomalousWindow anomaly;
+        anomaly.start = window.start;
+        anomaly.end = window.start + config.windowSeconds;
+        anomaly.records = window.records;
+        anomaly.score = deviant;
+        anomaly.hadError = window.hadError;
+        anomaly.hadUnseenTemplate = window.hadUnseen;
+        out.push_back(std::move(anomaly));
+    }
+    return out;
+}
+
+} // namespace cloudseer::baseline

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Offline statistical log-anomaly baseline.
+ *
+ * The paper's related work (§6) contrasts CloudSeer with offline
+ * mining/learning approaches (Fu et al. ICDM'09, Lou et al. ATC'10,
+ * Xu et al. SOSP'09) that need the complete log before they can
+ * decide anything. This detector is a faithful small member of that
+ * family: it learns per-template message-count statistics over fixed
+ * time windows from correct logs, then flags windows whose counts
+ * deviate, that contain never-seen templates, or that carry error
+ * messages.
+ *
+ * The comparison it enables (bench_baseline_comparison) reproduces
+ * the paper's two arguments: an offline detector cannot report until
+ * the log is complete (detection latency), and a window-level alarm
+ * carries no workflow context (which task, which step).
+ */
+
+#ifndef CLOUDSEER_BASELINE_OFFLINE_DETECTOR_HPP
+#define CLOUDSEER_BASELINE_OFFLINE_DETECTOR_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging/log_record.hpp"
+#include "logging/template_catalog.hpp"
+#include "logging/variable_extractor.hpp"
+
+namespace cloudseer::baseline {
+
+/** Detector knobs. */
+struct OfflineDetectorConfig
+{
+    /** Window width, seconds. */
+    double windowSeconds = 10.0;
+
+    /** A template count deviating more than this many standard
+     *  deviations from its training mean is "deviant". */
+    double deviationSigma = 4.0;
+
+    /** Windows need at least this many deviant templates to alarm
+     *  on count statistics alone. */
+    int minDeviantTemplates = 2;
+
+    /** Alarm on templates never seen in training. */
+    bool flagUnseenTemplates = true;
+
+    /** Alarm on ERROR/CRITICAL messages. */
+    bool flagErrorMessages = true;
+};
+
+/** One flagged window. */
+struct AnomalousWindow
+{
+    common::SimTime start = 0.0;
+    common::SimTime end = 0.0;
+    std::vector<logging::RecordId> records; ///< everything in window
+    double score = 0.0;                     ///< deviant-template count
+    bool hadError = false;
+    bool hadUnseenTemplate = false;
+};
+
+/** Train-once, analyze-complete-logs anomaly detector. */
+class OfflineAnomalyDetector
+{
+  public:
+    explicit OfflineAnomalyDetector(const OfflineDetectorConfig &config);
+
+    /**
+     * Learn per-template window-count statistics from a correct
+     * (problem-free) log stream. May be called repeatedly; statistics
+     * accumulate.
+     */
+    void train(const std::vector<logging::LogRecord> &correct_stream);
+
+    /** Number of training windows accumulated. */
+    std::size_t trainingWindows() const { return windowsSeen; }
+
+    /**
+     * Analyze a complete log (this is the point: nothing can be
+     * flagged until the whole stream is available). Non-const only
+     * because template interning is shared with training; no
+     * statistics change.
+     */
+    std::vector<AnomalousWindow>
+    analyze(const std::vector<logging::LogRecord> &stream);
+
+  private:
+    OfflineDetectorConfig config;
+    logging::TemplateCatalog catalog;
+    logging::VariableExtractor extractor;
+
+    /** Running per-template count moments over training windows. */
+    struct Moments
+    {
+        double sum = 0.0;
+        double sumSquares = 0.0;
+    };
+    std::vector<Moments> moments; ///< indexed by TemplateId
+    std::size_t windowsSeen = 0;
+
+    /** Per-window template counts for one stream. */
+    struct Window
+    {
+        common::SimTime start = 0.0;
+        std::map<logging::TemplateId, int> counts;
+        std::vector<logging::RecordId> records;
+        bool hadError = false;
+        bool hadUnseen = false;
+    };
+
+    std::vector<Window>
+    slice(const std::vector<logging::LogRecord> &stream,
+          bool intern_new);
+
+    double meanOf(logging::TemplateId tpl) const;
+    double stddevOf(logging::TemplateId tpl) const;
+};
+
+} // namespace cloudseer::baseline
+
+#endif // CLOUDSEER_BASELINE_OFFLINE_DETECTOR_HPP

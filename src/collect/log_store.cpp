@@ -1,0 +1,92 @@
+#include "collect/log_store.hpp"
+
+#include "logging/log_codec.hpp"
+
+namespace cloudseer::collect {
+
+void
+LogStore::append(const logging::LogRecord &record)
+{
+    records.push_back(record);
+}
+
+void
+LogStore::appendStream(const std::vector<logging::LogRecord> &stream)
+{
+    records.insert(records.end(), stream.begin(), stream.end());
+}
+
+bool
+LogStore::matches(const logging::LogRecord &record, const LogQuery &query)
+{
+    if (!query.service.empty() && record.service != query.service)
+        return false;
+    if (!query.node.empty() && record.node != query.node)
+        return false;
+    if (query.errorOnly && !logging::isErrorLevel(record.level))
+        return false;
+    if (query.fromTime >= 0 && record.timestamp < query.fromTime)
+        return false;
+    if (query.toTime >= 0 && record.timestamp > query.toTime)
+        return false;
+    if (!query.bodyContains.empty() &&
+        record.body.find(query.bodyContains) == std::string::npos) {
+        return false;
+    }
+    return true;
+}
+
+std::vector<logging::LogRecord>
+LogStore::search(const LogQuery &query) const
+{
+    std::vector<logging::LogRecord> out;
+    for (const logging::LogRecord &record : records) {
+        if (matches(record, query))
+            out.push_back(record);
+    }
+    return out;
+}
+
+std::size_t
+LogStore::count(const LogQuery &query) const
+{
+    std::size_t n = 0;
+    for (const logging::LogRecord &record : records) {
+        if (matches(record, query))
+            ++n;
+    }
+    return n;
+}
+
+std::vector<std::string>
+LogStore::toLines() const
+{
+    std::vector<std::string> lines;
+    lines.reserve(records.size());
+    for (const logging::LogRecord &record : records)
+        lines.push_back(logging::encodeLogLine(record));
+    return lines;
+}
+
+LogStore
+LogStore::fromLines(const std::vector<std::string> &lines,
+                    std::size_t *malformed)
+{
+    LogStore store;
+    std::size_t bad = 0;
+    logging::RecordId next_id = 1;
+    for (const std::string &line : lines) {
+        auto decoded = logging::decodeLogLine(line);
+        if (!decoded) {
+            ++bad;
+            continue;
+        }
+        decoded->id = next_id++;
+        store.append(*decoded);
+    }
+    if (malformed != nullptr)
+        *malformed = bad;
+    return store;
+}
+
+} // namespace cloudseer::collect

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Elasticsearch stand-in: an in-memory indexed store of log lines.
+ *
+ * The paper's test bed stores every shipped message in Elasticsearch so
+ * experiments can replay identical streams. LogStore offers the same
+ * affordances at library scale: append, replay in arrival order, and
+ * the simple queries (service, level, time window, substring) that the
+ * examples and diagnosis workflows use.
+ */
+
+#ifndef CLOUDSEER_COLLECT_LOG_STORE_HPP
+#define CLOUDSEER_COLLECT_LOG_STORE_HPP
+
+#include <string>
+#include <vector>
+
+#include "logging/log_record.hpp"
+
+namespace cloudseer::collect {
+
+/** Query filter; unset fields do not constrain. */
+struct LogQuery
+{
+    std::string service;            ///< exact match when non-empty
+    std::string node;               ///< exact match when non-empty
+    std::string bodyContains;       ///< substring match when non-empty
+    bool errorOnly = false;         ///< only ERROR/CRITICAL
+    common::SimTime fromTime = -1;  ///< inclusive when >= 0
+    common::SimTime toTime = -1;    ///< inclusive when >= 0
+};
+
+/** Append-only log database with replay and filtered search. */
+class LogStore
+{
+  public:
+    /** Append one record (arrival order). */
+    void append(const logging::LogRecord &record);
+
+    /** Append a whole stream. */
+    void appendStream(const std::vector<logging::LogRecord> &records);
+
+    /** All records in arrival order. */
+    const std::vector<logging::LogRecord> &all() const { return records; }
+
+    /** Records matching the query, arrival order. */
+    std::vector<logging::LogRecord> search(const LogQuery &query) const;
+
+    /** Count without materialising. */
+    std::size_t count(const LogQuery &query) const;
+
+    /** Number of stored records. */
+    std::size_t size() const { return records.size(); }
+
+    /** Encode everything as text lines (one per record). */
+    std::vector<std::string> toLines() const;
+
+    /**
+     * Rebuild a store from text lines. Malformed lines are skipped and
+     * counted.
+     *
+     * @param lines     Input lines.
+     * @param malformed Receives the number of skipped lines (optional).
+     */
+    static LogStore fromLines(const std::vector<std::string> &lines,
+                              std::size_t *malformed = nullptr);
+
+  private:
+    std::vector<logging::LogRecord> records;
+
+    static bool matches(const logging::LogRecord &record,
+                        const LogQuery &query);
+};
+
+} // namespace cloudseer::collect
+
+#endif // CLOUDSEER_COLLECT_LOG_STORE_HPP

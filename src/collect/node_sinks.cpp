@@ -1,0 +1,100 @@
+#include "collect/node_sinks.hpp"
+
+#include <queue>
+
+#include "logging/log_codec.hpp"
+
+namespace cloudseer::collect {
+
+const std::vector<logging::LogRecord> NodeSinks::kEmpty;
+
+void
+NodeSinks::append(const logging::LogRecord &record)
+{
+    sinks[{record.node, record.service}].push_back(record);
+}
+
+void
+NodeSinks::appendStream(const std::vector<logging::LogRecord> &records)
+{
+    for (const logging::LogRecord &record : records)
+        append(record);
+}
+
+const std::vector<logging::LogRecord> &
+NodeSinks::file(const std::string &node,
+                const std::string &service) const
+{
+    auto it = sinks.find({node, service});
+    return it == sinks.end() ? kEmpty : it->second;
+}
+
+std::size_t
+NodeSinks::recordCount() const
+{
+    std::size_t total = 0;
+    for (const auto &[key, records] : sinks)
+        total += records.size();
+    return total;
+}
+
+std::vector<std::string>
+NodeSinks::toLines(const SinkKey &key) const
+{
+    std::vector<std::string> out;
+    auto it = sinks.find(key);
+    if (it == sinks.end())
+        return out;
+    out.reserve(it->second.size());
+    for (const logging::LogRecord &record : it->second)
+        out.push_back(logging::encodeLogLine(record));
+    return out;
+}
+
+std::vector<logging::LogRecord>
+NodeSinks::mergeByTimestamp() const
+{
+    // K-way merge over per-file cursors with a min-heap keyed by
+    // (timestamp, file index) — files are already time-ordered.
+    struct Cursor
+    {
+        const std::vector<logging::LogRecord> *records;
+        std::size_t next;
+        std::size_t fileIndex;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Cursor &a, const Cursor &b) const
+        {
+            double ta = (*a.records)[a.next].timestamp;
+            double tb = (*b.records)[b.next].timestamp;
+            if (ta != tb)
+                return ta > tb;
+            return a.fileIndex > b.fileIndex;
+        }
+    };
+
+    std::priority_queue<Cursor, std::vector<Cursor>, Later> heap;
+    std::size_t file_index = 0;
+    std::size_t total = 0;
+    for (const auto &[key, records] : sinks) {
+        if (!records.empty())
+            heap.push({&records, 0, file_index});
+        total += records.size();
+        ++file_index;
+    }
+
+    std::vector<logging::LogRecord> out;
+    out.reserve(total);
+    while (!heap.empty()) {
+        Cursor cursor = heap.top();
+        heap.pop();
+        out.push_back((*cursor.records)[cursor.next]);
+        if (++cursor.next < cursor.records->size())
+            heap.push(cursor);
+    }
+    return out;
+}
+
+} // namespace cloudseer::collect

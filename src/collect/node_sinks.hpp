@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-node, per-service log files — the on-disk reality the shipper
+ * tails.
+ *
+ * OpenStack writes one log file per service per node
+ * (/var/log/nova/nova-compute.log on each compute node, ...). The
+ * simulator emits a single emission-ordered record vector; NodeSinks
+ * partitions it back into those per-file sequences, and the k-way
+ * merger reassembles a collector stream from the files — the path a
+ * real Logstash deployment takes. Round-tripping through sinks is
+ * exercised by tests and the wire-replay example.
+ */
+
+#ifndef CLOUDSEER_COLLECT_NODE_SINKS_HPP
+#define CLOUDSEER_COLLECT_NODE_SINKS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging/log_record.hpp"
+
+namespace cloudseer::collect {
+
+/** Identity of one log file: (node, service). */
+struct SinkKey
+{
+    std::string node;
+    std::string service;
+
+    bool
+    operator<(const SinkKey &other) const
+    {
+        if (node != other.node)
+            return node < other.node;
+        return service < other.service;
+    }
+
+    bool operator==(const SinkKey &other) const = default;
+};
+
+/** Partitioned per-file view of a deployment's logs. */
+class NodeSinks
+{
+  public:
+    /** Route one record to its file. */
+    void append(const logging::LogRecord &record);
+
+    /** Route a whole stream. */
+    void appendStream(const std::vector<logging::LogRecord> &records);
+
+    /** All files (key -> records in append order). */
+    const std::map<SinkKey, std::vector<logging::LogRecord>> &
+    files() const
+    {
+        return sinks;
+    }
+
+    /** Records of one file (empty vector if absent). */
+    const std::vector<logging::LogRecord> &
+    file(const std::string &node, const std::string &service) const;
+
+    /** Number of files. */
+    std::size_t fileCount() const { return sinks.size(); }
+
+    /** Total records across files. */
+    std::size_t recordCount() const;
+
+    /** Render one file as text lines. */
+    std::vector<std::string> toLines(const SinkKey &key) const;
+
+    /**
+     * K-way merge of all files by timestamp (stable across files in
+     * key order for equal timestamps) — the central collector's view
+     * when shipping is instantaneous. Apply `shipToCollector` on top
+     * for delivery skew.
+     */
+    std::vector<logging::LogRecord> mergeByTimestamp() const;
+
+  private:
+    std::map<SinkKey, std::vector<logging::LogRecord>> sinks;
+
+    static const std::vector<logging::LogRecord> kEmpty;
+};
+
+} // namespace cloudseer::collect
+
+#endif // CLOUDSEER_COLLECT_NODE_SINKS_HPP

@@ -1,0 +1,54 @@
+#include "collect/stream_merger.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace cloudseer::collect {
+
+std::vector<ArrivedRecord>
+shipToCollector(const std::vector<logging::LogRecord> &records,
+                const ShippingConfig &config)
+{
+    common::Rng rng(config.seed);
+    std::vector<ArrivedRecord> out;
+    out.reserve(records.size());
+    for (const logging::LogRecord &record : records) {
+        double delay = rng.expDelay(std::max(config.meanDelay, 1e-6));
+        if (config.tailProbability > 0.0 &&
+            rng.chance(config.tailProbability)) {
+            delay += rng.uniformReal(config.tailMin, config.tailMax);
+        }
+        out.push_back({record, record.timestamp + delay});
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ArrivedRecord &a, const ArrivedRecord &b) {
+                         return a.arrival < b.arrival;
+                     });
+    return out;
+}
+
+std::vector<logging::LogRecord>
+mergeStream(const std::vector<logging::LogRecord> &records,
+            const ShippingConfig &config)
+{
+    std::vector<ArrivedRecord> arrived = shipToCollector(records, config);
+    std::vector<logging::LogRecord> out;
+    out.reserve(arrived.size());
+    for (ArrivedRecord &a : arrived)
+        out.push_back(std::move(a.record));
+    return out;
+}
+
+std::size_t
+countInversions(const std::vector<logging::LogRecord> &stream)
+{
+    std::size_t inversions = 0;
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        if (stream[i].timestamp < stream[i - 1].timestamp)
+            ++inversions;
+    }
+    return inversions;
+}
+
+} // namespace cloudseer::collect

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Logstash stand-in: ships per-node logs to one central stream.
+ *
+ * Each record's arrival at the central collector is its emission
+ * timestamp plus a sampled shipping delay. Sorting by arrival therefore
+ * yields a stream that is *mostly* timestamp-ordered, with occasional
+ * cross-node inversions — exactly the message-delivery reordering the
+ * paper's divergence-recovery cause (d) exists for.
+ */
+
+#ifndef CLOUDSEER_COLLECT_STREAM_MERGER_HPP
+#define CLOUDSEER_COLLECT_STREAM_MERGER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "logging/log_record.hpp"
+
+namespace cloudseer::collect {
+
+/** Shipping-delay model. */
+struct ShippingConfig
+{
+    /** Mean shipping delay, seconds (exponential). Small relative to
+     *  inter-step service latencies, as with a healthy log shipper. */
+    double meanDelay = 0.004;
+
+    /** Probability a record takes a slow path (loaded shipper). */
+    double tailProbability = 0.0;
+
+    /** Extra delay bounds for slow-path records, seconds. */
+    double tailMin = 0.2;
+    double tailMax = 1.0;
+
+    std::uint64_t seed = 7;
+};
+
+/** A record paired with its arrival time at the collector. */
+struct ArrivedRecord
+{
+    logging::LogRecord record;
+    common::SimTime arrival = 0.0;
+};
+
+/**
+ * Ship records to the central collector.
+ *
+ * @param records Records in emission order.
+ * @param config  Shipping-delay model.
+ * @return Records in arrival order (stable for arrival ties).
+ */
+std::vector<ArrivedRecord>
+shipToCollector(const std::vector<logging::LogRecord> &records,
+                const ShippingConfig &config);
+
+/** Convenience: arrival-ordered records without the arrival times. */
+std::vector<logging::LogRecord>
+mergeStream(const std::vector<logging::LogRecord> &records,
+            const ShippingConfig &config);
+
+/**
+ * Count inversions relative to emission-timestamp order — a measure of
+ * how much reordering a shipping configuration introduces.
+ */
+std::size_t
+countInversions(const std::vector<logging::LogRecord> &stream);
+
+} // namespace cloudseer::collect
+
+#endif // CLOUDSEER_COLLECT_STREAM_MERGER_HPP

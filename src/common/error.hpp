@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 panic/fatal spirit.
+ *
+ * panic() flags internal invariant violations (library bugs) and aborts;
+ * fatal() flags unrecoverable user/configuration errors and exits cleanly.
+ * CS_ASSERT is a release-mode-safe invariant check that panics on failure.
+ */
+
+#ifndef CLOUDSEER_COMMON_ERROR_HPP
+#define CLOUDSEER_COMMON_ERROR_HPP
+
+#include <string>
+
+namespace cloudseer::common {
+
+/**
+ * Abort the process after printing an internal-bug diagnostic.
+ *
+ * @param file Source file of the failed invariant.
+ * @param line Source line of the failed invariant.
+ * @param msg  Human-readable description of what went wrong.
+ */
+[[noreturn]] void panic(const char *file, int line, const std::string &msg);
+
+/**
+ * Exit the process with status 1 after printing a user-error diagnostic.
+ *
+ * @param msg Human-readable description of the configuration problem.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+} // namespace cloudseer::common
+
+/** Invariant check that survives NDEBUG builds; panics with context. */
+#define CS_ASSERT(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::cloudseer::common::panic(__FILE__, __LINE__,                   \
+                std::string("assertion failed: " #cond " — ") + (msg));      \
+        }                                                                    \
+    } while (false)
+
+#endif // CLOUDSEER_COMMON_ERROR_HPP

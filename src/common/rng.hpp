@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic random-number generation for simulation and experiments.
+ *
+ * All stochastic behaviour in the repository flows through Rng so that
+ * every experiment is reproducible from a single seed.
+ */
+
+#ifndef CLOUDSEER_COMMON_RNG_HPP
+#define CLOUDSEER_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cloudseer::common {
+
+/**
+ * Seeded pseudo-random generator with the draw primitives the simulator,
+ * workload generator, and checker heuristics need.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed) : engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    uniformInt(int lo, int hi)
+    {
+        CS_ASSERT(lo <= hi, "uniformInt bounds inverted");
+        return std::uniform_int_distribution<int>(lo, hi)(engine);
+    }
+
+    /** Uniform 64-bit value over the full range. */
+    std::uint64_t
+    uniformU64()
+    {
+        return std::uniform_int_distribution<std::uint64_t>()(engine);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return std::bernoulli_distribution(p)(engine);
+    }
+
+    /** Exponentially distributed delay with the given mean (> 0). */
+    double
+    expDelay(double mean)
+    {
+        CS_ASSERT(mean > 0.0, "expDelay mean must be positive");
+        return std::exponential_distribution<double>(1.0 / mean)(engine);
+    }
+
+    /**
+     * Truncated normal draw: resamples into [lo, hi].
+     * Used for per-step service latencies that must stay positive.
+     */
+    double
+    normalClamped(double mean, double stddev, double lo, double hi)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        for (int i = 0; i < 64; ++i) {
+            double v = dist(engine);
+            if (v >= lo && v <= hi)
+                return v;
+        }
+        return mean < lo ? lo : (mean > hi ? hi : mean);
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        CS_ASSERT(!items.empty(), "pick from empty vector");
+        return items[static_cast<std::size_t>(
+            uniformInt(0, static_cast<int>(items.size()) - 1))];
+    }
+
+    /** Derive an independent child generator (for per-user streams). */
+    Rng
+    fork()
+    {
+        return Rng(uniformU64() ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** Access the underlying engine (for std::shuffle). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_RNG_HPP

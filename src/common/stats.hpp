@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Statistics accumulators for the evaluation harness.
+ */
+
+#ifndef CLOUDSEER_COMMON_STATS_HPP
+#define CLOUDSEER_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cloudseer::common {
+
+/**
+ * Streaming accumulator over double samples with min/max/mean plus exact
+ * median and percentiles (samples are retained; experiment scales are
+ * small enough that exactness beats sketching).
+ */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void add(double value);
+
+    /** Number of samples recorded so far. */
+    std::size_t count() const { return samples.size(); }
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Exact median; 0 when empty. */
+    double median() const;
+
+    /**
+     * Exact percentile by nearest-rank.
+     *
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+  private:
+    mutable std::vector<double> samples;
+    mutable bool sorted = false;
+    double total = 0.0;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Binary-outcome tallies with precision/recall/F1 derivation, used by the
+ * problem-detection experiment (paper Table 7).
+ */
+struct DetectionStats
+{
+    std::size_t truePositives = 0;
+    std::size_t falsePositives = 0;
+    std::size_t falseNegatives = 0;
+
+    /** TP / (TP + FP); 0 when undefined. */
+    double precision() const;
+
+    /** TP / (TP + FN); 0 when undefined. */
+    double recall() const;
+
+    /** Harmonic mean of precision and recall; 0 when undefined. */
+    double f1() const;
+
+    /** Merge another tally into this one. */
+    void merge(const DetectionStats &other);
+};
+
+/** Render "min - max" with the given precision (Table 5 style). */
+std::string formatRange(const SampleStats &stats, int precision);
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_STATS_HPP

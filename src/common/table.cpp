@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cloudseer::common {
+
+TextTable::TextTable(std::vector<std::string> header_)
+    : header(std::move(header_))
+{
+    CS_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    CS_ASSERT(row.size() == header.size(), "row width mismatch");
+    rows.push_back(std::move(row));
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    renderRow(header);
+    os << "|";
+    for (std::size_t c = 0; c < header.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows)
+        renderRow(row);
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    render(oss);
+    return oss.str();
+}
+
+} // namespace cloudseer::common

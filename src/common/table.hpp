@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print the paper's
+ * tables with aligned columns.
+ */
+
+#ifndef CLOUDSEER_COMMON_TABLE_HPP
+#define CLOUDSEER_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudseer::common {
+
+/**
+ * Column-aligned ASCII table. Rows are added as string vectors; render()
+ * pads every cell to its column width and draws a header rule.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to a stream. */
+    void render(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_TABLE_HPP

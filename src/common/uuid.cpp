@@ -1,0 +1,86 @@
+#include "common/uuid.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace cloudseer::common {
+
+namespace {
+
+const char *kHexDigits = "0123456789abcdef";
+
+} // namespace
+
+std::string
+makeUuid(Rng &rng)
+{
+    // Layout: 8-4-4-4-12 hex digits separated by dashes.
+    static const std::array<int, 5> groups = {8, 4, 4, 4, 12};
+    std::string out;
+    out.reserve(36);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g > 0)
+            out.push_back('-');
+        for (int i = 0; i < groups[g]; ++i)
+            out.push_back(kHexDigits[rng.uniformInt(0, 15)]);
+    }
+    return out;
+}
+
+std::string
+makeIp(Rng &rng)
+{
+    return "10." + std::to_string(rng.uniformInt(0, 255)) + "." +
+           std::to_string(rng.uniformInt(0, 255)) + "." +
+           std::to_string(rng.uniformInt(1, 254));
+}
+
+bool
+isUuid(const std::string &s)
+{
+    static const std::array<int, 5> groups = {8, 4, 4, 4, 12};
+    std::size_t pos = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g > 0) {
+            if (pos >= s.size() || s[pos] != '-')
+                return false;
+            ++pos;
+        }
+        for (int i = 0; i < groups[g]; ++i, ++pos) {
+            if (pos >= s.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+                return false;
+            }
+        }
+    }
+    return pos == s.size();
+}
+
+bool
+isIp(const std::string &s)
+{
+    int octets = 0;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t start = pos;
+        int value = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            value = value * 10 + (s[pos] - '0');
+            if (value > 255)
+                return false;
+            ++pos;
+        }
+        if (pos == start)
+            return false;
+        ++octets;
+        if (pos == s.size())
+            break;
+        if (s[pos] != '.')
+            return false;
+        ++pos;
+    }
+    return octets == 4;
+}
+
+} // namespace cloudseer::common

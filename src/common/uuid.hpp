@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Deterministic UUID and IPv4 literal generation.
+ *
+ * The simulator stamps log messages with OpenStack-style identifiers
+ * (request ids, user/tenant/instance UUIDs, host IPs). These helpers
+ * produce well-formed values from an Rng so whole experiments replay
+ * byte-identically from a seed.
+ */
+
+#ifndef CLOUDSEER_COMMON_UUID_HPP
+#define CLOUDSEER_COMMON_UUID_HPP
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace cloudseer::common {
+
+/** Generate a random RFC-4122-shaped UUID string (8-4-4-4-12 lower hex). */
+std::string makeUuid(Rng &rng);
+
+/** Generate a dotted-quad IPv4 literal in the 10.0.0.0/8 range. */
+std::string makeIp(Rng &rng);
+
+/** True iff the string is a well-formed UUID (8-4-4-4-12 hex). */
+bool isUuid(const std::string &s);
+
+/** True iff the string is a well-formed dotted-quad IPv4 literal. */
+bool isIp(const std::string &s);
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_UUID_HPP

@@ -1,0 +1,207 @@
+#include "core/automaton/automaton_instance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cloudseer::core {
+
+AutomatonInstance::AutomatonInstance(const TaskAutomaton *model)
+    : spec(model)
+{
+    CS_ASSERT(model != nullptr, "instance needs a specification");
+    done.assign(spec->eventCount(), 0);
+    remainingPreds.resize(spec->eventCount());
+    for (std::size_t i = 0; i < spec->eventCount(); ++i) {
+        remainingPreds[i] =
+            static_cast<int>(spec->preds(static_cast<int>(i)).size());
+    }
+}
+
+const std::vector<int> &
+AutomatonInstance::predsOf(int event) const
+{
+    if (ownPreds)
+        return (*ownPreds)[static_cast<std::size_t>(event)];
+    return spec->preds(event);
+}
+
+const std::vector<int> &
+AutomatonInstance::succsOf(int event) const
+{
+    if (ownSuccs)
+        return (*ownSuccs)[static_cast<std::size_t>(event)];
+    return spec->succs(event);
+}
+
+void
+AutomatonInstance::materialiseAdjacency()
+{
+    if (ownPreds)
+        return;
+    std::vector<std::vector<int>> preds(spec->eventCount());
+    std::vector<std::vector<int>> succs(spec->eventCount());
+    for (std::size_t i = 0; i < spec->eventCount(); ++i) {
+        preds[i] = spec->preds(static_cast<int>(i));
+        succs[i] = spec->succs(static_cast<int>(i));
+    }
+    ownPreds = std::move(preds);
+    ownSuccs = std::move(succs);
+}
+
+int
+AutomatonInstance::nextPendingEvent(logging::TemplateId tpl) const
+{
+    int best = -1;
+    int best_occurrence = 0;
+    for (std::size_t i = 0; i < spec->eventCount(); ++i) {
+        if (done[i])
+            continue;
+        const EventNode &node = spec->event(static_cast<int>(i));
+        if (node.tpl != tpl)
+            continue;
+        if (best == -1 || node.occurrence < best_occurrence) {
+            best = static_cast<int>(i);
+            best_occurrence = node.occurrence;
+        }
+    }
+    return best;
+}
+
+bool
+AutomatonInstance::canConsume(logging::TemplateId tpl) const
+{
+    int event = nextPendingEvent(tpl);
+    return event != -1 &&
+           remainingPreds[static_cast<std::size_t>(event)] == 0;
+}
+
+bool
+AutomatonInstance::consume(logging::TemplateId tpl)
+{
+    int event = nextPendingEvent(tpl);
+    if (event == -1 ||
+        remainingPreds[static_cast<std::size_t>(event)] != 0) {
+        return false;
+    }
+    done[static_cast<std::size_t>(event)] = 1;
+    ++consumed_;
+    for (int succ : succsOf(event))
+        --remainingPreds[static_cast<std::size_t>(succ)];
+    return true;
+}
+
+std::vector<int>
+AutomatonInstance::frontier() const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+        if (!done[i])
+            continue;
+        for (int succ : succsOf(static_cast<int>(i))) {
+            if (!done[static_cast<std::size_t>(succ)]) {
+                out.push_back(static_cast<int>(i));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<logging::TemplateId>
+AutomatonInstance::expectedTemplates() const
+{
+    std::vector<logging::TemplateId> out;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+        if (done[i] || remainingPreds[i] != 0)
+            continue;
+        logging::TemplateId tpl = spec->event(static_cast<int>(i)).tpl;
+        if (std::find(out.begin(), out.end(), tpl) == out.end())
+            out.push_back(tpl);
+    }
+    return out;
+}
+
+bool
+AutomatonInstance::removeFalseDependencies(logging::TemplateId tpl)
+{
+    int event = nextPendingEvent(tpl);
+    if (event == -1)
+        return false;
+    if (remainingPreds[static_cast<std::size_t>(event)] == 0)
+        return true; // nothing to remove; already enabled
+
+    materialiseAdjacency();
+    auto &preds = *ownPreds;
+    auto &succs = *ownSuccs;
+
+    auto eraseFrom = [](std::vector<int> &vec, int value) {
+        vec.erase(std::remove(vec.begin(), vec.end(), value), vec.end());
+    };
+    auto contains = [](const std::vector<int> &vec, int value) {
+        return std::find(vec.begin(), vec.end(), value) != vec.end();
+    };
+
+    // Cascade: each pass removes one violated edge with the paper's
+    // weakening; the weakening may pull in a blocked grand-predecessor,
+    // which the next pass removes. Bounded by the edge count squared.
+    std::size_t guard =
+        spec->eventCount() * spec->eventCount() + spec->eventCount() + 8;
+    while (remainingPreds[static_cast<std::size_t>(event)] != 0) {
+        CS_ASSERT(guard-- > 0, "false-dependency removal diverged");
+
+        // Find one unconsumed direct predecessor p of the event.
+        int blocking = -1;
+        for (int p : preds[static_cast<std::size_t>(event)]) {
+            if (!done[static_cast<std::size_t>(p)]) {
+                blocking = p;
+                break;
+            }
+        }
+        CS_ASSERT(blocking != -1,
+                  "remainingPreds inconsistent with adjacency");
+
+        // Remove the violated edge (blocking -> event).
+        eraseFrom(preds[static_cast<std::size_t>(event)], blocking);
+        eraseFrom(succs[static_cast<std::size_t>(blocking)], event);
+        --remainingPreds[static_cast<std::size_t>(event)];
+        removedList.emplace_back(blocking, event);
+
+        // Weakening 1: predecessors of `blocking` now precede `event`
+        // directly (Figure 4's A -> C).
+        for (int pp : preds[static_cast<std::size_t>(blocking)]) {
+            if (pp == event ||
+                contains(preds[static_cast<std::size_t>(event)], pp)) {
+                continue;
+            }
+            preds[static_cast<std::size_t>(event)].push_back(pp);
+            succs[static_cast<std::size_t>(pp)].push_back(event);
+            if (!done[static_cast<std::size_t>(pp)])
+                ++remainingPreds[static_cast<std::size_t>(event)];
+        }
+
+        // Weakening 2: `blocking` now precedes the event's successors
+        // directly (Figure 4's B -> D).
+        for (int s : succs[static_cast<std::size_t>(event)]) {
+            if (s == blocking ||
+                contains(preds[static_cast<std::size_t>(s)], blocking)) {
+                continue;
+            }
+            preds[static_cast<std::size_t>(s)].push_back(blocking);
+            succs[static_cast<std::size_t>(blocking)].push_back(s);
+            // `blocking` is unconsumed by construction.
+            ++remainingPreds[static_cast<std::size_t>(s)];
+        }
+    }
+    return true;
+}
+
+bool
+AutomatonInstance::sameState(const AutomatonInstance &other) const
+{
+    if (spec != other.spec || consumed_ != other.consumed_)
+        return false;
+    return done == other.done;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,84 @@
+#include "core/automaton/refinement.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/mining/dependency_miner.hpp"
+
+namespace cloudseer::core {
+
+TaskAutomaton
+refineAutomaton(const TaskAutomaton &original,
+                const std::vector<std::pair<int, int>> &false_edges)
+{
+    int n = static_cast<int>(original.eventCount());
+
+    // Working adjacency as an edge set.
+    std::set<std::pair<int, int>> edges;
+    std::set<std::pair<int, int>> strong;
+    for (const DependencyEdge &edge : original.edges()) {
+        edges.insert({edge.from, edge.to});
+        if (edge.strong)
+            strong.insert({edge.from, edge.to});
+    }
+
+    for (std::pair<int, int> victim : false_edges) {
+        if (!edges.erase(victim))
+            continue; // not present (already weakened or bogus input)
+        strong.erase(victim);
+        auto [from, to] = victim;
+        // Figure 4 weakening at the model level.
+        for (int p = 0; p < n; ++p) {
+            if (edges.count({p, from}))
+                edges.insert({p, to});
+        }
+        for (int s = 0; s < n; ++s) {
+            if (edges.count({to, s}))
+                edges.insert({from, s});
+        }
+    }
+
+    // Re-reduce: the weakening may have introduced transitive edges.
+    std::vector<std::pair<int, int>> order(edges.begin(), edges.end());
+    std::vector<std::pair<int, int>> reduced =
+        transitiveReduction(n, order);
+    std::sort(reduced.begin(), reduced.end());
+
+    std::vector<EventNode> events;
+    events.reserve(original.eventCount());
+    for (std::size_t e = 0; e < original.eventCount(); ++e)
+        events.push_back(original.event(static_cast<int>(e)));
+
+    std::vector<DependencyEdge> built;
+    built.reserve(reduced.size());
+    for (auto [from, to] : reduced)
+        built.push_back({from, to, strong.count({from, to}) > 0});
+    return TaskAutomaton(original.name(), std::move(events),
+                         std::move(built));
+}
+
+std::vector<TaskAutomaton>
+refineFromRemovals(const std::vector<TaskAutomaton> &automata,
+                   const RemovalCounts &removals, int min_removals)
+{
+    std::vector<TaskAutomaton> out;
+    out.reserve(automata.size());
+    for (const TaskAutomaton &automaton : automata) {
+        std::vector<std::pair<int, int>> victims;
+        auto it = removals.find(automaton.name());
+        if (it != removals.end()) {
+            for (const auto &[edge, count] : it->second) {
+                if (count >= min_removals)
+                    victims.push_back(edge);
+            }
+        }
+        if (victims.empty()) {
+            out.push_back(automaton);
+        } else {
+            out.push_back(refineAutomaton(automaton, victims));
+        }
+    }
+    return out;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Model-level refinement of task automata.
+ *
+ * The paper's §5.6 identifies reorder-induced false dependencies as
+ * the main accuracy threat and suggests "manual efforts in refining
+ * the task automata once false dependencies are identified". This
+ * module automates that loop: the checker records every dependency it
+ * had to remove on the fly (recovery cause (d)); edges removed often
+ * enough are then weakened in the shared specification itself, so
+ * future instances accept both orders without triggering recovery.
+ */
+
+#ifndef CLOUDSEER_CORE_AUTOMATON_REFINEMENT_HPP
+#define CLOUDSEER_CORE_AUTOMATON_REFINEMENT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/automaton/task_automaton.hpp"
+
+namespace cloudseer::core {
+
+/** Removal tallies per automaton: edge (from, to) -> removal count. */
+using RemovalCounts =
+    std::map<std::string, std::map<std::pair<int, int>, int>>;
+
+/**
+ * Build a refined automaton with the given edges removed, applying
+ * the paper's Figure 4 weakening (predecessors of the removed source
+ * gain an edge to the target; the source gains edges to the target's
+ * successors) and re-reducing transitively.
+ *
+ * Edges not present in the automaton are ignored.
+ */
+TaskAutomaton
+refineAutomaton(const TaskAutomaton &original,
+                const std::vector<std::pair<int, int>> &false_edges);
+
+/**
+ * Refine a whole automaton set from checker removal tallies: every
+ * edge removed at least `min_removals` times is weakened.
+ *
+ * @return Refined copies (automata without qualifying removals are
+ *         returned unchanged).
+ */
+std::vector<TaskAutomaton>
+refineFromRemovals(const std::vector<TaskAutomaton> &automata,
+                   const RemovalCounts &removals, int min_removals);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_AUTOMATON_REFINEMENT_HPP

@@ -1,0 +1,124 @@
+#include "core/checker/automaton_group.hpp"
+
+#include <algorithm>
+
+namespace cloudseer::core {
+
+AutomatonGroup::AutomatonGroup(
+    GroupId id, const std::vector<const TaskAutomaton *> &automata)
+    : groupId(id)
+{
+    candidates.reserve(automata.size());
+    for (const TaskAutomaton *automaton : automata)
+        candidates.emplace_back(automaton);
+}
+
+bool
+AutomatonGroup::canConsume(logging::TemplateId tpl) const
+{
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [tpl](const AutomatonInstance &a) {
+                           return a.canConsume(tpl);
+                       });
+}
+
+bool
+AutomatonGroup::consume(logging::TemplateId tpl, logging::RecordId record,
+                        common::SimTime now)
+{
+    if (!canConsume(tpl))
+        return false;
+    // Algorithm 1: keep exactly the consuming instances.
+    std::vector<AutomatonInstance> kept;
+    kept.reserve(candidates.size());
+    for (AutomatonInstance &instance : candidates) {
+        if (instance.consume(tpl))
+            kept.push_back(std::move(instance));
+    }
+    candidates = std::move(kept);
+    consumedMessages.push_back({record, tpl, now});
+    if (!anyConsumed) {
+        creationTime = now;
+        anyConsumed = true;
+    }
+    lastActivityTime = now;
+    return true;
+}
+
+bool
+AutomatonGroup::consumeWithRepair(logging::TemplateId tpl,
+                                  logging::RecordId record,
+                                  common::SimTime now,
+                                  std::vector<RepairedEdge> *repaired)
+{
+    // Only repair instances that are already on a sequence: removing
+    // dependencies from a fresh instance would let any message start
+    // any task, which is recovery (b)'s job, not (d)'s.
+    bool any_repaired = false;
+    for (AutomatonInstance &instance : candidates) {
+        if (!instance.started() || instance.canConsume(tpl))
+            continue;
+        std::size_t before = instance.removedDependencyCount();
+        if (!instance.removeFalseDependencies(tpl))
+            continue;
+        any_repaired = true;
+        if (repaired != nullptr) {
+            const auto &removed = instance.removedDependencies();
+            for (std::size_t i = before; i < removed.size(); ++i) {
+                repaired->push_back({&instance.automaton(),
+                                     removed[i].first,
+                                     removed[i].second});
+            }
+        }
+    }
+    if (!any_repaired)
+        return false;
+    return consume(tpl, record, now);
+}
+
+const AutomatonInstance *
+AutomatonGroup::acceptingInstance() const
+{
+    for (const AutomatonInstance &instance : candidates) {
+        if (instance.accepting())
+            return &instance;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+AutomatonGroup::candidateTaskNames() const
+{
+    std::vector<std::string> out;
+    for (const AutomatonInstance &instance : candidates) {
+        const std::string &name = instance.automaton().name();
+        if (std::find(out.begin(), out.end(), name) == out.end())
+            out.push_back(name);
+    }
+    return out;
+}
+
+bool
+AutomatonGroup::equivalentTo(const AutomatonGroup &other) const
+{
+    if (candidates.size() != other.candidates.size())
+        return false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!candidates[i].sameState(other.candidates[i]))
+            return false;
+    }
+    return true;
+}
+
+AutomatonGroup
+AutomatonGroup::cloneAs(GroupId new_id) const
+{
+    AutomatonGroup copy = *this;
+    copy.groupId = new_id;
+    copy.childIds.clear();
+    copy.rivalSetId = 0;
+    copy.parentId = groupId;
+    return copy;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Automaton groups and Algorithm 1 (paper §4, "Checking Individual
+ * Sequences").
+ *
+ * A group tracks one in-flight log sequence. It starts with an
+ * instance of every task automaton that can consume the sequence's
+ * first message and narrows, message by message, to the instances that
+ * consumed everything so far. Consumption is transactional: if no
+ * instance can take the message, the group is left untouched and the
+ * caller handles the divergence (Algorithm 2's case 3).
+ */
+
+#ifndef CLOUDSEER_CORE_CHECKER_AUTOMATON_GROUP_HPP
+#define CLOUDSEER_CORE_CHECKER_AUTOMATON_GROUP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_util.hpp"
+#include "core/automaton/automaton_instance.hpp"
+#include "core/checker/identifier_set.hpp"
+#include "logging/log_record.hpp"
+
+namespace cloudseer::core {
+
+/** Stable group identifier. */
+using GroupId = std::uint64_t;
+
+/** Message labels kept for reports. */
+struct ConsumedMessage
+{
+    logging::RecordId record = 0;
+    logging::TemplateId tpl = logging::kInvalidTemplate;
+    common::SimTime time = 0.0;
+};
+
+/**
+ * One in-flight sequence hypothesis: a set of candidate automaton
+ * instances plus bookkeeping for routing, lineage, and reporting.
+ */
+class AutomatonGroup
+{
+  public:
+    /**
+     * Fresh group over the global automaton set M (Algorithm 1 lines
+     * 2-3). Instances are created for every automaton; the first
+     * consume() narrows them.
+     */
+    AutomatonGroup(GroupId id,
+                   const std::vector<const TaskAutomaton *> &automata);
+
+    /** Group id. */
+    GroupId id() const { return groupId; }
+
+    /** True iff some instance can take the message (no mutation). */
+    bool canConsume(logging::TemplateId tpl) const;
+
+    /**
+     * Algorithm 1: keep exactly the instances that consume the
+     * message; drop the rest. Transactional: when no instance can
+     * consume, the group is unchanged and false is returned.
+     */
+    bool consume(logging::TemplateId tpl, logging::RecordId record,
+                 common::SimTime now);
+
+    /** One dependency edge an instance dropped as false. */
+    struct RepairedEdge
+    {
+        const TaskAutomaton *automaton = nullptr;
+        int from = 0;
+        int to = 0;
+    };
+
+    /**
+     * Recovery (d): ask started instances to drop the false
+     * dependencies blocking tpl, then consume it. Returns true on
+     * success; untouched group on failure.
+     *
+     * @param repaired Receives the dropped edges when non-null (for
+     *        the model-refinement feedback loop).
+     */
+    bool consumeWithRepair(logging::TemplateId tpl,
+                           logging::RecordId record, common::SimTime now,
+                           std::vector<RepairedEdge> *repaired = nullptr);
+
+    /** Candidate instances still alive. */
+    const std::vector<AutomatonInstance> &instances() const
+    {
+        return candidates;
+    }
+
+    /** First accepting instance, or nullptr. */
+    const AutomatonInstance *acceptingInstance() const;
+
+    /** Messages consumed so far, oldest first. */
+    const std::vector<ConsumedMessage> &history() const
+    {
+        return consumedMessages;
+    }
+
+    /** Time of the last consumed message. */
+    common::SimTime lastActivity() const { return lastActivityTime; }
+
+    /** Creation time (first message's time). */
+    common::SimTime createdAt() const { return creationTime; }
+
+    /** Candidate task names (for reports on non-accepted groups). */
+    std::vector<std::string> candidateTaskNames() const;
+
+    /**
+     * Equivalence for the paper's random-selection heuristic: same
+     * instance kinds in the same states.
+     */
+    bool equivalentTo(const AutomatonGroup &other) const;
+
+    // --- lineage (Algorithm 2 case 2 bookkeeping) ---------------------
+
+    /** The group this one was copied from (0 = root hypothesis). */
+    GroupId parent() const { return parentId; }
+
+    /** Groups copied from this one. */
+    const std::vector<GroupId> &children() const { return childIds; }
+
+    /** Ambiguity set this group belongs to (0 = none). */
+    std::uint64_t rivalSet() const { return rivalSetId; }
+
+    /** Set lineage links (checker-internal). */
+    void setParent(GroupId parent) { parentId = parent; }
+    void addChild(GroupId child) { childIds.push_back(child); }
+    void setRivalSet(std::uint64_t set) { rivalSetId = set; }
+
+    /** Zombie groups were already reported; they absorb, not report. */
+    bool zombie() const { return isZombie; }
+    void markZombie() { isZombie = true; }
+
+    /** Deep copy with a new id (case-2 hypothesis forking). */
+    AutomatonGroup cloneAs(GroupId new_id) const;
+
+  private:
+    GroupId groupId;
+    std::vector<AutomatonInstance> candidates;
+    std::vector<ConsumedMessage> consumedMessages;
+    common::SimTime lastActivityTime = 0.0;
+    common::SimTime creationTime = 0.0;
+    bool anyConsumed = false;
+    GroupId parentId = 0;
+    std::vector<GroupId> childIds;
+    std::uint64_t rivalSetId = 0;
+    bool isZombie = false;
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_CHECKER_AUTOMATON_GROUP_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Input/output value types of the interleaved checker.
+ */
+
+#ifndef CLOUDSEER_CORE_CHECKER_CHECK_TYPES_HPP
+#define CLOUDSEER_CORE_CHECKER_CHECK_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_util.hpp"
+#include "core/checker/automaton_group.hpp"
+#include "logging/log_level.hpp"
+#include "logging/log_record.hpp"
+#include "logging/template_catalog.hpp"
+
+namespace cloudseer::core {
+
+/** One log message, pre-parsed for checking. */
+struct CheckMessage
+{
+    /** Interned template; kInvalidTemplate if never seen in modeling. */
+    logging::TemplateId tpl = logging::kInvalidTemplate;
+
+    /** Identifier values (IPs, UUIDs) extracted from the body. */
+    std::vector<std::string> identifiers;
+
+    logging::LogLevel level = logging::LogLevel::Info;
+    logging::RecordId record = 0;
+    common::SimTime time = 0.0;
+};
+
+/** What a checking step may report. */
+enum class CheckEventKind
+{
+    Accepted,      ///< an automaton instance accepted a full sequence
+    ErrorDetected, ///< error-message criterion fired
+    Timeout,       ///< timeout criterion fired
+};
+
+/**
+ * One checker output: an accepting or erroneous automaton instance
+ * with the workflow context the paper promises administrators — the
+ * task, consumed messages, the current state frontier, and what was
+ * expected next.
+ */
+struct CheckEvent
+{
+    CheckEventKind kind = CheckEventKind::Accepted;
+
+    /** Accepted task, or the most likely task for a problem report. */
+    std::string taskName;
+
+    /** All candidate tasks the group still tracked. */
+    std::vector<std::string> candidateTasks;
+
+    /** Records consumed by the group, oldest first. */
+    std::vector<logging::RecordId> records;
+
+    /** Frontier templates — "where the execution is" (paper §2.3). */
+    std::vector<logging::TemplateId> frontierTemplates;
+
+    /** Enabled-next templates — "what never arrived" for timeouts. */
+    std::vector<logging::TemplateId> expectedTemplates;
+
+    common::SimTime time = 0.0;
+    GroupId group = 0;
+};
+
+/** Counters describing how the checker earned its result. */
+struct CheckerStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t decisive = 0;          ///< Algorithm 2 case (1)
+    std::uint64_t ambiguous = 0;         ///< Algorithm 2 case (2)
+    std::uint64_t recoveredPassUnknown = 0;   ///< recovery (a)
+    std::uint64_t recoveredNewSequence = 0;   ///< recovery (b)
+    std::uint64_t recoveredOtherSet = 0;      ///< recovery (c)
+    std::uint64_t recoveredFalseDependency = 0; ///< recovery (d)
+    std::uint64_t unmatched = 0;         ///< all recoveries failed
+    std::uint64_t errorsReported = 0;
+    std::uint64_t timeoutsReported = 0;
+    std::uint64_t timeoutsSuppressed = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t consumeAttempts = 0;   ///< group probes (efficiency)
+
+    /** Fraction of routed messages resolved decisively (paper §5.5). */
+    double
+    decisiveFraction() const
+    {
+        std::uint64_t denom = decisive + ambiguous +
+                              recoveredNewSequence + recoveredOtherSet +
+                              recoveredFalseDependency + unmatched;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(decisive) /
+                                static_cast<double>(denom);
+    }
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_CHECKER_CHECK_TYPES_HPP

@@ -1,0 +1,70 @@
+#include "core/checker/identifier_set.hpp"
+
+#include <algorithm>
+
+namespace cloudseer::core {
+
+IdentifierSet::IdentifierSet(const std::vector<std::string> &values)
+{
+    insert(values);
+}
+
+bool
+IdentifierSet::contains(const std::string &value) const
+{
+    return std::binary_search(items.begin(), items.end(), value);
+}
+
+int
+IdentifierSet::overlap(const std::vector<std::string> &values) const
+{
+    // Count distinct shared identifiers; duplicate values in the
+    // message (a UUID mentioned twice) count once.
+    int shared = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        bool duplicate = false;
+        for (std::size_t j = 0; j < i && !duplicate; ++j)
+            duplicate = values[j] == values[i];
+        if (!duplicate && contains(values[i]))
+            ++shared;
+    }
+    return shared;
+}
+
+int
+IdentifierSet::symmetricDifference(
+    const std::vector<std::string> &values) const
+{
+    int distinct_values = 0;
+    int shared = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        bool duplicate = false;
+        for (std::size_t j = 0; j < i && !duplicate; ++j)
+            duplicate = values[j] == values[i];
+        if (duplicate)
+            continue;
+        ++distinct_values;
+        if (contains(values[i]))
+            ++shared;
+    }
+    return (static_cast<int>(items.size()) - shared) +
+           (distinct_values - shared);
+}
+
+void
+IdentifierSet::insert(const std::vector<std::string> &values)
+{
+    for (const std::string &value : values) {
+        auto it = std::lower_bound(items.begin(), items.end(), value);
+        if (it == items.end() || *it != value)
+            items.insert(it, value);
+    }
+}
+
+void
+IdentifierSet::unionWith(const IdentifierSet &other)
+{
+    insert(other.items);
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The identifier set (paper §2.3, §4): the signature of a growing log
+ * sequence, holding every identifier seen in its messages.
+ */
+
+#ifndef CLOUDSEER_CORE_CHECKER_IDENTIFIER_SET_HPP
+#define CLOUDSEER_CORE_CHECKER_IDENTIFIER_SET_HPP
+
+#include <string>
+#include <vector>
+
+namespace cloudseer::core {
+
+/**
+ * Sorted-unique string set tuned for the checker's access pattern:
+ * small sets (tens of entries), frequent overlap queries against tiny
+ * message identifier lists, occasional inserts and unions.
+ */
+class IdentifierSet
+{
+  public:
+    IdentifierSet() = default;
+
+    /** Construct from a message's identifier values. */
+    explicit IdentifierSet(const std::vector<std::string> &values);
+
+    /** Number of identifiers the set shares with the given values. */
+    int overlap(const std::vector<std::string> &values) const;
+
+    /**
+     * Size of the symmetric difference with the given values — the
+     * paper's tie-breaking heuristic ("least difference").
+     */
+    int symmetricDifference(const std::vector<std::string> &values) const;
+
+    /** Insert message identifiers (the paper's ID ∪ m.Sv). */
+    void insert(const std::vector<std::string> &values);
+
+    /** Union with another set. */
+    void unionWith(const IdentifierSet &other);
+
+    /** Membership test. */
+    bool contains(const std::string &value) const;
+
+    /** Number of identifiers. */
+    std::size_t size() const { return items.size(); }
+
+    /** True when empty. */
+    bool empty() const { return items.empty(); }
+
+    /** Sorted contents (for tests and reports). */
+    const std::vector<std::string> &values() const { return items; }
+
+  private:
+    std::vector<std::string> items; // sorted, unique
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_CHECKER_IDENTIFIER_SET_HPP

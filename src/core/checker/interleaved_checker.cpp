@@ -1,0 +1,673 @@
+#include "core/checker/interleaved_checker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cloudseer::core {
+
+InterleavedChecker::InterleavedChecker(
+    const CheckerConfig &config_,
+    std::vector<const TaskAutomaton *> automata)
+    : config(config_), automatonSet(std::move(automata)), rng(config_.seed)
+{
+    CS_ASSERT(!automatonSet.empty(), "checker needs at least one automaton");
+    for (const TaskAutomaton *automaton : automatonSet) {
+        for (std::size_t e = 0; e < automaton->eventCount(); ++e) {
+            logging::TemplateId tpl =
+                automaton->event(static_cast<int>(e)).tpl;
+            if (tpl >= knownTemplates.size())
+                knownTemplates.resize(tpl + 1, 0);
+            knownTemplates[tpl] = 1;
+        }
+    }
+}
+
+bool
+InterleavedChecker::templateKnown(logging::TemplateId tpl) const
+{
+    return tpl != logging::kInvalidTemplate &&
+           tpl < knownTemplates.size() && knownTemplates[tpl] != 0;
+}
+
+std::vector<std::uint64_t>
+InterleavedChecker::selectIdSets(
+    const std::vector<std::string> &identifiers,
+    int max_overlap_exclusive, int *overlap_out, bool tie_break) const
+{
+    // Best overlap below the (optional) exclusive bound; ties broken by
+    // least symmetric difference when configured (paper heuristic 1).
+    int best = 0;
+    for (const auto &[id, entry] : idsets) {
+        int ov = entry.ids.overlap(identifiers);
+        if (max_overlap_exclusive >= 0 && ov >= max_overlap_exclusive)
+            continue;
+        best = std::max(best, ov);
+    }
+    if (overlap_out != nullptr)
+        *overlap_out = best;
+    std::vector<std::uint64_t> selected;
+    if (best == 0)
+        return selected;
+
+    int least_diff = -1;
+    for (const auto &[id, entry] : idsets) {
+        int ov = entry.ids.overlap(identifiers);
+        if (ov != best)
+            continue;
+        if (max_overlap_exclusive >= 0 && ov >= max_overlap_exclusive)
+            continue;
+        if (!tie_break) {
+            selected.push_back(id);
+            continue;
+        }
+        int diff = entry.ids.symmetricDifference(identifiers);
+        if (least_diff == -1 || diff < least_diff) {
+            least_diff = diff;
+            selected.clear();
+            selected.push_back(id);
+        } else if (diff == least_diff) {
+            selected.push_back(id);
+        }
+    }
+    return selected;
+}
+
+std::vector<GroupId>
+InterleavedChecker::candidateGroups(
+    const std::vector<std::uint64_t> &set_ids)
+{
+    std::vector<GroupId> out;
+    for (std::uint64_t set_id : set_ids) {
+        auto set_it = idsets.find(set_id);
+        if (set_it == idsets.end())
+            continue;
+        const std::vector<GroupId> &members = set_it->second.groupIds;
+        if (!config.equivalentGroupDedup) {
+            for (GroupId gid : members) {
+                if (groups.count(gid))
+                    out.push_back(gid);
+            }
+            continue;
+        }
+        // Paper heuristic 2: among equivalent groups under one set,
+        // randomly select a single representative.
+        std::vector<std::vector<GroupId>> classes;
+        for (GroupId gid : members) {
+            auto git = groups.find(gid);
+            if (git == groups.end())
+                continue;
+            bool placed = false;
+            for (auto &cls : classes) {
+                const AutomatonGroup &rep = groups.at(cls.front());
+                if (git->second.equivalentTo(rep)) {
+                    cls.push_back(gid);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed)
+                classes.push_back({gid});
+        }
+        for (auto &cls : classes) {
+            // Prefer live members: a zombie that is state-equivalent
+            // to a live group must not steal its messages (silent
+            // absorption is a last resort, or starved live groups
+            // zombify in a self-sustaining cascade).
+            std::vector<GroupId> live;
+            for (GroupId gid : cls) {
+                if (!groups.at(gid).zombie())
+                    live.push_back(gid);
+            }
+            std::vector<GroupId> &pool = live.empty() ? cls : live;
+            GroupId chosen =
+                pool.size() == 1 ? pool.front() : rng.pick(pool);
+            out.push_back(chosen);
+        }
+    }
+    // A group can be reachable through several sets; keep it once.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::uint64_t
+InterleavedChecker::findOrCreateIdSet(IdentifierSet ids)
+{
+    for (auto &[set_id, entry] : idsets) {
+        if (entry.ids.values() == ids.values())
+            return set_id;
+    }
+    std::uint64_t set_id = nextIdSetId++;
+    IdSetEntry entry;
+    entry.ids = std::move(ids);
+    idsets.emplace(set_id, std::move(entry));
+    return set_id;
+}
+
+void
+InterleavedChecker::registerGroup(AutomatonGroup &&group,
+                                  IdentifierSet initial_ids)
+{
+    GroupId gid = group.id();
+    std::uint64_t set_id = findOrCreateIdSet(std::move(initial_ids));
+    idsets.at(set_id).groupIds.push_back(gid);
+    groupToSet[gid] = set_id;
+    groups.emplace(gid, std::move(group));
+}
+
+void
+InterleavedChecker::applyDecisiveIdUpdate(
+    GroupId group, const std::vector<std::string> &ids)
+{
+    auto map_it = groupToSet.find(group);
+    CS_ASSERT(map_it != groupToSet.end(), "group without identifier set");
+    auto set_it = idsets.find(map_it->second);
+    CS_ASSERT(set_it != idsets.end(), "dangling identifier-set id");
+    IdSetEntry &entry = set_it->second;
+
+    if (entry.groupIds.size() == 1) {
+        // Sole owner: expand in place (the paper's ID ∪ m.Sv).
+        entry.ids.insert(ids);
+        return;
+    }
+    // Shared set: split off an expanded copy for this group.
+    entry.groupIds.erase(std::remove(entry.groupIds.begin(),
+                                     entry.groupIds.end(), group),
+                         entry.groupIds.end());
+    IdentifierSet expanded = entry.ids;
+    expanded.insert(ids);
+    std::uint64_t set_id = findOrCreateIdSet(std::move(expanded));
+    idsets.at(set_id).groupIds.push_back(group);
+    map_it->second = set_id;
+}
+
+void
+InterleavedChecker::eraseGroup(GroupId group)
+{
+    auto it = groups.find(group);
+    if (it == groups.end())
+        return;
+    auto map_it = groupToSet.find(group);
+    if (map_it != groupToSet.end()) {
+        auto set_it = idsets.find(map_it->second);
+        if (set_it != idsets.end()) {
+            auto &members = set_it->second.groupIds;
+            members.erase(std::remove(members.begin(), members.end(),
+                                      group),
+                          members.end());
+            if (members.empty())
+                idsets.erase(set_it);
+        }
+        groupToSet.erase(map_it);
+    }
+    groups.erase(it);
+}
+
+void
+InterleavedChecker::collectDescendants(GroupId group,
+                                       std::vector<GroupId> &out) const
+{
+    auto it = groups.find(group);
+    if (it == groups.end())
+        return;
+    for (GroupId child : it->second.children()) {
+        if (!groups.count(child))
+            continue;
+        out.push_back(child);
+        collectDescendants(child, out);
+    }
+}
+
+void
+InterleavedChecker::pruneLineageOnAccept(GroupId winner)
+{
+    std::vector<GroupId> removal;
+
+    auto addRivalsOf = [this, &removal](GroupId gid) {
+        auto it = groups.find(gid);
+        if (it == groups.end() || it->second.rivalSet() == 0)
+            return;
+        std::uint64_t rival_set = it->second.rivalSet();
+        for (const auto &[other_id, other] : groups) {
+            if (other_id != gid && other.rivalSet() == rival_set) {
+                removal.push_back(other_id);
+                collectDescendants(other_id, removal);
+            }
+        }
+    };
+
+    // The winner, everything derived from it, its stale ancestors,
+    // each level's rival hypotheses, and their derivations.
+    removal.push_back(winner);
+    collectDescendants(winner, removal);
+    addRivalsOf(winner);
+
+    GroupId ancestor = groups.at(winner).parent();
+    while (ancestor != 0) {
+        auto it = groups.find(ancestor);
+        if (it == groups.end())
+            break;
+        GroupId next = it->second.parent();
+        removal.push_back(ancestor);
+        collectDescendants(ancestor, removal);
+        addRivalsOf(ancestor);
+        ancestor = next;
+    }
+
+    std::sort(removal.begin(), removal.end());
+    removal.erase(std::unique(removal.begin(), removal.end()),
+                  removal.end());
+    for (GroupId gid : removal)
+        eraseGroup(gid);
+}
+
+CheckEvent
+InterleavedChecker::makeEvent(CheckEventKind kind,
+                              const AutomatonGroup &group,
+                              common::SimTime time) const
+{
+    CheckEvent event;
+    event.kind = kind;
+    event.candidateTasks = group.candidateTaskNames();
+    const AutomatonInstance *instance = group.acceptingInstance();
+    if (instance == nullptr && !group.instances().empty())
+        instance = &group.instances().front();
+    if (instance != nullptr) {
+        event.taskName = instance->automaton().name();
+        for (int e : instance->frontier())
+            event.frontierTemplates.push_back(
+                instance->automaton().event(e).tpl);
+        event.expectedTemplates = instance->expectedTemplates();
+    }
+    for (const ConsumedMessage &msg : group.history())
+        event.records.push_back(msg.record);
+    event.time = time;
+    event.group = group.id();
+    return event;
+}
+
+void
+InterleavedChecker::harvestAcceptance(const std::vector<GroupId> &touched,
+                                      common::SimTime now,
+                                      std::vector<CheckEvent> &events)
+{
+    for (GroupId gid : touched) {
+        auto it = groups.find(gid);
+        if (it == groups.end())
+            continue; // pruned by an earlier winner this round
+        const AutomatonInstance *accepted =
+            it->second.acceptingInstance();
+        if (accepted == nullptr)
+            continue;
+        if (!it->second.zombie()) {
+            ++counters.accepted;
+            events.push_back(
+                makeEvent(CheckEventKind::Accepted, it->second, now));
+        }
+        pruneLineageOnAccept(gid);
+    }
+}
+
+void
+InterleavedChecker::applyErrorCriterion(const CheckMessage &message,
+                                        std::vector<CheckEvent> &events)
+{
+    ++counters.errorsReported;
+
+    // Most likely group: best identifier overlap, preferring live
+    // (non-zombie) hypotheses.
+    int overlap = 0;
+    std::vector<std::uint64_t> sel = selectIdSets(
+        message.identifiers, -1, &overlap,
+        config.tieBreakLeastDifference);
+    GroupId chosen = 0;
+    for (std::uint64_t set_id : sel) {
+        auto set_it = idsets.find(set_id);
+        if (set_it == idsets.end())
+            continue;
+        for (GroupId gid : set_it->second.groupIds) {
+            auto git = groups.find(gid);
+            if (git == groups.end())
+                continue;
+            if (chosen == 0 || (groups.at(chosen).zombie() &&
+                                !git->second.zombie())) {
+                chosen = gid;
+            }
+        }
+    }
+
+    CheckEvent event;
+    if (chosen != 0) {
+        event = makeEvent(CheckEventKind::ErrorDetected,
+                          groups.at(chosen), message.time);
+        // The paper stops choosing this instance for further messages.
+        pruneLineageOnAccept(chosen);
+    } else {
+        event.kind = CheckEventKind::ErrorDetected;
+        event.taskName = "(unassociated)";
+        event.time = message.time;
+    }
+    event.records.push_back(message.record);
+    events.push_back(event);
+}
+
+std::vector<CheckEvent>
+InterleavedChecker::feed(const CheckMessage &message)
+{
+    std::vector<CheckEvent> events;
+    ++counters.messages;
+
+    // Recovery (a), hoisted: a template outside every automaton's Σ can
+    // never be consumed. Non-error messages pass through; error
+    // messages trigger the error-message criterion.
+    if (!templateKnown(message.tpl)) {
+        if (logging::isErrorLevel(message.level)) {
+            applyErrorCriterion(message, events);
+        } else {
+            ++counters.recoveredPassUnknown;
+        }
+        return events;
+    }
+
+    // --- selection (Algorithm 2 lines 1-3) ----------------------------
+    int best_overlap = 0;
+    std::vector<GroupId> candidates;
+    if (config.identifierRouting && !message.identifiers.empty()) {
+        std::vector<std::uint64_t> sel =
+            selectIdSets(message.identifiers, -1, &best_overlap,
+                         config.tieBreakLeastDifference);
+        candidates = candidateGroups(sel);
+    } else {
+        for (const auto &[gid, group] : groups)
+            candidates.push_back(gid);
+    }
+
+    // --- trial consumption (lines 4-8) --------------------------------
+    counters.consumeAttempts += candidates.size();
+    std::vector<GroupId> consuming;
+    for (GroupId gid : candidates) {
+        auto it = groups.find(gid);
+        if (it != groups.end() && it->second.canConsume(message.tpl))
+            consuming.push_back(gid);
+    }
+
+    auto doDecisive = [this, &message, &events](GroupId gid) {
+        AutomatonGroup &group = groups.at(gid);
+        bool ok =
+            group.consume(message.tpl, message.record, message.time);
+        CS_ASSERT(ok, "decisive consumption failed after canConsume");
+        applyDecisiveIdUpdate(gid, message.identifiers);
+        harvestAcceptance({gid}, message.time, events);
+    };
+
+    auto doAmbiguous = [this, &message,
+                        &events](std::vector<GroupId> gids) {
+        // Case (2): fork a consuming clone of every contender; all
+        // clones share one pooled identifier set (ID1 ∪ ID2 ∪ m.Sv).
+        // Bounded fan-out: prefer the most-developed hypotheses.
+        if (gids.size() > config.maxForkFanout) {
+            std::stable_sort(
+                gids.begin(), gids.end(),
+                [this](GroupId a, GroupId b) {
+                    return groups.at(a).history().size() >
+                           groups.at(b).history().size();
+                });
+            gids.resize(config.maxForkFanout);
+        }
+        IdentifierSet pooled;
+        std::uint64_t rival_set = nextRivalSet++;
+        std::vector<GroupId> touched;
+        for (GroupId gid : gids) {
+            auto set_it = idsets.find(groupToSet.at(gid));
+            if (set_it != idsets.end())
+                pooled.unionWith(set_it->second.ids);
+        }
+        pooled.insert(message.identifiers);
+        std::uint64_t set_id = findOrCreateIdSet(std::move(pooled));
+        for (GroupId gid : gids) {
+            GroupId clone_id = nextGroupId++;
+            AutomatonGroup clone = groups.at(gid).cloneAs(clone_id);
+            bool ok = clone.consume(message.tpl, message.record,
+                                    message.time);
+            CS_ASSERT(ok, "clone consumption failed after canConsume");
+            clone.setRivalSet(rival_set);
+            groups.at(gid).addChild(clone_id);
+            idsets.at(set_id).groupIds.push_back(clone_id);
+            groupToSet[clone_id] = set_id;
+            groups.emplace(clone_id, std::move(clone));
+            touched.push_back(clone_id);
+        }
+        harvestAcceptance(touched, message.time, events);
+    };
+
+    if (consuming.size() == 1) {
+        ++counters.decisive;
+        doDecisive(consuming.front());
+        return events;
+    }
+    if (consuming.size() > 1) {
+        ++counters.ambiguous;
+        if (!config.identifierRouting) {
+            // Brute-force mode has no identifier sets to pool the
+            // alternatives under; forking every contender for every
+            // message is exponential. Resolve to the most-developed
+            // hypothesis instead — the ablation measures the probing
+            // cost the identifier heuristic avoids (paper §5.5).
+            GroupId best = consuming.front();
+            for (GroupId gid : consuming) {
+                if (groups.at(gid).history().size() >
+                    groups.at(best).history().size()) {
+                    best = gid;
+                }
+            }
+            doDecisive(best);
+            return events;
+        }
+        doAmbiguous(consuming);
+        return events;
+    }
+
+    // --- divergence recovery (case 3) ----------------------------------
+    // (b) the message may start a new sequence.
+    {
+        AutomatonGroup fresh(nextGroupId, automatonSet);
+        if (fresh.canConsume(message.tpl)) {
+            ++nextGroupId;
+            ++counters.recoveredNewSequence;
+            bool ok = fresh.consume(message.tpl, message.record,
+                                    message.time);
+            CS_ASSERT(ok, "fresh group failed to consume");
+            GroupId gid = fresh.id();
+            registerGroup(std::move(fresh),
+                          IdentifierSet(message.identifiers));
+            harvestAcceptance({gid}, message.time, events);
+            return events;
+        }
+    }
+
+    // (c) the chosen identifier set may be wrong: first retry the
+    // tie-break losers at the best overlap, then walk down the
+    // overlap ranks.
+    if (config.identifierRouting && !message.identifiers.empty()) {
+        auto tryLevel =
+            [this, &message,
+             &events](const std::vector<std::uint64_t> &sel,
+                      auto &doDecisiveFn, auto &doAmbiguousFn) {
+                std::vector<GroupId> level_groups =
+                    candidateGroups(sel);
+                counters.consumeAttempts += level_groups.size();
+                std::vector<GroupId> takers;
+                for (GroupId gid : level_groups) {
+                    auto it = groups.find(gid);
+                    if (it != groups.end() &&
+                        it->second.canConsume(message.tpl)) {
+                        takers.push_back(gid);
+                    }
+                }
+                if (takers.empty())
+                    return false;
+                ++counters.recoveredOtherSet;
+                if (takers.size() == 1)
+                    doDecisiveFn(takers.front());
+                else
+                    doAmbiguousFn(takers);
+                return true;
+            };
+
+        if (config.tieBreakLeastDifference && best_overlap > 0) {
+            int level = 0;
+            std::vector<std::uint64_t> sel = selectIdSets(
+                message.identifiers, -1, &level, /*tie_break=*/false);
+            if (tryLevel(sel, doDecisive, doAmbiguous))
+                return events;
+        }
+        int bound = best_overlap;
+        while (bound > 1) {
+            int level = 0;
+            std::vector<std::uint64_t> sel =
+                selectIdSets(message.identifiers, bound, &level,
+                             config.tieBreakLeastDifference);
+            if (sel.empty() || level == 0)
+                break;
+            if (tryLevel(sel, doDecisive, doAmbiguous))
+                return events;
+            bound = level;
+        }
+    }
+
+    // (d) a modeled dependency may be false: repair on the best-match
+    // groups (paper Figure 4). Removed edges feed the refinement loop.
+    if (config.falseDependencyRemoval) {
+        for (GroupId gid : candidates) {
+            auto it = groups.find(gid);
+            if (it == groups.end())
+                continue;
+            std::vector<AutomatonGroup::RepairedEdge> repaired;
+            if (it->second.consumeWithRepair(message.tpl, message.record,
+                                             message.time, &repaired)) {
+                ++counters.recoveredFalseDependency;
+                for (const AutomatonGroup::RepairedEdge &edge :
+                     repaired) {
+                    ++removalCounts[edge.automaton->name()]
+                                   [{edge.from, edge.to}];
+                }
+                applyDecisiveIdUpdate(gid, message.identifiers);
+                harvestAcceptance({gid}, message.time, events);
+                return events;
+            }
+        }
+    }
+
+    if (logging::isErrorLevel(message.level)) {
+        applyErrorCriterion(message, events);
+        return events;
+    }
+
+    ++counters.unmatched;
+    return events;
+}
+
+bool
+InterleavedChecker::lineageCovered(const AutomatonGroup &group,
+                                   common::SimTime now,
+                                   double timeout) const
+{
+    auto recent = [now, timeout](const AutomatonGroup &g) {
+        return now - g.lastActivity() <= timeout;
+    };
+
+    auto parent_it = groups.find(group.parent());
+    if (parent_it != groups.end() && recent(parent_it->second))
+        return true;
+
+    std::vector<GroupId> descendants;
+    collectDescendants(group.id(), descendants);
+    for (GroupId gid : descendants) {
+        if (recent(groups.at(gid)))
+            return true;
+    }
+
+    if (group.rivalSet() != 0) {
+        for (const auto &[gid, other] : groups) {
+            if (gid != group.id() &&
+                other.rivalSet() == group.rivalSet() && recent(other)) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<CheckEvent>
+InterleavedChecker::sweepTimeouts(common::SimTime now, double timeout)
+{
+    return sweepTimeouts(
+        now, [timeout](const std::vector<std::string> &) {
+            return timeout;
+        });
+}
+
+std::vector<CheckEvent>
+InterleavedChecker::sweepTimeouts(common::SimTime now,
+                                  const TimeoutResolver &resolver)
+{
+    std::vector<CheckEvent> events;
+    std::vector<GroupId> snapshot;
+    snapshot.reserve(groups.size());
+    for (const auto &[gid, group] : groups)
+        snapshot.push_back(gid);
+
+    for (GroupId gid : snapshot) {
+        auto it = groups.find(gid);
+        if (it == groups.end())
+            continue;
+        AutomatonGroup &group = it->second;
+        double timeout = resolver(group.candidateTaskNames());
+        maxResolvedTimeout = std::max(maxResolvedTimeout, timeout);
+        if (group.zombie()) {
+            // Zombies linger to absorb late messages, then fade.
+            if (now - group.lastActivity() > 3.0 * maxResolvedTimeout)
+                eraseGroup(gid);
+            continue;
+        }
+        if (now - group.lastActivity() <= timeout)
+            continue;
+        if (config.timeoutSuppression && lineageCovered(group, now,
+                                                        timeout)) {
+            ++counters.timeoutsSuppressed;
+            eraseGroup(gid);
+            continue;
+        }
+        ++counters.timeoutsReported;
+        events.push_back(makeEvent(CheckEventKind::Timeout, group, now));
+        if (config.zombieAbsorption)
+            group.markZombie();
+        else
+            eraseGroup(gid);
+    }
+    return events;
+}
+
+std::vector<CheckEvent>
+InterleavedChecker::finish(common::SimTime now)
+{
+    std::vector<CheckEvent> events;
+    std::vector<GroupId> snapshot;
+    for (const auto &[gid, group] : groups)
+        snapshot.push_back(gid);
+    for (GroupId gid : snapshot) {
+        auto it = groups.find(gid);
+        if (it == groups.end())
+            continue;
+        if (!it->second.zombie())
+            events.push_back(makeEvent(CheckEventKind::Timeout,
+                                       it->second, now));
+        eraseGroup(gid);
+    }
+    idsets.clear();
+    groupToSet.clear();
+    return events;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Algorithm 2 (paper §4): checking interleaved log sequences.
+ *
+ * The checker maintains the paper's three global structures — the
+ * identifier sets I, the automaton groups G, and the relation R
+ * between them — and routes each incoming message to the group(s)
+ * whose identifier set shares the most identifiers with it. Three
+ * outcomes per message: decisive consumption (case 1), brute-force
+ * hypothesis forking (case 2), or divergence recovery (case 3) with
+ * the paper's four prioritized heuristics. The error-message and
+ * timeout criteria turn divergences and silences into reports.
+ *
+ * Additions documented in DESIGN.md §4: explicit lineage links between
+ * forked hypotheses make the paper's "remove the other possibilities"
+ * pruning deterministic, and timed-out groups whose lineage is still
+ * progressing are pruned silently instead of reported.
+ */
+
+#ifndef CLOUDSEER_CORE_CHECKER_INTERLEAVED_CHECKER_HPP
+#define CLOUDSEER_CORE_CHECKER_INTERLEAVED_CHECKER_HPP
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/automaton/refinement.hpp"
+#include "core/checker/check_types.hpp"
+
+namespace cloudseer::core {
+
+/** Feature toggles; each maps to an ablation in DESIGN.md §6. */
+struct CheckerConfig
+{
+    /** Route by identifier sets (off = brute-force every group). */
+    bool identifierRouting = true;
+
+    /** Tie-break equal overlaps by least symmetric difference. */
+    bool tieBreakLeastDifference = true;
+
+    /** Collapse equivalent groups under one identifier set. */
+    bool equivalentGroupDedup = true;
+
+    /** Recovery (d): remove false dependencies on the fly. */
+    bool falseDependencyRemoval = true;
+
+    /** Prune (don't report) timed-out groups whose lineage advanced. */
+    bool timeoutSuppression = true;
+
+    /** Keep reported-timeout groups as silent absorbers of late
+     *  messages (reduces follow-on false positives from delays). */
+    bool zombieAbsorption = true;
+
+    /**
+     * Upper bound on the hypotheses forked by one ambiguous message
+     * (Algorithm 2 case 2). Unbounded forking is exponential when
+     * identifiers cannot separate sequences at all; the cap keeps the
+     * checker online at the cost of occasionally dropping the correct
+     * hypothesis (surfacing as a checking inaccuracy, like the
+     * paper's).
+     */
+    std::size_t maxForkFanout = 6;
+
+    /** Seed for the random-selection heuristic among equivalents. */
+    std::uint64_t seed = 42;
+};
+
+/** The online checking engine. */
+class InterleavedChecker
+{
+  public:
+    /**
+     * @param config   Feature toggles.
+     * @param automata Global automaton set M; must outlive the checker.
+     */
+    InterleavedChecker(const CheckerConfig &config,
+                       std::vector<const TaskAutomaton *> automata);
+
+    /**
+     * Process one message (Algorithm 2). Returns any accepted or
+     * erroneous instances this message resolved.
+     */
+    std::vector<CheckEvent> feed(const CheckMessage &message);
+
+    /**
+     * Resolves the timeout for a group from the task names it still
+     * tracks (per-task timeouts from the estimator, or a constant).
+     */
+    using TimeoutResolver =
+        std::function<double(const std::vector<std::string> &)>;
+
+    /**
+     * Timeout criterion: report groups that consumed nothing within
+     * `timeout` seconds before `now`.
+     */
+    std::vector<CheckEvent> sweepTimeouts(common::SimTime now,
+                                          double timeout);
+
+    /** Timeout criterion with a per-group timeout resolver. */
+    std::vector<CheckEvent> sweepTimeouts(common::SimTime now,
+                                          const TimeoutResolver &resolver);
+
+    /**
+     * Dependency-removal tallies accumulated by recovery (d) — the
+     * input to refineFromRemovals (model-refinement feedback loop).
+     */
+    const RemovalCounts &dependencyRemovals() const
+    {
+        return removalCounts;
+    }
+
+    /**
+     * End of stream: every remaining unaccepted group is reported as a
+     * timeout (it never completed) and the state is cleared.
+     */
+    std::vector<CheckEvent> finish(common::SimTime now);
+
+    /** Counters. */
+    const CheckerStats &stats() const { return counters; }
+
+    /** Groups currently tracked. */
+    std::size_t activeGroups() const { return groups.size(); }
+
+    /** Identifier sets currently tracked. */
+    std::size_t activeIdentifierSets() const { return idsets.size(); }
+
+  private:
+    struct IdSetEntry
+    {
+        IdentifierSet ids;
+        std::vector<GroupId> groupIds;
+    };
+
+    CheckerConfig config;
+    std::vector<const TaskAutomaton *> automatonSet;
+    std::vector<char> knownTemplates; // indexed by TemplateId
+    common::Rng rng;
+    CheckerStats counters;
+
+    std::map<GroupId, AutomatonGroup> groups;
+    RemovalCounts removalCounts;
+    std::map<std::uint64_t, IdSetEntry> idsets;
+    std::map<GroupId, std::uint64_t> groupToSet;
+    std::uint64_t nextGroupId = 1;
+    std::uint64_t nextIdSetId = 1;
+    std::uint64_t nextRivalSet = 1;
+
+    bool templateKnown(logging::TemplateId tpl) const;
+
+    /**
+     * Identifier-set ids with the best overlap below the exclusive
+     * bound (-1 = unbounded). `tie_break` applies the least-difference
+     * heuristic among equal overlaps; recovery (c) retries without it
+     * so tie-break losers get their chance before lower ranks.
+     */
+    std::vector<std::uint64_t>
+    selectIdSets(const std::vector<std::string> &identifiers,
+                 int max_overlap_exclusive, int *overlap_out,
+                 bool tie_break) const;
+
+    /** Candidate groups of the selected sets, deduped per config. */
+    std::vector<GroupId>
+    candidateGroups(const std::vector<std::uint64_t> &set_ids);
+
+    /** Case 1 bookkeeping: expand or re-home the group's set. */
+    void applyDecisiveIdUpdate(GroupId group,
+                               const std::vector<std::string> &ids);
+
+    /**
+     * Identifier-set entry with the given contents, reusing an
+     * existing identical entry (the paper's I is a *set* of sets:
+     * identical sets are one element, which is what lets the
+     * equivalent-group heuristic collapse interchangeable groups).
+     */
+    std::uint64_t findOrCreateIdSet(IdentifierSet ids);
+
+    /** Register a brand-new group with a fresh identifier set. */
+    void registerGroup(AutomatonGroup &&group,
+                       IdentifierSet initial_ids);
+
+    /** Remove one group and its relation entries. */
+    void eraseGroup(GroupId group);
+
+    /** Collect the group and all its (live) descendants. */
+    void collectDescendants(GroupId group,
+                            std::vector<GroupId> &out) const;
+
+    /** The paper's acceptance pruning, made deterministic by lineage. */
+    void pruneLineageOnAccept(GroupId winner);
+
+    /** True when a lineage-linked group consumed within the window. */
+    bool lineageCovered(const AutomatonGroup &group, common::SimTime now,
+                        double timeout) const;
+
+    /** Largest timeout handed out so far (zombie-expiry horizon). */
+    double maxResolvedTimeout = 0.0;
+
+    /** Build a report for a group. */
+    CheckEvent makeEvent(CheckEventKind kind, const AutomatonGroup &group,
+                         common::SimTime time) const;
+
+    /** Handle acceptance on a set of touched groups. */
+    void harvestAcceptance(const std::vector<GroupId> &touched,
+                           common::SimTime now,
+                           std::vector<CheckEvent> &events);
+
+    /** Error-message criterion (paper §4, Problem Detection). */
+    void applyErrorCriterion(const CheckMessage &message,
+                             std::vector<CheckEvent> &events);
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_CHECKER_INTERLEAVED_CHECKER_HPP

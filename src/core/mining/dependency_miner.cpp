@@ -1,0 +1,158 @@
+#include "core/mining/dependency_miner.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace cloudseer::core {
+
+std::vector<std::pair<int, int>>
+transitiveReduction(int n, const std::vector<std::pair<int, int>> &order)
+{
+    // Dense reachability; n is the per-task key-message count (tens).
+    std::vector<std::vector<char>> before(
+        static_cast<std::size_t>(n),
+        std::vector<char>(static_cast<std::size_t>(n), 0));
+    for (auto [a, b] : order) {
+        CS_ASSERT(a >= 0 && a < n && b >= 0 && b < n && a != b,
+                  "bad order pair");
+        before[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            1;
+    }
+
+    // The input relation is already transitively closed when it comes
+    // from mining (it contains every ordered pair); close it anyway so
+    // the helper is safe for hand-built test inputs.
+    for (int k = 0; k < n; ++k) {
+        for (int i = 0; i < n; ++i) {
+            if (!before[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(k)]) {
+                continue;
+            }
+            for (int j = 0; j < n; ++j) {
+                if (before[static_cast<std::size_t>(k)]
+                          [static_cast<std::size_t>(j)]) {
+                    before[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)] = 1;
+                }
+            }
+        }
+    }
+
+    // Edge (a, b) is redundant iff some c has a->c and c->b.
+    std::vector<std::pair<int, int>> reduced;
+    for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+            if (!before[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(b)]) {
+                continue;
+            }
+            bool redundant = false;
+            for (int c = 0; c < n && !redundant; ++c) {
+                if (c == a || c == b)
+                    continue;
+                if (before[static_cast<std::size_t>(a)]
+                          [static_cast<std::size_t>(c)] &&
+                    before[static_cast<std::size_t>(c)]
+                          [static_cast<std::size_t>(b)]) {
+                    redundant = true;
+                }
+            }
+            if (!redundant)
+                reduced.emplace_back(a, b);
+        }
+    }
+    return reduced;
+}
+
+MinedModel
+mineDependencies(const std::vector<TemplateSequence> &sequences)
+{
+    CS_ASSERT(!sequences.empty(), "mining needs at least one sequence");
+
+    // Build the event-node table from the first sequence's multiset
+    // (all sequences share it after preprocessing).
+    std::map<logging::TemplateId, int> multiplicity;
+    for (logging::TemplateId tpl : sequences[0])
+        ++multiplicity[tpl];
+
+    MinedModel model;
+    std::map<std::pair<logging::TemplateId, int>, int> eventId;
+    for (const auto &[tpl, count] : multiplicity) {
+        for (int occ = 0; occ < count; ++occ) {
+            eventId[{tpl, occ}] = static_cast<int>(model.events.size());
+            model.events.push_back({tpl, occ});
+        }
+    }
+    int n = static_cast<int>(model.events.size());
+
+    // Position of each event in each sequence.
+    // ordered[a][b] stays 1 only if a precedes b in every sequence;
+    // adjacent[a][b] stays 1 only if b is always immediately next.
+    std::vector<std::vector<char>> ordered(
+        static_cast<std::size_t>(n),
+        std::vector<char>(static_cast<std::size_t>(n), 1));
+    std::vector<std::vector<char>> adjacent(
+        static_cast<std::size_t>(n),
+        std::vector<char>(static_cast<std::size_t>(n), 1));
+    for (int i = 0; i < n; ++i) {
+        ordered[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+            0;
+        adjacent[static_cast<std::size_t>(i)]
+                [static_cast<std::size_t>(i)] = 0;
+    }
+
+    std::vector<int> position(static_cast<std::size_t>(n));
+    for (const TemplateSequence &seq : sequences) {
+        CS_ASSERT(static_cast<int>(seq.size()) == n,
+                  "sequences must share one template multiset "
+                  "(run preprocessSequences first)");
+        std::map<logging::TemplateId, int> seen;
+        for (int pos = 0; pos < n; ++pos) {
+            logging::TemplateId tpl = seq[static_cast<std::size_t>(pos)];
+            int occ = seen[tpl]++;
+            auto it = eventId.find({tpl, occ});
+            CS_ASSERT(it != eventId.end(),
+                      "sequence contains an unknown event occurrence");
+            position[static_cast<std::size_t>(it->second)] = pos;
+        }
+        for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+                if (a == b)
+                    continue;
+                int pa = position[static_cast<std::size_t>(a)];
+                int pb = position[static_cast<std::size_t>(b)];
+                if (pa >= pb) {
+                    ordered[static_cast<std::size_t>(a)]
+                           [static_cast<std::size_t>(b)] = 0;
+                }
+                if (pb != pa + 1) {
+                    adjacent[static_cast<std::size_t>(a)]
+                            [static_cast<std::size_t>(b)] = 0;
+                }
+            }
+        }
+    }
+
+    for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+            if (ordered[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(b)]) {
+                model.fullOrder.emplace_back(a, b);
+            }
+        }
+    }
+
+    std::vector<std::pair<int, int>> reduced =
+        transitiveReduction(n, model.fullOrder);
+    std::sort(reduced.begin(), reduced.end());
+    for (auto [a, b] : reduced) {
+        bool strong = adjacent[static_cast<std::size_t>(a)]
+                              [static_cast<std::size_t>(b)] != 0;
+        model.edges.push_back({a, b, strong});
+    }
+    return model;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Temporal-dependency mining (paper §3.2).
+ *
+ * Over preprocessed sequences, classify every ordered pair of event
+ * nodes (template occurrences) as a strong dependency (always
+ * immediately adjacent), a weak dependency (always before, not always
+ * adjacent), or unordered. A transitive reduction then keeps the
+ * dependency set minimal; the reduced DAG is the automaton skeleton.
+ */
+
+#ifndef CLOUDSEER_CORE_MINING_DEPENDENCY_MINER_HPP
+#define CLOUDSEER_CORE_MINING_DEPENDENCY_MINER_HPP
+
+#include <vector>
+
+#include "core/automaton/task_automaton.hpp"
+#include "core/mining/preprocessor.hpp"
+
+namespace cloudseer::core {
+
+/** Mined partial order over event nodes. */
+struct MinedModel
+{
+    /** Event nodes (template, occurrence); index = event id. */
+    std::vector<EventNode> events;
+
+    /** Transitively-reduced dependency edges (strong flag set). */
+    std::vector<DependencyEdge> edges;
+
+    /** Pairs ordered in every sequence, before reduction (by id). */
+    std::vector<std::pair<int, int>> fullOrder;
+};
+
+/**
+ * Mine temporal dependencies from preprocessed sequences.
+ *
+ * Preconditions: every sequence contains the same multiset of
+ * templates (guaranteed by preprocessSequences).
+ */
+MinedModel
+mineDependencies(const std::vector<TemplateSequence> &sequences);
+
+/**
+ * Transitive reduction of a DAG given as an ordered-pair relation.
+ * Exposed for tests; mineDependencies calls it internally.
+ *
+ * @param n     Number of nodes.
+ * @param order Full partial order as (before, after) pairs.
+ * @return Minimal edge set with the same transitive closure.
+ */
+std::vector<std::pair<int, int>>
+transitiveReduction(int n, const std::vector<std::pair<int, int>> &order);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MINING_DEPENDENCY_MINER_HPP

@@ -1,0 +1,74 @@
+#include "core/mining/model_builder.hpp"
+
+#include <memory>
+
+#include "core/mining/dependency_miner.hpp"
+
+namespace cloudseer::core {
+
+TaskModeler::TaskModeler(logging::TemplateCatalog &catalog_)
+    : catalog(catalog_)
+{
+}
+
+TemplateSequence
+TaskModeler::toTemplateSequence(
+    const std::vector<logging::LogRecord> &records)
+{
+    TemplateSequence out;
+    out.reserve(records.size());
+    for (const logging::LogRecord &record : records) {
+        logging::ParsedBody parsed = extractor.parse(record.body);
+        out.push_back(catalog.intern(record.service, parsed.templateText));
+    }
+    return out;
+}
+
+TaskAutomaton
+TaskModeler::buildAutomaton(const std::string &task_name,
+                            const std::vector<TemplateSequence> &runs) const
+{
+    PreprocessResult pre = preprocessSequences(runs);
+    MinedModel mined = mineDependencies(pre.sequences);
+    return TaskAutomaton(task_name, std::move(mined.events),
+                         std::move(mined.edges));
+}
+
+TaskModeler::ConvergenceResult
+TaskModeler::modelUntilStable(
+    const std::string &task_name,
+    const std::function<TemplateSequence()> &next_run,
+    std::size_t min_runs, std::size_t check_every,
+    std::size_t stable_checks, std::size_t max_runs) const
+{
+    std::vector<TemplateSequence> runs;
+    std::unique_ptr<TaskAutomaton> current;
+    std::size_t unchanged = 0;
+
+    while (runs.size() < max_runs) {
+        runs.push_back(next_run());
+        bool rebuild = runs.size() >= min_runs &&
+                       (runs.size() - min_runs) % check_every == 0;
+        if (!rebuild)
+            continue;
+        TaskAutomaton candidate = buildAutomaton(task_name, runs);
+        if (current && candidate.sameStructure(*current)) {
+            ++unchanged;
+            if (unchanged >= stable_checks) {
+                return {std::move(candidate), runs.size(), true};
+            }
+        } else {
+            unchanged = 0;
+        }
+        current = std::make_unique<TaskAutomaton>(std::move(candidate));
+    }
+
+    // Cap reached: return the best model so far (not converged).
+    if (!current) {
+        TaskAutomaton automaton = buildAutomaton(task_name, runs);
+        return {std::move(automaton), runs.size(), false};
+    }
+    return {std::move(*current), runs.size(), false};
+}
+
+} // namespace cloudseer::core

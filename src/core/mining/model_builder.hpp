@@ -1,0 +1,83 @@
+/**
+ * @file
+ * End-to-end offline modeling: raw log records of correct executions
+ * in, task automata out (paper §3, full pipeline), including the
+ * convergence-driven modeling loop the paper uses for Table 2 ("keep
+ * running the task ... until logs from any subsequent executions do
+ * not change the result automaton").
+ */
+
+#ifndef CLOUDSEER_CORE_MINING_MODEL_BUILDER_HPP
+#define CLOUDSEER_CORE_MINING_MODEL_BUILDER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/automaton/task_automaton.hpp"
+#include "core/mining/preprocessor.hpp"
+#include "logging/log_record.hpp"
+#include "logging/variable_extractor.hpp"
+
+namespace cloudseer::core {
+
+/** Offline modeling front-end. Owns no state besides the catalog ref. */
+class TaskModeler
+{
+  public:
+    /**
+     * @param catalog Shared template catalog; modeling interns every
+     *        template it sees, and checking later resolves against the
+     *        same catalog.
+     */
+    explicit TaskModeler(logging::TemplateCatalog &catalog);
+
+    /**
+     * Convert one execution's records (time order) into a template
+     * sequence, interning templates as they appear.
+     */
+    TemplateSequence
+    toTemplateSequence(const std::vector<logging::LogRecord> &records);
+
+    /**
+     * Build the task automaton from many correct runs: preprocess,
+     * mine dependencies, transitively reduce, construct.
+     */
+    TaskAutomaton buildAutomaton(
+        const std::string &task_name,
+        const std::vector<TemplateSequence> &runs) const;
+
+    /** Outcome of the convergence-driven modeling loop. */
+    struct ConvergenceResult
+    {
+        TaskAutomaton automaton;
+        std::size_t runsUsed = 0;
+        bool converged = false;
+    };
+
+    /**
+     * Model with the paper's convergence criterion: keep adding runs
+     * until `stable_checks` consecutive rebuilds (every `check_every`
+     * runs) leave the automaton structurally unchanged.
+     *
+     * @param task_name     Name for the result automaton.
+     * @param next_run      Produces one more correct-execution sequence.
+     * @param min_runs      Runs to collect before the first rebuild.
+     * @param check_every   Runs between rebuilds.
+     * @param stable_checks Consecutive unchanged rebuilds required.
+     * @param max_runs      Hard cap (paper saw 200-800).
+     */
+    ConvergenceResult modelUntilStable(
+        const std::string &task_name,
+        const std::function<TemplateSequence()> &next_run,
+        std::size_t min_runs = 20, std::size_t check_every = 10,
+        std::size_t stable_checks = 3, std::size_t max_runs = 800) const;
+
+  private:
+    logging::TemplateCatalog &catalog;
+    logging::VariableExtractor extractor;
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MINING_MODEL_BUILDER_HPP

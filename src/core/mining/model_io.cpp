@@ -1,0 +1,241 @@
+#include "core/mining/model_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace cloudseer::core {
+
+namespace {
+
+constexpr const char *kMagic = "cloudseer-models";
+constexpr int kVersion = 1;
+
+bool
+needsEscape(char c)
+{
+    return c == '%' || std::isspace(static_cast<unsigned char>(c)) ||
+           !std::isprint(static_cast<unsigned char>(c));
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+encodeModelToken(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (needsEscape(c)) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    if (out.empty())
+        out = "%00"; // keep empty fields tokenizable
+    return out;
+}
+
+std::optional<std::string>
+decodeModelToken(const std::string &token)
+{
+    std::string out;
+    out.reserve(token.size());
+    for (std::size_t i = 0; i < token.size(); ++i) {
+        if (token[i] != '%') {
+            out.push_back(token[i]);
+            continue;
+        }
+        if (i + 2 >= token.size())
+            return std::nullopt;
+        int hi = hexValue(token[i + 1]);
+        int lo = hexValue(token[i + 2]);
+        if (hi < 0 || lo < 0)
+            return std::nullopt;
+        char c = static_cast<char>(hi * 16 + lo);
+        if (c != '\0')
+            out.push_back(c);
+        i += 2;
+    }
+    return out;
+}
+
+void
+saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
+           const std::vector<TaskAutomaton> &automata)
+{
+    out << kMagic << " " << kVersion << "\n";
+
+    // Persist only the templates the automata actually reference.
+    std::set<logging::TemplateId> used;
+    for (const TaskAutomaton &automaton : automata) {
+        for (std::size_t e = 0; e < automaton.eventCount(); ++e)
+            used.insert(automaton.event(static_cast<int>(e)).tpl);
+    }
+    for (logging::TemplateId tpl : used) {
+        out << "template " << tpl << " "
+            << encodeModelToken(catalog.service(tpl)) << " "
+            << encodeModelToken(catalog.text(tpl)) << "\n";
+    }
+
+    for (const TaskAutomaton &automaton : automata) {
+        out << "automaton " << encodeModelToken(automaton.name()) << " "
+            << automaton.eventCount() << " " << automaton.edgeCount()
+            << "\n";
+        for (std::size_t e = 0; e < automaton.eventCount(); ++e) {
+            const EventNode &node =
+                automaton.event(static_cast<int>(e));
+            out << "event " << e << " " << node.tpl << " "
+                << node.occurrence << "\n";
+        }
+        for (const DependencyEdge &edge : automaton.edges()) {
+            out << "edge " << edge.from << " " << edge.to << " "
+                << (edge.strong ? 1 : 0) << "\n";
+        }
+        out << "end\n";
+    }
+}
+
+std::string
+saveModelsToString(const logging::TemplateCatalog &catalog,
+                   const std::vector<TaskAutomaton> &automata)
+{
+    std::ostringstream out;
+    saveModels(out, catalog, automata);
+    return out.str();
+}
+
+std::optional<ModelBundle>
+loadModels(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return std::nullopt;
+    {
+        auto header = common::splitWhitespace(line);
+        if (header.size() != 2 || header[0] != kMagic ||
+            header[1] != std::to_string(kVersion)) {
+            return std::nullopt;
+        }
+    }
+
+    ModelBundle bundle;
+    bundle.catalog = std::make_shared<logging::TemplateCatalog>();
+    // File template id -> re-interned id.
+    std::map<logging::TemplateId, logging::TemplateId> remap;
+
+    struct PendingAutomaton
+    {
+        std::string name;
+        std::size_t event_count = 0;
+        std::size_t edge_count = 0;
+        std::vector<EventNode> events;
+        std::vector<DependencyEdge> edges;
+        bool open = false;
+    };
+    PendingAutomaton pending;
+
+    auto finishAutomaton = [&]() -> bool {
+        if (pending.events.size() != pending.event_count ||
+            pending.edges.size() != pending.edge_count) {
+            return false;
+        }
+        for (const DependencyEdge &edge : pending.edges) {
+            if (edge.from < 0 ||
+                edge.from >= static_cast<int>(pending.events.size()) ||
+                edge.to < 0 ||
+                edge.to >= static_cast<int>(pending.events.size())) {
+                return false;
+            }
+        }
+        bundle.automata.emplace_back(pending.name,
+                                     std::move(pending.events),
+                                     std::move(pending.edges));
+        pending = PendingAutomaton{};
+        return true;
+    };
+
+    while (std::getline(in, line)) {
+        auto fields = common::splitWhitespace(line);
+        if (fields.empty())
+            continue;
+        const std::string &kind = fields[0];
+        if (kind == "template") {
+            if (fields.size() != 4 || pending.open)
+                return std::nullopt;
+            auto service = decodeModelToken(fields[2]);
+            auto text = decodeModelToken(fields[3]);
+            if (!service || !text)
+                return std::nullopt;
+            logging::TemplateId file_id = static_cast<logging::TemplateId>(
+                std::stoul(fields[1]));
+            remap[file_id] = bundle.catalog->intern(*service, *text);
+        } else if (kind == "automaton") {
+            if (fields.size() != 4 || pending.open)
+                return std::nullopt;
+            auto name = decodeModelToken(fields[1]);
+            if (!name)
+                return std::nullopt;
+            pending.name = *name;
+            pending.event_count = std::stoul(fields[2]);
+            pending.edge_count = std::stoul(fields[3]);
+            pending.open = true;
+        } else if (kind == "event") {
+            if (fields.size() != 4 || !pending.open)
+                return std::nullopt;
+            std::size_t index = std::stoul(fields[1]);
+            if (index != pending.events.size())
+                return std::nullopt;
+            logging::TemplateId file_id = static_cast<logging::TemplateId>(
+                std::stoul(fields[2]));
+            auto it = remap.find(file_id);
+            if (it == remap.end())
+                return std::nullopt;
+            pending.events.push_back(
+                {it->second, std::stoi(fields[3])});
+        } else if (kind == "edge") {
+            if (fields.size() != 4 || !pending.open)
+                return std::nullopt;
+            pending.edges.push_back({std::stoi(fields[1]),
+                                     std::stoi(fields[2]),
+                                     fields[3] == "1"});
+        } else if (kind == "end") {
+            if (!pending.open || !finishAutomaton())
+                return std::nullopt;
+        } else {
+            return std::nullopt; // unknown directive
+        }
+    }
+    if (pending.open)
+        return std::nullopt; // truncated automaton section
+    return bundle;
+}
+
+std::optional<ModelBundle>
+loadModelsFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadModels(in);
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Persistence for the offline modeling stage's output.
+ *
+ * A deployment models its tasks once (hours of correct executions)
+ * and monitors for months; the models must survive restarts. The
+ * format is a line-oriented text file holding the template catalog
+ * slice and every automaton:
+ *
+ *     cloudseer-models 1
+ *     template <id> <service> <urlencoded-template>
+ *     automaton <name> <events> <edges>
+ *     event <id> <template-id> <occurrence>
+ *     edge <from> <to> <strong>
+ *     end
+ *
+ * Template text is percent-encoded so embedded spaces and newlines
+ * survive the tokenizer.
+ */
+
+#ifndef CLOUDSEER_CORE_MINING_MODEL_IO_HPP
+#define CLOUDSEER_CORE_MINING_MODEL_IO_HPP
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/automaton/task_automaton.hpp"
+
+namespace cloudseer::core {
+
+/** A catalog plus the automata defined over it. */
+struct ModelBundle
+{
+    std::shared_ptr<logging::TemplateCatalog> catalog;
+    std::vector<TaskAutomaton> automata;
+};
+
+/** Serialise a bundle to a stream. */
+void saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
+                const std::vector<TaskAutomaton> &automata);
+
+/** Serialise a bundle to a string. */
+std::string saveModelsToString(const logging::TemplateCatalog &catalog,
+                               const std::vector<TaskAutomaton> &automata);
+
+/**
+ * Parse a bundle. Returns nullopt on any structural error (bad magic,
+ * dangling ids, truncated sections). Template ids are re-interned, so
+ * a loaded bundle is self-consistent even if the file shuffled ids.
+ */
+std::optional<ModelBundle> loadModels(std::istream &in);
+
+/** Parse a bundle from a string. */
+std::optional<ModelBundle> loadModelsFromString(const std::string &text);
+
+/** Percent-encode for the model file (exposed for tests). */
+std::string encodeModelToken(const std::string &raw);
+
+/** Inverse of encodeModelToken; nullopt on malformed escapes. */
+std::optional<std::string> decodeModelToken(const std::string &token);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MINING_MODEL_IO_HPP

@@ -1,0 +1,56 @@
+#include "core/mining/preprocessor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace cloudseer::core {
+
+PreprocessResult
+preprocessSequences(const std::vector<TemplateSequence> &sequences)
+{
+    CS_ASSERT(!sequences.empty(), "preprocess needs at least one run");
+
+    // Per-template occurrence count in each sequence.
+    std::map<logging::TemplateId, std::vector<int>> counts;
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+        for (logging::TemplateId tpl : sequences[s]) {
+            auto [it, inserted] = counts.try_emplace(
+                tpl, std::vector<int>(sequences.size(), 0));
+            (void)inserted;
+            ++it->second[s];
+        }
+    }
+
+    PreprocessResult out;
+    std::vector<char> is_key; // indexed lookup would need max id; map it
+    std::map<logging::TemplateId, bool> keep;
+    for (const auto &[tpl, per_seq] : counts) {
+        bool stable = std::all_of(per_seq.begin(), per_seq.end(),
+                                  [&](int c) { return c == per_seq[0]; });
+        // A template absent from some sequence has count 0 there while
+        // positive elsewhere, so `stable` is false — exactly the
+        // paper's "appears the same number of times in every sequence".
+        keep[tpl] = stable && per_seq[0] > 0;
+        if (keep[tpl])
+            out.keyTemplates.emplace_back(tpl, per_seq[0]);
+        else
+            out.droppedTemplates.push_back(tpl);
+    }
+    (void)is_key;
+
+    out.sequences.reserve(sequences.size());
+    for (const TemplateSequence &seq : sequences) {
+        TemplateSequence filtered;
+        filtered.reserve(seq.size());
+        for (logging::TemplateId tpl : seq) {
+            if (keep[tpl])
+                filtered.push_back(tpl);
+        }
+        out.sequences.push_back(std::move(filtered));
+    }
+    return out;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Preprocessing of task log sequences (paper §3.1).
+ *
+ * Given the template sequences of many correct executions of one task,
+ * keep only the *key* templates — those appearing the same number of
+ * times in every sequence. This strips loop/poll/background messages
+ * whose counts vary, leaving exactly the workflow skeleton.
+ */
+
+#ifndef CLOUDSEER_CORE_MINING_PREPROCESSOR_HPP
+#define CLOUDSEER_CORE_MINING_PREPROCESSOR_HPP
+
+#include <vector>
+
+#include "logging/template_catalog.hpp"
+
+namespace cloudseer::core {
+
+/** One execution's messages as interned template ids, in time order. */
+using TemplateSequence = std::vector<logging::TemplateId>;
+
+/** Result of preprocessing a set of sequences. */
+struct PreprocessResult
+{
+    /** Input sequences restricted to key templates. */
+    std::vector<TemplateSequence> sequences;
+
+    /** Key templates (sorted) with their common per-sequence count. */
+    std::vector<std::pair<logging::TemplateId, int>> keyTemplates;
+
+    /** Templates that were dropped (unstable counts). */
+    std::vector<logging::TemplateId> droppedTemplates;
+};
+
+/**
+ * Apply the key-message filter.
+ *
+ * @param sequences Template sequences from multiple correct executions
+ *                  of the same task. Must be non-empty.
+ */
+PreprocessResult
+preprocessSequences(const std::vector<TemplateSequence> &sequences);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MINING_PREPROCESSOR_HPP

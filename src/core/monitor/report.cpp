@@ -1,0 +1,54 @@
+#include "core/monitor/report.hpp"
+
+#include "common/string_util.hpp"
+
+namespace cloudseer::core {
+
+const char *
+checkEventKindName(CheckEventKind kind)
+{
+    switch (kind) {
+      case CheckEventKind::Accepted: return "ACCEPTED";
+      case CheckEventKind::ErrorDetected: return "ERROR";
+      case CheckEventKind::Timeout: return "TIMEOUT";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+MonitorReport::summary(const logging::TemplateCatalog &catalog) const
+{
+    (void)catalog;
+    std::string out = checkEventKindName(event.kind);
+    out += " task=";
+    out += event.taskName.empty() ? "?" : event.taskName;
+    out += " t=" + common::formatDouble(event.time, 2) + "s";
+    out += " messages=" + std::to_string(event.records.size());
+    if (endOfStream)
+        out += " (end-of-stream)";
+    return out;
+}
+
+std::string
+MonitorReport::describe(const logging::TemplateCatalog &catalog) const
+{
+    std::string out = summary(catalog) + "\n";
+    if (event.candidateTasks.size() > 1) {
+        out += "  candidate tasks: " +
+               common::join(event.candidateTasks, ", ") + "\n";
+    }
+    if (!event.frontierTemplates.empty()) {
+        out += "  current states (last completed steps):\n";
+        for (logging::TemplateId tpl : event.frontierTemplates)
+            out += "    - " + catalog.label(tpl) + "\n";
+    }
+    if (event.kind != CheckEventKind::Accepted &&
+        !event.expectedTemplates.empty()) {
+        out += "  expected next:\n";
+        for (logging::TemplateId tpl : event.expectedTemplates)
+            out += "    - " + catalog.label(tpl) + "\n";
+    }
+    return out;
+}
+
+} // namespace cloudseer::core

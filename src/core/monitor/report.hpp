@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Monitoring reports: the administrator-facing rendering of checker
+ * events, carrying the workflow context the paper emphasises (task,
+ * consumed messages, current states, expected-next messages).
+ */
+
+#ifndef CLOUDSEER_CORE_MONITOR_REPORT_HPP
+#define CLOUDSEER_CORE_MONITOR_REPORT_HPP
+
+#include <string>
+
+#include "core/checker/check_types.hpp"
+#include "logging/template_catalog.hpp"
+
+namespace cloudseer::core {
+
+/** A checker event plus monitor-level context. */
+struct MonitorReport
+{
+    CheckEvent event;
+
+    /** True when emitted by the end-of-stream flush, not live. */
+    bool endOfStream = false;
+
+    /** Single-line summary ("TIMEOUT boot @83.21s ..."). */
+    std::string summary(const logging::TemplateCatalog &catalog) const;
+
+    /**
+     * Multi-line description with the full workflow context: current
+     * state frontier and expected-next messages by template label.
+     */
+    std::string describe(const logging::TemplateCatalog &catalog) const;
+};
+
+/** Canonical token for a report kind ("ACCEPTED", ...). */
+const char *checkEventKindName(CheckEventKind kind);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MONITOR_REPORT_HPP

@@ -1,0 +1,98 @@
+#include "core/monitor/report_json.hpp"
+
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace cloudseer::core {
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 8);
+    for (char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonStringArray(const std::vector<std::string> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "\"" + jsonEscape(items[i]) + "\"";
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+std::string
+reportToJson(const MonitorReport &report,
+             const logging::TemplateCatalog &catalog)
+{
+    const CheckEvent &event = report.event;
+
+    std::vector<std::string> states;
+    for (logging::TemplateId tpl : event.frontierTemplates)
+        states.push_back(catalog.label(tpl));
+    std::vector<std::string> expected;
+    for (logging::TemplateId tpl : event.expectedTemplates)
+        expected.push_back(catalog.label(tpl));
+
+    std::string out = "{";
+    out += "\"kind\":\"" +
+           std::string(checkEventKindName(event.kind)) + "\",";
+    out += "\"task\":\"" + jsonEscape(event.taskName) + "\",";
+    out += "\"time\":" + common::formatDouble(event.time, 3) + ",";
+    out += std::string("\"endOfStream\":") +
+           (report.endOfStream ? "true" : "false") + ",";
+    out += "\"messages\":" + std::to_string(event.records.size()) + ",";
+    out += "\"records\":[";
+    for (std::size_t i = 0; i < event.records.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(event.records[i]);
+    }
+    out += "],";
+    out += "\"candidates\":" + jsonStringArray(event.candidateTasks) +
+           ",";
+    out += "\"states\":" + jsonStringArray(states) + ",";
+    out += "\"expected\":" + jsonStringArray(expected);
+    out += "}";
+    return out;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JSON rendering of monitor reports for alerting integrations
+ * (PagerDuty/Slack webhooks, Elasticsearch alert indices, ...).
+ *
+ * One report becomes one single-line JSON object:
+ *
+ *   {"kind":"TIMEOUT","task":"boot","time":83.21,
+ *    "endOfStream":false,"messages":9,"records":[1,3,...],
+ *    "candidates":["boot"],
+ *    "states":["nova-scheduler: ..."],"expected":["nova-compute: ..."]}
+ */
+
+#ifndef CLOUDSEER_CORE_MONITOR_REPORT_JSON_HPP
+#define CLOUDSEER_CORE_MONITOR_REPORT_JSON_HPP
+
+#include <string>
+
+#include "core/monitor/report.hpp"
+
+namespace cloudseer::core {
+
+/** Escape a string per JSON rules. */
+std::string jsonEscape(const std::string &raw);
+
+/** Render one report as a single-line JSON object. */
+std::string reportToJson(const MonitorReport &report,
+                         const logging::TemplateCatalog &catalog);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MONITOR_REPORT_JSON_HPP

@@ -1,0 +1,68 @@
+#include "core/monitor/timeout_estimator.hpp"
+
+#include <algorithm>
+
+namespace cloudseer::core {
+
+double
+TimeoutPolicy::timeoutFor(const std::string &task) const
+{
+    auto it = perTask.find(task);
+    return it == perTask.end() ? defaultTimeout : it->second;
+}
+
+double
+TimeoutPolicy::timeoutForCandidates(
+    const std::vector<std::string> &tasks) const
+{
+    if (tasks.empty())
+        return defaultTimeout;
+    double best = 0.0;
+    for (const std::string &task : tasks)
+        best = std::max(best, timeoutFor(task));
+    return best;
+}
+
+void
+TimeoutEstimator::observeRun(
+    const std::string &task,
+    const std::vector<common::SimTime> &timestamps)
+{
+    TaskGaps &entry = perTask[task];
+    ++entry.runs;
+    for (std::size_t i = 1; i < timestamps.size(); ++i) {
+        double gap = timestamps[i] - timestamps[i - 1];
+        entry.gaps.add(std::max(gap, 0.0));
+    }
+}
+
+std::size_t
+TimeoutEstimator::runsObserved(const std::string &task) const
+{
+    auto it = perTask.find(task);
+    return it == perTask.end() ? 0 : it->second.runs;
+}
+
+double
+TimeoutEstimator::maxGap(const std::string &task) const
+{
+    auto it = perTask.find(task);
+    return it == perTask.end() ? 0.0 : it->second.gaps.max();
+}
+
+TimeoutPolicy
+TimeoutEstimator::estimate(double safety_factor, double floor,
+                           double default_timeout) const
+{
+    TimeoutPolicy policy;
+    policy.defaultTimeout = default_timeout;
+    for (const auto &[task, entry] : perTask) {
+        if (entry.gaps.count() == 0)
+            continue;
+        policy.perTask[task] =
+            std::max(entry.gaps.max() * safety_factor, floor);
+    }
+    return policy;
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,113 @@
+#include "core/monitor/workflow_monitor.hpp"
+
+#include "common/error.hpp"
+#include "logging/log_codec.hpp"
+
+namespace cloudseer::core {
+
+std::vector<const TaskAutomaton *>
+WorkflowMonitor::pointersTo(const std::vector<TaskAutomaton> &automata)
+{
+    std::vector<const TaskAutomaton *> out;
+    out.reserve(automata.size());
+    for (const TaskAutomaton &automaton : automata)
+        out.push_back(&automaton);
+    return out;
+}
+
+WorkflowMonitor::WorkflowMonitor(
+    const MonitorConfig &config_,
+    std::shared_ptr<logging::TemplateCatalog> catalog,
+    std::vector<TaskAutomaton> automata)
+    : config(config_),
+      catalogPtr(std::move(catalog)),
+      specs(std::move(automata)),
+      engine(config_.checker, pointersTo(specs))
+{
+    CS_ASSERT(catalogPtr != nullptr, "monitor needs a catalog");
+    timeoutPolicy.defaultTimeout = config.timeoutSeconds;
+    timeoutPolicy.perTask = config.perTaskTimeouts;
+}
+
+std::vector<MonitorReport>
+WorkflowMonitor::feed(const logging::LogRecord &record)
+{
+    std::vector<MonitorReport> reports;
+
+    // The stream can be slightly out of timestamp order (shipping
+    // skew); the monitor clock never moves backwards.
+    common::SimTime now = std::max(lastTimestamp, record.timestamp);
+    lastTimestamp = now;
+    anyFed = true;
+
+    for (CheckEvent &event : engine.sweepTimeouts(
+             now, [this](const std::vector<std::string> &tasks) {
+                 return timeoutPolicy.timeoutForCandidates(tasks);
+             })) {
+        reports.push_back({std::move(event), false});
+    }
+
+    logging::ParsedBody parsed = extractor.parse(record.body);
+    CheckMessage message;
+    message.tpl = catalogPtr->find(record.service, parsed.templateText);
+    for (logging::Variable &var : parsed.variables) {
+        if (var.kind == logging::VariableKind::Number &&
+            !config.numbersAsIdentifiers) {
+            continue;
+        }
+        message.identifiers.push_back(std::move(var.text));
+    }
+    message.level = record.level;
+    message.record = record.id;
+    message.time = record.timestamp;
+
+    for (CheckEvent &event : engine.feed(message))
+        reports.push_back({std::move(event), false});
+    return reports;
+}
+
+std::vector<MonitorReport>
+WorkflowMonitor::feedLine(const std::string &line)
+{
+    auto record = logging::decodeLogLine(line);
+    if (!record) {
+        ++malformed;
+        return {};
+    }
+    return feed(*record);
+}
+
+std::vector<MonitorReport>
+WorkflowMonitor::finish()
+{
+    std::vector<MonitorReport> reports;
+    if (!anyFed)
+        return reports;
+
+    // Give the timeout criterion one last chance to fire. These are
+    // end-of-stream reports: the wall clock stopped with the stream,
+    // so "overdue at the horizon" is an artefact of stopping, not a
+    // live observation.
+    double max_timeout = config.timeoutSeconds;
+    for (const auto &[task, value] : timeoutPolicy.perTask)
+        max_timeout = std::max(max_timeout, value);
+    common::SimTime horizon = lastTimestamp + max_timeout * 1.001;
+    for (CheckEvent &event : engine.sweepTimeouts(
+             horizon, [this](const std::vector<std::string> &tasks) {
+                 return timeoutPolicy.timeoutForCandidates(tasks);
+             })) {
+        reports.push_back({std::move(event), true});
+    }
+    for (CheckEvent &event : engine.finish(horizon))
+        reports.push_back({std::move(event), true});
+    return reports;
+}
+
+std::vector<TaskAutomaton>
+WorkflowMonitor::refinedAutomata(int min_removals) const
+{
+    return refineFromRemovals(specs, engine.dependencyRemovals(),
+                              min_removals);
+}
+
+} // namespace cloudseer::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The CloudSeer facade: online workflow monitoring over a log stream.
+ *
+ * Owns the task automata, the template catalog binding, the message
+ * parsing front-end, and the interleaved checker; drives the timeout
+ * criterion from message timestamps. This is the class a deployment
+ * embeds next to its log collector.
+ */
+
+#ifndef CLOUDSEER_CORE_MONITOR_WORKFLOW_MONITOR_HPP
+#define CLOUDSEER_CORE_MONITOR_WORKFLOW_MONITOR_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checker/interleaved_checker.hpp"
+#include "core/monitor/report.hpp"
+#include "core/monitor/timeout_estimator.hpp"
+#include "logging/log_record.hpp"
+#include "logging/variable_extractor.hpp"
+
+namespace cloudseer::core {
+
+/** Monitor configuration. */
+struct MonitorConfig
+{
+    /** Timeout criterion threshold, seconds (paper uses 10 s). */
+    double timeoutSeconds = 10.0;
+
+    /**
+     * Per-task timeout overrides (task name -> seconds), typically
+     * from TimeoutEstimator. A group still tracking several tasks
+     * gets the most generous candidate's timeout.
+     */
+    std::map<std::string, double> perTaskTimeouts;
+
+    /** Checker feature toggles (ablations). */
+    CheckerConfig checker;
+
+    /** Count bare numbers as identifiers (off by default; noisy). */
+    bool numbersAsIdentifiers = false;
+};
+
+/** Online workflow monitor (modeling output in, reports out). */
+class WorkflowMonitor
+{
+  public:
+    /**
+     * @param config   Monitor configuration.
+     * @param catalog  The catalog modeling interned templates into.
+     *                 Shared so callers can render labels.
+     * @param automata Task automata from the offline modeling stage.
+     */
+    WorkflowMonitor(const MonitorConfig &config,
+                    std::shared_ptr<logging::TemplateCatalog> catalog,
+                    std::vector<TaskAutomaton> automata);
+
+    /**
+     * Feed one record. Advances the monitor clock to the record's
+     * timestamp (sweeping the timeout criterion), then checks the
+     * message. Ground-truth fields on the record are never read.
+     */
+    std::vector<MonitorReport> feed(const logging::LogRecord &record);
+
+    /** Feed one raw log line (the Logstash-wire path). */
+    std::vector<MonitorReport> feedLine(const std::string &line);
+
+    /**
+     * End of stream: run one final timeout sweep past the last
+     * timestamp, then flush still-open groups as end-of-stream
+     * timeouts.
+     */
+    std::vector<MonitorReport> finish();
+
+    /** Checker counters. */
+    const CheckerStats &stats() const { return engine.stats(); }
+
+    /** Groups currently in flight. */
+    std::size_t activeGroups() const { return engine.activeGroups(); }
+
+    /** Identifier sets currently tracked. */
+    std::size_t activeIdentifierSets() const
+    {
+        return engine.activeIdentifierSets();
+    }
+
+    /** The shared template catalog. */
+    const logging::TemplateCatalog &catalog() const
+    {
+        return *catalogPtr;
+    }
+
+    /** The automata being monitored against. */
+    const std::vector<TaskAutomaton> &automata() const
+    {
+        return specs;
+    }
+
+    /** Lines the monitor failed to parse (feedLine only). */
+    std::size_t malformedLines() const { return malformed; }
+
+    /** Dependency-removal tallies from recovery (d). */
+    const RemovalCounts &dependencyRemovals() const
+    {
+        return engine.dependencyRemovals();
+    }
+
+    /**
+     * Refined copies of the automata with every dependency removed at
+     * least `min_removals` times weakened (Figure 4 at the model
+     * level) — feed these into the next monitor generation.
+     */
+    std::vector<TaskAutomaton> refinedAutomata(int min_removals) const;
+
+  private:
+    MonitorConfig config;
+    TimeoutPolicy timeoutPolicy;
+    std::shared_ptr<logging::TemplateCatalog> catalogPtr;
+    std::vector<TaskAutomaton> specs;
+    logging::VariableExtractor extractor;
+    InterleavedChecker engine;
+    common::SimTime lastTimestamp = 0.0;
+    bool anyFed = false;
+    std::size_t malformed = 0;
+
+    static std::vector<const TaskAutomaton *>
+    pointersTo(const std::vector<TaskAutomaton> &automata);
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MONITOR_WORKFLOW_MONITOR_HPP

@@ -1,0 +1,138 @@
+#include "eval/accuracy_harness.hpp"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+namespace cloudseer::eval {
+
+GeneratedDataset
+generateDataset(const DatasetConfig &config)
+{
+    GeneratedDataset out;
+    sim::Simulation simulation(config.sim, config.seed);
+
+    workload::WorkloadConfig wl;
+    wl.users = config.users;
+    wl.tasksPerUser = config.tasksPerUser;
+    wl.singleUid = config.singleUid;
+    wl.seed = config.seed ^ 0x770a6bULL;
+    workload::WorkloadGenerator generator(wl);
+    out.totalTasks = generator.submitAll(simulation);
+    simulation.run();
+
+    collect::ShippingConfig ship = config.shipping;
+    ship.seed = config.seed ^ 0x5a1cULL;
+    out.stream = collect::mergeStream(simulation.records(), ship);
+    out.truth = simulation.truth();
+    return out;
+}
+
+DatasetResult
+checkDataset(const ModeledSystem &models, const GeneratedDataset &dataset,
+             const core::MonitorConfig &monitor_config)
+{
+    DatasetResult result;
+    result.totalTasks = dataset.totalTasks;
+    result.totalMessages = dataset.stream.size();
+
+    // Ground-truth record-id -> execution map for scoring.
+    std::map<logging::RecordId, logging::ExecutionId> truth_of;
+    std::map<logging::RecordId, std::string> task_of;
+    for (const logging::LogRecord &record : dataset.stream) {
+        truth_of[record.id] = record.truthExecution;
+        task_of[record.id] = record.truthTask;
+    }
+
+    core::WorkflowMonitor monitor(monitor_config, models.catalog,
+                                  models.automataCopy());
+
+    std::vector<core::MonitorReport> reports;
+    auto start = std::chrono::steady_clock::now();
+    for (const logging::LogRecord &record : dataset.stream) {
+        for (core::MonitorReport &report : monitor.feed(record))
+            reports.push_back(std::move(report));
+    }
+    for (core::MonitorReport &report : monitor.finish())
+        reports.push_back(std::move(report));
+    auto stop = std::chrono::steady_clock::now();
+    result.checkSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    result.secondsPer1k =
+        result.totalMessages == 0
+            ? 0.0
+            : result.checkSeconds * 1000.0 /
+                  static_cast<double>(result.totalMessages);
+    result.stats = monitor.stats();
+
+    // Score accepted instances with the paper's §5.4 semantics: an
+    // accepted instance is wrong when it mixes executions of
+    // *different* tasks or names the wrong task. Mixing records of two
+    // executions of the same task is undetectable in principle when
+    // their messages are byte-interchangeable (the paper: "we cannot
+    // identify the case where an accepted instance may happen to take
+    // messages from multiple sequences of the same kind of task") —
+    // such an instance credits one still-uncredited execution among
+    // its contributors.
+    std::set<logging::ExecutionId> accepted_execs;
+    for (const core::MonitorReport &report : reports) {
+        if (report.event.kind != core::CheckEventKind::Accepted)
+            continue;
+        bool consistent = true;
+        std::vector<logging::ExecutionId> contributors;
+        for (logging::RecordId rid : report.event.records) {
+            auto it = truth_of.find(rid);
+            logging::ExecutionId e =
+                it == truth_of.end() ? 0 : it->second;
+            if (e == 0 || task_of[rid] != report.event.taskName) {
+                consistent = false;
+                break;
+            }
+            contributors.push_back(e);
+        }
+        logging::ExecutionId credit = 0;
+        if (consistent) {
+            for (logging::ExecutionId e : contributors) {
+                if (!accepted_execs.count(e)) {
+                    credit = e;
+                    break;
+                }
+            }
+        }
+        if (credit != 0) {
+            accepted_execs.insert(credit);
+            ++result.acceptedCorrect;
+        } else {
+            ++result.acceptedWrong;
+        }
+    }
+
+    // Ground-truth interleaving statistics.
+    for (const sim::ExecutionInfo &info : dataset.truth.executions()) {
+        if (info.anyEmission)
+            ++result.sequences;
+    }
+    result.interleavedFraction2 = dataset.truth.interleavedFraction(2);
+    result.interleavedFraction3 = dataset.truth.interleavedFraction(3);
+    result.interleavedFraction4 = dataset.truth.interleavedFraction(4);
+
+    result.notAccepted = result.sequences - result.acceptedCorrect;
+
+    double interleaved =
+        result.interleavedFraction2 *
+        static_cast<double>(result.sequences);
+    result.accuracy =
+        interleaved <= 0.0
+            ? 1.0
+            : 1.0 - static_cast<double>(result.notAccepted) / interleaved;
+    return result;
+}
+
+DatasetResult
+runDataset(const ModeledSystem &models, const DatasetConfig &config,
+           const core::MonitorConfig &monitor_config)
+{
+    return checkDataset(models, generateDataset(config), monitor_config);
+}
+
+} // namespace cloudseer::eval

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Accuracy/efficiency harness: generates one interleaved-log dataset
+ * (workload → simulation → shipped stream), feeds it to a monitor, and
+ * scores the result against exact ground truth — the machinery behind
+ * the paper's Tables 5 and 6.
+ */
+
+#ifndef CLOUDSEER_EVAL_ACCURACY_HARNESS_HPP
+#define CLOUDSEER_EVAL_ACCURACY_HARNESS_HPP
+
+#include "collect/stream_merger.hpp"
+#include "eval/modeling_harness.hpp"
+#include "sim/simulation.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace cloudseer::eval {
+
+/** One dataset's generation parameters. */
+struct DatasetConfig
+{
+    int users = 2;
+    bool singleUid = false;
+    int tasksPerUser = 80;
+    std::uint64_t seed = 1;
+    sim::SimConfig sim;
+    collect::ShippingConfig shipping;
+};
+
+/** Scored outcome of checking one dataset. */
+struct DatasetResult
+{
+    std::size_t totalTasks = 0;
+    std::size_t totalMessages = 0;
+
+    // Ground-truth interleaving (paper Table 5 "% Interleaved").
+    std::size_t sequences = 0;           ///< emitting executions
+    double interleavedFraction2 = 0.0;
+    double interleavedFraction3 = 0.0;
+    double interleavedFraction4 = 0.0;
+
+    // Checking outcomes.
+    std::size_t acceptedCorrect = 0;  ///< accepted, single-truth, right task
+    std::size_t acceptedWrong = 0;    ///< accepted but mixed/mis-tasked
+    std::size_t notAccepted = 0;      ///< sequences - acceptedCorrect
+
+    /** The paper's §5.4 formula: 1 - notAccepted / interleaved. */
+    double accuracy = 0.0;
+
+    /** Wall-clock seconds spent inside the monitor (feed + finish). */
+    double checkSeconds = 0.0;
+
+    /** Seconds per 1000 messages (paper Table 6 "Ave. 1k"). */
+    double secondsPer1k = 0.0;
+
+    core::CheckerStats stats;
+};
+
+/** Generate a dataset's stream plus the ground truth behind it. */
+struct GeneratedDataset
+{
+    std::vector<logging::LogRecord> stream;     ///< arrival order
+    sim::GroundTruth truth;
+    std::size_t totalTasks = 0;
+};
+
+/** Run workload + simulation + shipping for one dataset. */
+GeneratedDataset generateDataset(const DatasetConfig &config);
+
+/**
+ * Check a generated dataset with a fresh monitor over the given models
+ * and score it against ground truth.
+ */
+DatasetResult checkDataset(const ModeledSystem &models,
+                           const GeneratedDataset &dataset,
+                           const core::MonitorConfig &monitor_config);
+
+/** Convenience: generate + check. */
+DatasetResult runDataset(const ModeledSystem &models,
+                         const DatasetConfig &config,
+                         const core::MonitorConfig &monitor_config);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_ACCURACY_HARNESS_HPP

@@ -1,0 +1,256 @@
+#include "eval/detection_harness.hpp"
+
+#include <map>
+#include <set>
+
+#include "baseline/offline_detector.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace cloudseer::eval {
+
+namespace {
+
+/** Majority ground-truth execution among a report's records. */
+logging::ExecutionId
+dominantExecution(const core::CheckEvent &event,
+                  const std::map<logging::RecordId,
+                                 logging::ExecutionId> &truth_of)
+{
+    std::map<logging::ExecutionId, int> votes;
+    for (logging::RecordId rid : event.records) {
+        auto it = truth_of.find(rid);
+        if (it != truth_of.end() && it->second != 0)
+            ++votes[it->second];
+    }
+    logging::ExecutionId best = 0;
+    int best_votes = 0;
+    for (auto [exec, count] : votes) {
+        if (count > best_votes) {
+            best = exec;
+            best_votes = count;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+DetectionResult
+runDetectionExperiment(const ModeledSystem &models,
+                       const DetectionConfig &config,
+                       const core::MonitorConfig &monitor_config)
+{
+    DetectionResult result;
+    result.point = config.point;
+
+    int triggered = 0;
+    for (int run = 0; run < config.maxRuns &&
+                      triggered < config.targetProblems;
+         ++run) {
+        std::uint64_t run_seed =
+            config.seed + static_cast<std::uint64_t>(run) * 7919;
+
+        sim::Simulation simulation(config.sim, run_seed);
+        simulation.setInjector(sim::FaultInjector(
+            config.point, config.triggerProbability,
+            config.errorMessageProbability, run_seed ^ 0xfa17ULL,
+            static_cast<std::size_t>(config.targetProblems -
+                                     triggered)));
+
+        workload::WorkloadConfig wl;
+        wl.users = config.usersPerRun;
+        wl.tasksPerUser = config.tasksPerUserPerRun;
+        wl.singleUid = false;
+        wl.seed = run_seed ^ 0x3141ULL;
+        workload::WorkloadGenerator generator(wl);
+        result.tasksRun += generator.submitAll(simulation);
+        simulation.run();
+
+        collect::ShippingConfig ship = config.shipping;
+        ship.seed = run_seed ^ 0x5a1cULL;
+        std::vector<logging::LogRecord> stream =
+            collect::mergeStream(simulation.records(), ship);
+
+        std::map<logging::RecordId, logging::ExecutionId> truth_of;
+        for (const logging::LogRecord &record : stream)
+            truth_of[record.id] = record.truthExecution;
+
+        core::WorkflowMonitor monitor(monitor_config, models.catalog,
+                                      models.automataCopy());
+        std::vector<core::MonitorReport> reports;
+        for (const logging::LogRecord &record : stream) {
+            for (core::MonitorReport &report : monitor.feed(record))
+                reports.push_back(std::move(report));
+        }
+        for (core::MonitorReport &report : monitor.finish())
+            reports.push_back(std::move(report));
+
+        // Injection ground truth for this batch.
+        std::map<logging::ExecutionId, const sim::InjectionRecord *>
+            injected;
+        for (const sim::InjectionRecord &record :
+             simulation.injector().records()) {
+            injected[record.execution] = &record;
+            switch (record.type) {
+              case sim::ProblemType::Delay:
+                ++result.delayProblems;
+                break;
+              case sim::ProblemType::Abort:
+                ++result.abortProblems;
+                break;
+              case sim::ProblemType::Silent:
+                ++result.silentProblems;
+                break;
+              case sim::ProblemType::None:
+                break;
+            }
+            if (record.emittedError)
+                ++result.problemsWithErrorMessage;
+        }
+        triggered += static_cast<int>(
+            simulation.injector().records().size());
+
+        // Score: each problem report maps to its dominant execution.
+        std::set<logging::ExecutionId> credited;
+        std::set<logging::ExecutionId> blamed;
+        for (const core::MonitorReport &report : reports) {
+            // End-of-stream reports count too: the shipped stream is
+            // complete, so a healthy execution can never be cut off —
+            // anything still open at the end is genuinely stuck.
+            if (report.event.kind == core::CheckEventKind::Accepted)
+                continue;
+            logging::ExecutionId exec =
+                dominantExecution(report.event, truth_of);
+            bool is_error =
+                report.event.kind == core::CheckEventKind::ErrorDetected;
+            if (exec != 0 && injected.count(exec)) {
+                if (!credited.count(exec)) {
+                    credited.insert(exec);
+                    ++result.detected;
+                    result.detectionLatency.add(
+                        report.event.time - injected.at(exec)->time);
+                    if (is_error)
+                        ++result.detectedByError;
+                    else
+                        ++result.detectedByTimeout;
+                }
+                // Repeat reports for an already-credited problem are
+                // neither TPs nor FPs.
+            } else {
+                // A report blaming a healthy (or unknown) execution.
+                if (exec == 0 || !blamed.count(exec)) {
+                    if (exec != 0)
+                        blamed.insert(exec);
+                    ++result.falsePositives;
+                }
+            }
+        }
+        for (const auto &[exec, record] : injected) {
+            if (!credited.count(exec))
+                ++result.falseNegatives;
+        }
+    }
+    return result;
+}
+
+BaselineResult
+runOfflineBaseline(const DetectionConfig &config)
+{
+    BaselineResult result;
+
+    baseline::OfflineDetectorConfig detector_config;
+    detector_config.windowSeconds = 10.0;
+    baseline::OfflineAnomalyDetector detector(detector_config);
+
+    // Train on correct workloads of the same shape (several, so the
+    // count statistics stabilise).
+    for (int t = 0; t < 4; ++t) {
+        sim::Simulation simulation(config.sim,
+                                   config.seed + 50000 +
+                                       static_cast<std::uint64_t>(t));
+        workload::WorkloadConfig wl;
+        wl.users = config.usersPerRun;
+        wl.tasksPerUser = config.tasksPerUserPerRun;
+        wl.seed = config.seed + 60000 + static_cast<std::uint64_t>(t);
+        workload::WorkloadGenerator(wl).submitAll(simulation);
+        simulation.run();
+        collect::ShippingConfig ship = config.shipping;
+        ship.seed = config.seed + 70000 + static_cast<std::uint64_t>(t);
+        detector.train(collect::mergeStream(simulation.records(), ship));
+    }
+
+    // Identical batches to runDetectionExperiment (same seeds).
+    int triggered = 0;
+    for (int run = 0; run < config.maxRuns &&
+                      triggered < config.targetProblems;
+         ++run) {
+        std::uint64_t run_seed =
+            config.seed + static_cast<std::uint64_t>(run) * 7919;
+        sim::Simulation simulation(config.sim, run_seed);
+        simulation.setInjector(sim::FaultInjector(
+            config.point, config.triggerProbability,
+            config.errorMessageProbability, run_seed ^ 0xfa17ULL,
+            static_cast<std::size_t>(config.targetProblems -
+                                     triggered)));
+        workload::WorkloadConfig wl;
+        wl.users = config.usersPerRun;
+        wl.tasksPerUser = config.tasksPerUserPerRun;
+        wl.seed = run_seed ^ 0x3141ULL;
+        workload::WorkloadGenerator(wl).submitAll(simulation);
+        simulation.run();
+        triggered += static_cast<int>(
+            simulation.injector().records().size());
+
+        collect::ShippingConfig ship = config.shipping;
+        ship.seed = run_seed ^ 0x5a1cULL;
+        std::vector<logging::LogRecord> stream =
+            collect::mergeStream(simulation.records(), ship);
+        if (stream.empty())
+            continue;
+        double stream_end = stream.back().timestamp;
+
+        std::map<logging::RecordId, logging::ExecutionId> truth_of;
+        for (const logging::LogRecord &record : stream)
+            truth_of[record.id] = record.truthExecution;
+        std::map<logging::ExecutionId, const sim::InjectionRecord *>
+            injected;
+        for (const sim::InjectionRecord &record :
+             simulation.injector().records()) {
+            injected[record.execution] = &record;
+        }
+
+        // The offline detector only answers once the log is complete.
+        std::vector<baseline::AnomalousWindow> windows =
+            detector.analyze(stream);
+        result.anomalousWindows += windows.size();
+
+        std::set<logging::ExecutionId> credited;
+        for (const baseline::AnomalousWindow &window : windows) {
+            bool matched = false;
+            for (logging::RecordId rid : window.records) {
+                auto it = truth_of.find(rid);
+                if (it == truth_of.end() || it->second == 0)
+                    continue;
+                auto inj = injected.find(it->second);
+                if (inj != injected.end() &&
+                    !credited.count(it->second)) {
+                    credited.insert(it->second);
+                    ++result.stats.truePositives;
+                    // Detection waits for the full log.
+                    result.detectionLatency.add(stream_end -
+                                                inj->second->time);
+                    matched = true;
+                }
+            }
+            if (!matched)
+                ++result.stats.falsePositives;
+        }
+        for (const auto &[exec, record] : injected) {
+            if (!credited.count(exec))
+                ++result.stats.falseNegatives;
+        }
+    }
+    return result;
+}
+
+} // namespace cloudseer::eval

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Problem-detection harness (paper §5.3, §5.6 / Tables 4 and 7): run
+ * fault-injected workloads until an injection point triggers the
+ * target number of problems, monitor the streams, and score reports
+ * against the injection ground truth.
+ */
+
+#ifndef CLOUDSEER_EVAL_DETECTION_HARNESS_HPP
+#define CLOUDSEER_EVAL_DETECTION_HARNESS_HPP
+
+#include "common/stats.hpp"
+#include "eval/modeling_harness.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace cloudseer::eval {
+
+/** Detection-experiment parameters (paper defaults). */
+struct DetectionConfig
+{
+    sim::InjectionPoint point = sim::InjectionPoint::AmqpSender;
+    int targetProblems = 10;      ///< triggered problems to accumulate
+    int usersPerRun = 4;          ///< concurrent users (paper §5.3)
+    int tasksPerUserPerRun = 4;   ///< tasks per user per batch
+    int maxRuns = 80;             ///< hard cap on batches
+    double triggerProbability = 0.25;
+    double errorMessageProbability = 0.7; ///< P(abort logs an ERROR)
+    std::uint64_t seed = 99;
+    sim::SimConfig sim;
+    collect::ShippingConfig shipping;
+};
+
+/** Table 7 row for one injection point. */
+struct DetectionResult
+{
+    sim::InjectionPoint point = sim::InjectionPoint::AmqpSender;
+    std::size_t tasksRun = 0;  ///< "Tasks"
+    int delayProblems = 0;     ///< "D"
+    int abortProblems = 0;     ///< "A"
+    int silentProblems = 0;    ///< "S"
+    int detected = 0;          ///< "Detected" (true positives)
+    int falsePositives = 0;    ///< "F/P"
+    int falseNegatives = 0;    ///< "F/N"
+    int detectedByError = 0;   ///< via the error-message criterion
+    int detectedByTimeout = 0; ///< via the timeout criterion
+    int problemsWithErrorMessage = 0;
+
+    /** Seconds from injection to the first crediting report. */
+    common::SampleStats detectionLatency;
+
+    common::DetectionStats
+    asStats() const
+    {
+        common::DetectionStats out;
+        out.truePositives = static_cast<std::size_t>(detected);
+        out.falsePositives = static_cast<std::size_t>(falsePositives);
+        out.falseNegatives = static_cast<std::size_t>(falseNegatives);
+        return out;
+    }
+};
+
+/** Run the detection experiment for one injection point. */
+DetectionResult runDetectionExperiment(const ModeledSystem &models,
+                                       const DetectionConfig &config,
+                                       const core::MonitorConfig &monitor);
+
+/**
+ * Offline-baseline comparison row: the same fault-injected streams
+ * scored by a window-statistics detector that needs the complete log
+ * (DESIGN.md — related-work family the paper argues against).
+ */
+struct BaselineResult
+{
+    common::DetectionStats stats;
+    common::SampleStats detectionLatency; ///< injection -> stream end
+    std::size_t anomalousWindows = 0;
+};
+
+/**
+ * Run the offline baseline over the same batches the detection
+ * experiment uses (same seeds, same injector), training it on a
+ * correct workload first.
+ */
+BaselineResult runOfflineBaseline(const DetectionConfig &config);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_DETECTION_HARNESS_HPP

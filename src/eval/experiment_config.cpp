@@ -1,0 +1,38 @@
+#include "eval/experiment_config.hpp"
+
+namespace cloudseer::eval {
+
+std::vector<ExperimentGroup>
+table3Groups()
+{
+    return {
+        {1, 2, false, 10, 80},
+        {2, 3, false, 10, 80},
+        {3, 4, false, 10, 80},
+        {4, 2, true, 10, 80},
+        {5, 3, true, 10, 80},
+        {6, 4, true, 10, 80},
+    };
+}
+
+std::vector<ExperimentGroup>
+table3GroupsSmall()
+{
+    return {
+        {1, 2, false, 2, 20},
+        {2, 3, false, 2, 20},
+        {3, 4, false, 2, 20},
+        {4, 2, true, 2, 20},
+        {5, 3, true, 2, 20},
+        {6, 4, true, 2, 20},
+    };
+}
+
+std::uint64_t
+datasetSeed(int group, int dataset)
+{
+    return 0xc10d5eedULL + static_cast<std::uint64_t>(group) * 1000 +
+           static_cast<std::uint64_t>(dataset);
+}
+
+} // namespace cloudseer::eval

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's Table 3 experiment matrix, shared by the accuracy and
+ * efficiency benches so both report over identical datasets.
+ */
+
+#ifndef CLOUDSEER_EVAL_EXPERIMENT_CONFIG_HPP
+#define CLOUDSEER_EVAL_EXPERIMENT_CONFIG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace cloudseer::eval {
+
+/** One Table 3 row: an experiment group. */
+struct ExperimentGroup
+{
+    int group = 1;          ///< "Grp."
+    int users = 2;          ///< "Users"
+    bool singleUid = false; ///< "Single UID?"
+    int datasets = 10;      ///< number of repeats ("Data Sets")
+    int tasksPerUser = 80;  ///< fixed in the paper (§5.3)
+
+    /** "Total Tasks" column. */
+    int
+    totalTasks() const
+    {
+        return users * tasksPerUser * datasets;
+    }
+};
+
+/** The six groups of the paper's Table 3. */
+std::vector<ExperimentGroup> table3Groups();
+
+/**
+ * Smaller variant (fewer datasets/tasks) used by integration tests so
+ * they stay fast while exercising the identical pipeline.
+ */
+std::vector<ExperimentGroup> table3GroupsSmall();
+
+/** Deterministic per-dataset seed. */
+std::uint64_t datasetSeed(int group, int dataset);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_EXPERIMENT_CONFIG_HPP

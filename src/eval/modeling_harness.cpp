@@ -1,0 +1,100 @@
+#include "eval/modeling_harness.hpp"
+
+#include "common/error.hpp"
+#include "core/mining/model_builder.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace cloudseer::eval {
+
+namespace {
+
+/**
+ * Produces one correct-execution log sequence per call by running the
+ * task on a dedicated simulation, with background noise interleaved —
+ * the raw material the preprocessing step must clean.
+ */
+class SequentialRunner
+{
+  public:
+    SequentialRunner(sim::TaskType type, const ModelingConfig &config,
+                     logging::TemplateCatalog &catalog,
+                     std::uint64_t seed)
+        : taskType(type),
+          shipping(config.shipping),
+          simulation(config.sim, seed),
+          user(simulation.makeUser()),
+          modeler(catalog),
+          shipSeed(seed ^ 0x5eedf00dULL)
+    {
+    }
+
+    core::TemplateSequence
+    operator()()
+    {
+        // Space runs far apart so windows never overlap; boot opens a
+        // fresh VM per run, other tasks reuse one VM identity (their
+        // flows do not depend on prior state).
+        sim::VmHandle vm = simulation.makeVm();
+        common::SimTime when = nextStart;
+        nextStart += 30.0;
+        simulation.submit(taskType, when, user, vm);
+        simulation.run();
+
+        // The new records since the previous run are this execution's
+        // log sequence (task messages plus any background noise that
+        // fell into the window).
+        const auto &all = simulation.records();
+        std::vector<logging::LogRecord> window(all.begin() +
+                                                   static_cast<long>(cursor),
+                                               all.end());
+        cursor = all.size();
+
+        collect::ShippingConfig ship = shipping;
+        ship.seed = shipSeed++;
+        std::vector<logging::LogRecord> stream =
+            collect::mergeStream(window, ship);
+        return modeler.toTemplateSequence(stream);
+    }
+
+  private:
+    sim::TaskType taskType;
+    collect::ShippingConfig shipping;
+    sim::Simulation simulation;
+    sim::UserProfile user;
+    core::TaskModeler modeler;
+    std::size_t cursor = 0;
+    common::SimTime nextStart = 1.0;
+    std::uint64_t shipSeed;
+};
+
+} // namespace
+
+ModeledSystem
+buildModels(const ModelingConfig &config)
+{
+    ModeledSystem out;
+    out.catalog = std::make_shared<logging::TemplateCatalog>();
+    core::TaskModeler modeler(*out.catalog);
+
+    std::uint64_t seed = config.seed;
+    for (sim::TaskType type : sim::kAllTaskTypes) {
+        SequentialRunner runner(type, config, *out.catalog, seed++);
+        core::TaskModeler::ConvergenceResult result =
+            modeler.modelUntilStable(
+                sim::taskTypeName(type), [&runner] { return runner(); },
+                config.minRuns, config.checkEvery, config.stableChecks,
+                config.maxRuns);
+
+        TaskModelInfo info;
+        info.type = type;
+        info.messages = result.automaton.eventCount();
+        info.transitions = result.automaton.edgeCount();
+        info.runsUsed = result.runsUsed;
+        info.converged = result.converged;
+        out.perTask.push_back(info);
+        out.automata.push_back(std::move(result.automaton));
+    }
+    return out;
+}
+
+} // namespace cloudseer::eval

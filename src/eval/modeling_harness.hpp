@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Offline-modeling harness: runs each task sequentially on the
+ * simulated deployment and mines its automaton to convergence, exactly
+ * the procedure behind the paper's Table 2.
+ */
+
+#ifndef CLOUDSEER_EVAL_MODELING_HARNESS_HPP
+#define CLOUDSEER_EVAL_MODELING_HARNESS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "collect/stream_merger.hpp"
+#include "core/automaton/task_automaton.hpp"
+#include "core/monitor/workflow_monitor.hpp"
+#include "sim/simulation.hpp"
+
+namespace cloudseer::eval {
+
+/** Per-task modeling outcome (one Table 2 row). */
+struct TaskModelInfo
+{
+    sim::TaskType type = sim::TaskType::Boot;
+    std::size_t messages = 0;    ///< key messages (Table 2 "Msgs")
+    std::size_t transitions = 0; ///< automaton edges (Table 2 "Trans")
+    std::size_t runsUsed = 0;    ///< executions until convergence
+    bool converged = false;
+};
+
+/** The modeling stage's full output: catalog + automata + stats. */
+struct ModeledSystem
+{
+    std::shared_ptr<logging::TemplateCatalog> catalog;
+    std::vector<core::TaskAutomaton> automata;
+    std::vector<TaskModelInfo> perTask;
+
+    /** Automata copied for a monitor (monitors own their automata). */
+    std::vector<core::TaskAutomaton> automataCopy() const
+    {
+        return automata;
+    }
+};
+
+/** Modeling-harness knobs. */
+struct ModelingConfig
+{
+    std::uint64_t seed = 2016;
+
+    /** Convergence-loop parameters (see TaskModeler::modelUntilStable). */
+    std::size_t minRuns = 60;
+    std::size_t checkEvery = 20;
+    std::size_t stableChecks = 4;
+    std::size_t maxRuns = 800;
+
+    /** Ship modeling logs with the same mild skew as checking. */
+    collect::ShippingConfig shipping;
+
+    /** Simulator settings for the modeling runs. */
+    sim::SimConfig sim;
+};
+
+/**
+ * Run the full offline modeling stage: for each of the eight tasks,
+ * execute it repeatedly (sequentially, with background noise on) and
+ * mine the automaton until convergence.
+ */
+ModeledSystem buildModels(const ModelingConfig &config);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_MODELING_HARNESS_HPP

@@ -1,0 +1,65 @@
+#include "eval/streaming_session.hpp"
+
+#include <limits>
+
+namespace cloudseer::eval {
+
+StreamingSession::StreamingSession(
+    sim::Simulation &simulation_, core::WorkflowMonitor &monitor_,
+    const collect::ShippingConfig &shipping_, ReportCallback on_report)
+    : simulation(simulation_),
+      monitor(monitor_),
+      shipRng(shipping_.seed),
+      shipping(shipping_),
+      onReport(std::move(on_report))
+{
+    simulation.setEmissionCallback(
+        [this](const logging::LogRecord &record) {
+            onEmission(record);
+        });
+}
+
+void
+StreamingSession::onEmission(const logging::LogRecord &record)
+{
+    // Anything whose shipping delay has elapsed by the current
+    // simulated instant has arrived at the collector; feed it before
+    // buffering the new emission.
+    drainUpTo(record.timestamp);
+
+    double delay = shipRng.expDelay(std::max(shipping.meanDelay, 1e-6));
+    if (shipping.tailProbability > 0.0 &&
+        shipRng.chance(shipping.tailProbability)) {
+        delay += shipRng.uniformReal(shipping.tailMin, shipping.tailMax);
+    }
+    buffer.push({record.timestamp + delay, record});
+}
+
+void
+StreamingSession::drainUpTo(common::SimTime now)
+{
+    while (!buffer.empty() && buffer.top().arrival <= now) {
+        InFlight next = buffer.top();
+        buffer.pop();
+        ++deliveredCount;
+        for (const core::MonitorReport &report :
+             monitor.feed(next.record)) {
+            if (onReport)
+                onReport(report);
+        }
+    }
+}
+
+void
+StreamingSession::run()
+{
+    simulation.run();
+    // Deliver the tail of the buffer, then flush the monitor.
+    drainUpTo(std::numeric_limits<double>::infinity());
+    for (const core::MonitorReport &report : monitor.finish()) {
+        if (onReport)
+            onReport(report);
+    }
+}
+
+} // namespace cloudseer::eval

@@ -1,0 +1,50 @@
+#include "eval/timeout_learning.hpp"
+
+#include "collect/stream_merger.hpp"
+
+namespace cloudseer::eval {
+
+core::TimeoutPolicy
+learnTimeoutPolicy(std::size_t runs_per_task, std::uint64_t seed,
+                   double safety_factor, double floor,
+                   double default_timeout)
+{
+    core::TimeoutEstimator estimator;
+    std::uint64_t task_seed = seed;
+    for (sim::TaskType type : sim::kAllTaskTypes) {
+        sim::SimConfig config;
+        config.enableNoise = false;
+        sim::Simulation simulation(config, task_seed++);
+        sim::UserProfile user = simulation.makeUser();
+
+        std::size_t cursor = 0;
+        for (std::size_t run = 0; run < runs_per_task; ++run) {
+            sim::VmHandle vm = simulation.makeVm();
+            simulation.submit(type,
+                              1.0 + static_cast<double>(run) * 60.0,
+                              user, vm);
+            simulation.run();
+
+            std::vector<logging::LogRecord> window(
+                simulation.records().begin() +
+                    static_cast<long>(cursor),
+                simulation.records().end());
+            cursor = simulation.records().size();
+
+            // Gaps are measured on the collector-side arrival order,
+            // which is what the monitor's clock sees.
+            collect::ShippingConfig shipping;
+            shipping.seed = task_seed * 1000 + run;
+            std::vector<logging::LogRecord> stream =
+                collect::mergeStream(window, shipping);
+            std::vector<common::SimTime> timestamps;
+            timestamps.reserve(stream.size());
+            for (const logging::LogRecord &record : stream)
+                timestamps.push_back(record.timestamp);
+            estimator.observeRun(sim::taskTypeName(type), timestamps);
+        }
+    }
+    return estimator.estimate(safety_factor, floor, default_timeout);
+}
+
+} // namespace cloudseer::eval

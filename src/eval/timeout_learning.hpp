@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Learns a per-task timeout policy from correct executions on the
+ * simulated deployment — the evaluation-side driver for the
+ * TimeoutEstimator extension (the paper leaves timeout selection as
+ * future work).
+ */
+
+#ifndef CLOUDSEER_EVAL_TIMEOUT_LEARNING_HPP
+#define CLOUDSEER_EVAL_TIMEOUT_LEARNING_HPP
+
+#include <cstdint>
+
+#include "core/monitor/timeout_estimator.hpp"
+#include "sim/simulation.hpp"
+
+namespace cloudseer::eval {
+
+/**
+ * Run each of the eight tasks `runs_per_task` times sequentially and
+ * estimate per-task timeouts from the observed inter-message gaps.
+ *
+ * @param runs_per_task  Correct executions observed per task.
+ * @param seed           Simulation seed.
+ * @param safety_factor  Multiplier over the largest observed gap.
+ * @param floor          Minimum timeout, seconds.
+ * @param default_timeout Fallback for unobserved tasks.
+ */
+core::TimeoutPolicy
+learnTimeoutPolicy(std::size_t runs_per_task, std::uint64_t seed,
+                   double safety_factor = 3.0, double floor = 2.0,
+                   double default_timeout = 10.0);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_TIMEOUT_LEARNING_HPP

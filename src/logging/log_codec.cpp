@@ -1,0 +1,75 @@
+#include "logging/log_codec.hpp"
+
+#include <cctype>
+
+#include "common/time_util.hpp"
+
+namespace cloudseer::logging {
+
+namespace {
+
+/** Advance past one whitespace-delimited token; returns the token. */
+std::string
+takeToken(const std::string &line, std::size_t &pos)
+{
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+    }
+    std::size_t start = pos;
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+    }
+    return line.substr(start, pos - start);
+}
+
+} // namespace
+
+std::string
+encodeLogLine(const LogRecord &record)
+{
+    std::string out = common::formatTimestamp(record.timestamp);
+    out += ' ';
+    out += record.node;
+    out += ' ';
+    out += record.service;
+    out += ' ';
+    out += logLevelName(record.level);
+    out += ' ';
+    out += record.body;
+    return out;
+}
+
+std::optional<LogRecord>
+decodeLogLine(const std::string &line)
+{
+    std::size_t pos = 0;
+    std::string date = takeToken(line, pos);
+    std::string time = takeToken(line, pos);
+    if (date.empty() || time.empty())
+        return std::nullopt;
+
+    LogRecord record;
+    if (!common::parseTimestamp(date + " " + time, record.timestamp))
+        return std::nullopt;
+
+    record.node = takeToken(line, pos);
+    record.service = takeToken(line, pos);
+    std::string level_text = takeToken(line, pos);
+    if (record.node.empty() || record.service.empty() ||
+        !parseLogLevel(level_text, record.level)) {
+        return std::nullopt;
+    }
+
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+    }
+    record.body = line.substr(pos);
+    if (record.body.empty())
+        return std::nullopt;
+    return record;
+}
+
+} // namespace cloudseer::logging

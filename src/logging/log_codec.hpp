@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Serialises log records to text lines and parses them back.
+ *
+ * Line format (what the Logstash stand-in ships across "nodes"):
+ *
+ *     2016-01-12 08:30:01.123 compute-1 nova-compute INFO <body...>
+ *
+ * Ground-truth fields do not survive serialisation — parsing a line
+ * yields a record with truthExecution == 0, which is exactly the
+ * information barrier the monitor relies on.
+ */
+
+#ifndef CLOUDSEER_LOGGING_LOG_CODEC_HPP
+#define CLOUDSEER_LOGGING_LOG_CODEC_HPP
+
+#include <optional>
+#include <string>
+
+#include "logging/log_record.hpp"
+
+namespace cloudseer::logging {
+
+/** Render a record as one log line (no trailing newline). */
+std::string encodeLogLine(const LogRecord &record);
+
+/**
+ * Parse one log line.
+ *
+ * @param line The text line.
+ * @return The parsed record, or nullopt if the line is malformed.
+ */
+std::optional<LogRecord> decodeLogLine(const std::string &line);
+
+} // namespace cloudseer::logging
+
+#endif // CLOUDSEER_LOGGING_LOG_CODEC_HPP

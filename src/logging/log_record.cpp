@@ -1,0 +1,4 @@
+#include "logging/log_record.hpp"
+
+// LogRecord is a plain aggregate; this translation unit anchors the
+// library target.

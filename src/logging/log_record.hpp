@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The log record flowing from the simulated cluster into CloudSeer.
+ */
+
+#ifndef CLOUDSEER_LOGGING_LOG_RECORD_HPP
+#define CLOUDSEER_LOGGING_LOG_RECORD_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/time_util.hpp"
+#include "logging/log_level.hpp"
+
+namespace cloudseer::logging {
+
+/** Stable id attached to every record as it enters the pipeline. */
+using RecordId = std::uint64_t;
+
+/** Ground-truth execution id (simulator-internal; 0 = background noise). */
+using ExecutionId = std::uint64_t;
+
+/**
+ * One log message.
+ *
+ * The `truth*` fields are written by the simulator for evaluation only;
+ * the checker must never read them (enforced by the monitor facade, which
+ * strips them before checking).
+ */
+struct LogRecord
+{
+    RecordId id = 0;
+    common::SimTime timestamp = 0.0;
+    std::string node;     ///< e.g. "controller", "compute-2"
+    std::string service;  ///< e.g. "nova-api"
+    LogLevel level = LogLevel::Info;
+    std::string body;     ///< message text with concrete identifiers
+
+    // --- ground truth (simulator only; not visible through log lines) ---
+    ExecutionId truthExecution = 0;  ///< 0 for background noise
+    std::string truthTask;           ///< task name, empty for noise
+};
+
+} // namespace cloudseer::logging
+
+#endif // CLOUDSEER_LOGGING_LOG_RECORD_HPP

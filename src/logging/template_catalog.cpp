@@ -1,0 +1,53 @@
+#include "logging/template_catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudseer::logging {
+
+std::string
+TemplateCatalog::key(const std::string &service, const std::string &text)
+{
+    return service + "\x1f" + text;
+}
+
+TemplateId
+TemplateCatalog::intern(const std::string &service,
+                        const std::string &template_text)
+{
+    auto [it, inserted] = index.try_emplace(
+        key(service, template_text),
+        static_cast<TemplateId>(entries.size()));
+    if (inserted)
+        entries.push_back({service, template_text});
+    return it->second;
+}
+
+TemplateId
+TemplateCatalog::find(const std::string &service,
+                      const std::string &template_text) const
+{
+    auto it = index.find(key(service, template_text));
+    return it == index.end() ? kInvalidTemplate : it->second;
+}
+
+const std::string &
+TemplateCatalog::service(TemplateId id) const
+{
+    CS_ASSERT(id < entries.size(), "template id out of range");
+    return entries[id].service;
+}
+
+const std::string &
+TemplateCatalog::text(TemplateId id) const
+{
+    CS_ASSERT(id < entries.size(), "template id out of range");
+    return entries[id].text;
+}
+
+std::string
+TemplateCatalog::label(TemplateId id) const
+{
+    return service(id) + ": " + text(id);
+}
+
+} // namespace cloudseer::logging

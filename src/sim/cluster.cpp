@@ -1,0 +1,36 @@
+#include "sim/cluster.hpp"
+
+#include "common/uuid.hpp"
+
+namespace cloudseer::sim {
+
+Cluster::Cluster(common::Rng &rng)
+{
+    controllerNode = {"controller", common::makeIp(rng)};
+    networkNode = {"network", common::makeIp(rng)};
+    for (int i = 1; i <= 3; ++i)
+        computeNodes.push_back({"compute-" + std::to_string(i),
+                                common::makeIp(rng)});
+}
+
+const Node &
+Cluster::pickCompute(common::Rng &rng) const
+{
+    return rng.pick(computeNodes);
+}
+
+std::string
+Cluster::describe() const
+{
+    std::string out;
+    out += "controller (" + controllerNode.ip +
+           "): nova-api keystone nova-scheduler nova-conductor glance\n";
+    out += "network    (" + networkNode.ip + "): neutron\n";
+    for (const Node &node : computeNodes) {
+        out += node.name + "  (" + node.ip +
+               "): nova-compute hypervisor\n";
+    }
+    return out;
+}
+
+} // namespace cloudseer::sim

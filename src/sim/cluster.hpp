@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static topology of the simulated OpenStack deployment.
+ *
+ * Mirrors the paper's test bed (§5.1): one controller node (nova-api,
+ * keystone, nova-scheduler, nova-conductor, glance), one network node,
+ * and three compute nodes (nova-compute + hypervisor each).
+ */
+
+#ifndef CLOUDSEER_SIM_CLUSTER_HPP
+#define CLOUDSEER_SIM_CLUSTER_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cloudseer::sim {
+
+/** Where a workflow step runs. */
+enum class NodeRole
+{
+    Controller,       ///< controller node
+    Network,          ///< network node
+    Compute,          ///< the compute node assigned to the VM
+};
+
+/** One server node of the deployment. */
+struct Node
+{
+    std::string name;  ///< e.g. "compute-1"
+    std::string ip;    ///< management IP
+};
+
+/** Five-node deployment: controller, network, compute-1..3. */
+class Cluster
+{
+  public:
+    /** Build the topology; node IPs are drawn deterministically. */
+    explicit Cluster(common::Rng &rng);
+
+    /** The controller node. */
+    const Node &controller() const { return controllerNode; }
+
+    /** The network node. */
+    const Node &network() const { return networkNode; }
+
+    /** All compute nodes. */
+    const std::vector<Node> &computes() const { return computeNodes; }
+
+    /** Pick a compute node for a new VM (uniform, like a fresh cloud). */
+    const Node &pickCompute(common::Rng &rng) const;
+
+    /** Human-readable topology summary (examples print this). */
+    std::string describe() const;
+
+  private:
+    Node controllerNode;
+    Node networkNode;
+    std::vector<Node> computeNodes;
+};
+
+} // namespace cloudseer::sim
+
+#endif // CLOUDSEER_SIM_CLUSTER_HPP

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudseer::sim {
+
+void
+EventQueue::schedule(common::SimTime t, Action action)
+{
+    CS_ASSERT(t >= currentTime, "scheduling into the past");
+    heap.push({t, nextSequence++, std::move(action)});
+}
+
+void
+EventQueue::scheduleAfter(common::SimTime delay, Action action)
+{
+    if (delay < 0)
+        delay = 0;
+    schedule(currentTime + delay, std::move(action));
+}
+
+void
+EventQueue::run()
+{
+    while (!heap.empty()) {
+        // Copy out before pop so the action may schedule more events.
+        Entry entry = heap.top();
+        heap.pop();
+        currentTime = entry.time;
+        ++executed;
+        entry.action();
+    }
+}
+
+void
+EventQueue::runUntil(common::SimTime horizon)
+{
+    while (!heap.empty() && heap.top().time <= horizon) {
+        Entry entry = heap.top();
+        heap.pop();
+        currentTime = entry.time;
+        ++executed;
+        entry.action();
+    }
+}
+
+} // namespace cloudseer::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Discrete-event scheduler driving the simulated cluster.
+ */
+
+#ifndef CLOUDSEER_SIM_EVENT_QUEUE_HPP
+#define CLOUDSEER_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time_util.hpp"
+
+namespace cloudseer::sim {
+
+/**
+ * Min-heap of timed callbacks. Ties on time break on insertion order so
+ * runs are fully deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule an action at absolute simulated time t (>= now). */
+    void schedule(common::SimTime t, Action action);
+
+    /** Schedule an action after a relative delay (>= 0). */
+    void scheduleAfter(common::SimTime delay, Action action);
+
+    /** Current simulated time (time of the event being processed). */
+    common::SimTime now() const { return currentTime; }
+
+    /** Run until the queue drains. */
+    void run();
+
+    /** Run until the queue drains or time exceeds the horizon. */
+    void runUntil(common::SimTime horizon);
+
+    /** Number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+  private:
+    struct Entry
+    {
+        common::SimTime time;
+        std::uint64_t sequence;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    common::SimTime currentTime = 0.0;
+    std::uint64_t nextSequence = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace cloudseer::sim
+
+#endif // CLOUDSEER_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,103 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace cloudseer::sim {
+
+const std::array<InjectionPoint, 6> kAllInjectionPoints = {
+    InjectionPoint::AmqpSender,  InjectionPoint::AmqpReceiver,
+    InjectionPoint::ImageCreate, InjectionPoint::ImageDelete,
+    InjectionPoint::WsgiClient,  InjectionPoint::WsgiServer,
+};
+
+const char *
+injectionPointName(InjectionPoint point)
+{
+    switch (point) {
+      case InjectionPoint::None: return "None";
+      case InjectionPoint::AmqpSender: return "AMQP-Sender";
+      case InjectionPoint::AmqpReceiver: return "AMQP-Receiver";
+      case InjectionPoint::ImageCreate: return "Image-Create";
+      case InjectionPoint::ImageDelete: return "Image-Delete";
+      case InjectionPoint::WsgiClient: return "WSGI-Client";
+      case InjectionPoint::WsgiServer: return "WSGI-Server";
+    }
+    return "None";
+}
+
+const char *
+problemTypeName(ProblemType type)
+{
+    switch (type) {
+      case ProblemType::None: return "None";
+      case ProblemType::Delay: return "Delay";
+      case ProblemType::Abort: return "Abort";
+      case ProblemType::Silent: return "Silent";
+    }
+    return "None";
+}
+
+FaultInjector::FaultInjector(InjectionPoint enabled_point,
+                             double trigger_probability,
+                             double error_message_probability,
+                             std::uint64_t seed,
+                             std::size_t max_problems)
+    : point(enabled_point),
+      triggerProbability(trigger_probability),
+      errorMessageProbability(error_message_probability),
+      maxProblems(max_problems),
+      rng(seed)
+{
+}
+
+FaultInjector::FaultInjector()
+    : rng(0)
+{
+}
+
+bool
+FaultInjector::alreadyAffected(logging::ExecutionId exec) const
+{
+    return std::find(affected.begin(), affected.end(), exec) !=
+           affected.end();
+}
+
+ProblemType
+FaultInjector::evaluate(InjectionPoint at, logging::ExecutionId exec,
+                        common::SimTime now)
+{
+    if (point == InjectionPoint::None || at != point)
+        return ProblemType::None;
+    if (history.size() >= maxProblems)
+        return ProblemType::None;
+    if (alreadyAffected(exec))
+        return ProblemType::None;
+    if (!rng.chance(triggerProbability))
+        return ProblemType::None;
+
+    static const ProblemType kTypes[3] = {
+        ProblemType::Delay, ProblemType::Abort, ProblemType::Silent};
+    ProblemType type = kTypes[rng.uniformInt(0, 2)];
+    affected.push_back(exec);
+    history.push_back({exec, point, type, now, false});
+    return type;
+}
+
+bool
+FaultInjector::rollErrorMessage()
+{
+    return rng.chance(errorMessageProbability);
+}
+
+void
+FaultInjector::markErrorEmitted(logging::ExecutionId exec)
+{
+    for (auto it = history.rbegin(); it != history.rend(); ++it) {
+        if (it->execution == exec) {
+            it->emittedError = true;
+            return;
+        }
+    }
+}
+
+} // namespace cloudseer::sim

@@ -1,0 +1,423 @@
+#include "sim/flows.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace cloudseer::sim {
+
+namespace {
+
+// Service-name constants keep flow definitions typo-proof.
+const std::string kApi = "nova-api";
+const std::string kKeystone = "keystone";
+const std::string kScheduler = "nova-scheduler";
+const std::string kConductor = "nova-conductor";
+const std::string kCompute = "nova-compute";
+const std::string kGlance = "glance";
+const std::string kNeutron = "neutron";
+const std::string kHypervisor = "hypervisor";
+
+std::string
+req(const TaskContext &c)
+{
+    return "[req-" + c.requestId + "]";
+}
+
+/** Step helper: sequential dependency on the previous step. */
+FlowStep
+step(std::string service, NodeRole role, std::vector<int> deps,
+     double mean_latency, BodyFn body,
+     std::vector<InjectionPoint> sites = {})
+{
+    FlowStep s;
+    s.service = std::move(service);
+    s.role = role;
+    s.deps = std::move(deps);
+    s.meanLatency = mean_latency;
+    s.body = std::move(body);
+    s.sites = std::move(sites);
+    return s;
+}
+
+/**
+ * The task-generic opener (paper Fig. 2 message 1: "api accepted
+ * IP1"). Every task starts with the same template, so the checker's
+ * automaton group initially tracks all candidate tasks and narrows on
+ * the second message — the reason Algorithm 1 exists.
+ */
+BodyFn
+acceptedBody()
+{
+    return [](const TaskContext &c) {
+        return "Accepted server API request from " + c.clientIp;
+    };
+}
+
+/** nova-api action POST line. */
+BodyFn
+actionPostBody(const char *action)
+{
+    std::string a = action;
+    return [a](const TaskContext &c) {
+        return req(c) + " " + c.clientIp + " \"POST /v2/" + c.tenantId +
+               "/servers/" + c.instanceId + "/action (" + a +
+               ") HTTP/1.1\" status: 202";
+    };
+}
+
+/** keystone authentication line, shared by every task. */
+BodyFn
+keystoneAuthBody()
+{
+    return [](const TaskContext &c) {
+        return "Authenticated request req-" + c.requestId + " for user " +
+               c.userId + " tenant " + c.tenantId;
+    };
+}
+
+/** hypervisor lifecycle callback, shared across tasks (paper Fig. 5). */
+BodyFn
+lifecycleBody(const char *event)
+{
+    std::string e = event;
+    return [e](const TaskContext &c) {
+        return "Instance " + c.instanceId + " VM lifecycle event: " + e;
+    };
+}
+
+/** nova-conductor VM-state update, shared across tasks. */
+BodyFn
+conductorStateBody(const char *state)
+{
+    std::string s = state;
+    return [s](const TaskContext &c) {
+        return req(c) + " Updating instance " + c.instanceId +
+               " state to " + s;
+    };
+}
+
+/** nova-api final status GET, shared where the result state matches. */
+BodyFn
+stateGetBody(const char *result)
+{
+    std::string r = result;
+    return [r](const TaskContext &c) {
+        return req(c) + " " + c.clientIp + " \"GET /v2/" + c.tenantId +
+               "/servers/" + c.instanceId +
+               "/state HTTP/1.1\" status: 200 result " + r;
+    };
+}
+
+FlowSpec
+makeBootFlow()
+{
+    FlowSpec flow;
+    flow.type = TaskType::Boot;
+    auto &s = flow.steps;
+
+    // 0: request arrives at nova-api (only the client IP is logged).
+    s.push_back(step(kApi, NodeRole::Controller, {}, 0.05,
+        acceptedBody()));
+    // 1: the POST line introduces the request id and tenant.
+    s.push_back(step(kApi, NodeRole::Controller, {0}, 0.08,
+        [](const TaskContext &c) {
+            return req(c) + " " + c.clientIp + " \"POST /v2/" + c.tenantId +
+                   "/servers HTTP/1.1\" status: 202 len: 1748";
+        }));
+    // 2: keystone authentication.
+    s.push_back(step(kKeystone, NodeRole::Controller, {1}, 0.06,
+        keystoneAuthBody()));
+    // 3: api allocates the instance UUID.
+    s.push_back(step(kApi, NodeRole::Controller, {2}, 0.08,
+        [](const TaskContext &c) {
+            return req(c) + " Creating server instance " + c.instanceId +
+                   " for tenant " + c.tenantId;
+        }));
+    // 4: conductor forwards the build request to the scheduler.
+    s.push_back(step(kConductor, NodeRole::Controller, {3}, 0.08,
+        [](const TaskContext &c) {
+            return req(c) + " Forwarding build request for instance " +
+                   c.instanceId + " to scheduler";
+        }));
+    // 5: scheduler picks up the RPC (AMQP boundary).
+    s.push_back(step(kScheduler, NodeRole::Controller, {4}, 0.12,
+        [](const TaskContext &c) {
+            return req(c) + " Scheduling instance " + c.instanceId;
+        },
+        {InjectionPoint::AmqpSender, InjectionPoint::AmqpReceiver}));
+    // 6: host selected; an asynchronous cast goes to nova-compute while
+    //    the CLI starts polling nova-api — the fork of Figure 3.
+    s.push_back(step(kScheduler, NodeRole::Controller, {5}, 0.10,
+        [](const TaskContext &c) {
+            return req(c) + " Instance " + c.instanceId +
+                   " scheduled to host " + c.computeIp;
+        }));
+
+    // --- branch A: nova-api polling path -------------------------------
+    // 7: first detail GET.
+    s.push_back(step(kApi, NodeRole::Controller, {6}, 0.30,
+        [](const TaskContext &c) {
+            return req(c) + " " + c.clientIp + " \"GET /v2/" + c.tenantId +
+                   "/servers/" + c.instanceId + " HTTP/1.1\" status: 200";
+        }));
+    // 8: instance-actions GET.
+    s.push_back(step(kApi, NodeRole::Controller, {7}, 0.40,
+        [](const TaskContext &c) {
+            return req(c) + " " + c.clientIp + " \"GET /v2/" + c.tenantId +
+                   "/servers/" + c.instanceId +
+                   "/os-instance-actions HTTP/1.1\" status: 200";
+        }));
+
+    // --- branch B: nova-compute build path ------------------------------
+    // 9: compute receives the build cast (AMQP boundary).
+    s.push_back(step(kCompute, NodeRole::Compute, {6}, 0.15,
+        [](const TaskContext &c) {
+            return req(c) + " Received build request for instance " +
+                   c.instanceId;
+        },
+        {InjectionPoint::AmqpSender, InjectionPoint::AmqpReceiver}));
+    // 10: shared with the start task.
+    s.push_back(step(kCompute, NodeRole::Compute, {9}, 0.10,
+        [](const TaskContext &c) {
+            return req(c) + " Starting instance " + c.instanceId;
+        }));
+    // 11: resource claim.
+    s.push_back(step(kCompute, NodeRole::Compute, {10}, 0.10,
+        [](const TaskContext &c) {
+            return "Attempting claim for instance " + c.instanceId +
+                   ": memory 2048 MB, disk 20 GB";
+        }));
+    // 12: claim granted; image and network branches fork here.
+    s.push_back(step(kCompute, NodeRole::Compute, {11}, 0.08,
+        [](const TaskContext &c) {
+            return "Claim successful for instance " + c.instanceId;
+        }));
+
+    // --- branch B1: image fetch (WSGI + I/O injection sites) -----------
+    // 13: compute asks glance for the image.
+    s.push_back(step(kCompute, NodeRole::Compute, {12}, 0.10,
+        [](const TaskContext &c) {
+            return req(c) + " Fetching image " + c.imageId +
+                   " for instance " + c.instanceId;
+        }));
+    // 14: glance serves it (WSGI boundary).
+    s.push_back(step(kGlance, NodeRole::Controller, {13}, 0.20,
+        [](const TaskContext &c) {
+            return c.computeIp + " \"GET /v2/images/" + c.imageId +
+                   " HTTP/1.1\" status: 200";
+        },
+        {InjectionPoint::WsgiClient, InjectionPoint::WsgiServer}));
+    // 15: backing file creation (I/O injection site).
+    s.push_back(step(kCompute, NodeRole::Compute, {14}, 0.50,
+        [](const TaskContext &c) {
+            return req(c) + " Creating image backing file for instance " +
+                   c.instanceId;
+        },
+        {InjectionPoint::ImageCreate}));
+
+    // --- branch B2: network allocation ---------------------------------
+    // 16: neutron allocates.
+    s.push_back(step(kNeutron, NodeRole::Network, {12}, 0.25,
+        [](const TaskContext &c) {
+            return "Allocating network for instance " + c.instanceId;
+        }));
+    // 17: port active.
+    s.push_back(step(kNeutron, NodeRole::Network, {16}, 0.35,
+        [](const TaskContext &c) {
+            return "Port for instance " + c.instanceId + " is ACTIVE";
+        }));
+
+    // 18: hypervisor boots the VM (joins image + network branches);
+    //     template shared with start/resume.
+    s.push_back(step(kHypervisor, NodeRole::Compute, {15, 17}, 0.45,
+        lifecycleBody("Started")));
+    // 19: spawn confirmation.
+    s.push_back(step(kCompute, NodeRole::Compute, {18}, 0.15,
+        [](const TaskContext &c) {
+            return req(c) + " Instance " + c.instanceId +
+                   " spawned successfully on host " + c.computeIp;
+        }));
+    // 20: conductor state update (shared template).
+    s.push_back(step(kConductor, NodeRole::Controller, {19}, 0.08,
+        conductorStateBody("ACTIVE")));
+    // 21: compute's final state line (shared with start).
+    s.push_back(step(kCompute, NodeRole::Compute, {20}, 0.08,
+        [](const TaskContext &c) {
+            return "Instance " + c.instanceId +
+                   " VM state ACTIVE, power state RUNNING";
+        }));
+    // 22: final api GET joins both top-level branches.
+    s.push_back(step(kApi, NodeRole::Controller, {8, 21}, 0.12,
+        stateGetBody("ACTIVE")));
+
+    // 23: variable-count polling noise (filtered by preprocessing).
+    FlowStep poll = step(kApi, NodeRole::Controller, {6}, 0.50,
+        [](const TaskContext &c) {
+            return req(c) + " " + c.clientIp + " \"GET /v2/" + c.tenantId +
+                   "/servers/detail HTTP/1.1\" status: 200";
+        });
+    poll.variablePoll = true;
+    s.push_back(poll);
+
+    return flow;
+}
+
+FlowSpec
+makeDeleteFlow()
+{
+    FlowSpec flow;
+    flow.type = TaskType::Delete;
+    auto &s = flow.steps;
+
+    s.push_back(step(kApi, NodeRole::Controller, {}, 0.05,
+        acceptedBody()));
+    s.push_back(step(kApi, NodeRole::Controller, {0}, 0.08,
+        [](const TaskContext &c) {
+            return req(c) + " " + c.clientIp + " \"DELETE /v2/" +
+                   c.tenantId + "/servers/" + c.instanceId +
+                   " HTTP/1.1\" status: 204";
+        }));
+    s.push_back(step(kKeystone, NodeRole::Controller, {1}, 0.06,
+        keystoneAuthBody()));
+    s.push_back(step(kCompute, NodeRole::Compute, {2}, 0.15,
+        [](const TaskContext &c) {
+            return req(c) + " Terminating instance " + c.instanceId;
+        },
+        {InjectionPoint::AmqpSender, InjectionPoint::AmqpReceiver}));
+    // 4 and 5 are concurrent: hypervisor shutdown vs file deletion.
+    s.push_back(step(kHypervisor, NodeRole::Compute, {3}, 0.35,
+        lifecycleBody("Stopped")));
+    s.push_back(step(kCompute, NodeRole::Compute, {3}, 0.30,
+        [](const TaskContext &c) {
+            return req(c) + " Deleting instance files for instance " +
+                   c.instanceId;
+        },
+        {InjectionPoint::ImageDelete}));
+    s.push_back(step(kCompute, NodeRole::Compute, {5}, 0.25,
+        [](const TaskContext &c) {
+            return req(c) +
+                   " Deletion of instance files complete for instance " +
+                   c.instanceId;
+        }));
+    // 7: join (paper Fig. 5's "Instance destroyed" message).
+    s.push_back(step(kCompute, NodeRole::Compute, {4, 6}, 0.10,
+        [](const TaskContext &c) {
+            return req(c) + " Instance " + c.instanceId +
+                   " destroyed successfully";
+        }));
+    s.push_back(step(kConductor, NodeRole::Controller, {7}, 0.08,
+        conductorStateBody("DELETED")));
+
+    return flow;
+}
+
+/**
+ * The five lightweight action tasks share one skeleton:
+ * accepted -> POST action -> compute verb -> {hypervisor lifecycle ||
+ * compute confirmation} -> conductor state [-> api GET].
+ */
+FlowSpec
+makeActionFlow(TaskType type, const char *action,
+               const char *compute_verb, const char *lifecycle_event,
+               const char *confirm_text, const char *state,
+               const char *final_get_result, bool compute_state_line)
+{
+    FlowSpec flow;
+    flow.type = type;
+    auto &s = flow.steps;
+
+    s.push_back(step(kApi, NodeRole::Controller, {}, 0.05,
+        acceptedBody()));
+    s.push_back(step(kApi, NodeRole::Controller, {0}, 0.08,
+        actionPostBody(action)));
+    std::string cv = compute_verb;
+    s.push_back(step(kCompute, NodeRole::Compute, {1}, 0.15,
+        [cv](const TaskContext &c) {
+            return req(c) + " " + cv + " instance " + c.instanceId;
+        },
+        {InjectionPoint::AmqpSender, InjectionPoint::AmqpReceiver}));
+    // Concurrent: hypervisor callback vs compute confirmation.
+    s.push_back(step(kHypervisor, NodeRole::Compute, {2}, 0.35,
+        lifecycleBody(lifecycle_event)));
+    std::string confirm = confirm_text;
+    s.push_back(step(kCompute, NodeRole::Compute, {2}, 0.30,
+        [confirm](const TaskContext &c) {
+            return req(c) + " Instance " + c.instanceId + " " + confirm;
+        }));
+    s.push_back(step(kConductor, NodeRole::Controller, {3, 4}, 0.08,
+        conductorStateBody(state)));
+    if (compute_state_line) {
+        s.push_back(step(kCompute, NodeRole::Compute, {5}, 0.08,
+            [](const TaskContext &c) {
+                return "Instance " + c.instanceId +
+                       " VM state ACTIVE, power state RUNNING";
+            }));
+    } else if (final_get_result != nullptr) {
+        s.push_back(step(kApi, NodeRole::Controller, {5}, 0.12,
+            stateGetBody(final_get_result)));
+    }
+
+    return flow;
+}
+
+std::array<FlowSpec, kTaskTypeCount>
+makeAllFlows()
+{
+    return {
+        makeBootFlow(),
+        makeDeleteFlow(),
+        // start: 7 messages, compute state line shared with boot.
+        makeActionFlow(TaskType::Start, "os-start", "Starting",
+                       "Started", "powered on successfully", "ACTIVE",
+                       nullptr, true),
+        // stop: 6 messages.
+        makeActionFlow(TaskType::Stop, "os-stop", "Stopping",
+                       "Stopped", "powered off successfully", "STOPPED",
+                       nullptr, false),
+        // pause: 7 messages, final GET shows PAUSED.
+        makeActionFlow(TaskType::Pause, "os-pause", "Pausing",
+                       "Paused", "paused successfully", "PAUSED",
+                       "PAUSED", false),
+        // unpause: 7 messages, compute state line.
+        makeActionFlow(TaskType::Unpause, "os-unpause",
+                       "Unpausing", "Resumed", "unpaused successfully",
+                       "ACTIVE", nullptr, true),
+        // suspend: 6 messages.
+        makeActionFlow(TaskType::Suspend, "os-suspend",
+                       "Suspending", "Suspended",
+                       "suspended, memory written to disk", "SUSPENDED",
+                       nullptr, false),
+        // resume: 7 messages, final GET shows ACTIVE (shared with boot).
+        makeActionFlow(TaskType::Resume, "os-resume",
+                       "Resuming", "Started", "resumed successfully",
+                       "ACTIVE", "ACTIVE", false),
+    };
+}
+
+} // namespace
+
+const FlowSpec &
+flowFor(TaskType type)
+{
+    static const std::array<FlowSpec, kTaskTypeCount> flows =
+        makeAllFlows();
+    std::size_t idx = static_cast<std::size_t>(type);
+    CS_ASSERT(idx < flows.size(), "task type out of range");
+    CS_ASSERT(flows[idx].type == type, "flow table order mismatch");
+    return flows[idx];
+}
+
+std::size_t
+keyMessageCount(TaskType type)
+{
+    const FlowSpec &flow = flowFor(type);
+    std::size_t count = 0;
+    for (const FlowStep &s : flow.steps) {
+        if (!s.variablePoll)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace cloudseer::sim

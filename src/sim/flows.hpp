@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Declarative workflow specifications for the eight VM tasks.
+ *
+ * Each task is a DAG of steps. A step waits for its dependencies, then
+ * after a sampled service latency emits one log message from a specific
+ * service on a specific node. Steps with a common dependency and no
+ * mutual ordering run concurrently — this is what produces the paper's
+ * in-sequence interleaving (asynchronous AMQP branches).
+ */
+
+#ifndef CLOUDSEER_SIM_FLOWS_HPP
+#define CLOUDSEER_SIM_FLOWS_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/task_type.hpp"
+
+namespace cloudseer::sim {
+
+/**
+ * Identifiers carried by one task execution. Deliberately non-unique
+ * across messages: no single id appears in every message (paper §2.2).
+ */
+struct TaskContext
+{
+    std::string requestId;   ///< per-request UUID (nova req id)
+    std::string userId;      ///< user UUID
+    std::string tenantId;    ///< tenant/project UUID
+    std::string instanceId;  ///< VM UUID (stable across the VM's life)
+    std::string imageId;     ///< glance image UUID
+    std::string clientIp;    ///< CLI client address
+    std::string computeNode; ///< assigned compute node name
+    std::string computeIp;   ///< assigned compute node IP
+};
+
+/** Builds a message body from the execution's identifiers. */
+using BodyFn = std::function<std::string(const TaskContext &)>;
+
+/** One step of a task workflow. */
+struct FlowStep
+{
+    std::string service;          ///< emitting service ("nova-api", ...)
+    NodeRole role;                ///< node the service runs on
+    std::vector<int> deps;        ///< indices of prerequisite steps
+    double meanLatency;           ///< seconds from ready to emission
+    BodyFn body;                  ///< message body builder
+    /**
+     * Fault-injection sites crossed on the way into this step, in
+     * crossing order (e.g. an RPC boundary contributes both the sender
+     * and the receiver site to the receiving step).
+     */
+    std::vector<InjectionPoint> sites;
+    /**
+     * Poll steps re-emit a random number of extra copies (0..3). Their
+     * occurrence count varies across executions, so preprocessing must
+     * filter them — they model nova-api status polling.
+     */
+    bool variablePoll = false;
+};
+
+/** A full task workflow. */
+struct FlowSpec
+{
+    TaskType type;
+    std::vector<FlowStep> steps;
+};
+
+/** Get the (process-wide, immutable) workflow for a task. */
+const FlowSpec &flowFor(TaskType type);
+
+/** Number of key (non-poll) messages in a task's flow. */
+std::size_t keyMessageCount(TaskType type);
+
+} // namespace cloudseer::sim
+
+#endif // CLOUDSEER_SIM_FLOWS_HPP

@@ -1,0 +1,151 @@
+#include "sim/ground_truth.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cloudseer::sim {
+
+logging::ExecutionId
+GroundTruth::beginExecution(TaskType type, const std::string &user_id,
+                            const std::string &instance_id,
+                            common::SimTime submitted)
+{
+    ExecutionInfo info;
+    info.id = static_cast<logging::ExecutionId>(execs.size() + 1);
+    info.type = type;
+    info.userId = user_id;
+    info.instanceId = instance_id;
+    info.submitted = submitted;
+    execs.push_back(std::move(info));
+    return execs.back().id;
+}
+
+ExecutionInfo &
+GroundTruth::mutableExecution(logging::ExecutionId exec)
+{
+    CS_ASSERT(exec >= 1 && exec <= execs.size(), "bad execution id");
+    return execs[exec - 1];
+}
+
+const ExecutionInfo &
+GroundTruth::execution(logging::ExecutionId exec) const
+{
+    CS_ASSERT(exec >= 1 && exec <= execs.size(), "bad execution id");
+    return execs[exec - 1];
+}
+
+void
+GroundTruth::noteEmission(logging::ExecutionId exec, common::SimTime t)
+{
+    ExecutionInfo &info = mutableExecution(exec);
+    if (!info.anyEmission) {
+        info.firstEmit = t;
+        info.lastEmit = t;
+        info.anyEmission = true;
+    } else {
+        info.firstEmit = std::min(info.firstEmit, t);
+        info.lastEmit = std::max(info.lastEmit, t);
+    }
+    ++info.emittedMessages;
+}
+
+void
+GroundTruth::noteAborted(logging::ExecutionId exec)
+{
+    mutableExecution(exec).aborted = true;
+}
+
+void
+GroundTruth::noteSilentDrop(logging::ExecutionId exec)
+{
+    mutableExecution(exec).silentDrop = true;
+}
+
+void
+GroundTruth::noteDelayed(logging::ExecutionId exec)
+{
+    mutableExecution(exec).delayed = true;
+}
+
+void
+GroundTruth::noteCompleted(logging::ExecutionId exec)
+{
+    mutableExecution(exec).completed = true;
+}
+
+std::vector<int>
+GroundTruth::maxConcurrency() const
+{
+    // Sweep line over window boundaries: starts before ends at equal
+    // times so touching windows count as concurrent.
+    struct Boundary
+    {
+        double time;
+        int delta; // +1 window opens, -1 window closes
+    };
+    std::vector<Boundary> boundaries;
+    boundaries.reserve(execs.size() * 2);
+    for (const ExecutionInfo &info : execs) {
+        if (!info.anyEmission)
+            continue;
+        boundaries.push_back({info.firstEmit, +1});
+        boundaries.push_back({info.lastEmit, -1});
+    }
+    std::sort(boundaries.begin(), boundaries.end(),
+              [](const Boundary &a, const Boundary &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.delta > b.delta;
+              });
+
+    // Concurrency level per segment between consecutive boundaries.
+    std::vector<double> times;
+    std::vector<int> levels;
+    int level = 0;
+    for (const Boundary &b : boundaries) {
+        level += b.delta;
+        times.push_back(b.time);
+        levels.push_back(level);
+    }
+
+    std::vector<int> result(execs.size(), 0);
+    for (std::size_t i = 0; i < execs.size(); ++i) {
+        if (!execs[i].anyEmission)
+            continue;
+        // Max level over boundaries inside this window; the window's own
+        // +1 boundary is included, so the result is at least 1.
+        auto lo = std::lower_bound(times.begin(), times.end(),
+                                   execs[i].firstEmit);
+        auto hi = std::upper_bound(times.begin(), times.end(),
+                                   execs[i].lastEmit);
+        int peak = 1;
+        for (auto it = lo; it != hi; ++it) {
+            std::size_t idx =
+                static_cast<std::size_t>(it - times.begin());
+            peak = std::max(peak, levels[idx]);
+        }
+        result[i] = peak;
+    }
+    return result;
+}
+
+double
+GroundTruth::interleavedFraction(int k) const
+{
+    std::vector<int> peaks = maxConcurrency();
+    std::size_t emitting = 0;
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < execs.size(); ++i) {
+        if (!execs[i].anyEmission)
+            continue;
+        ++emitting;
+        if (peaks[i] >= k)
+            ++hit;
+    }
+    return emitting == 0
+        ? 0.0
+        : static_cast<double>(hit) / static_cast<double>(emitting);
+}
+
+} // namespace cloudseer::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Evaluation-only ledger of what the simulator actually did.
+ *
+ * The paper had to approximate ground truth by hand (§5.4); the
+ * simulator records it exactly: per-execution lifetimes, emitted
+ * message counts, outcomes, and interval-overlap concurrency used for
+ * the "% interleaved" columns of Table 5.
+ */
+
+#ifndef CLOUDSEER_SIM_GROUND_TRUTH_HPP
+#define CLOUDSEER_SIM_GROUND_TRUTH_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time_util.hpp"
+#include "logging/log_record.hpp"
+#include "sim/task_type.hpp"
+
+namespace cloudseer::sim {
+
+/** Per-execution ground truth. */
+struct ExecutionInfo
+{
+    logging::ExecutionId id = 0;
+    TaskType type = TaskType::Boot;
+    std::string userId;
+    std::string instanceId;
+    common::SimTime submitted = 0.0;
+    common::SimTime firstEmit = 0.0;
+    common::SimTime lastEmit = 0.0;
+    std::size_t emittedMessages = 0;
+    bool anyEmission = false;
+    bool aborted = false;       ///< downstream steps cancelled with error
+    bool silentDrop = false;    ///< downstream steps cancelled silently
+    bool delayed = false;       ///< a step was delay-injected
+    bool completed = false;     ///< all key steps emitted
+};
+
+/** Ledger of executions; indexed by ExecutionId (1-based). */
+class GroundTruth
+{
+  public:
+    /** Register a new execution; returns its id. */
+    logging::ExecutionId beginExecution(TaskType type,
+                                        const std::string &user_id,
+                                        const std::string &instance_id,
+                                        common::SimTime submitted);
+
+    /** Note one emitted message. */
+    void noteEmission(logging::ExecutionId exec, common::SimTime t);
+
+    /** Note an abort (error path) outcome. */
+    void noteAborted(logging::ExecutionId exec);
+
+    /** Note a silent-drop outcome. */
+    void noteSilentDrop(logging::ExecutionId exec);
+
+    /** Note a delay injection. */
+    void noteDelayed(logging::ExecutionId exec);
+
+    /** Note that every key step of the flow emitted. */
+    void noteCompleted(logging::ExecutionId exec);
+
+    /** All executions, id order. */
+    const std::vector<ExecutionInfo> &executions() const { return execs; }
+
+    /** Lookup by id (must exist). */
+    const ExecutionInfo &execution(logging::ExecutionId exec) const;
+
+    /**
+     * For each execution, the peak number of executions simultaneously
+     * in flight during its own [firstEmit, lastEmit] window (itself
+     * included). An execution with maxConcurrency(e) >= 2 is
+     * "interleaved" in the paper's Table 5 sense.
+     */
+    std::vector<int> maxConcurrency() const;
+
+    /** Fraction of emitting executions with peak concurrency >= k. */
+    double interleavedFraction(int k) const;
+
+  private:
+    std::vector<ExecutionInfo> execs;
+
+    ExecutionInfo &mutableExecution(logging::ExecutionId exec);
+};
+
+} // namespace cloudseer::sim
+
+#endif // CLOUDSEER_SIM_GROUND_TRUTH_HPP

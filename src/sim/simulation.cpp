@@ -1,0 +1,286 @@
+#include "sim/simulation.hpp"
+
+#include "common/error.hpp"
+#include "common/uuid.hpp"
+
+namespace cloudseer::sim {
+
+Simulation::Simulation(const SimConfig &config_, std::uint64_t seed)
+    : config(config_), rng(seed), topology(rng)
+{
+}
+
+void
+Simulation::setInjector(FaultInjector injector)
+{
+    faultInjector = std::move(injector);
+}
+
+void
+Simulation::setEmissionCallback(EmissionCallback callback)
+{
+    onEmission = std::move(callback);
+}
+
+UserProfile
+Simulation::makeUser()
+{
+    return {common::makeUuid(rng), common::makeUuid(rng),
+            common::makeIp(rng)};
+}
+
+const UserProfile &
+Simulation::sharedUser()
+{
+    if (!sharedProfile)
+        sharedProfile = std::make_unique<UserProfile>(makeUser());
+    return *sharedProfile;
+}
+
+VmHandle
+Simulation::makeVm()
+{
+    VmHandle vm;
+    vm.instanceId = common::makeUuid(rng);
+    vm.imageId = common::makeUuid(rng);
+    return vm;
+}
+
+logging::ExecutionId
+Simulation::submit(TaskType type, common::SimTime when,
+                   const UserProfile &user, VmHandle &vm)
+{
+    if (vm.computeNode.empty()) {
+        const Node &host = topology.pickCompute(rng);
+        vm.computeNode = host.name;
+        vm.computeIp = host.ip;
+    }
+
+    auto run = std::make_unique<FlowRun>();
+    run->spec = &flowFor(type);
+    run->exec = groundTruth.beginExecution(type, user.userId,
+                                           vm.instanceId, when);
+    run->ctx.requestId = common::makeUuid(rng);
+    run->ctx.userId = user.userId;
+    run->ctx.tenantId = user.tenantId;
+    run->ctx.clientIp = user.clientIp;
+    run->ctx.instanceId = vm.instanceId;
+    run->ctx.imageId = vm.imageId;
+    run->ctx.computeNode = vm.computeNode;
+    run->ctx.computeIp = vm.computeIp;
+
+    const std::vector<FlowStep> &steps = run->spec->steps;
+    run->remainingDeps.resize(steps.size());
+    run->dependents.resize(steps.size());
+    run->fired.assign(steps.size(), 0);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        run->remainingDeps[i] = static_cast<int>(steps[i].deps.size());
+        for (int dep : steps[i].deps)
+            run->dependents[dep].push_back(static_cast<int>(i));
+        if (!steps[i].variablePoll)
+            ++run->keyTotal;
+    }
+
+    FlowRun *raw = run.get();
+    runs.push_back(std::move(run));
+    ++pendingWork;
+    events.schedule(when, [this, raw] {
+        --pendingWork;
+        startFlow(*raw);
+    });
+    if (config.enableNoise && !noiseScheduled) {
+        noiseScheduled = true;
+        events.schedule(when + rng.uniformReal(0.0, config.noisePeriod),
+                        [this] { emitNoise(); });
+    }
+    return raw->exec;
+}
+
+void
+Simulation::startFlow(FlowRun &run)
+{
+    for (std::size_t i = 0; i < run.spec->steps.size(); ++i) {
+        if (run.remainingDeps[i] == 0)
+            scheduleStep(run, static_cast<int>(i));
+    }
+}
+
+void
+Simulation::scheduleStep(FlowRun &run, int index)
+{
+    const FlowStep &step =
+        run.spec->steps[static_cast<std::size_t>(index)];
+    double latency =
+        (0.02 + rng.expDelay(step.meanLatency)) * config.latencyScale;
+    ++pendingWork;
+    events.scheduleAfter(latency, [this, &run, index] {
+        --pendingWork;
+        fireStep(run, index);
+    });
+}
+
+void
+Simulation::fireStep(FlowRun &run, int index)
+{
+    if (run.cancelled)
+        return;
+    const FlowStep &step =
+        run.spec->steps[static_cast<std::size_t>(index)];
+
+    for (InjectionPoint site : step.sites) {
+        ProblemType problem =
+            faultInjector.evaluate(site, run.exec, events.now());
+        if (problem == ProblemType::None)
+            continue;
+        switch (problem) {
+          case ProblemType::Delay: {
+            // Performance problem: the step (and everything after it)
+            // happens late, beyond the monitoring timeout.
+            groundTruth.noteDelayed(run.exec);
+            double delay = rng.uniformReal(config.delayMin,
+                                           config.delayMax);
+            ++pendingWork;
+            events.scheduleAfter(delay, [this, &run, index] {
+                --pendingWork;
+                fireStep(run, index);
+            });
+            return;
+          }
+          case ProblemType::Abort: {
+            // Unexpected exception: the execution dies here; an ERROR
+            // message accompanies it only sometimes (paper §5.6 found
+            // most injected problems had no error message).
+            groundTruth.noteAborted(run.exec);
+            run.cancelled = true;
+            if (faultInjector.rollErrorMessage()) {
+                emitRecord(run, step, logging::LogLevel::Error,
+                           "[req-" + run.ctx.requestId +
+                               "] Unexpected error while processing "
+                               "instance " +
+                               run.ctx.instanceId + ": RemoteError");
+                faultInjector.markErrorEmitted(run.exec);
+            }
+            return;
+          }
+          case ProblemType::Silent: {
+            // Ignored request / wrong I/O status: downstream messages
+            // silently never appear.
+            groundTruth.noteSilentDrop(run.exec);
+            run.cancelled = true;
+            return;
+          }
+          case ProblemType::None:
+            break;
+        }
+    }
+
+    if (step.variablePoll) {
+        // 0..3 extra occurrences; never key messages, no dependents.
+        int copies = rng.uniformInt(0, 3);
+        for (int i = 0; i < copies; ++i) {
+            double offset = i * 0.8 + rng.uniformReal(0.0, 0.3);
+            ++pendingWork;
+            events.scheduleAfter(offset, [this, &run, index] {
+                --pendingWork;
+                if (run.cancelled)
+                    return;
+                const FlowStep &poll =
+                    run.spec->steps[static_cast<std::size_t>(index)];
+                emitRecord(run, poll, logging::LogLevel::Info,
+                           poll.body(run.ctx));
+            });
+        }
+        completeStep(run, index);
+        return;
+    }
+
+    emitRecord(run, step, logging::LogLevel::Info, step.body(run.ctx));
+    ++run.keyEmitted;
+    if (run.keyEmitted == run.keyTotal)
+        groundTruth.noteCompleted(run.exec);
+    completeStep(run, index);
+}
+
+void
+Simulation::completeStep(FlowRun &run, int index)
+{
+    run.fired[static_cast<std::size_t>(index)] = 1;
+    for (int next : run.dependents[static_cast<std::size_t>(index)]) {
+        if (--run.remainingDeps[static_cast<std::size_t>(next)] == 0)
+            scheduleStep(run, next);
+    }
+}
+
+const std::string &
+Simulation::nodeNameFor(const FlowRun &run, NodeRole role) const
+{
+    switch (role) {
+      case NodeRole::Controller:
+        return topology.controller().name;
+      case NodeRole::Network:
+        return topology.network().name;
+      case NodeRole::Compute:
+        return run.ctx.computeNode;
+    }
+    return topology.controller().name;
+}
+
+void
+Simulation::emitRecord(const FlowRun &run, const FlowStep &step,
+                       logging::LogLevel level, std::string body)
+{
+    logging::LogRecord record;
+    record.id = nextRecordId++;
+    record.timestamp = events.now();
+    record.node = nodeNameFor(run, step.role);
+    record.service = step.service;
+    record.level = level;
+    record.body = std::move(body);
+    record.truthExecution = run.exec;
+    record.truthTask = taskTypeName(run.spec->type);
+    groundTruth.noteEmission(run.exec, record.timestamp);
+    emitted.push_back(std::move(record));
+    if (onEmission)
+        onEmission(emitted.back());
+}
+
+void
+Simulation::emitNoise()
+{
+    if (pendingWork == 0)
+        return; // all task work done; stop the background chatter
+
+    // Rotate among background sources across the deployment.
+    const std::vector<Node> &computes = topology.computes();
+    std::size_t slot = noiseRotation++ % (computes.size() + 1);
+
+    logging::LogRecord record;
+    record.id = nextRecordId++;
+    record.timestamp = events.now();
+    record.level = logging::LogLevel::Info;
+    if (slot < computes.size()) {
+        record.node = computes[slot].name;
+        record.service = "nova-compute";
+        record.body = "Auditing locally available compute resources";
+    } else {
+        record.node = topology.controller().name;
+        record.service = "nova-conductor";
+        record.body = "Periodic task update_available_resource completed";
+    }
+    emitted.push_back(std::move(record));
+    if (onEmission)
+        onEmission(emitted.back());
+
+    events.scheduleAfter(
+        config.noisePeriod / static_cast<double>(computes.size() + 1) +
+            rng.uniformReal(0.0, 0.5),
+        [this] { emitNoise(); });
+}
+
+void
+Simulation::run()
+{
+    events.run();
+}
+
+} // namespace cloudseer::sim

@@ -1,0 +1,39 @@
+#include "sim/task_type.hpp"
+
+namespace cloudseer::sim {
+
+const std::array<TaskType, kTaskTypeCount> kAllTaskTypes = {
+    TaskType::Boot,   TaskType::Delete,  TaskType::Start,
+    TaskType::Stop,   TaskType::Pause,   TaskType::Unpause,
+    TaskType::Suspend, TaskType::Resume,
+};
+
+const char *
+taskTypeName(TaskType type)
+{
+    switch (type) {
+      case TaskType::Boot: return "boot";
+      case TaskType::Delete: return "delete";
+      case TaskType::Start: return "start";
+      case TaskType::Stop: return "stop";
+      case TaskType::Pause: return "pause";
+      case TaskType::Unpause: return "unpause";
+      case TaskType::Suspend: return "suspend";
+      case TaskType::Resume: return "resume";
+    }
+    return "unknown";
+}
+
+bool
+parseTaskType(const std::string &name, TaskType &out)
+{
+    for (TaskType type : kAllTaskTypes) {
+        if (name == taskTypeName(type)) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace cloudseer::sim

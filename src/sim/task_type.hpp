@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The eight primitive VM management tasks of the paper's Table 2.
+ */
+
+#ifndef CLOUDSEER_SIM_TASK_TYPE_HPP
+#define CLOUDSEER_SIM_TASK_TYPE_HPP
+
+#include <array>
+#include <string>
+
+namespace cloudseer::sim {
+
+/** VM management tasks modelled and monitored (paper Table 2). */
+enum class TaskType
+{
+    Boot,
+    Delete,
+    Start,
+    Stop,
+    Pause,
+    Unpause,
+    Suspend,
+    Resume,
+};
+
+/** Number of task types. */
+constexpr std::size_t kTaskTypeCount = 8;
+
+/** All task types in Table 2 order. */
+extern const std::array<TaskType, kTaskTypeCount> kAllTaskTypes;
+
+/** Canonical task name ("boot", "delete", ...). */
+const char *taskTypeName(TaskType type);
+
+/**
+ * Parse a task name.
+ *
+ * @param name Canonical name.
+ * @param out  Receives the task type on success.
+ * @retval true if the name was recognised.
+ */
+bool parseTaskType(const std::string &name, TaskType &out);
+
+} // namespace cloudseer::sim
+
+#endif // CLOUDSEER_SIM_TASK_TYPE_HPP

@@ -1,0 +1,129 @@
+#include "workload/workload_generator.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudseer::workload {
+
+using sim::TaskType;
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig &config_)
+    : config(config_)
+{
+    CS_ASSERT(config.users >= 1, "workload needs at least one user");
+    CS_ASSERT(config.tasksPerUser >= 2 && config.tasksPerUser % 2 == 0,
+              "tasksPerUser must be even and >= 2 (boot..delete groups)");
+}
+
+std::vector<TaskType>
+WorkloadGenerator::scriptFor(common::Rng &rng) const
+{
+    std::vector<TaskType> script;
+    int remaining = config.tasksPerUser;
+    while (remaining > 0) {
+        // A group consumes 2 + 2k tasks; keep k within what remains.
+        int max_pairs = (remaining - 2) / 2;
+        int pairs = rng.uniformInt(0, std::min(3, max_pairs));
+        script.push_back(TaskType::Boot);
+        for (int p = 0; p < pairs; ++p) {
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                script.push_back(TaskType::Stop);
+                script.push_back(TaskType::Start);
+                break;
+              case 1:
+                script.push_back(TaskType::Pause);
+                script.push_back(TaskType::Unpause);
+                break;
+              default:
+                script.push_back(TaskType::Suspend);
+                script.push_back(TaskType::Resume);
+                break;
+            }
+        }
+        script.push_back(TaskType::Delete);
+        remaining -= 2 + 2 * pairs;
+    }
+    CS_ASSERT(static_cast<int>(script.size()) == config.tasksPerUser,
+              "script length drifted from tasksPerUser");
+    CS_ASSERT(matchesWorkloadGrammar(script),
+              "generated script violates the workload grammar");
+    return script;
+}
+
+std::vector<PlannedTask>
+WorkloadGenerator::plan() const
+{
+    common::Rng rng(config.seed);
+    std::vector<PlannedTask> out;
+    for (int u = 0; u < config.users; ++u) {
+        common::Rng user_rng = rng.fork();
+        std::vector<TaskType> script = scriptFor(user_rng);
+        double t = u * config.userStagger +
+                   user_rng.uniformReal(0.0, 1.0);
+        for (TaskType type : script) {
+            out.push_back({u, type, t});
+            t += config.interTaskWait +
+                 user_rng.uniformReal(-1.0, 1.0);
+        }
+    }
+    return out;
+}
+
+std::size_t
+WorkloadGenerator::submitAll(sim::Simulation &simulation) const
+{
+    std::vector<PlannedTask> planned = plan();
+
+    std::vector<sim::UserProfile> profiles;
+    for (int u = 0; u < config.users; ++u) {
+        profiles.push_back(config.singleUid ? simulation.sharedUser()
+                                            : simulation.makeUser());
+    }
+
+    // Each user's current VM; boot opens a fresh one.
+    std::vector<sim::VmHandle> current(
+        static_cast<std::size_t>(config.users));
+    for (const PlannedTask &task : planned) {
+        std::size_t u = static_cast<std::size_t>(task.user);
+        if (task.type == TaskType::Boot)
+            current[u] = simulation.makeVm();
+        simulation.submit(task.type, task.submitTime, profiles[u],
+                          current[u]);
+    }
+    return planned.size();
+}
+
+bool
+matchesWorkloadGrammar(const std::vector<TaskType> &script)
+{
+    std::size_t i = 0;
+    if (script.empty())
+        return false;
+    while (i < script.size()) {
+        if (script[i] != TaskType::Boot)
+            return false;
+        ++i;
+        while (i < script.size() && script[i] != TaskType::Delete) {
+            TaskType first = script[i];
+            TaskType second;
+            if (first == TaskType::Stop) {
+                second = TaskType::Start;
+            } else if (first == TaskType::Pause) {
+                second = TaskType::Unpause;
+            } else if (first == TaskType::Suspend) {
+                second = TaskType::Resume;
+            } else {
+                return false;
+            }
+            if (i + 1 >= script.size() || script[i + 1] != second)
+                return false;
+            i += 2;
+        }
+        if (i >= script.size())
+            return false; // group never closed with delete
+        ++i;              // consume the delete
+    }
+    return true;
+}
+
+} // namespace cloudseer::workload

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-user workload generation (paper §5.2).
+ *
+ * Each simulated user submits task groups drawn from the paper's
+ * regular expression
+ *
+ *     (Boot (StopStart | PauseUnpause | SuspendResume)* Delete)+
+ *
+ * with a fixed inter-task wait (15 s in the paper) so each task
+ * finishes before the user's next one, while different users' tasks
+ * overlap freely.
+ */
+
+#ifndef CLOUDSEER_WORKLOAD_WORKLOAD_GENERATOR_HPP
+#define CLOUDSEER_WORKLOAD_WORKLOAD_GENERATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/task_type.hpp"
+
+namespace cloudseer::workload {
+
+/** Knobs mirroring the paper's Table 3 experiment axes. */
+struct WorkloadConfig
+{
+    int users = 2;              ///< concurrent users
+    int tasksPerUser = 80;      ///< tasks each user submits (even)
+    bool singleUid = false;     ///< all users share one identity
+    double interTaskWait = 15.0; ///< seconds between a user's tasks
+    double userStagger = 3.0;   ///< seconds between user start times
+    std::uint64_t seed = 1;     ///< task-script randomness
+};
+
+/** One planned submission. */
+struct PlannedTask
+{
+    int user = 0;
+    sim::TaskType type = sim::TaskType::Boot;
+    double submitTime = 0.0;
+};
+
+/**
+ * Generates task scripts and submits them to a Simulation. The ground
+ * truth of what ran lives in the Simulation's ledger.
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(const WorkloadConfig &config);
+
+    /**
+     * Build the per-user task scripts. Deterministic in the seed.
+     * Every script matches the paper's regular expression exactly.
+     */
+    std::vector<PlannedTask> plan() const;
+
+    /**
+     * Submit the full plan into a simulation. VM identities are created
+     * per task group (boot creates, delete retires).
+     *
+     * @return Number of submitted tasks.
+     */
+    std::size_t submitAll(sim::Simulation &simulation) const;
+
+  private:
+    WorkloadConfig config;
+
+    /** One user's task-type script honouring the regex. */
+    std::vector<sim::TaskType> scriptFor(common::Rng &rng) const;
+};
+
+/**
+ * Validate that a task sequence matches the paper's regular expression.
+ * Exposed for tests and the generator's own self-check.
+ */
+bool matchesWorkloadGrammar(const std::vector<sim::TaskType> &script);
+
+} // namespace cloudseer::workload
+
+#endif // CLOUDSEER_WORKLOAD_WORKLOAD_GENERATOR_HPP

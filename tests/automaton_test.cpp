@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit and property tests for task automata and their instances:
+ * fork/join token semantics (paper Fig. 3 / Table 1), acceptance of
+ * all linear extensions, and false-dependency removal (paper Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/automaton/automaton_instance.hpp"
+#include "core/mining/dependency_miner.hpp"
+#include "test_util.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+using cloudseer::testutil::LetterCatalog;
+using cloudseer::testutil::makeLetterAutomaton;
+
+namespace {
+
+/** The paper's Figure 3 boot automaton (simplified): a chain into a
+ *  fork (GET || Starting) joining on Spawned. */
+TaskAutomaton
+figure3(LetterCatalog &letters)
+{
+    // A=accepted, P=POST, S=scheduling, G=GET, T=starting, W=spawned.
+    return makeLetterAutomaton(letters, "boot",
+                               {"A", "P", "S", "G", "T", "W"},
+                               {{"A", "P"},
+                                {"P", "S"},
+                                {"S", "G"},
+                                {"S", "T"},
+                                {"G", "W"},
+                                {"T", "W"}});
+}
+
+} // namespace
+
+TEST(TaskAutomaton, StructuralQueries)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    EXPECT_EQ(automaton.eventCount(), 6u);
+    EXPECT_EQ(automaton.edgeCount(), 6u);
+    ASSERT_EQ(automaton.initialEvents().size(), 1u);
+    EXPECT_EQ(automaton.event(automaton.initialEvents()[0]).tpl,
+              letters.id("A"));
+    ASSERT_EQ(automaton.finalEvents().size(), 1u);
+    EXPECT_EQ(automaton.event(automaton.finalEvents()[0]).tpl,
+              letters.id("W"));
+
+    // S is the fork (q3 in the paper), W the join (q6).
+    auto forks = automaton.forkStates();
+    ASSERT_EQ(forks.size(), 1u);
+    EXPECT_EQ(automaton.event(forks[0]).tpl, letters.id("S"));
+    auto joins = automaton.joinStates();
+    ASSERT_EQ(joins.size(), 1u);
+    EXPECT_EQ(automaton.event(joins[0]).tpl, letters.id("W"));
+}
+
+TEST(TaskAutomaton, TemplateLookup)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    EXPECT_TRUE(automaton.containsTemplate(letters.id("G")));
+    EXPECT_FALSE(automaton.containsTemplate(letters.id("Z")));
+    EXPECT_EQ(automaton.eventsForTemplate(letters.id("T")).size(), 1u);
+    EXPECT_TRUE(automaton.eventsForTemplate(letters.id("Z")).empty());
+}
+
+TEST(TaskAutomaton, DotRenderingMentionsEveryEvent)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    std::string dot = automaton.toDot(*letters.catalog);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    for (const char *name : {"A", "P", "S", "G", "T", "W"})
+        EXPECT_NE(dot.find(std::string("svc: ") + name),
+                  std::string::npos);
+}
+
+TEST(TaskAutomaton, SameStructureDetectsChange)
+{
+    LetterCatalog letters;
+    TaskAutomaton a = figure3(letters);
+    TaskAutomaton b = figure3(letters);
+    EXPECT_TRUE(a.sameStructure(b));
+    TaskAutomaton c = makeLetterAutomaton(
+        letters, "boot", {"A", "P", "S", "G", "T", "W"},
+        {{"A", "P"}, {"P", "S"}, {"S", "G"}, {"S", "T"}, {"G", "W"}});
+    EXPECT_FALSE(a.sameStructure(c));
+}
+
+TEST(AutomatonInstance, PaperTable1Walkthrough)
+{
+    // Instance transitions mirror Table 1 rows for sequence "1".
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    AutomatonInstance instance(&automaton);
+
+    EXPECT_FALSE(instance.started());
+    EXPECT_TRUE(instance.consume(letters.id("A"))); // {q0} -> {q1}
+    EXPECT_TRUE(instance.consume(letters.id("P"))); // -> {q2}
+    EXPECT_TRUE(instance.consume(letters.id("S"))); // -> {q3}
+
+    // Fork: T (Starting) arrives first -> {q3, q5}.
+    EXPECT_TRUE(instance.consume(letters.id("T")));
+    {
+        auto frontier = instance.frontier();
+        std::vector<logging::TemplateId> tpls;
+        for (int e : frontier)
+            tpls.push_back(automaton.event(e).tpl);
+        std::sort(tpls.begin(), tpls.end());
+        std::vector<logging::TemplateId> expected = {letters.id("S"),
+                                                     letters.id("T")};
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(tpls, expected) << "state {q3, q5}";
+    }
+
+    // W (Spawned) must wait for the other branch.
+    EXPECT_FALSE(instance.canConsume(letters.id("W")));
+    EXPECT_TRUE(instance.consume(letters.id("G"))); // -> {q4, q5}
+    EXPECT_TRUE(instance.consume(letters.id("W"))); // join -> {q6}
+    EXPECT_TRUE(instance.accepting());
+    EXPECT_TRUE(instance.frontier().empty());
+}
+
+TEST(AutomatonInstance, RejectsOutOfOrder)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    AutomatonInstance instance(&automaton);
+    EXPECT_FALSE(instance.canConsume(letters.id("P")));
+    EXPECT_FALSE(instance.consume(letters.id("P")));
+    EXPECT_FALSE(instance.consume(letters.id("Z")));
+    EXPECT_TRUE(instance.consume(letters.id("A")));
+    EXPECT_FALSE(instance.consume(letters.id("A"))) << "no re-consume";
+}
+
+TEST(AutomatonInstance, ExpectedTemplates)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    AutomatonInstance instance(&automaton);
+    instance.consume(letters.id("A"));
+    instance.consume(letters.id("P"));
+    instance.consume(letters.id("S"));
+    auto expected = instance.expectedTemplates();
+    std::sort(expected.begin(), expected.end());
+    std::vector<logging::TemplateId> want = {letters.id("G"),
+                                             letters.id("T")};
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(expected, want);
+}
+
+TEST(AutomatonInstance, RepeatedTemplateOccurrences)
+{
+    LetterCatalog letters;
+    // A -> B -> A(second occurrence).
+    std::vector<EventNode> events = {{letters.id("A"), 0},
+                                     {letters.id("B"), 0},
+                                     {letters.id("A"), 1}};
+    std::vector<DependencyEdge> edges = {{0, 1, true}, {1, 2, true}};
+    TaskAutomaton automaton("rep", std::move(events), std::move(edges));
+    AutomatonInstance instance(&automaton);
+    EXPECT_TRUE(instance.consume(letters.id("A")));
+    EXPECT_FALSE(instance.canConsume(letters.id("A")))
+        << "second A is blocked until B";
+    EXPECT_TRUE(instance.consume(letters.id("B")));
+    EXPECT_TRUE(instance.consume(letters.id("A")));
+    EXPECT_TRUE(instance.accepting());
+}
+
+TEST(AutomatonInstance, SameStateComparison)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    AutomatonInstance a(&automaton);
+    AutomatonInstance b(&automaton);
+    EXPECT_TRUE(a.sameState(b));
+    a.consume(letters.id("A"));
+    EXPECT_FALSE(a.sameState(b));
+    b.consume(letters.id("A"));
+    EXPECT_TRUE(a.sameState(b));
+}
+
+TEST(AutomatonInstance, FalseDependencyRemovalFigure4)
+{
+    // Paper Figure 4: chain A->B->C->D; sequence ACBD arrives.
+    LetterCatalog letters;
+    TaskAutomaton automaton = makeLetterAutomaton(
+        letters, "fig4", {"A", "B", "C", "D"},
+        {{"A", "B"}, {"B", "C"}, {"C", "D"}});
+    AutomatonInstance instance(&automaton);
+
+    EXPECT_TRUE(instance.consume(letters.id("A")));
+    EXPECT_FALSE(instance.canConsume(letters.id("C")));
+
+    // Remove the false dependency B -> C (with weakening A->C, B->D).
+    EXPECT_TRUE(instance.removeFalseDependencies(letters.id("C")));
+    EXPECT_EQ(instance.removedDependencyCount(), 1u);
+    EXPECT_TRUE(instance.consume(letters.id("C")));
+
+    // D must still wait for B (the weakened B -> D dependency).
+    EXPECT_FALSE(instance.canConsume(letters.id("D")));
+    EXPECT_TRUE(instance.consume(letters.id("B")));
+    EXPECT_TRUE(instance.consume(letters.id("D")));
+    EXPECT_TRUE(instance.accepting());
+}
+
+TEST(AutomatonInstance, FalseDependencyCascade)
+{
+    // Sequence DABC against chain A->B->C->D: enabling D requires
+    // removing every blocking ancestor edge.
+    LetterCatalog letters;
+    TaskAutomaton automaton = makeLetterAutomaton(
+        letters, "chain", {"A", "B", "C", "D"},
+        {{"A", "B"}, {"B", "C"}, {"C", "D"}});
+    AutomatonInstance instance(&automaton);
+    EXPECT_TRUE(instance.removeFalseDependencies(letters.id("D")));
+    EXPECT_TRUE(instance.consume(letters.id("D")));
+    // The rest still arrives in order and is accepted.
+    EXPECT_TRUE(instance.consume(letters.id("A")));
+    EXPECT_TRUE(instance.consume(letters.id("B")));
+    EXPECT_TRUE(instance.consume(letters.id("C")));
+    EXPECT_TRUE(instance.accepting());
+}
+
+TEST(AutomatonInstance, RemovalOnUnknownTemplateFails)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    AutomatonInstance instance(&automaton);
+    instance.consume(letters.id("A"));
+    EXPECT_FALSE(instance.removeFalseDependencies(letters.id("Z")));
+    EXPECT_EQ(instance.removedDependencyCount(), 0u);
+}
+
+TEST(AutomatonInstance, RemovalOnEnabledEventIsNoop)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = figure3(letters);
+    AutomatonInstance instance(&automaton);
+    EXPECT_TRUE(instance.removeFalseDependencies(letters.id("A")));
+    EXPECT_EQ(instance.removedDependencyCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Property: an automaton mined from a set of sequences accepts every
+// linear extension of the mined partial order — and in particular all
+// of its own training sequences.
+// ---------------------------------------------------------------------
+
+class LinearExtensionProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LinearExtensionProperty, AcceptsTrainingAndRandomExtensions)
+{
+    common::Rng rng(GetParam());
+    LetterCatalog letters;
+
+    // Random series-parallel-ish workload: a chain with one fork block.
+    int pre = rng.uniformInt(1, 3);
+    int branch_a = rng.uniformInt(1, 3);
+    int branch_b = rng.uniformInt(1, 3);
+    int post = rng.uniformInt(1, 2);
+    std::vector<std::string> pre_names, a_names, b_names, post_names;
+    int next_letter = 0;
+    auto fresh = [&next_letter]() {
+        return std::string(1, static_cast<char>('A' + next_letter++));
+    };
+    for (int i = 0; i < pre; ++i)
+        pre_names.push_back(fresh());
+    for (int i = 0; i < branch_a; ++i)
+        a_names.push_back(fresh());
+    for (int i = 0; i < branch_b; ++i)
+        b_names.push_back(fresh());
+    for (int i = 0; i < post; ++i)
+        post_names.push_back(fresh());
+
+    // Generate training sequences by randomly interleaving branches.
+    auto generate = [&]() {
+        std::vector<std::string> out = pre_names;
+        std::size_t ia = 0, ib = 0;
+        while (ia < a_names.size() || ib < b_names.size()) {
+            bool take_a = ib >= b_names.size() ||
+                          (ia < a_names.size() && rng.chance(0.5));
+            out.push_back(take_a ? a_names[ia++] : b_names[ib++]);
+        }
+        for (const std::string &name : post_names)
+            out.push_back(name);
+        return out;
+    };
+
+    std::vector<core::TemplateSequence> runs;
+    std::vector<std::vector<std::string>> raw_runs;
+    for (int r = 0; r < 30; ++r) {
+        auto run = generate();
+        raw_runs.push_back(run);
+        core::TemplateSequence seq;
+        for (const std::string &name : run)
+            seq.push_back(letters.id(name));
+        runs.push_back(seq);
+    }
+
+    MinedModel mined = mineDependencies(runs);
+    TaskAutomaton automaton("prop", std::move(mined.events),
+                            std::move(mined.edges));
+
+    // Every training sequence must be accepted.
+    for (const auto &run : raw_runs) {
+        AutomatonInstance instance(&automaton);
+        for (const std::string &name : run)
+            ASSERT_TRUE(instance.consume(letters.id(name)));
+        EXPECT_TRUE(instance.accepting());
+    }
+
+    // And fresh random interleavings (linear extensions) as well.
+    for (int r = 0; r < 20; ++r) {
+        auto run = generate();
+        AutomatonInstance instance(&automaton);
+        for (const std::string &name : run)
+            ASSERT_TRUE(instance.consume(letters.id(name)));
+        EXPECT_TRUE(instance.accepting());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkflows, LinearExtensionProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the collection pipeline: stream merging with shipping
+ * skew and the Elasticsearch-stand-in log store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collect/log_store.hpp"
+#include "collect/stream_merger.hpp"
+#include "sim/simulation.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::collect;
+
+namespace {
+
+logging::LogRecord
+record(logging::RecordId id, double t, const std::string &node,
+       const std::string &body,
+       logging::LogLevel level = logging::LogLevel::Info)
+{
+    logging::LogRecord out;
+    out.id = id;
+    out.timestamp = t;
+    out.node = node;
+    out.service = "nova-api";
+    out.level = level;
+    out.body = body;
+    return out;
+}
+
+} // namespace
+
+TEST(StreamMerger, ZeroSkewPreservesOrder)
+{
+    std::vector<logging::LogRecord> records;
+    for (int i = 0; i < 50; ++i)
+        records.push_back(record(static_cast<logging::RecordId>(i + 1),
+                                 i * 1.0, "controller", "m"));
+    ShippingConfig config;
+    config.meanDelay = 1e-6;
+    auto stream = mergeStream(records, config);
+    ASSERT_EQ(stream.size(), records.size());
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        EXPECT_EQ(stream[i].id, records[i].id);
+    EXPECT_EQ(countInversions(stream), 0u);
+}
+
+TEST(StreamMerger, ArrivalTimesAfterEmission)
+{
+    std::vector<logging::LogRecord> records;
+    for (int i = 0; i < 20; ++i)
+        records.push_back(record(static_cast<logging::RecordId>(i + 1),
+                                 i * 0.1, "controller", "m"));
+    ShippingConfig config;
+    auto arrived = shipToCollector(records, config);
+    for (const ArrivedRecord &a : arrived)
+        EXPECT_GE(a.arrival, a.record.timestamp);
+    for (std::size_t i = 1; i < arrived.size(); ++i)
+        EXPECT_GE(arrived[i].arrival, arrived[i - 1].arrival);
+}
+
+TEST(StreamMerger, HeavyTailIntroducesInversions)
+{
+    std::vector<logging::LogRecord> records;
+    for (int i = 0; i < 400; ++i)
+        records.push_back(record(static_cast<logging::RecordId>(i + 1),
+                                 i * 0.05, "controller", "m"));
+    ShippingConfig config;
+    config.meanDelay = 0.004;
+    config.tailProbability = 0.2;
+    config.tailMin = 0.2;
+    config.tailMax = 0.6;
+    auto stream = mergeStream(records, config);
+    EXPECT_GT(countInversions(stream), 0u);
+}
+
+TEST(StreamMerger, DeterministicForEqualSeeds)
+{
+    std::vector<logging::LogRecord> records;
+    for (int i = 0; i < 100; ++i)
+        records.push_back(record(static_cast<logging::RecordId>(i + 1),
+                                 i * 0.01, "controller", "m"));
+    ShippingConfig config;
+    config.tailProbability = 0.1;
+    auto a = mergeStream(records, config);
+    auto b = mergeStream(records, config);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(StreamMerger, NoRecordsLost)
+{
+    std::vector<logging::LogRecord> records;
+    for (int i = 0; i < 123; ++i)
+        records.push_back(record(static_cast<logging::RecordId>(i + 1),
+                                 i * 0.02, "compute-1", "m"));
+    ShippingConfig config;
+    config.tailProbability = 0.3;
+    auto stream = mergeStream(records, config);
+    ASSERT_EQ(stream.size(), records.size());
+    std::set<logging::RecordId> ids;
+    for (const logging::LogRecord &r : stream)
+        ids.insert(r.id);
+    EXPECT_EQ(ids.size(), records.size());
+}
+
+TEST(LogStore, AppendAndCount)
+{
+    LogStore store;
+    store.append(record(1, 0.0, "controller", "hello"));
+    store.append(record(2, 1.0, "compute-1", "world",
+                        logging::LogLevel::Error));
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.count({}), 2u);
+}
+
+TEST(LogStore, FilterByServiceNodeLevel)
+{
+    LogStore store;
+    auto r1 = record(1, 0.0, "controller", "a");
+    auto r2 = record(2, 1.0, "compute-1", "b",
+                     logging::LogLevel::Error);
+    r2.service = "nova-compute";
+    store.append(r1);
+    store.append(r2);
+
+    LogQuery by_service;
+    by_service.service = "nova-compute";
+    EXPECT_EQ(store.count(by_service), 1u);
+
+    LogQuery by_node;
+    by_node.node = "controller";
+    EXPECT_EQ(store.count(by_node), 1u);
+
+    LogQuery errors;
+    errors.errorOnly = true;
+    auto found = store.search(errors);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].id, 2u);
+}
+
+TEST(LogStore, FilterByTimeWindowAndSubstring)
+{
+    LogStore store;
+    for (int i = 0; i < 10; ++i)
+        store.append(record(static_cast<logging::RecordId>(i + 1),
+                            i * 1.0, "controller",
+                            "message " + std::to_string(i)));
+    LogQuery window;
+    window.fromTime = 2.0;
+    window.toTime = 5.0;
+    EXPECT_EQ(store.count(window), 4u);
+
+    LogQuery text;
+    text.bodyContains = "message 7";
+    EXPECT_EQ(store.count(text), 1u);
+
+    LogQuery both;
+    both.fromTime = 2.0;
+    both.toTime = 5.0;
+    both.bodyContains = "message 3";
+    EXPECT_EQ(store.count(both), 1u);
+}
+
+TEST(LogStore, LinesRoundTrip)
+{
+    LogStore store;
+    store.append(record(1, 0.5, "controller", "alpha beta"));
+    store.append(record(2, 1.5, "compute-2", "gamma",
+                        logging::LogLevel::Warning));
+    auto lines = store.toLines();
+    ASSERT_EQ(lines.size(), 2u);
+
+    std::size_t malformed = 0;
+    LogStore rebuilt = LogStore::fromLines(lines, &malformed);
+    EXPECT_EQ(malformed, 0u);
+    ASSERT_EQ(rebuilt.size(), 2u);
+    EXPECT_EQ(rebuilt.all()[0].body, "alpha beta");
+    EXPECT_EQ(rebuilt.all()[1].level, logging::LogLevel::Warning);
+}
+
+TEST(LogStore, FromLinesSkipsMalformed)
+{
+    std::vector<std::string> lines = {
+        "2016-01-12 00:00:01.000 controller nova-api INFO fine",
+        "complete garbage",
+        "2016-01-12 00:00:02.000 controller nova-api INFO also fine",
+    };
+    std::size_t malformed = 0;
+    LogStore store = LogStore::fromLines(lines, &malformed);
+    EXPECT_EQ(malformed, 1u);
+    EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(LogStore, WirePathStripsGroundTruth)
+{
+    // End to end: simulate, ship as text, rebuild — the store the
+    // monitor reads must carry no ground truth.
+    sim::SimConfig config;
+    config.enableNoise = false;
+    sim::Simulation simulation(config, 9);
+    sim::UserProfile user = simulation.makeUser();
+    sim::VmHandle vm = simulation.makeVm();
+    simulation.submit(sim::TaskType::Stop, 0.0, user, vm);
+    simulation.run();
+
+    LogStore shipped;
+    shipped.appendStream(mergeStream(simulation.records(), {}));
+    LogStore rebuilt = LogStore::fromLines(shipped.toLines());
+    ASSERT_EQ(rebuilt.size(), shipped.size());
+    for (const logging::LogRecord &r : rebuilt.all()) {
+        EXPECT_EQ(r.truthExecution, 0u);
+        EXPECT_TRUE(r.truthTask.empty());
+    }
+}

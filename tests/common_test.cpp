@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, UUIDs, strings, time,
+ * statistics, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/time_util.hpp"
+#include "common/uuid.hpp"
+
+using namespace cloudseer::common;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformU64(), b.uniformU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.uniformU64() == b.uniformU64())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIntStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::set<int> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniformInt(0, 4));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Rng, ExpDelayPositiveWithRoughMean)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        double v = rng.expDelay(0.5);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.05);
+}
+
+TEST(Rng, NormalClampedRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        double v = rng.normalClamped(1.0, 5.0, 0.5, 1.5);
+        EXPECT_GE(v, 0.5);
+        EXPECT_LE(v, 1.5);
+    }
+}
+
+TEST(Rng, PickReturnsMember)
+{
+    Rng rng(17);
+    std::vector<int> items = {10, 20, 30};
+    for (int i = 0; i < 100; ++i) {
+        int v = rng.pick(items);
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    EXPECT_NE(a.uniformU64(), child.uniformU64());
+}
+
+TEST(Uuid, WellFormed)
+{
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        std::string u = makeUuid(rng);
+        EXPECT_EQ(u.size(), 36u);
+        EXPECT_TRUE(isUuid(u)) << u;
+    }
+}
+
+TEST(Uuid, DistinctDraws)
+{
+    Rng rng(2);
+    std::set<std::string> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(makeUuid(rng));
+    EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Uuid, RejectsMalformed)
+{
+    EXPECT_FALSE(isUuid(""));
+    EXPECT_FALSE(isUuid("1234"));
+    EXPECT_FALSE(isUuid("zzzzzzzz-1111-2222-3333-444444444444"));
+    EXPECT_FALSE(isUuid("12345678-1111-2222-3333-44444444444"));  // short
+    EXPECT_FALSE(isUuid("12345678-1111-2222-3333-4444444444445")); // long
+    EXPECT_FALSE(isUuid("12345678x1111-2222-3333-444444444444"));
+}
+
+TEST(Ip, WellFormed)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(isIp(makeIp(rng)));
+}
+
+TEST(Ip, RejectsMalformed)
+{
+    EXPECT_FALSE(isIp(""));
+    EXPECT_FALSE(isIp("1.2.3"));
+    EXPECT_FALSE(isIp("1.2.3.4.5"));
+    EXPECT_FALSE(isIp("256.1.1.1"));
+    EXPECT_FALSE(isIp("a.b.c.d"));
+    EXPECT_TRUE(isIp("255.255.255.255"));
+    EXPECT_TRUE(isIp("0.0.0.0"));
+}
+
+TEST(StringUtil, SplitPreservesEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitWhitespaceDropsRuns)
+{
+    auto parts = splitWhitespace("  a\t b \n c  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, JoinRoundTrip)
+{
+    std::vector<std::string> items = {"x", "y", "z"};
+    EXPECT_EQ(join(items, ", "), "x, y, z");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  hello \t"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, Prefixes)
+{
+    EXPECT_TRUE(startsWith("nova-api", "nova"));
+    EXPECT_FALSE(startsWith("api", "nova"));
+    EXPECT_TRUE(endsWith("boot.log", ".log"));
+    EXPECT_FALSE(endsWith("log", "boot.log"));
+}
+
+TEST(StringUtil, Formatting)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.9208), "92.08%");
+    EXPECT_EQ(formatPercent(1.0, 1), "100.0%");
+}
+
+TEST(TimeUtil, FormatShape)
+{
+    std::string t = formatTimestamp(0.0);
+    EXPECT_EQ(t, "2016-01-12 00:00:00.000");
+    EXPECT_EQ(formatTimestamp(3661.5), "2016-01-12 01:01:01.500");
+}
+
+TEST(TimeUtil, RoundTrip)
+{
+    for (double t : {0.0, 0.001, 59.999, 3600.0, 86399.5, 86400.0,
+                     123456.789}) {
+        SimTime parsed = -1;
+        ASSERT_TRUE(parseTimestamp(formatTimestamp(t), parsed)) << t;
+        EXPECT_NEAR(parsed, t, 0.0015) << t;
+    }
+}
+
+TEST(TimeUtil, ParseRejectsGarbage)
+{
+    SimTime out;
+    EXPECT_FALSE(parseTimestamp("not a time", out));
+    EXPECT_FALSE(parseTimestamp("2017-01-12 00:00:00.000", out));
+    EXPECT_FALSE(parseTimestamp("", out));
+}
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.median(), 0.0);
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    for (double v : {4.0, 1.0, 3.0, 2.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.median(), 2.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SampleStats, PercentileInterpolates)
+{
+    SampleStats s;
+    for (int i = 1; i <= 5; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+}
+
+TEST(SampleStats, AddAfterQueryKeepsSorted)
+{
+    SampleStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    s.add(9.0);
+    s.add(1.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.min(), 1.0);
+}
+
+TEST(DetectionStats, PrecisionRecallF1)
+{
+    DetectionStats d;
+    d.truePositives = 54;
+    d.falsePositives = 11;
+    d.falseNegatives = 6;
+    EXPECT_NEAR(d.precision(), 0.8308, 0.0001);
+    EXPECT_NEAR(d.recall(), 0.9000, 0.0001);
+    EXPECT_GT(d.f1(), 0.86);
+}
+
+TEST(DetectionStats, UndefinedRatiosAreZero)
+{
+    DetectionStats d;
+    EXPECT_EQ(d.precision(), 0.0);
+    EXPECT_EQ(d.recall(), 0.0);
+    EXPECT_EQ(d.f1(), 0.0);
+}
+
+TEST(DetectionStats, MergeAccumulates)
+{
+    DetectionStats a;
+    a.truePositives = 1;
+    a.falsePositives = 2;
+    DetectionStats b;
+    b.truePositives = 3;
+    b.falseNegatives = 4;
+    a.merge(b);
+    EXPECT_EQ(a.truePositives, 4u);
+    EXPECT_EQ(a.falsePositives, 2u);
+    EXPECT_EQ(a.falseNegatives, 4u);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"Task", "Msgs"});
+    table.addRow({"boot", "23"});
+    table.addRow({"delete", "9"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("| Task   | Msgs |"), std::string::npos);
+    EXPECT_NE(out.find("| boot   | 23   |"), std::string::npos);
+    EXPECT_NE(out.find("| delete | 9    |"), std::string::npos);
+}
+
+TEST(TextTable, RangeFormatter)
+{
+    SampleStats s;
+    s.add(0.9324);
+    s.add(1.0);
+    EXPECT_EQ(formatRange(s, 2), "0.93 - 1.00");
+}

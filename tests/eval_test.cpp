@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the evaluation harness itself: dataset generation,
+ * ground-truth scoring, experiment configuration, and detection
+ * bookkeeping. The harness produces the paper-table numbers, so its
+ * own correctness is load-bearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/accuracy_harness.hpp"
+#include "eval/detection_harness.hpp"
+#include "eval/experiment_config.hpp"
+#include "eval/modeling_harness.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+const eval::ModeledSystem &
+models()
+{
+    static eval::ModeledSystem system = [] {
+        eval::ModelingConfig config;
+        config.minRuns = 40;
+        config.maxRuns = 150;
+        return eval::buildModels(config);
+    }();
+    return system;
+}
+
+} // namespace
+
+TEST(ExperimentConfig, Table3Matrix)
+{
+    auto groups = eval::table3Groups();
+    ASSERT_EQ(groups.size(), 6u);
+    // Users 2/3/4 twice; single-UID exactly for groups 4-6.
+    EXPECT_EQ(groups[0].users, 2);
+    EXPECT_EQ(groups[2].users, 4);
+    EXPECT_FALSE(groups[0].singleUid);
+    EXPECT_TRUE(groups[3].singleUid);
+    // Paper's Total Tasks column: 1600/2400/3200 repeated.
+    EXPECT_EQ(groups[0].totalTasks(), 1600);
+    EXPECT_EQ(groups[1].totalTasks(), 2400);
+    EXPECT_EQ(groups[5].totalTasks(), 3200);
+}
+
+TEST(ExperimentConfig, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (int group = 1; group <= 6; ++group) {
+        for (int dataset = 0; dataset < 10; ++dataset)
+            seeds.insert(eval::datasetSeed(group, dataset));
+    }
+    EXPECT_EQ(seeds.size(), 60u);
+}
+
+TEST(DatasetGeneration, Deterministic)
+{
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 6;
+    config.seed = 11;
+    eval::GeneratedDataset a = eval::generateDataset(config);
+    eval::GeneratedDataset b = eval::generateDataset(config);
+    ASSERT_EQ(a.stream.size(), b.stream.size());
+    for (std::size_t i = 0; i < a.stream.size(); ++i) {
+        EXPECT_EQ(a.stream[i].id, b.stream[i].id);
+        EXPECT_EQ(a.stream[i].body, b.stream[i].body);
+    }
+}
+
+TEST(DatasetGeneration, SeedChangesTheStream)
+{
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 6;
+    config.seed = 11;
+    eval::GeneratedDataset a = eval::generateDataset(config);
+    config.seed = 12;
+    eval::GeneratedDataset b = eval::generateDataset(config);
+    bool differs = a.stream.size() != b.stream.size();
+    for (std::size_t i = 0;
+         !differs && i < std::min(a.stream.size(), b.stream.size());
+         ++i) {
+        differs = a.stream[i].body != b.stream[i].body;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(DatasetGeneration, StreamCarriesGroundTruthForScoringOnly)
+{
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 4;
+    config.seed = 13;
+    eval::GeneratedDataset dataset = eval::generateDataset(config);
+    EXPECT_EQ(dataset.totalTasks, 8u);
+    EXPECT_EQ(dataset.truth.executions().size(), 8u);
+    std::size_t task_records = 0;
+    for (const logging::LogRecord &record : dataset.stream) {
+        if (record.truthExecution != 0)
+            ++task_records;
+    }
+    EXPECT_GT(task_records, 8u * 5u);
+}
+
+TEST(AccuracyScoring, PerfectRunScoresPerfect)
+{
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 6;
+    config.seed = 17;
+    core::MonitorConfig monitor;
+    eval::DatasetResult result =
+        eval::runDataset(models(), config, monitor);
+    EXPECT_EQ(result.acceptedCorrect, result.totalTasks);
+    EXPECT_EQ(result.notAccepted, 0u);
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+    EXPECT_GT(result.totalMessages, result.totalTasks * 5);
+    EXPECT_GT(result.checkSeconds, 0.0);
+    EXPECT_GT(result.secondsPer1k, 0.0);
+}
+
+TEST(AccuracyScoring, BrokenModelsScoreBelowPerfect)
+{
+    // Monitoring with only the boot automaton: every non-boot task
+    // becomes unaccepted, and the scorer must notice.
+    eval::ModeledSystem partial;
+    partial.catalog = models().catalog;
+    partial.automata.push_back(models().automata[0]); // boot only
+
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 8;
+    config.seed = 19;
+    core::MonitorConfig monitor;
+    eval::DatasetResult result =
+        eval::runDataset(partial, config, monitor);
+    EXPECT_LT(result.acceptedCorrect, result.totalTasks);
+    EXPECT_GT(result.notAccepted, 0u);
+    EXPECT_LT(result.accuracy, 1.0);
+}
+
+TEST(AccuracyScoring, InterleavingFractionsAreOrdered)
+{
+    eval::DatasetConfig config;
+    config.users = 4;
+    config.tasksPerUser = 12;
+    config.seed = 23;
+    core::MonitorConfig monitor;
+    eval::DatasetResult result =
+        eval::runDataset(models(), config, monitor);
+    EXPECT_GE(result.interleavedFraction2,
+              result.interleavedFraction3);
+    EXPECT_GE(result.interleavedFraction3,
+              result.interleavedFraction4);
+    EXPECT_GT(result.interleavedFraction2, 0.0)
+        << "4 concurrent users must interleave";
+}
+
+TEST(DetectionHarness, Deterministic)
+{
+    eval::DetectionConfig config;
+    config.point = sim::InjectionPoint::AmqpSender;
+    config.targetProblems = 4;
+    config.seed = 29;
+    core::MonitorConfig monitor;
+    eval::DetectionResult a =
+        eval::runDetectionExperiment(models(), config, monitor);
+    eval::DetectionResult b =
+        eval::runDetectionExperiment(models(), config, monitor);
+    EXPECT_EQ(a.tasksRun, b.tasksRun);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.falsePositives, b.falsePositives);
+    EXPECT_EQ(a.falseNegatives, b.falseNegatives);
+}
+
+TEST(DetectionHarness, ProblemCountsReachTheTarget)
+{
+    eval::DetectionConfig config;
+    config.point = sim::InjectionPoint::AmqpReceiver;
+    config.targetProblems = 6;
+    config.seed = 31;
+    core::MonitorConfig monitor;
+    eval::DetectionResult result =
+        eval::runDetectionExperiment(models(), config, monitor);
+    EXPECT_EQ(result.delayProblems + result.abortProblems +
+                  result.silentProblems,
+              6);
+    EXPECT_EQ(result.detected + result.falseNegatives, 6)
+        << "every injected problem is either detected or a FN";
+    EXPECT_GT(result.tasksRun, 0u);
+}
+
+TEST(DetectionHarness, LatencyRecordedForDetections)
+{
+    eval::DetectionConfig config;
+    config.point = sim::InjectionPoint::AmqpReceiver;
+    config.targetProblems = 6;
+    config.seed = 31;
+    core::MonitorConfig monitor;
+    eval::DetectionResult result =
+        eval::runDetectionExperiment(models(), config, monitor);
+    EXPECT_EQ(result.detectionLatency.count(),
+              static_cast<std::size_t>(result.detected));
+    if (result.detected > 0) {
+        // An abort's error message can land at the injection instant,
+        // so zero latency is legitimate; negative is not.
+        EXPECT_GE(result.detectionLatency.min(), 0.0);
+        // Timeout-based detections land within a few timeout periods.
+        EXPECT_LT(result.detectionLatency.max(), 60.0);
+    }
+}
+
+TEST(ModelingHarness, PerTaskInfoConsistent)
+{
+    const eval::ModeledSystem &system = models();
+    ASSERT_EQ(system.perTask.size(), system.automata.size());
+    for (std::size_t i = 0; i < system.perTask.size(); ++i) {
+        EXPECT_EQ(system.perTask[i].messages,
+                  system.automata[i].eventCount());
+        EXPECT_EQ(system.perTask[i].transitions,
+                  system.automata[i].edgeCount());
+        EXPECT_EQ(std::string(sim::taskTypeName(system.perTask[i].type)),
+                  system.automata[i].name());
+        // This fixture's tight run cap may stop before convergence;
+        // the run count must still be within the cap.
+        EXPECT_GT(system.perTask[i].runsUsed, 0u);
+        EXPECT_LE(system.perTask[i].runsUsed, 150u);
+    }
+}
+
+TEST(ModelingHarness, CatalogSharedAcrossAutomata)
+{
+    const eval::ModeledSystem &system = models();
+    // Shared templates (e.g. the keystone auth line) must resolve to
+    // one id used by several automata.
+    logging::TemplateId auth = system.catalog->find(
+        "keystone",
+        "Authenticated request req-<uuid> for user <uuid> tenant "
+        "<uuid>");
+    ASSERT_NE(auth, logging::kInvalidTemplate);
+    int automata_using = 0;
+    for (const core::TaskAutomaton &automaton : system.automata) {
+        if (automaton.containsTemplate(auth))
+            ++automata_using;
+    }
+    EXPECT_GE(automata_using, 2);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Integration tests: the full pipeline (simulate → ship → model →
+ * monitor → score) on small variants of the paper's experiments, plus
+ * the paper's Figure 5 reordering case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collect/log_store.hpp"
+#include "eval/accuracy_harness.hpp"
+#include "eval/detection_harness.hpp"
+#include "eval/experiment_config.hpp"
+#include "eval/modeling_harness.hpp"
+#include "test_util.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+using cloudseer::testutil::LetterCatalog;
+using cloudseer::testutil::makeLetterAutomaton;
+using cloudseer::testutil::makeMessage;
+
+namespace {
+
+/** Shared modeling result (built once; modeling is deterministic). */
+const eval::ModeledSystem &
+models()
+{
+    static eval::ModeledSystem system = [] {
+        eval::ModelingConfig config;
+        config.minRuns = 40;
+        config.checkEvery = 10;
+        config.stableChecks = 3;
+        config.maxRuns = 250;
+        return eval::buildModels(config);
+    }();
+    return system;
+}
+
+} // namespace
+
+TEST(Integration, ModelingMatchesFlowStructure)
+{
+    const eval::ModeledSystem &system = models();
+    ASSERT_EQ(system.automata.size(), sim::kTaskTypeCount);
+    ASSERT_EQ(system.perTask.size(), sim::kTaskTypeCount);
+    for (const eval::TaskModelInfo &info : system.perTask) {
+        // Preprocessing must recover exactly the key messages of the
+        // generating flow (Table 2 "Msgs").
+        EXPECT_EQ(info.messages, sim::keyMessageCount(info.type))
+            << sim::taskTypeName(info.type);
+        // The reduced DAG cannot have fewer edges than a tree over the
+        // events, nor an explosion beyond ~2x events.
+        EXPECT_GE(info.transitions, info.messages - 1)
+            << sim::taskTypeName(info.type);
+        EXPECT_LE(info.transitions, info.messages * 2)
+            << sim::taskTypeName(info.type);
+    }
+}
+
+TEST(Integration, ModelingIsDeterministic)
+{
+    eval::ModelingConfig config;
+    config.minRuns = 30;
+    config.checkEvery = 10;
+    config.stableChecks = 2;
+    config.maxRuns = 100;
+    eval::ModeledSystem a = eval::buildModels(config);
+    eval::ModeledSystem b = eval::buildModels(config);
+    ASSERT_EQ(a.automata.size(), b.automata.size());
+    for (std::size_t i = 0; i < a.automata.size(); ++i)
+        EXPECT_TRUE(a.automata[i].sameStructure(b.automata[i]));
+}
+
+TEST(Integration, BootAutomatonHasForksAndJoins)
+{
+    const eval::ModeledSystem &system = models();
+    const TaskAutomaton &boot = system.automata[0];
+    ASSERT_EQ(boot.name(), "boot");
+    EXPECT_FALSE(boot.forkStates().empty())
+        << "async AMQP branches must appear as forks";
+    EXPECT_FALSE(boot.joinStates().empty());
+    ASSERT_EQ(boot.initialEvents().size(), 1u)
+        << "boot starts with the accepted-request message";
+}
+
+TEST(Integration, CleanDatasetFullyAccepted)
+{
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 10;
+    config.seed = 7;
+    core::MonitorConfig monitor;
+    eval::DatasetResult result =
+        eval::runDataset(models(), config, monitor);
+    EXPECT_EQ(result.totalTasks, 20u);
+    EXPECT_EQ(result.acceptedCorrect, 20u);
+    EXPECT_EQ(result.acceptedWrong, 0u);
+    EXPECT_EQ(result.notAccepted, 0u);
+    EXPECT_GE(result.accuracy, 0.999);
+}
+
+// Parameterized sweep over the paper's Table 3 axes (small datasets).
+class AccuracySweep
+    : public ::testing::TestWithParam<eval::ExperimentGroup>
+{
+};
+
+TEST_P(AccuracySweep, InterleavedAccuracyStaysHigh)
+{
+    eval::ExperimentGroup group = GetParam();
+    eval::DatasetConfig config;
+    config.users = group.users;
+    config.singleUid = group.singleUid;
+    config.tasksPerUser = group.tasksPerUser;
+    config.seed = eval::datasetSeed(group.group, 0);
+    core::MonitorConfig monitor;
+    eval::DatasetResult result =
+        eval::runDataset(models(), config, monitor);
+
+    EXPECT_EQ(result.sequences,
+              static_cast<std::size_t>(group.users *
+                                       group.tasksPerUser));
+    // The paper's worst observed accuracy is 92.08%, but its formula
+    // divides misses by *interleaved* sequences, which amplifies noise
+    // on these small datasets (a handful of interleaved sequences per
+    // run). Assert the robust per-task metric tightly and the paper
+    // formula loosely; the full-scale bench reproduces the paper
+    // numbers.
+    EXPECT_GE(static_cast<double>(result.acceptedCorrect) /
+                  static_cast<double>(result.totalTasks),
+              0.8)
+        << "group " << group.group << " users " << group.users
+        << " singleUid " << group.singleUid;
+    EXPECT_GE(result.accuracy, 0.6)
+        << "group " << group.group << " users " << group.users
+        << " singleUid " << group.singleUid;
+    EXPECT_GT(result.stats.decisiveFraction(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3Small, AccuracySweep,
+    ::testing::ValuesIn(eval::table3GroupsSmall()));
+
+TEST(Integration, WirePathEquivalence)
+{
+    // Feeding parsed lines (no ground truth) must accept exactly as
+    // many sequences as feeding records directly.
+    eval::DatasetConfig config;
+    config.users = 2;
+    config.tasksPerUser = 6;
+    config.seed = 21;
+    eval::GeneratedDataset dataset = eval::generateDataset(config);
+
+    collect::LogStore store;
+    store.appendStream(dataset.stream);
+
+    core::MonitorConfig monitor_config;
+    core::WorkflowMonitor monitor(monitor_config, models().catalog,
+                                  models().automataCopy());
+    std::size_t accepted = 0;
+    for (const std::string &line : store.toLines()) {
+        for (const core::MonitorReport &report :
+             monitor.feedLine(line)) {
+            if (report.event.kind == CheckEventKind::Accepted)
+                ++accepted;
+        }
+    }
+    for (const core::MonitorReport &report : monitor.finish()) {
+        if (report.event.kind == CheckEventKind::Accepted)
+            ++accepted;
+    }
+    EXPECT_EQ(monitor.malformedLines(), 0u);
+    EXPECT_EQ(accepted, dataset.totalTasks);
+}
+
+TEST(Integration, AbortInjectionDetected)
+{
+    eval::DetectionConfig config;
+    config.point = sim::InjectionPoint::AmqpReceiver;
+    config.targetProblems = 5;
+    config.tasksPerUserPerRun = 10;
+    config.seed = 5;
+    core::MonitorConfig monitor;
+    eval::DetectionResult result =
+        eval::runDetectionExperiment(models(), config, monitor);
+    EXPECT_GE(result.delayProblems + result.abortProblems +
+                  result.silentProblems,
+              5);
+    EXPECT_GE(result.detected, 4)
+        << "most injected problems must be caught";
+    EXPECT_LE(result.falsePositives, 3);
+}
+
+TEST(Integration, DetectionUsesBothCriteria)
+{
+    // Across points, both the error-message and the timeout criteria
+    // must contribute detections (paper: 16 by error, 38 by timeout).
+    int by_error = 0;
+    int by_timeout = 0;
+    for (sim::InjectionPoint point :
+         {sim::InjectionPoint::AmqpReceiver,
+          sim::InjectionPoint::ImageCreate}) {
+        eval::DetectionConfig config;
+        config.point = point;
+        config.targetProblems = 6;
+        config.tasksPerUserPerRun = 10;
+        config.seed = 11;
+        core::MonitorConfig monitor;
+        eval::DetectionResult result =
+            eval::runDetectionExperiment(models(), config, monitor);
+        by_error += result.detectedByError;
+        by_timeout += result.detectedByTimeout;
+    }
+    EXPECT_GT(by_error, 0);
+    EXPECT_GT(by_timeout, 0);
+}
+
+TEST(Integration, Figure5ReorderingCausesDocumentedFalsePositive)
+{
+    // Paper Figure 5: two automata share messages m1 and m2 in
+    // opposite orders. A reordered stream makes the checker keep the
+    // wrong automaton, which later times out — the paper's analysed
+    // false-positive mechanism.
+    LetterCatalog letters;
+    TaskAutomaton a1 = makeLetterAutomaton(
+        letters, "stop", {"X", "M1", "M2", "M3"},
+        {{"X", "M1"}, {"M1", "M2"}, {"M2", "M3"}});
+    TaskAutomaton a2 = makeLetterAutomaton(
+        letters, "start", {"X", "M2", "M1", "M4"},
+        {{"X", "M2"}, {"M2", "M1"}, {"M1", "M4"}});
+    InterleavedChecker checker(CheckerConfig{}, {&a1, &a2});
+
+    // Normal order: X m1 m2 m3 -> accepted as "stop".
+    logging::RecordId rid = 1;
+    checker.feed(makeMessage(letters, "X", {"u"}, rid++, 0.1));
+    checker.feed(makeMessage(letters, "M1", {"u"}, rid++, 0.2));
+    checker.feed(makeMessage(letters, "M2", {"u"}, rid++, 0.3));
+    auto accepted =
+        checker.feed(makeMessage(letters, "M3", {"u"}, rid++, 0.4));
+    ASSERT_EQ(accepted.size(), 1u);
+    EXPECT_EQ(accepted[0].taskName, "stop");
+
+    // Reordered m2 before m1 under load: A2 happens to fit, so no
+    // divergence fires; m3 is then unconsumable and m4 never comes.
+    checker.feed(makeMessage(letters, "X", {"v"}, rid++, 5.1));
+    checker.feed(makeMessage(letters, "M2", {"v"}, rid++, 5.2));
+    checker.feed(makeMessage(letters, "M1", {"v"}, rid++, 5.3));
+    auto diverged =
+        checker.feed(makeMessage(letters, "M3", {"v"}, rid++, 5.4));
+    EXPECT_TRUE(diverged.empty());
+
+    auto timeouts = checker.sweepTimeouts(20.0, 10.0);
+    ASSERT_EQ(timeouts.size(), 1u);
+    EXPECT_EQ(timeouts[0].kind, CheckEventKind::Timeout);
+    EXPECT_EQ(timeouts[0].taskName, "start")
+        << "the wrong automaton survived, as the paper describes";
+}
+
+TEST(Integration, HeavyShippingTailStillMostlyAccepted)
+{
+    // Stress the recovery heuristics with an unhealthy shipper.
+    eval::DatasetConfig config;
+    config.users = 3;
+    config.tasksPerUser = 10;
+    config.seed = 31;
+    config.shipping.tailProbability = 0.02;
+    config.shipping.tailMin = 0.1;
+    config.shipping.tailMax = 0.5;
+    core::MonitorConfig monitor;
+    eval::DatasetResult result =
+        eval::runDataset(models(), config, monitor);
+    EXPECT_GE(static_cast<double>(result.acceptedCorrect) /
+                  static_cast<double>(result.sequences),
+              0.8);
+}

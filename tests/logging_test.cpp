@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the logging substrate: variable extraction, template
+ * interning, and log-line (de)serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logging/log_codec.hpp"
+#include "logging/template_catalog.hpp"
+#include "logging/variable_extractor.hpp"
+
+using namespace cloudseer::logging;
+
+namespace {
+
+const VariableExtractor kExtractor;
+
+} // namespace
+
+TEST(LogLevel, NamesRoundTrip)
+{
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warning, LogLevel::Error,
+                           LogLevel::Critical}) {
+        LogLevel parsed;
+        ASSERT_TRUE(parseLogLevel(logLevelName(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    LogLevel out;
+    EXPECT_FALSE(parseLogLevel("TRACE", out));
+    EXPECT_FALSE(parseLogLevel("info", out)); // case-sensitive
+}
+
+TEST(LogLevel, ErrorClassification)
+{
+    EXPECT_TRUE(isErrorLevel(LogLevel::Error));
+    EXPECT_TRUE(isErrorLevel(LogLevel::Critical));
+    EXPECT_FALSE(isErrorLevel(LogLevel::Warning));
+    EXPECT_FALSE(isErrorLevel(LogLevel::Info));
+}
+
+TEST(VariableExtractor, ExtractsUuid)
+{
+    ParsedBody parsed = kExtractor.parse(
+        "Scheduling instance 01234567-89ab-cdef-0123-456789abcdef");
+    EXPECT_EQ(parsed.templateText, "Scheduling instance <uuid>");
+    ASSERT_EQ(parsed.variables.size(), 1u);
+    EXPECT_EQ(parsed.variables[0].kind, VariableKind::Uuid);
+    EXPECT_EQ(parsed.variables[0].text,
+              "01234567-89ab-cdef-0123-456789abcdef");
+}
+
+TEST(VariableExtractor, ExtractsIp)
+{
+    ParsedBody parsed = kExtractor.parse("accepted 10.0.12.34");
+    EXPECT_EQ(parsed.templateText, "accepted <ip>");
+    ASSERT_EQ(parsed.variables.size(), 1u);
+    EXPECT_EQ(parsed.variables[0].kind, VariableKind::Ip);
+}
+
+TEST(VariableExtractor, ExtractsNumber)
+{
+    ParsedBody parsed = kExtractor.parse("status: 202 len: 1748");
+    EXPECT_EQ(parsed.templateText, "status: <num> len: <num>");
+    ASSERT_EQ(parsed.variables.size(), 2u);
+    EXPECT_EQ(parsed.variables[0].text, "202");
+    EXPECT_EQ(parsed.variables[1].text, "1748");
+}
+
+TEST(VariableExtractor, MixedRealisticLine)
+{
+    ParsedBody parsed = kExtractor.parse(
+        "[req-11111111-2222-3333-4444-555555555555] 10.1.2.3 "
+        "\"POST /v2/aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeee/servers "
+        "HTTP/1.1\" status: 202");
+    EXPECT_EQ(parsed.templateText,
+              "[req-<uuid>] <ip> \"POST /v2/<uuid>/servers "
+              "HTTP/<num>.<num>\" status: <num>");
+    // req UUID, client IP, tenant UUID, "1", "1", "202".
+    ASSERT_EQ(parsed.variables.size(), 6u);
+    EXPECT_EQ(parsed.variables[0].kind, VariableKind::Uuid);
+    EXPECT_EQ(parsed.variables[1].kind, VariableKind::Ip);
+    EXPECT_EQ(parsed.variables[2].kind, VariableKind::Uuid);
+    EXPECT_EQ(parsed.variables[5].text, "202");
+}
+
+TEST(VariableExtractor, KeepsWordGluedDigits)
+{
+    ParsedBody parsed = kExtractor.parse("GET /v2/servers on eth0");
+    EXPECT_EQ(parsed.templateText, "GET /v2/servers on eth0");
+    EXPECT_TRUE(parsed.variables.empty());
+}
+
+TEST(VariableExtractor, HexWordIsNotUuid)
+{
+    ParsedBody parsed = kExtractor.parse("cafe babe feed");
+    EXPECT_EQ(parsed.templateText, "cafe babe feed");
+    EXPECT_TRUE(parsed.variables.empty());
+}
+
+TEST(VariableExtractor, FiveOctetsIsNotIp)
+{
+    ParsedBody parsed = kExtractor.parse("path 1.2.3.4.5 end");
+    // Falls back to numbers; no IP variable extracted.
+    for (const Variable &var : parsed.variables)
+        EXPECT_NE(var.kind, VariableKind::Ip);
+}
+
+TEST(VariableExtractor, OctetOver255IsNotIp)
+{
+    ParsedBody parsed = kExtractor.parse("addr 300.1.1.1");
+    for (const Variable &var : parsed.variables)
+        EXPECT_NE(var.kind, VariableKind::Ip);
+}
+
+TEST(VariableExtractor, UuidTailNotReparsed)
+{
+    // The trailing 12-hex group must not surface as separate numbers.
+    ParsedBody parsed = kExtractor.parse(
+        "id 01234567-89ab-cdef-0123-456789abcdef end");
+    ASSERT_EQ(parsed.variables.size(), 1u);
+    EXPECT_EQ(parsed.variables[0].kind, VariableKind::Uuid);
+}
+
+TEST(VariableExtractor, IdenticalTemplatesForDifferentValues)
+{
+    ParsedBody a = kExtractor.parse("Starting instance "
+        "01234567-89ab-cdef-0123-456789abcdef");
+    ParsedBody b = kExtractor.parse("Starting instance "
+        "fedcba98-7654-3210-fedc-ba9876543210");
+    EXPECT_EQ(a.templateText, b.templateText);
+}
+
+TEST(VariableExtractor, IdentifierExtractionSkipsNumbers)
+{
+    std::string body = "10.1.2.3 did 42 things to "
+                       "01234567-89ab-cdef-0123-456789abcdef";
+    auto ids = kExtractor.extractIdentifiers(body);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], "10.1.2.3");
+    auto with_numbers = kExtractor.extractIdentifiers(body, true);
+    EXPECT_EQ(with_numbers.size(), 3u);
+}
+
+TEST(VariableExtractor, EmptyBody)
+{
+    ParsedBody parsed = kExtractor.parse("");
+    EXPECT_EQ(parsed.templateText, "");
+    EXPECT_TRUE(parsed.variables.empty());
+}
+
+TEST(TemplateCatalog, InternIsIdempotent)
+{
+    TemplateCatalog catalog;
+    TemplateId a = catalog.intern("nova-api", "Accepted <ip>");
+    TemplateId b = catalog.intern("nova-api", "Accepted <ip>");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(TemplateCatalog, ServiceDisambiguates)
+{
+    TemplateCatalog catalog;
+    TemplateId a = catalog.intern("nova-api", "same text");
+    TemplateId b = catalog.intern("keystone", "same text");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(catalog.service(a), "nova-api");
+    EXPECT_EQ(catalog.service(b), "keystone");
+}
+
+TEST(TemplateCatalog, FindWithoutIntern)
+{
+    TemplateCatalog catalog;
+    EXPECT_EQ(catalog.find("svc", "missing"), kInvalidTemplate);
+    TemplateId a = catalog.intern("svc", "present");
+    EXPECT_EQ(catalog.find("svc", "present"), a);
+}
+
+TEST(TemplateCatalog, LabelFormat)
+{
+    TemplateCatalog catalog;
+    TemplateId a = catalog.intern("glance", "GET <uuid>");
+    EXPECT_EQ(catalog.label(a), "glance: GET <uuid>");
+    EXPECT_EQ(catalog.text(a), "GET <uuid>");
+}
+
+TEST(LogCodec, RoundTrip)
+{
+    LogRecord record;
+    record.id = 7;
+    record.timestamp = 3661.25;
+    record.node = "compute-2";
+    record.service = "nova-compute";
+    record.level = LogLevel::Info;
+    record.body = "Starting instance "
+                  "01234567-89ab-cdef-0123-456789abcdef";
+    record.truthExecution = 99;
+    record.truthTask = "boot";
+
+    std::string line = encodeLogLine(record);
+    auto decoded = decodeLogLine(line);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_NEAR(decoded->timestamp, record.timestamp, 0.0015);
+    EXPECT_EQ(decoded->node, record.node);
+    EXPECT_EQ(decoded->service, record.service);
+    EXPECT_EQ(decoded->level, record.level);
+    EXPECT_EQ(decoded->body, record.body);
+}
+
+TEST(LogCodec, GroundTruthDoesNotSurviveTheWire)
+{
+    LogRecord record;
+    record.timestamp = 1.0;
+    record.node = "controller";
+    record.service = "nova-api";
+    record.level = LogLevel::Error;
+    record.body = "boom";
+    record.truthExecution = 123;
+    record.truthTask = "boot";
+
+    auto decoded = decodeLogLine(encodeLogLine(record));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->truthExecution, 0u);
+    EXPECT_TRUE(decoded->truthTask.empty());
+}
+
+TEST(LogCodec, RejectsMalformedLines)
+{
+    EXPECT_FALSE(decodeLogLine("").has_value());
+    EXPECT_FALSE(decodeLogLine("garbage").has_value());
+    EXPECT_FALSE(decodeLogLine("2016-01-12 00:00:00.000 node").has_value());
+    EXPECT_FALSE(
+        decodeLogLine("2016-01-12 00:00:00.000 node svc NOPE body")
+            .has_value());
+    // Missing body.
+    EXPECT_FALSE(
+        decodeLogLine("2016-01-12 00:00:00.000 node svc INFO")
+            .has_value());
+}
+
+TEST(LogCodec, BodyMayContainExtraSpaces)
+{
+    auto decoded = decodeLogLine(
+        "2016-01-12 00:00:01.000 controller nova-api INFO a  b   c");
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->body, "a  b   c");
+}

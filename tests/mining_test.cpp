@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit and property tests for the offline modeling pipeline:
+ * preprocessing (key-message filter), temporal-dependency mining,
+ * transitive reduction, and the convergence-driven model builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/mining/dependency_miner.hpp"
+#include "core/mining/model_builder.hpp"
+#include "core/mining/preprocessor.hpp"
+#include "test_util.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+using cloudseer::testutil::LetterCatalog;
+
+namespace {
+
+/** Shorthand: build sequences over letters via one shared catalog. */
+struct SequenceBuilder
+{
+    LetterCatalog letters;
+
+    TemplateSequence
+    seq(const std::string &compact)
+    {
+        TemplateSequence out;
+        for (char c : compact)
+            out.push_back(letters.id(std::string(1, c)));
+        return out;
+    }
+};
+
+/** Map event id by (letter, occurrence) for assertions. */
+int
+eventOf(const MinedModel &model, LetterCatalog &letters,
+        const std::string &letter, int occurrence = 0)
+{
+    logging::TemplateId tpl = letters.id(letter);
+    for (std::size_t i = 0; i < model.events.size(); ++i) {
+        if (model.events[i].tpl == tpl &&
+            model.events[i].occurrence == occurrence) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+bool
+hasEdge(const MinedModel &model, int from, int to)
+{
+    for (const DependencyEdge &edge : model.edges) {
+        if (edge.from == from && edge.to == to)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Preprocessor, KeepsStableTemplates)
+{
+    SequenceBuilder b;
+    auto result = preprocessSequences({b.seq("ABC"), b.seq("ABC")});
+    EXPECT_EQ(result.keyTemplates.size(), 3u);
+    EXPECT_TRUE(result.droppedTemplates.empty());
+    for (const TemplateSequence &seq : result.sequences)
+        EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(Preprocessor, DropsVariableCountTemplates)
+{
+    SequenceBuilder b;
+    // X appears 1, 2, 0 times across runs -> dropped.
+    auto result = preprocessSequences(
+        {b.seq("AXBC"), b.seq("AXXBC"), b.seq("ABC")});
+    EXPECT_EQ(result.keyTemplates.size(), 3u);
+    ASSERT_EQ(result.droppedTemplates.size(), 1u);
+    EXPECT_EQ(result.droppedTemplates[0], b.letters.id("X"));
+    for (const TemplateSequence &seq : result.sequences)
+        EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(Preprocessor, KeepsRepeatedTemplateWithStableCount)
+{
+    SequenceBuilder b;
+    // A appears exactly twice in every run: kept, both occurrences.
+    auto result = preprocessSequences({b.seq("ABA"), b.seq("AAB")});
+    auto key_a = std::find_if(
+        result.keyTemplates.begin(), result.keyTemplates.end(),
+        [&](auto &kv) { return kv.first == b.letters.id("A"); });
+    ASSERT_NE(key_a, result.keyTemplates.end());
+    EXPECT_EQ(key_a->second, 2);
+}
+
+TEST(Preprocessor, TemplateMissingFromOneRunIsDropped)
+{
+    SequenceBuilder b;
+    auto result = preprocessSequences({b.seq("ABC"), b.seq("AC")});
+    EXPECT_EQ(result.keyTemplates.size(), 2u);
+    ASSERT_EQ(result.droppedTemplates.size(), 1u);
+    EXPECT_EQ(result.droppedTemplates[0], b.letters.id("B"));
+}
+
+TEST(Preprocessor, SingleRunKeepsEverything)
+{
+    SequenceBuilder b;
+    auto result = preprocessSequences({b.seq("AXBYC")});
+    EXPECT_EQ(result.keyTemplates.size(), 5u);
+}
+
+TEST(TransitiveReduction, RemovesImpliedEdges)
+{
+    // a->b, b->c, a->c: the last is implied.
+    auto reduced = transitiveReduction(3, {{0, 1}, {1, 2}, {0, 2}});
+    EXPECT_EQ(reduced.size(), 2u);
+    EXPECT_TRUE(std::count(reduced.begin(), reduced.end(),
+                           std::make_pair(0, 1)));
+    EXPECT_TRUE(std::count(reduced.begin(), reduced.end(),
+                           std::make_pair(1, 2)));
+}
+
+TEST(TransitiveReduction, KeepsDiamond)
+{
+    // 0->1, 0->2, 1->3, 2->3 (+ closure 0->3): diamond stays intact.
+    auto reduced = transitiveReduction(
+        4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 3}});
+    EXPECT_EQ(reduced.size(), 4u);
+    EXPECT_FALSE(std::count(reduced.begin(), reduced.end(),
+                            std::make_pair(0, 3)));
+}
+
+TEST(TransitiveReduction, EmptyAndSingleton)
+{
+    EXPECT_TRUE(transitiveReduction(0, {}).empty());
+    EXPECT_TRUE(transitiveReduction(3, {}).empty());
+}
+
+// Property: reduction preserves the transitive closure and is minimal.
+class TransitiveReductionProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static std::vector<std::vector<char>>
+    closureOf(int n, const std::vector<std::pair<int, int>> &edges)
+    {
+        std::vector<std::vector<char>> reach(
+            static_cast<std::size_t>(n),
+            std::vector<char>(static_cast<std::size_t>(n), 0));
+        for (auto [a, b] : edges)
+            reach[static_cast<std::size_t>(a)]
+                 [static_cast<std::size_t>(b)] = 1;
+        for (int k = 0; k < n; ++k)
+            for (int i = 0; i < n; ++i)
+                for (int j = 0; j < n; ++j)
+                    if (reach[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(k)] &&
+                        reach[static_cast<std::size_t>(k)]
+                             [static_cast<std::size_t>(j)])
+                        reach[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(j)] = 1;
+        return reach;
+    }
+};
+
+TEST_P(TransitiveReductionProperty, ClosurePreservedAndMinimal)
+{
+    common::Rng rng(GetParam());
+    int n = rng.uniformInt(3, 12);
+    // Random DAG: edges only from lower to higher index.
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            if (rng.chance(0.4))
+                edges.emplace_back(a, b);
+
+    auto reduced = transitiveReduction(n, edges);
+    EXPECT_EQ(closureOf(n, reduced), closureOf(n, edges));
+
+    // Minimality: removing any reduced edge loses reachability.
+    auto full = closureOf(n, edges);
+    for (std::size_t skip = 0; skip < reduced.size(); ++skip) {
+        std::vector<std::pair<int, int>> fewer;
+        for (std::size_t i = 0; i < reduced.size(); ++i)
+            if (i != skip)
+                fewer.push_back(reduced[i]);
+        EXPECT_NE(closureOf(n, fewer), full);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, TransitiveReductionProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(DependencyMiner, LinearChain)
+{
+    SequenceBuilder b;
+    MinedModel model = mineDependencies({b.seq("ABC"), b.seq("ABC")});
+    ASSERT_EQ(model.events.size(), 3u);
+    EXPECT_EQ(model.edges.size(), 2u);
+    int a = eventOf(model, b.letters, "A");
+    int bb = eventOf(model, b.letters, "B");
+    int c = eventOf(model, b.letters, "C");
+    EXPECT_TRUE(hasEdge(model, a, bb));
+    EXPECT_TRUE(hasEdge(model, bb, c));
+    for (const DependencyEdge &edge : model.edges)
+        EXPECT_TRUE(edge.strong) << "chain edges are always adjacent";
+}
+
+TEST(DependencyMiner, ForkJoinFromInterleavings)
+{
+    // The paper's §3.2 example: scheduling always precedes GET and
+    // Starting, but those two have no mutual order.
+    SequenceBuilder b;
+    MinedModel model =
+        mineDependencies({b.seq("SGTX"), b.seq("STGX")});
+    int s = eventOf(model, b.letters, "S");
+    int g = eventOf(model, b.letters, "G");
+    int t = eventOf(model, b.letters, "T");
+    int x = eventOf(model, b.letters, "X");
+    EXPECT_TRUE(hasEdge(model, s, g));
+    EXPECT_TRUE(hasEdge(model, s, t));
+    EXPECT_TRUE(hasEdge(model, g, x));
+    EXPECT_TRUE(hasEdge(model, t, x));
+    EXPECT_FALSE(hasEdge(model, g, t));
+    EXPECT_FALSE(hasEdge(model, t, g));
+    EXPECT_EQ(model.edges.size(), 4u);
+}
+
+TEST(DependencyMiner, WeakEdgesAreNotStrong)
+{
+    SequenceBuilder b;
+    MinedModel model =
+        mineDependencies({b.seq("SGTX"), b.seq("STGX")});
+    int s = eventOf(model, b.letters, "S");
+    int g = eventOf(model, b.letters, "G");
+    for (const DependencyEdge &edge : model.edges) {
+        if (edge.from == s && edge.to == g) {
+            // S -> G is immediate in one run but not the other.
+            EXPECT_FALSE(edge.strong);
+        }
+    }
+}
+
+TEST(DependencyMiner, RepeatedTemplateOccurrences)
+{
+    SequenceBuilder b;
+    // A happens twice with B in between, consistently.
+    MinedModel model = mineDependencies({b.seq("ABA"), b.seq("ABA")});
+    ASSERT_EQ(model.events.size(), 3u);
+    int a0 = eventOf(model, b.letters, "A", 0);
+    int a1 = eventOf(model, b.letters, "A", 1);
+    int bb = eventOf(model, b.letters, "B", 0);
+    ASSERT_NE(a0, -1);
+    ASSERT_NE(a1, -1);
+    EXPECT_TRUE(hasEdge(model, a0, bb));
+    EXPECT_TRUE(hasEdge(model, bb, a1));
+}
+
+TEST(DependencyMiner, FullyConcurrentPair)
+{
+    SequenceBuilder b;
+    MinedModel model = mineDependencies({b.seq("AB"), b.seq("BA")});
+    EXPECT_TRUE(model.edges.empty());
+}
+
+TEST(DependencyMiner, FullOrderContainsTransitivePairs)
+{
+    SequenceBuilder b;
+    MinedModel model = mineDependencies({b.seq("ABC")});
+    // (A,C) is in the full order but reduced out of the edges.
+    EXPECT_EQ(model.fullOrder.size(), 3u);
+    EXPECT_EQ(model.edges.size(), 2u);
+}
+
+TEST(ModelBuilder, EndToEndFromSequences)
+{
+    SequenceBuilder b;
+    logging::TemplateCatalog &catalog = *b.letters.catalog;
+    TaskModeler modeler(catalog);
+    // Noise template N with unstable counts is filtered before mining.
+    TaskAutomaton automaton = modeler.buildAutomaton(
+        "demo", {b.seq("ANBC"), b.seq("ABNNC"), b.seq("ABC")});
+    EXPECT_EQ(automaton.eventCount(), 3u);
+    EXPECT_EQ(automaton.edgeCount(), 2u);
+    EXPECT_EQ(automaton.name(), "demo");
+    EXPECT_FALSE(automaton.containsTemplate(b.letters.id("N")));
+}
+
+TEST(ModelBuilder, ToTemplateSequenceInternsInOrder)
+{
+    logging::TemplateCatalog catalog;
+    TaskModeler modeler(catalog);
+    std::vector<logging::LogRecord> records(2);
+    records[0].service = "nova-api";
+    records[0].body = "Accepted request from 10.1.2.3";
+    records[1].service = "nova-compute";
+    records[1].body = "Starting instance "
+                      "01234567-89ab-cdef-0123-456789abcdef";
+    TemplateSequence seq = modeler.toTemplateSequence(records);
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(catalog.text(seq[0]), "Accepted request from <ip>");
+    EXPECT_EQ(catalog.text(seq[1]), "Starting instance <uuid>");
+}
+
+TEST(ModelBuilder, ConvergenceStopsWhenStable)
+{
+    SequenceBuilder b;
+    TaskModeler modeler(*b.letters.catalog);
+    // Alternate the two interleavings of a fork; the automaton
+    // stabilises once both have been seen.
+    int calls = 0;
+    auto next = [&]() {
+        ++calls;
+        return calls % 2 == 0 ? b.seq("SGTX") : b.seq("STGX");
+    };
+    auto result = modeler.modelUntilStable("demo", next, 4, 2, 3, 200);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.runsUsed, 40u);
+    EXPECT_EQ(result.automaton.eventCount(), 4u);
+    EXPECT_EQ(result.automaton.edgeCount(), 4u);
+}
+
+TEST(ModelBuilder, CapReachedReportsNotConverged)
+{
+    SequenceBuilder b;
+    TaskModeler modeler(*b.letters.catalog);
+    // A "new behaviour" every run: never converges within the cap.
+    int calls = 0;
+    common::Rng rng(3);
+    auto next = [&]() {
+        ++calls;
+        // Random shuffle of 5 concurrent letters: order keeps changing.
+        std::string base = "ABCDE";
+        std::shuffle(base.begin(), base.end(), rng.raw());
+        return b.seq(base);
+    };
+    auto result = modeler.modelUntilStable("demo", next, 4, 2, 50, 30);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.runsUsed, 30u);
+}
+
+TEST(ModelBuilder, MoreRunsNeverAddEdges)
+{
+    // Property: dependencies only weaken as evidence accumulates.
+    SequenceBuilder b;
+    TaskModeler modeler(*b.letters.catalog);
+    std::vector<TemplateSequence> runs = {b.seq("ABCD")};
+    TaskAutomaton first = modeler.buildAutomaton("m", runs);
+    runs.push_back(b.seq("ACBD"));
+    TaskAutomaton second = modeler.buildAutomaton("m", runs);
+    runs.push_back(b.seq("ABDC"));
+    TaskAutomaton third = modeler.buildAutomaton("m", runs);
+    // Full order size shrinks (or stays) as interleavings appear.
+    EXPECT_GE(first.edgeCount(), 3u);
+    EXPECT_LE(third.eventCount(), first.eventCount());
+}

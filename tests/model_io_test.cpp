@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for model persistence: token escaping, save/load round
+ * trips (including over the real mined models), and rejection of
+ * malformed files.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mining/model_io.hpp"
+#include "core/monitor/workflow_monitor.hpp"
+#include "eval/accuracy_harness.hpp"
+#include "eval/modeling_harness.hpp"
+#include "test_util.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+
+TEST(ModelToken, EscapesAndRestores)
+{
+    for (const std::string &raw :
+         {std::string("plain"), std::string("with space"),
+          std::string("tabs\tand\nnewlines"), std::string("100%"),
+          std::string("[req-<uuid>] \"POST /v2\" status: <num>"),
+          std::string("")}) {
+        std::string encoded = encodeModelToken(raw);
+        EXPECT_EQ(encoded.find(' '), std::string::npos) << raw;
+        EXPECT_EQ(encoded.find('\n'), std::string::npos) << raw;
+        auto decoded = decodeModelToken(encoded);
+        ASSERT_TRUE(decoded.has_value()) << raw;
+        EXPECT_EQ(*decoded, raw);
+    }
+}
+
+TEST(ModelToken, RejectsBadEscapes)
+{
+    EXPECT_FALSE(decodeModelToken("abc%").has_value());
+    EXPECT_FALSE(decodeModelToken("abc%2").has_value());
+    EXPECT_FALSE(decodeModelToken("abc%zz").has_value());
+}
+
+TEST(ModelIo, RoundTripsHandBuiltAutomaton)
+{
+    testutil::LetterCatalog letters;
+    TaskAutomaton automaton = testutil::makeLetterAutomaton(
+        letters, "demo task", {"A", "B", "C"},
+        {{"A", "B"}, {"A", "C"}});
+
+    std::string text = saveModelsToString(*letters.catalog, {automaton});
+    auto loaded = loadModelsFromString(text);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->automata.size(), 1u);
+    const TaskAutomaton &copy = loaded->automata[0];
+    EXPECT_EQ(copy.name(), "demo task");
+    EXPECT_EQ(copy.eventCount(), 3u);
+    EXPECT_EQ(copy.edgeCount(), 2u);
+    EXPECT_EQ(copy.forkStates().size(), 1u);
+}
+
+TEST(ModelIo, RoundTripsTheRealMinedModels)
+{
+    eval::ModelingConfig config;
+    config.minRuns = 40;
+    config.maxRuns = 150;
+    eval::ModeledSystem models = eval::buildModels(config);
+
+    std::string text =
+        saveModelsToString(*models.catalog, models.automata);
+    auto loaded = loadModelsFromString(text);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->automata.size(), models.automata.size());
+    for (std::size_t i = 0; i < models.automata.size(); ++i) {
+        EXPECT_EQ(loaded->automata[i].name(),
+                  models.automata[i].name());
+        EXPECT_EQ(loaded->automata[i].eventCount(),
+                  models.automata[i].eventCount());
+        EXPECT_EQ(loaded->automata[i].edgeCount(),
+                  models.automata[i].edgeCount());
+    }
+
+    // Save(load(x)) is a fixed point (ids are re-interned densely).
+    std::string again = saveModelsToString(*loaded->catalog,
+                                           loaded->automata);
+    auto reloaded = loadModelsFromString(again);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(saveModelsToString(*reloaded->catalog,
+                                 reloaded->automata),
+              again);
+}
+
+TEST(ModelIo, LoadedModelsMonitorEquivalently)
+{
+    // A monitor built from persisted models must accept the same
+    // dataset as one built from the in-memory models.
+    eval::ModelingConfig config;
+    config.minRuns = 40;
+    config.maxRuns = 150;
+    eval::ModeledSystem models = eval::buildModels(config);
+
+    auto loaded = loadModelsFromString(
+        saveModelsToString(*models.catalog, models.automata));
+    ASSERT_TRUE(loaded.has_value());
+
+    eval::ModeledSystem restored;
+    restored.catalog = loaded->catalog;
+    restored.automata = std::move(loaded->automata);
+
+    eval::DatasetConfig dataset;
+    dataset.users = 2;
+    dataset.tasksPerUser = 8;
+    dataset.seed = 3;
+    eval::GeneratedDataset generated = eval::generateDataset(dataset);
+
+    core::MonitorConfig monitor_config;
+    eval::DatasetResult original =
+        eval::checkDataset(models, generated, monitor_config);
+    eval::DatasetResult reloaded =
+        eval::checkDataset(restored, generated, monitor_config);
+    EXPECT_EQ(original.acceptedCorrect, reloaded.acceptedCorrect);
+    EXPECT_EQ(reloaded.acceptedCorrect, generated.totalTasks);
+}
+
+TEST(ModelIo, RejectsMalformedFiles)
+{
+    EXPECT_FALSE(loadModelsFromString("").has_value());
+    EXPECT_FALSE(loadModelsFromString("wrong-magic 1\n").has_value());
+    EXPECT_FALSE(
+        loadModelsFromString("cloudseer-models 999\n").has_value());
+    // Truncated automaton section.
+    EXPECT_FALSE(loadModelsFromString(
+                     "cloudseer-models 1\n"
+                     "template 0 svc A\n"
+                     "automaton t 1 0\n"
+                     "event 0 0 0\n")
+                     .has_value());
+    // Edge out of range.
+    EXPECT_FALSE(loadModelsFromString(
+                     "cloudseer-models 1\n"
+                     "template 0 svc A\n"
+                     "automaton t 1 1\n"
+                     "event 0 0 0\n"
+                     "edge 0 7 0\n"
+                     "end\n")
+                     .has_value());
+    // Event references an unknown template.
+    EXPECT_FALSE(loadModelsFromString(
+                     "cloudseer-models 1\n"
+                     "automaton t 1 0\n"
+                     "event 0 42 0\n"
+                     "end\n")
+                     .has_value());
+    // Unknown directive.
+    EXPECT_FALSE(loadModelsFromString(
+                     "cloudseer-models 1\n"
+                     "banana 1 2 3\n")
+                     .has_value());
+}
+
+TEST(ModelIo, EmptyBundleIsValid)
+{
+    logging::TemplateCatalog catalog;
+    auto loaded =
+        loadModelsFromString(saveModelsToString(catalog, {}));
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->automata.empty());
+}

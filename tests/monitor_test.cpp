@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the WorkflowMonitor facade: record parsing, clock
+ * handling, line-oriented feeding, report rendering, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/monitor/workflow_monitor.hpp"
+#include "logging/log_codec.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+
+namespace {
+
+/**
+ * Monitor fixture over a hand-built two-step "ping" workflow:
+ *   svc-a "ping <uuid>"  ->  svc-b "pong <uuid>".
+ */
+class MonitorTest : public ::testing::Test
+{
+  protected:
+    std::shared_ptr<logging::TemplateCatalog> catalog =
+        std::make_shared<logging::TemplateCatalog>();
+    std::unique_ptr<WorkflowMonitor> monitor;
+    logging::RecordId nextRecord = 1;
+
+    void
+    SetUp() override
+    {
+        logging::TemplateId ping = catalog->intern("svc-a",
+                                                   "ping <uuid>");
+        logging::TemplateId pong = catalog->intern("svc-b",
+                                                   "pong <uuid>");
+        std::vector<EventNode> events = {{ping, 0}, {pong, 0}};
+        std::vector<DependencyEdge> edges = {{0, 1, true}};
+        std::vector<TaskAutomaton> automata;
+        automata.emplace_back("ping-pong", std::move(events),
+                              std::move(edges));
+        MonitorConfig config;
+        config.timeoutSeconds = 10.0;
+        monitor = std::make_unique<WorkflowMonitor>(config, catalog,
+                                                    std::move(automata));
+    }
+
+    logging::LogRecord
+    record(const std::string &service, const std::string &body,
+           double t, logging::LogLevel level = logging::LogLevel::Info)
+    {
+        logging::LogRecord out;
+        out.id = nextRecord++;
+        out.timestamp = t;
+        out.node = "controller";
+        out.service = service;
+        out.level = level;
+        out.body = body;
+        return out;
+    }
+
+    static const char *
+    uuid(int which)
+    {
+        return which == 1 ? "11111111-1111-1111-1111-111111111111"
+                          : "22222222-2222-2222-2222-222222222222";
+    }
+};
+
+} // namespace
+
+TEST_F(MonitorTest, AcceptsOneSequence)
+{
+    auto r1 = monitor->feed(record("svc-a",
+                                   std::string("ping ") + uuid(1), 1.0));
+    EXPECT_TRUE(r1.empty());
+    auto r2 = monitor->feed(record("svc-b",
+                                   std::string("pong ") + uuid(1), 2.0));
+    ASSERT_EQ(r2.size(), 1u);
+    EXPECT_EQ(r2[0].event.kind, CheckEventKind::Accepted);
+    EXPECT_EQ(r2[0].event.taskName, "ping-pong");
+    EXPECT_EQ(monitor->stats().accepted, 1u);
+    EXPECT_EQ(monitor->activeGroups(), 0u);
+}
+
+TEST_F(MonitorTest, InterleavedSequencesSeparatedByUuid)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(2), 1.1));
+    auto r1 = monitor->feed(
+        record("svc-b", std::string("pong ") + uuid(2), 1.2));
+    ASSERT_EQ(r1.size(), 1u);
+    auto r2 = monitor->feed(
+        record("svc-b", std::string("pong ") + uuid(1), 1.3));
+    ASSERT_EQ(r2.size(), 1u);
+    EXPECT_EQ(monitor->stats().accepted, 2u);
+}
+
+TEST_F(MonitorTest, TimeoutDrivenByRecordTimestamps)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    // An unrelated record far in the future advances the clock and
+    // fires the timeout criterion for the stale group.
+    auto reports = monitor->feed(
+        record("svc-a", std::string("ping ") + uuid(2), 30.0));
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].event.kind, CheckEventKind::Timeout);
+    EXPECT_FALSE(reports[0].endOfStream);
+}
+
+TEST_F(MonitorTest, ClockNeverMovesBackwards)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 5.0));
+    // A slightly-late record (shipping skew) must not rewind the clock
+    // or crash the sweeps.
+    auto reports = monitor->feed(
+        record("svc-a", std::string("ping ") + uuid(2), 4.8));
+    EXPECT_TRUE(reports.empty());
+    EXPECT_EQ(monitor->activeGroups(), 2u);
+}
+
+TEST_F(MonitorTest, FinishFlushesAsEndOfStream)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    auto reports = monitor->finish();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].event.kind, CheckEventKind::Timeout);
+    EXPECT_TRUE(reports[0].endOfStream);
+    EXPECT_TRUE(monitor->finish().empty()) << "finish is idempotent";
+}
+
+TEST_F(MonitorTest, ErrorRecordTriggersErrorCriterion)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    auto reports = monitor->feed(record(
+        "svc-a", std::string("exploded on ") + uuid(1), 1.5,
+        logging::LogLevel::Error));
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].event.kind, CheckEventKind::ErrorDetected);
+    EXPECT_EQ(reports[0].event.taskName, "ping-pong");
+}
+
+TEST_F(MonitorTest, FeedLineParsesTheWireFormat)
+{
+    logging::LogRecord r1 =
+        record("svc-a", std::string("ping ") + uuid(1), 1.0);
+    logging::LogRecord r2 =
+        record("svc-b", std::string("pong ") + uuid(1), 2.0);
+    EXPECT_TRUE(
+        monitor->feedLine(logging::encodeLogLine(r1)).empty());
+    auto reports = monitor->feedLine(logging::encodeLogLine(r2));
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].event.kind, CheckEventKind::Accepted);
+}
+
+TEST_F(MonitorTest, FeedLineCountsMalformedInput)
+{
+    EXPECT_TRUE(monitor->feedLine("not a log line").empty());
+    EXPECT_EQ(monitor->malformedLines(), 1u);
+}
+
+TEST_F(MonitorTest, UnknownTemplatesPassThrough)
+{
+    auto reports = monitor->feed(
+        record("svc-c", "background audit noise", 1.0));
+    EXPECT_TRUE(reports.empty());
+    EXPECT_EQ(monitor->stats().recoveredPassUnknown, 1u);
+}
+
+TEST_F(MonitorTest, ReportRenderingIncludesContext)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    auto reports = monitor->finish();
+    ASSERT_EQ(reports.size(), 1u);
+    std::string summary = reports[0].summary(monitor->catalog());
+    EXPECT_NE(summary.find("TIMEOUT"), std::string::npos);
+    EXPECT_NE(summary.find("ping-pong"), std::string::npos);
+    EXPECT_NE(summary.find("end-of-stream"), std::string::npos);
+
+    std::string detail = reports[0].describe(monitor->catalog());
+    EXPECT_NE(detail.find("expected next"), std::string::npos);
+    EXPECT_NE(detail.find("svc-b: pong <uuid>"), std::string::npos);
+}
+
+TEST_F(MonitorTest, AcceptedSummaryNamesTask)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    auto reports = monitor->feed(
+        record("svc-b", std::string("pong ") + uuid(1), 1.2));
+    ASSERT_EQ(reports.size(), 1u);
+    std::string summary = reports[0].summary(monitor->catalog());
+    EXPECT_NE(summary.find("ACCEPTED"), std::string::npos);
+    EXPECT_NE(summary.find("task=ping-pong"), std::string::npos);
+    EXPECT_NE(summary.find("messages=2"), std::string::npos);
+}
+
+TEST_F(MonitorTest, StatsDecisiveFraction)
+{
+    monitor->feed(record("svc-a", std::string("ping ") + uuid(1), 1.0));
+    monitor->feed(record("svc-b", std::string("pong ") + uuid(1), 1.1));
+    const CheckerStats &stats = monitor->stats();
+    EXPECT_EQ(stats.messages, 2u);
+    EXPECT_EQ(stats.decisive, 1u);
+    EXPECT_EQ(stats.recoveredNewSequence, 1u);
+    EXPECT_DOUBLE_EQ(stats.decisiveFraction(), 0.5);
+}

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Unit tests for the simulated OpenStack deployment: event queue,
+ * topology, workflow specs, fault injection, and ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "logging/variable_extractor.hpp"
+#include "sim/simulation.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(3.0, [&] { order.push_back(3); });
+    queue.schedule(1.0, [&] { order.push_back(1); });
+    queue.schedule(2.0, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.executedEvents(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(1.0, [&order, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1.0, [&] {
+        ++fired;
+        queue.scheduleAfter(1.0, [&] { ++fired; });
+    });
+    queue.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1.0, [&] { ++fired; });
+    queue.schedule(5.0, [&] { ++fired; });
+    queue.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(queue.empty());
+    queue.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Cluster, FiveNodeTopology)
+{
+    common::Rng rng(1);
+    Cluster cluster(rng);
+    EXPECT_EQ(cluster.computes().size(), 3u);
+    EXPECT_EQ(cluster.controller().name, "controller");
+    EXPECT_EQ(cluster.network().name, "network");
+    std::set<std::string> ips;
+    ips.insert(cluster.controller().ip);
+    ips.insert(cluster.network().ip);
+    for (const Node &node : cluster.computes())
+        ips.insert(node.ip);
+    EXPECT_EQ(ips.size(), 5u) << "node IPs must be distinct";
+}
+
+TEST(TaskType, NamesRoundTrip)
+{
+    for (TaskType type : kAllTaskTypes) {
+        TaskType parsed;
+        ASSERT_TRUE(parseTaskType(taskTypeName(type), parsed));
+        EXPECT_EQ(parsed, type);
+    }
+    TaskType out;
+    EXPECT_FALSE(parseTaskType("reboot", out));
+}
+
+TEST(Flows, KeyMessageCountsMatchPaperTable2)
+{
+    // Paper Table 2 "Msgs" column.
+    EXPECT_EQ(keyMessageCount(TaskType::Boot), 23u);
+    EXPECT_EQ(keyMessageCount(TaskType::Delete), 9u);
+    EXPECT_EQ(keyMessageCount(TaskType::Start), 7u);
+    EXPECT_EQ(keyMessageCount(TaskType::Stop), 6u);
+    EXPECT_EQ(keyMessageCount(TaskType::Pause), 7u);
+    EXPECT_EQ(keyMessageCount(TaskType::Unpause), 7u);
+    EXPECT_EQ(keyMessageCount(TaskType::Suspend), 6u);
+    EXPECT_EQ(keyMessageCount(TaskType::Resume), 7u);
+}
+
+TEST(Flows, DependenciesAreAcyclicAndInRange)
+{
+    for (TaskType type : kAllTaskTypes) {
+        const FlowSpec &flow = flowFor(type);
+        for (std::size_t i = 0; i < flow.steps.size(); ++i) {
+            for (int dep : flow.steps[i].deps) {
+                EXPECT_GE(dep, 0);
+                // Flows are written in topological order: dependencies
+                // always point backwards, which implies acyclicity.
+                EXPECT_LT(dep, static_cast<int>(i))
+                    << taskTypeName(type) << " step " << i;
+            }
+        }
+    }
+}
+
+TEST(Flows, EveryTaskHasAsyncBranching)
+{
+    // Each workflow must contain at least one fork (a step with two
+    // dependents) to exercise in-sequence interleaving.
+    for (TaskType type : kAllTaskTypes) {
+        const FlowSpec &flow = flowFor(type);
+        std::map<int, int> dependents;
+        for (const FlowStep &step : flow.steps) {
+            if (step.variablePoll)
+                continue;
+            for (int dep : step.deps)
+                ++dependents[dep];
+        }
+        bool has_fork = false;
+        for (auto [step, count] : dependents)
+            has_fork |= count > 1;
+        EXPECT_TRUE(has_fork) << taskTypeName(type);
+    }
+}
+
+TEST(Flows, InjectionSitesCoverTable4)
+{
+    // Every Table 4 injection point must be reachable from some flow.
+    std::set<InjectionPoint> seen;
+    for (TaskType type : kAllTaskTypes) {
+        for (const FlowStep &step : flowFor(type).steps) {
+            for (InjectionPoint site : step.sites)
+                seen.insert(site);
+        }
+    }
+    for (InjectionPoint point : kAllInjectionPoints)
+        EXPECT_TRUE(seen.count(point)) << injectionPointName(point);
+}
+
+TEST(Flows, BodiesCarryIdentifiers)
+{
+    // Every key message must carry at least one routable identifier
+    // (IP or UUID) so the checker can associate it with a sequence.
+    logging::VariableExtractor extractor;
+    TaskContext ctx;
+    ctx.requestId = "11111111-2222-3333-4444-555555555555";
+    ctx.userId = "aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeee";
+    ctx.tenantId = "99999999-8888-7777-6666-555555555555";
+    ctx.instanceId = "12121212-3434-5656-7878-909090909090";
+    ctx.imageId = "abcdabcd-abcd-abcd-abcd-abcdabcdabcd";
+    ctx.clientIp = "10.1.2.3";
+    ctx.computeNode = "compute-1";
+    ctx.computeIp = "10.9.8.7";
+    for (TaskType type : kAllTaskTypes) {
+        for (const FlowStep &step : flowFor(type).steps) {
+            std::string body = step.body(ctx);
+            EXPECT_FALSE(extractor.extractIdentifiers(body).empty())
+                << taskTypeName(type) << ": " << body;
+        }
+    }
+}
+
+TEST(FaultInjector, DisabledNeverTriggers)
+{
+    FaultInjector injector;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(injector.evaluate(InjectionPoint::AmqpSender,
+                                    1, 0.0),
+                  ProblemType::None);
+    }
+    EXPECT_TRUE(injector.records().empty());
+}
+
+TEST(FaultInjector, OnlyEnabledPointTriggers)
+{
+    FaultInjector injector(InjectionPoint::ImageCreate, 1.0, 1.0, 1);
+    EXPECT_EQ(injector.evaluate(InjectionPoint::AmqpSender, 1, 0.0),
+              ProblemType::None);
+    EXPECT_NE(injector.evaluate(InjectionPoint::ImageCreate, 1, 0.0),
+              ProblemType::None);
+}
+
+TEST(FaultInjector, AtMostOneProblemPerExecution)
+{
+    FaultInjector injector(InjectionPoint::AmqpSender, 1.0, 1.0, 2);
+    EXPECT_NE(injector.evaluate(InjectionPoint::AmqpSender, 7, 0.0),
+              ProblemType::None);
+    EXPECT_EQ(injector.evaluate(InjectionPoint::AmqpSender, 7, 1.0),
+              ProblemType::None);
+    EXPECT_EQ(injector.records().size(), 1u);
+    EXPECT_EQ(injector.records()[0].execution, 7u);
+}
+
+TEST(FaultInjector, TriggerRateApproximatesProbability)
+{
+    FaultInjector injector(InjectionPoint::WsgiServer, 0.25, 0.5, 3);
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        injector.evaluate(InjectionPoint::WsgiServer,
+                          static_cast<logging::ExecutionId>(i + 1), 0.0);
+    }
+    double rate =
+        static_cast<double>(injector.records().size()) / trials;
+    EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultInjector, ProblemTypesAllOccur)
+{
+    FaultInjector injector(InjectionPoint::AmqpReceiver, 1.0, 0.5, 4);
+    std::set<ProblemType> seen;
+    for (int i = 0; i < 100; ++i) {
+        seen.insert(injector.evaluate(
+            InjectionPoint::AmqpReceiver,
+            static_cast<logging::ExecutionId>(i + 1), 0.0));
+    }
+    EXPECT_TRUE(seen.count(ProblemType::Delay));
+    EXPECT_TRUE(seen.count(ProblemType::Abort));
+    EXPECT_TRUE(seen.count(ProblemType::Silent));
+}
+
+TEST(Simulation, HealthyBootEmitsAllKeyMessages)
+{
+    Simulation simulation(SimConfig{}, 11);
+    UserProfile user = simulation.makeUser();
+    VmHandle vm = simulation.makeVm();
+    logging::ExecutionId exec =
+        simulation.submit(TaskType::Boot, 0.0, user, vm);
+    simulation.run();
+
+    std::size_t task_records = 0;
+    for (const logging::LogRecord &record : simulation.records()) {
+        if (record.truthExecution == exec)
+            ++task_records;
+    }
+    EXPECT_GE(task_records, keyMessageCount(TaskType::Boot));
+    EXPECT_TRUE(simulation.truth().execution(exec).completed);
+    EXPECT_FALSE(vm.computeNode.empty()) << "boot must place the VM";
+}
+
+TEST(Simulation, DeterministicForEqualSeeds)
+{
+    auto run = [](std::uint64_t seed) {
+        Simulation simulation(SimConfig{}, seed);
+        UserProfile user = simulation.makeUser();
+        VmHandle vm = simulation.makeVm();
+        simulation.submit(TaskType::Boot, 0.0, user, vm);
+        simulation.submit(TaskType::Delete, 8.0, user, vm);
+        simulation.run();
+        std::vector<std::string> bodies;
+        for (const logging::LogRecord &record : simulation.records())
+            bodies.push_back(record.body);
+        return bodies;
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(Simulation, TimestampsNonDecreasing)
+{
+    Simulation simulation(SimConfig{}, 12);
+    UserProfile user = simulation.makeUser();
+    VmHandle vm = simulation.makeVm();
+    simulation.submit(TaskType::Boot, 0.0, user, vm);
+    simulation.run();
+    const auto &records = simulation.records();
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_GE(records[i].timestamp, records[i - 1].timestamp);
+}
+
+TEST(Simulation, AbortInjectionCancelsDownstream)
+{
+    SimConfig config;
+    config.enableNoise = false;
+    Simulation simulation(config, 13);
+    // Probability 1 and error probability 1: deterministic abort with
+    // an ERROR message at the first AMQP crossing.
+    simulation.setInjector(
+        FaultInjector(InjectionPoint::AmqpSender, 1.0, 1.0, 13));
+    UserProfile user = simulation.makeUser();
+    VmHandle vm = simulation.makeVm();
+    logging::ExecutionId exec =
+        simulation.submit(TaskType::Boot, 0.0, user, vm);
+    simulation.run();
+
+    const ExecutionInfo &info = simulation.truth().execution(exec);
+    EXPECT_TRUE(info.aborted);
+    EXPECT_FALSE(info.completed);
+    EXPECT_LT(info.emittedMessages, keyMessageCount(TaskType::Boot));
+
+    bool saw_error = false;
+    for (const logging::LogRecord &record : simulation.records())
+        saw_error |= record.level == logging::LogLevel::Error;
+    EXPECT_TRUE(saw_error);
+    ASSERT_EQ(simulation.injector().records().size(), 1u);
+    EXPECT_TRUE(simulation.injector().records()[0].emittedError);
+}
+
+TEST(Simulation, DelayInjectionStretchesExecution)
+{
+    SimConfig config;
+    config.enableNoise = false;
+    Simulation simulation(config, 77);
+    // Find a seed-dependent delay by scanning executions until the
+    // injector picks Delay (types are drawn uniformly).
+    simulation.setInjector(
+        FaultInjector(InjectionPoint::AmqpReceiver, 1.0, 0.0, 3));
+    UserProfile user = simulation.makeUser();
+    bool found_delay = false;
+    for (int i = 0; i < 12 && !found_delay; ++i) {
+        VmHandle vm = simulation.makeVm();
+        logging::ExecutionId exec = simulation.submit(
+            TaskType::Boot, i * 100.0, user, vm);
+        simulation.run();
+        const ExecutionInfo &info = simulation.truth().execution(exec);
+        if (info.delayed) {
+            found_delay = true;
+            EXPECT_TRUE(info.completed)
+                << "delayed executions still finish";
+            EXPECT_GT(info.lastEmit - info.firstEmit, 10.0)
+                << "the injected delay must exceed the 10 s timeout";
+        }
+    }
+    EXPECT_TRUE(found_delay);
+}
+
+TEST(Simulation, SilentInjectionEmitsNoError)
+{
+    SimConfig config;
+    config.enableNoise = false;
+    Simulation simulation(config, 21);
+    simulation.setInjector(
+        FaultInjector(InjectionPoint::ImageCreate, 1.0, 1.0, 8));
+    UserProfile user = simulation.makeUser();
+    bool found_silent = false;
+    for (int i = 0; i < 16 && !found_silent; ++i) {
+        VmHandle vm = simulation.makeVm();
+        logging::ExecutionId exec = simulation.submit(
+            TaskType::Boot, i * 100.0, user, vm);
+        simulation.run();
+        const ExecutionInfo &info = simulation.truth().execution(exec);
+        if (info.silentDrop) {
+            found_silent = true;
+            EXPECT_FALSE(info.completed);
+            for (const logging::LogRecord &record :
+                 simulation.records()) {
+                if (record.truthExecution == exec) {
+                    EXPECT_NE(record.level, logging::LogLevel::Error);
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(found_silent);
+}
+
+TEST(Simulation, SharedUserIsStable)
+{
+    Simulation simulation(SimConfig{}, 30);
+    const UserProfile &a = simulation.sharedUser();
+    const UserProfile &b = simulation.sharedUser();
+    EXPECT_EQ(a.userId, b.userId);
+    EXPECT_EQ(a.clientIp, b.clientIp);
+    UserProfile fresh = simulation.makeUser();
+    EXPECT_NE(fresh.userId, a.userId);
+}
+
+TEST(Simulation, NoiseCanBeDisabled)
+{
+    SimConfig config;
+    config.enableNoise = false;
+    Simulation simulation(config, 31);
+    UserProfile user = simulation.makeUser();
+    VmHandle vm = simulation.makeVm();
+    simulation.submit(TaskType::Stop, 0.0, user, vm);
+    simulation.run();
+    for (const logging::LogRecord &record : simulation.records())
+        EXPECT_NE(record.truthExecution, 0u);
+}
+
+TEST(GroundTruth, ConcurrencyPeaks)
+{
+    GroundTruth truth;
+    auto a = truth.beginExecution(TaskType::Boot, "u", "i1", 0.0);
+    auto b = truth.beginExecution(TaskType::Boot, "u", "i2", 0.0);
+    auto c = truth.beginExecution(TaskType::Boot, "u", "i3", 0.0);
+    // a: [0, 10], b: [5, 15] (overlaps a), c: [20, 30] (alone).
+    truth.noteEmission(a, 0.0);
+    truth.noteEmission(a, 10.0);
+    truth.noteEmission(b, 5.0);
+    truth.noteEmission(b, 15.0);
+    truth.noteEmission(c, 20.0);
+    truth.noteEmission(c, 30.0);
+
+    std::vector<int> peaks = truth.maxConcurrency();
+    EXPECT_EQ(peaks[0], 2);
+    EXPECT_EQ(peaks[1], 2);
+    EXPECT_EQ(peaks[2], 1);
+    EXPECT_NEAR(truth.interleavedFraction(2), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(truth.interleavedFraction(3), 0.0, 1e-9);
+}
+
+TEST(GroundTruth, EmissionWindowTracksMinMax)
+{
+    GroundTruth truth;
+    auto a = truth.beginExecution(TaskType::Stop, "u", "i", 1.0);
+    truth.noteEmission(a, 5.0);
+    truth.noteEmission(a, 2.0);
+    truth.noteEmission(a, 9.0);
+    const ExecutionInfo &info = truth.execution(a);
+    EXPECT_DOUBLE_EQ(info.firstEmit, 2.0);
+    EXPECT_DOUBLE_EQ(info.lastEmit, 9.0);
+    EXPECT_EQ(info.emittedMessages, 3u);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the test suite: tiny catalogs and hand-built
+ * automata over single-letter templates.
+ */
+
+#ifndef CLOUDSEER_TESTS_TEST_UTIL_HPP
+#define CLOUDSEER_TESTS_TEST_UTIL_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/automaton/task_automaton.hpp"
+#include "core/checker/check_types.hpp"
+#include "logging/template_catalog.hpp"
+
+namespace cloudseer::testutil {
+
+/** Catalog plus name->id map for letter templates ("A", "B", ...). */
+struct LetterCatalog
+{
+    std::shared_ptr<logging::TemplateCatalog> catalog =
+        std::make_shared<logging::TemplateCatalog>();
+    std::map<std::string, logging::TemplateId> ids;
+
+    /** Intern (or fetch) a letter template under service "svc". */
+    logging::TemplateId
+    id(const std::string &letter)
+    {
+        auto it = ids.find(letter);
+        if (it != ids.end())
+            return it->second;
+        logging::TemplateId tpl = catalog->intern("svc", letter);
+        ids.emplace(letter, tpl);
+        return tpl;
+    }
+};
+
+/**
+ * Build an automaton over letter templates from an edge list like
+ * {{"A","B"},{"B","C"}}. Every letter mentioned becomes one event
+ * (occurrence 0).
+ */
+inline core::TaskAutomaton
+makeLetterAutomaton(LetterCatalog &letters, const std::string &name,
+                    const std::vector<std::string> &nodes,
+                    const std::vector<std::pair<std::string,
+                                                std::string>> &edges)
+{
+    std::map<std::string, int> index;
+    std::vector<core::EventNode> events;
+    for (const std::string &node : nodes) {
+        index[node] = static_cast<int>(events.size());
+        events.push_back({letters.id(node), 0});
+    }
+    std::vector<core::DependencyEdge> built;
+    for (const auto &[from, to] : edges)
+        built.push_back({index.at(from), index.at(to), false});
+    return core::TaskAutomaton(name, std::move(events), std::move(built));
+}
+
+/** Build a CheckMessage over a letter template with identifiers. */
+inline core::CheckMessage
+makeMessage(LetterCatalog &letters, const std::string &letter,
+            std::vector<std::string> identifiers,
+            logging::RecordId record, common::SimTime time,
+            logging::LogLevel level = logging::LogLevel::Info)
+{
+    core::CheckMessage message;
+    message.tpl = letters.id(letter);
+    message.identifiers = std::move(identifiers);
+    message.record = record;
+    message.time = time;
+    message.level = level;
+    return message;
+}
+
+} // namespace cloudseer::testutil
+
+#endif // CLOUDSEER_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit and property tests for the workload generator, including
+ * parameterized sweeps over the paper's Table 3 axes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload_generator.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::workload;
+using sim::TaskType;
+
+TEST(WorkloadGrammar, AcceptsPaperShapes)
+{
+    EXPECT_TRUE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Delete}));
+    EXPECT_TRUE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Stop, TaskType::Start,
+         TaskType::Delete}));
+    EXPECT_TRUE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Pause, TaskType::Unpause,
+         TaskType::Suspend, TaskType::Resume, TaskType::Delete,
+         TaskType::Boot, TaskType::Delete}));
+}
+
+TEST(WorkloadGrammar, RejectsViolations)
+{
+    EXPECT_FALSE(matchesWorkloadGrammar({}));
+    EXPECT_FALSE(matchesWorkloadGrammar({TaskType::Boot}));
+    EXPECT_FALSE(matchesWorkloadGrammar({TaskType::Delete}));
+    // Pair halves out of order.
+    EXPECT_FALSE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Start, TaskType::Stop,
+         TaskType::Delete}));
+    // Mixed pair.
+    EXPECT_FALSE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Stop, TaskType::Unpause,
+         TaskType::Delete}));
+    // Group never closed.
+    EXPECT_FALSE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Stop, TaskType::Start}));
+    // Delete without boot.
+    EXPECT_FALSE(matchesWorkloadGrammar(
+        {TaskType::Boot, TaskType::Delete, TaskType::Stop,
+         TaskType::Start, TaskType::Delete}));
+}
+
+TEST(WorkloadGenerator, PlanIsDeterministic)
+{
+    WorkloadConfig config;
+    config.users = 3;
+    config.tasksPerUser = 40;
+    config.seed = 7;
+    WorkloadGenerator generator(config);
+    auto a = generator.plan();
+    auto b = generator.plan();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].user, b[i].user);
+        EXPECT_EQ(a[i].type, b[i].type);
+        EXPECT_DOUBLE_EQ(a[i].submitTime, b[i].submitTime);
+    }
+}
+
+TEST(WorkloadGenerator, SeedsChangeThePlan)
+{
+    WorkloadConfig config;
+    config.users = 2;
+    config.tasksPerUser = 40;
+    config.seed = 1;
+    auto a = WorkloadGenerator(config).plan();
+    config.seed = 2;
+    auto b = WorkloadGenerator(config).plan();
+    bool differs = false;
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        differs |= a[i].type != b[i].type;
+    EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadGenerator, InterTaskWaitRespected)
+{
+    WorkloadConfig config;
+    config.users = 2;
+    config.tasksPerUser = 10;
+    config.interTaskWait = 15.0;
+    config.seed = 3;
+    auto plan = WorkloadGenerator(config).plan();
+    std::map<int, double> last;
+    for (const PlannedTask &task : plan) {
+        auto it = last.find(task.user);
+        if (it != last.end()) {
+            // Jitter is ±1 s around the 15 s wait.
+            EXPECT_GE(task.submitTime - it->second, 13.9);
+            EXPECT_LE(task.submitTime - it->second, 16.1);
+        }
+        last[task.user] = task.submitTime;
+    }
+}
+
+TEST(WorkloadGenerator, SubmitAllRunsEveryTask)
+{
+    WorkloadConfig config;
+    config.users = 2;
+    config.tasksPerUser = 12;
+    config.seed = 5;
+    sim::SimConfig sim_config;
+    sim_config.enableNoise = false;
+    sim::Simulation simulation(sim_config, 5);
+    std::size_t submitted =
+        WorkloadGenerator(config).submitAll(simulation);
+    simulation.run();
+    EXPECT_EQ(submitted, 24u);
+    EXPECT_EQ(simulation.truth().executions().size(), 24u);
+    for (const sim::ExecutionInfo &info :
+         simulation.truth().executions()) {
+        EXPECT_TRUE(info.completed)
+            << "healthy workload tasks must all complete";
+    }
+}
+
+TEST(WorkloadGenerator, SingleUidSharesIdentity)
+{
+    WorkloadConfig config;
+    config.users = 3;
+    config.tasksPerUser = 4;
+    config.singleUid = true;
+    config.seed = 6;
+    sim::SimConfig sim_config;
+    sim_config.enableNoise = false;
+    sim::Simulation simulation(sim_config, 6);
+    WorkloadGenerator(config).submitAll(simulation);
+    simulation.run();
+    std::set<std::string> users;
+    for (const sim::ExecutionInfo &info :
+         simulation.truth().executions()) {
+        users.insert(info.userId);
+    }
+    EXPECT_EQ(users.size(), 1u);
+}
+
+TEST(WorkloadGenerator, DistinctUidDiffer)
+{
+    WorkloadConfig config;
+    config.users = 3;
+    config.tasksPerUser = 4;
+    config.singleUid = false;
+    config.seed = 6;
+    sim::SimConfig sim_config;
+    sim_config.enableNoise = false;
+    sim::Simulation simulation(sim_config, 6);
+    WorkloadGenerator(config).submitAll(simulation);
+    simulation.run();
+    std::set<std::string> users;
+    for (const sim::ExecutionInfo &info :
+         simulation.truth().executions()) {
+        users.insert(info.userId);
+    }
+    EXPECT_EQ(users.size(), 3u);
+}
+
+TEST(WorkloadGenerator, BootOpensFreshVm)
+{
+    WorkloadConfig config;
+    config.users = 1;
+    config.tasksPerUser = 20;
+    config.seed = 8;
+    sim::SimConfig sim_config;
+    sim_config.enableNoise = false;
+    sim::Simulation simulation(sim_config, 8);
+    WorkloadGenerator(config).submitAll(simulation);
+    simulation.run();
+
+    // Within one boot..delete group, all tasks share the instance;
+    // across groups, instances differ.
+    std::string current;
+    std::set<std::string> instances;
+    for (const sim::ExecutionInfo &info :
+         simulation.truth().executions()) {
+        if (info.type == sim::TaskType::Boot) {
+            EXPECT_FALSE(instances.count(info.instanceId))
+                << "boot must create a fresh VM identity";
+            instances.insert(info.instanceId);
+            current = info.instanceId;
+        } else {
+            EXPECT_EQ(info.instanceId, current);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: any (users, tasksPerUser, seed) combination yields
+// scripts that match the paper's regular expression exactly.
+// ---------------------------------------------------------------------
+
+struct WorkloadParam
+{
+    int users;
+    int tasks;
+    std::uint64_t seed;
+};
+
+class WorkloadProperty
+    : public ::testing::TestWithParam<WorkloadParam>
+{
+};
+
+TEST_P(WorkloadProperty, PlansHonourGrammarAndCounts)
+{
+    WorkloadParam param = GetParam();
+    WorkloadConfig config;
+    config.users = param.users;
+    config.tasksPerUser = param.tasks;
+    config.seed = param.seed;
+    auto plan = WorkloadGenerator(config).plan();
+    EXPECT_EQ(plan.size(),
+              static_cast<std::size_t>(param.users * param.tasks));
+
+    std::map<int, std::vector<TaskType>> per_user;
+    std::map<int, double> last_time;
+    for (const PlannedTask &task : plan) {
+        per_user[task.user].push_back(task.type);
+        auto it = last_time.find(task.user);
+        if (it != last_time.end()) {
+            EXPECT_GT(task.submitTime, it->second);
+        }
+        last_time[task.user] = task.submitTime;
+    }
+    EXPECT_EQ(per_user.size(), static_cast<std::size_t>(param.users));
+    for (auto &[user, script] : per_user) {
+        EXPECT_EQ(script.size(), static_cast<std::size_t>(param.tasks));
+        EXPECT_TRUE(matchesWorkloadGrammar(script));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadProperty,
+    ::testing::Values(WorkloadParam{1, 2, 1}, WorkloadParam{1, 80, 2},
+                      WorkloadParam{2, 80, 3}, WorkloadParam{3, 80, 4},
+                      WorkloadParam{4, 80, 5}, WorkloadParam{4, 40, 6},
+                      WorkloadParam{2, 10, 7}, WorkloadParam{8, 16, 8},
+                      WorkloadParam{5, 50, 9},
+                      WorkloadParam{3, 100, 10}));
