@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_automata.dir/bench_table2_automata.cpp.o"
+  "CMakeFiles/bench_table2_automata.dir/bench_table2_automata.cpp.o.d"
+  "bench_table2_automata"
+  "bench_table2_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_detection.cpp" "bench/CMakeFiles/bench_table7_detection.dir/bench_table7_detection.cpp.o" "gcc" "bench/CMakeFiles/bench_table7_detection.dir/bench_table7_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/cloudseer_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cloudseer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cloudseer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudseer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/cloudseer_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cloudseer_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/cloudseer_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudseer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_explorer.dir/mining_explorer.cpp.o"
+  "CMakeFiles/mining_explorer.dir/mining_explorer.cpp.o.d"
+  "mining_explorer"
+  "mining_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_cloud.dir/monitor_cloud.cpp.o"
+  "CMakeFiles/monitor_cloud.dir/monitor_cloud.cpp.o.d"
+  "monitor_cloud"
+  "monitor_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

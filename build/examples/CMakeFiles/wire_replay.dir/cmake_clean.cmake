@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_replay.dir/wire_replay.cpp.o"
+  "CMakeFiles/wire_replay.dir/wire_replay.cpp.o.d"
+  "wire_replay"
+  "wire_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/offline_detector.cpp" "src/baseline/CMakeFiles/cloudseer_baseline.dir/offline_detector.cpp.o" "gcc" "src/baseline/CMakeFiles/cloudseer_baseline.dir/offline_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logging/CMakeFiles/cloudseer_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudseer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

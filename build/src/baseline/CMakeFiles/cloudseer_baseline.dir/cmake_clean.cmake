@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_baseline.dir/offline_detector.cpp.o"
+  "CMakeFiles/cloudseer_baseline.dir/offline_detector.cpp.o.d"
+  "libcloudseer_baseline.a"
+  "libcloudseer_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

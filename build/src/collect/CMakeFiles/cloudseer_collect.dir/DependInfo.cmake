@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/log_store.cpp" "src/collect/CMakeFiles/cloudseer_collect.dir/log_store.cpp.o" "gcc" "src/collect/CMakeFiles/cloudseer_collect.dir/log_store.cpp.o.d"
+  "/root/repo/src/collect/node_sinks.cpp" "src/collect/CMakeFiles/cloudseer_collect.dir/node_sinks.cpp.o" "gcc" "src/collect/CMakeFiles/cloudseer_collect.dir/node_sinks.cpp.o.d"
+  "/root/repo/src/collect/stream_merger.cpp" "src/collect/CMakeFiles/cloudseer_collect.dir/stream_merger.cpp.o" "gcc" "src/collect/CMakeFiles/cloudseer_collect.dir/stream_merger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logging/CMakeFiles/cloudseer_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudseer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_collect.dir/log_store.cpp.o"
+  "CMakeFiles/cloudseer_collect.dir/log_store.cpp.o.d"
+  "CMakeFiles/cloudseer_collect.dir/node_sinks.cpp.o"
+  "CMakeFiles/cloudseer_collect.dir/node_sinks.cpp.o.d"
+  "CMakeFiles/cloudseer_collect.dir/stream_merger.cpp.o"
+  "CMakeFiles/cloudseer_collect.dir/stream_merger.cpp.o.d"
+  "libcloudseer_collect.a"
+  "libcloudseer_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

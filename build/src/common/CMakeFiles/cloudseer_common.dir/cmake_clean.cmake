@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_common.dir/error.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/error.cpp.o.d"
+  "CMakeFiles/cloudseer_common.dir/rng.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cloudseer_common.dir/stats.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cloudseer_common.dir/string_util.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/cloudseer_common.dir/table.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/table.cpp.o.d"
+  "CMakeFiles/cloudseer_common.dir/time_util.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/time_util.cpp.o.d"
+  "CMakeFiles/cloudseer_common.dir/uuid.cpp.o"
+  "CMakeFiles/cloudseer_common.dir/uuid.cpp.o.d"
+  "libcloudseer_common.a"
+  "libcloudseer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automaton/automaton_instance.cpp" "src/core/CMakeFiles/cloudseer_core.dir/automaton/automaton_instance.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/automaton/automaton_instance.cpp.o.d"
+  "/root/repo/src/core/automaton/refinement.cpp" "src/core/CMakeFiles/cloudseer_core.dir/automaton/refinement.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/automaton/refinement.cpp.o.d"
+  "/root/repo/src/core/automaton/task_automaton.cpp" "src/core/CMakeFiles/cloudseer_core.dir/automaton/task_automaton.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/automaton/task_automaton.cpp.o.d"
+  "/root/repo/src/core/checker/automaton_group.cpp" "src/core/CMakeFiles/cloudseer_core.dir/checker/automaton_group.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/checker/automaton_group.cpp.o.d"
+  "/root/repo/src/core/checker/identifier_set.cpp" "src/core/CMakeFiles/cloudseer_core.dir/checker/identifier_set.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/checker/identifier_set.cpp.o.d"
+  "/root/repo/src/core/checker/interleaved_checker.cpp" "src/core/CMakeFiles/cloudseer_core.dir/checker/interleaved_checker.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/checker/interleaved_checker.cpp.o.d"
+  "/root/repo/src/core/mining/dependency_miner.cpp" "src/core/CMakeFiles/cloudseer_core.dir/mining/dependency_miner.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/mining/dependency_miner.cpp.o.d"
+  "/root/repo/src/core/mining/model_builder.cpp" "src/core/CMakeFiles/cloudseer_core.dir/mining/model_builder.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/mining/model_builder.cpp.o.d"
+  "/root/repo/src/core/mining/model_io.cpp" "src/core/CMakeFiles/cloudseer_core.dir/mining/model_io.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/mining/model_io.cpp.o.d"
+  "/root/repo/src/core/mining/preprocessor.cpp" "src/core/CMakeFiles/cloudseer_core.dir/mining/preprocessor.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/mining/preprocessor.cpp.o.d"
+  "/root/repo/src/core/monitor/report.cpp" "src/core/CMakeFiles/cloudseer_core.dir/monitor/report.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/monitor/report.cpp.o.d"
+  "/root/repo/src/core/monitor/report_json.cpp" "src/core/CMakeFiles/cloudseer_core.dir/monitor/report_json.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/monitor/report_json.cpp.o.d"
+  "/root/repo/src/core/monitor/timeout_estimator.cpp" "src/core/CMakeFiles/cloudseer_core.dir/monitor/timeout_estimator.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/monitor/timeout_estimator.cpp.o.d"
+  "/root/repo/src/core/monitor/workflow_monitor.cpp" "src/core/CMakeFiles/cloudseer_core.dir/monitor/workflow_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cloudseer_core.dir/monitor/workflow_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logging/CMakeFiles/cloudseer_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudseer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_core.dir/automaton/automaton_instance.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/automaton/automaton_instance.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/automaton/refinement.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/automaton/refinement.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/automaton/task_automaton.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/automaton/task_automaton.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/checker/automaton_group.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/checker/automaton_group.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/checker/identifier_set.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/checker/identifier_set.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/checker/interleaved_checker.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/checker/interleaved_checker.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/mining/dependency_miner.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/mining/dependency_miner.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/mining/model_builder.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/mining/model_builder.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/mining/model_io.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/mining/model_io.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/mining/preprocessor.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/mining/preprocessor.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/monitor/report.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/monitor/report.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/monitor/report_json.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/monitor/report_json.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/monitor/timeout_estimator.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/monitor/timeout_estimator.cpp.o.d"
+  "CMakeFiles/cloudseer_core.dir/monitor/workflow_monitor.cpp.o"
+  "CMakeFiles/cloudseer_core.dir/monitor/workflow_monitor.cpp.o.d"
+  "libcloudseer_core.a"
+  "libcloudseer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_eval.dir/accuracy_harness.cpp.o"
+  "CMakeFiles/cloudseer_eval.dir/accuracy_harness.cpp.o.d"
+  "CMakeFiles/cloudseer_eval.dir/detection_harness.cpp.o"
+  "CMakeFiles/cloudseer_eval.dir/detection_harness.cpp.o.d"
+  "CMakeFiles/cloudseer_eval.dir/experiment_config.cpp.o"
+  "CMakeFiles/cloudseer_eval.dir/experiment_config.cpp.o.d"
+  "CMakeFiles/cloudseer_eval.dir/modeling_harness.cpp.o"
+  "CMakeFiles/cloudseer_eval.dir/modeling_harness.cpp.o.d"
+  "CMakeFiles/cloudseer_eval.dir/streaming_session.cpp.o"
+  "CMakeFiles/cloudseer_eval.dir/streaming_session.cpp.o.d"
+  "CMakeFiles/cloudseer_eval.dir/timeout_learning.cpp.o"
+  "CMakeFiles/cloudseer_eval.dir/timeout_learning.cpp.o.d"
+  "libcloudseer_eval.a"
+  "libcloudseer_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

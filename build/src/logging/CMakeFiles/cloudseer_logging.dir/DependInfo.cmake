@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logging/log_codec.cpp" "src/logging/CMakeFiles/cloudseer_logging.dir/log_codec.cpp.o" "gcc" "src/logging/CMakeFiles/cloudseer_logging.dir/log_codec.cpp.o.d"
+  "/root/repo/src/logging/log_level.cpp" "src/logging/CMakeFiles/cloudseer_logging.dir/log_level.cpp.o" "gcc" "src/logging/CMakeFiles/cloudseer_logging.dir/log_level.cpp.o.d"
+  "/root/repo/src/logging/log_record.cpp" "src/logging/CMakeFiles/cloudseer_logging.dir/log_record.cpp.o" "gcc" "src/logging/CMakeFiles/cloudseer_logging.dir/log_record.cpp.o.d"
+  "/root/repo/src/logging/template_catalog.cpp" "src/logging/CMakeFiles/cloudseer_logging.dir/template_catalog.cpp.o" "gcc" "src/logging/CMakeFiles/cloudseer_logging.dir/template_catalog.cpp.o.d"
+  "/root/repo/src/logging/variable_extractor.cpp" "src/logging/CMakeFiles/cloudseer_logging.dir/variable_extractor.cpp.o" "gcc" "src/logging/CMakeFiles/cloudseer_logging.dir/variable_extractor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudseer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_logging.dir/log_codec.cpp.o"
+  "CMakeFiles/cloudseer_logging.dir/log_codec.cpp.o.d"
+  "CMakeFiles/cloudseer_logging.dir/log_level.cpp.o"
+  "CMakeFiles/cloudseer_logging.dir/log_level.cpp.o.d"
+  "CMakeFiles/cloudseer_logging.dir/log_record.cpp.o"
+  "CMakeFiles/cloudseer_logging.dir/log_record.cpp.o.d"
+  "CMakeFiles/cloudseer_logging.dir/template_catalog.cpp.o"
+  "CMakeFiles/cloudseer_logging.dir/template_catalog.cpp.o.d"
+  "CMakeFiles/cloudseer_logging.dir/variable_extractor.cpp.o"
+  "CMakeFiles/cloudseer_logging.dir/variable_extractor.cpp.o.d"
+  "libcloudseer_logging.a"
+  "libcloudseer_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/fault_injector.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/flows.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/flows.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/flows.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/task_type.cpp" "src/sim/CMakeFiles/cloudseer_sim.dir/task_type.cpp.o" "gcc" "src/sim/CMakeFiles/cloudseer_sim.dir/task_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logging/CMakeFiles/cloudseer_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudseer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_sim.dir/cluster.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/cloudseer_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cloudseer_sim.dir/fault_injector.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/cloudseer_sim.dir/flows.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/flows.cpp.o.d"
+  "CMakeFiles/cloudseer_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/cloudseer_sim.dir/simulation.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/cloudseer_sim.dir/task_type.cpp.o"
+  "CMakeFiles/cloudseer_sim.dir/task_type.cpp.o.d"
+  "libcloudseer_sim.a"
+  "libcloudseer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

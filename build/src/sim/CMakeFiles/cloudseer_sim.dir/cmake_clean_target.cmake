@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudseer_sim.a"
+)

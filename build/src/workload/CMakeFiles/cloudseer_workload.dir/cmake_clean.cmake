@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudseer_workload.dir/workload_generator.cpp.o"
+  "CMakeFiles/cloudseer_workload.dir/workload_generator.cpp.o.d"
+  "libcloudseer_workload.a"
+  "libcloudseer_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudseer_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

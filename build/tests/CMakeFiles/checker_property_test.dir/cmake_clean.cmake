@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_property_test.dir/checker_property_test.cpp.o"
+  "CMakeFiles/checker_property_test.dir/checker_property_test.cpp.o.d"
+  "checker_property_test"
+  "checker_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
