@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Resilience sweep: detection quality vs. transport adversity, for
+ * the unhardened and hardened ingest paths side by side. Emits one
+ * JSON object per path (machine-readable degradation curves) plus a
+ * short human summary.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "eval/resilience_harness.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+eval::ResilienceConfig
+baseConfig()
+{
+    eval::ResilienceConfig config;
+    config.targetProblems = 10;
+    config.tasksPerUserPerRun = 12;
+    config.shipping = bench::checkingShipping();
+
+    // Intensity 1.0: the ISSUE's "moderate adversity" point — ~1%
+    // drop, ~1% duplication, 50 ms cross-node skew — plus a light
+    // wire-fault and burst-loss tail.
+    config.adversity.dropProbability = 0.01;
+    config.adversity.duplicateProbability = 0.01;
+    config.adversity.clockSkewMaxSeconds = 0.05;
+    config.adversity.clockDriftMaxPerSecond = 0.0005;
+    config.adversity.truncateProbability = 0.002;
+    config.adversity.corruptProbability = 0.002;
+    config.adversity.burstProbability = 0.0002;
+    config.intensities = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+    return config;
+}
+
+void
+printCurve(const char *label, const eval::ResilienceCurve &curve)
+{
+    std::printf("\n%s\n", label);
+    std::printf("  %-9s %-10s %-9s %-11s %-10s %-6s\n", "intensity",
+                "precision", "recall", "AD-recall", "retention",
+                "shed");
+    for (const eval::ResiliencePoint &point : curve.points) {
+        std::printf("  %-9.2f %-10.3f %-9.3f %-11.3f %-10.3f %-6llu\n",
+                    point.intensity, point.precision(), point.recall(),
+                    point.abortDelayRecall(),
+                    curve.recallRetention(point),
+                    static_cast<unsigned long long>(point.groupsShed));
+    }
+    std::printf("JSON %s %s\n", label,
+                eval::resilienceCurveToJson(curve).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Resilience", "detection under transport adversity");
+    const eval::ModeledSystem &models = bench::paperModels();
+
+    eval::ResilienceConfig unhardened = baseConfig();
+    eval::ResilienceCurve raw =
+        eval::runResilienceSweep(models, unhardened);
+    printCurve("unhardened", raw);
+
+    eval::ResilienceConfig hardened = baseConfig();
+    hardened.monitor.ingest = core::hardenedIngestDefaults();
+    eval::ResilienceCurve guarded =
+        eval::runResilienceSweep(models, hardened);
+    printCurve("hardened", guarded);
+
+    return 0;
+}

@@ -21,11 +21,18 @@ shipToCollector(const std::vector<logging::LogRecord> &records,
         }
         out.push_back({record, record.timestamp + delay});
     }
-    std::stable_sort(out.begin(), out.end(),
+    sortByArrival(out);
+    return out;
+}
+
+void
+sortByArrival(std::vector<ArrivedRecord> &arrived)
+{
+    // Stable sort on arrival alone: equal arrivals keep input order.
+    std::stable_sort(arrived.begin(), arrived.end(),
                      [](const ArrivedRecord &a, const ArrivedRecord &b) {
                          return a.arrival < b.arrival;
                      });
-    return out;
 }
 
 std::vector<logging::LogRecord>
@@ -49,6 +56,19 @@ countInversions(const std::vector<logging::LogRecord> &stream)
             ++inversions;
     }
     return inversions;
+}
+
+InversionStats
+countInversionsDetailed(const std::vector<logging::LogRecord> &stream)
+{
+    InversionStats stats;
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        if (stream[i].timestamp < stream[i - 1].timestamp) {
+            ++stats.total;
+            ++stats.byNodePair[{stream[i - 1].node, stream[i].node}];
+        }
+    }
+    return stats;
 }
 
 } // namespace cloudseer::collect

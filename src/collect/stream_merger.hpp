@@ -13,6 +13,9 @@
 #define CLOUDSEER_COLLECT_STREAM_MERGER_HPP
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "logging/log_record.hpp"
@@ -48,11 +51,21 @@ struct ArrivedRecord
  *
  * @param records Records in emission order.
  * @param config  Shipping-delay model.
- * @return Records in arrival order (stable for arrival ties).
+ * @return Records in arrival order (stable for arrival ties: records
+ *         with exactly equal arrival times keep their emission order,
+ *         see sortByArrival).
  */
 std::vector<ArrivedRecord>
 shipToCollector(const std::vector<logging::LogRecord> &records,
                 const ShippingConfig &config);
+
+/**
+ * Sort a shipped batch into collector order. The order is total and
+ * deterministic: ascending arrival time, with exact arrival ties kept
+ * in the input (emission) order — a collector cannot distinguish
+ * same-instant arrivals, so the tie-break must not depend on content.
+ */
+void sortByArrival(std::vector<ArrivedRecord> &arrived);
 
 /** Convenience: arrival-ordered records without the arrival times. */
 std::vector<logging::LogRecord>
@@ -65,6 +78,29 @@ mergeStream(const std::vector<logging::LogRecord> &records,
  */
 std::size_t
 countInversions(const std::vector<logging::LogRecord> &stream);
+
+/**
+ * Inversion counts broken down by the node pair involved. The
+ * resilience harness uses the per-pair counts to attribute reordering
+ * to cross-node clock skew (one skewed node dominates every pair it
+ * appears in) versus shipping jitter (spread evenly).
+ */
+struct InversionStats
+{
+    /** Adjacent-pair inversions, as countInversions. */
+    std::size_t total = 0;
+
+    /**
+     * Inversions keyed by (earlier-arriving node, later-arriving
+     * node) — the first element emitted *later* but arrived first.
+     */
+    std::map<std::pair<std::string, std::string>, std::size_t>
+        byNodePair;
+};
+
+/** Count inversions with the per-node-pair breakdown. */
+InversionStats
+countInversionsDetailed(const std::vector<logging::LogRecord> &stream);
 
 } // namespace cloudseer::collect
 

@@ -1,0 +1,232 @@
+#include "collect/stream_perturber.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "logging/log_codec.hpp"
+
+namespace cloudseer::collect {
+
+const char *
+perturbationKindName(PerturbationKind kind)
+{
+    switch (kind) {
+      case PerturbationKind::Drop: return "DROP";
+      case PerturbationKind::Duplicate: return "DUPLICATE";
+      case PerturbationKind::Truncate: return "TRUNCATE";
+      case PerturbationKind::Corrupt: return "CORRUPT";
+      case PerturbationKind::ClockSkew: return "CLOCK-SKEW";
+      case PerturbationKind::BurstLoss: return "BURST-LOSS";
+    }
+    return "UNKNOWN";
+}
+
+PerturbationConfig
+PerturbationConfig::scaled(double factor) const
+{
+    PerturbationConfig out = *this;
+    out.dropProbability *= factor;
+    out.duplicateProbability *= factor;
+    out.truncateProbability *= factor;
+    out.corruptProbability *= factor;
+    out.clockSkewMaxSeconds *= factor;
+    out.clockDriftMaxPerSecond *= factor;
+    out.burstProbability *= factor;
+    return out;
+}
+
+bool
+PerturbationConfig::inert() const
+{
+    return dropProbability <= 0.0 && duplicateProbability <= 0.0 &&
+           truncateProbability <= 0.0 && corruptProbability <= 0.0 &&
+           clockSkewMaxSeconds <= 0.0 &&
+           clockDriftMaxPerSecond <= 0.0 && burstProbability <= 0.0;
+}
+
+StreamPerturber::StreamPerturber(const PerturbationConfig &config_)
+    : config(config_)
+{
+}
+
+namespace {
+
+/** A surviving record waiting for wire encoding. */
+struct PendingEntry
+{
+    logging::LogRecord record;
+    bool isDuplicate = false;
+};
+
+} // namespace
+
+PerturbedStream
+StreamPerturber::apply(
+    const std::vector<logging::LogRecord> &arrival_ordered)
+{
+    PerturbedStream out;
+    if (config.inert()) {
+        out.records = arrival_ordered;
+        out.lines.reserve(arrival_ordered.size());
+        for (const logging::LogRecord &record : arrival_ordered)
+            out.lines.push_back(logging::encodeLogLine(record));
+        return out;
+    }
+
+    common::Rng rng(config.seed);
+    common::SimTime stream_start =
+        arrival_ordered.empty() ? 0.0 : arrival_ordered.front().timestamp;
+
+    // Per-node clock model: fixed offset plus linear drift, sampled
+    // once per node in first-appearance order (deterministic).
+    std::map<std::string, std::pair<double, double>> clock;
+    auto clockFor = [&](const logging::LogRecord &record)
+        -> std::pair<double, double> {
+        auto it = clock.find(record.node);
+        if (it != clock.end())
+            return it->second;
+        double offset =
+            config.clockSkewMaxSeconds > 0.0
+                ? rng.uniformReal(-config.clockSkewMaxSeconds,
+                                  config.clockSkewMaxSeconds)
+                : 0.0;
+        double drift =
+            config.clockDriftMaxPerSecond > 0.0
+                ? rng.uniformReal(-config.clockDriftMaxPerSecond,
+                                  config.clockDriftMaxPerSecond)
+                : 0.0;
+        clock.emplace(record.node, std::make_pair(offset, drift));
+        out.nodeSkew[record.node] = offset;
+        if (offset != 0.0 || drift != 0.0) {
+            PerturbationRecord event;
+            event.kind = PerturbationKind::ClockSkew;
+            event.node = record.node;
+            event.time = record.timestamp;
+            event.amount = offset;
+            out.events.push_back(event);
+        }
+        return {offset, drift};
+    };
+
+    // Pass 1: transport-level faults on records (burst loss, drop,
+    // duplication, skewed timestamps). Duplicates are re-deliveries:
+    // the same record appears again a sampled number of positions
+    // later, exactly as an at-least-once shipper replays a batch.
+    std::vector<PendingEntry> pending;
+    pending.reserve(arrival_ordered.size());
+    std::multimap<std::size_t, logging::LogRecord> redeliveries;
+    int burst_remaining = 0;
+
+    for (std::size_t i = 0; i < arrival_ordered.size(); ++i) {
+        // Flush re-deliveries scheduled for this position.
+        auto [lo, hi] = redeliveries.equal_range(i);
+        for (auto it = lo; it != hi; ++it)
+            pending.push_back({it->second, /*isDuplicate=*/true});
+        redeliveries.erase(lo, hi);
+
+        const logging::LogRecord &original = arrival_ordered[i];
+        if (burst_remaining > 0) {
+            --burst_remaining;
+            ++out.dropped;
+            continue; // lost inside an ongoing burst (already logged)
+        }
+        if (config.burstProbability > 0.0 &&
+            rng.chance(config.burstProbability)) {
+            int length = rng.uniformInt(config.burstLengthMin,
+                                        config.burstLengthMax);
+            PerturbationRecord event;
+            event.kind = PerturbationKind::BurstLoss;
+            event.record = original.id;
+            event.node = original.node;
+            event.time = original.timestamp;
+            event.amount = static_cast<double>(length);
+            out.events.push_back(event);
+            burst_remaining = length - 1;
+            ++out.dropped;
+            continue;
+        }
+        if (config.dropProbability > 0.0 &&
+            rng.chance(config.dropProbability)) {
+            PerturbationRecord event;
+            event.kind = PerturbationKind::Drop;
+            event.record = original.id;
+            event.node = original.node;
+            event.time = original.timestamp;
+            out.events.push_back(event);
+            ++out.dropped;
+            continue;
+        }
+
+        logging::LogRecord record = original;
+        auto [offset, drift] = clockFor(record);
+        record.timestamp +=
+            offset + drift * (record.timestamp - stream_start);
+
+        if (config.duplicateProbability > 0.0 &&
+            rng.chance(config.duplicateProbability)) {
+            int lag = rng.uniformInt(config.duplicateLagMin,
+                                     config.duplicateLagMax);
+            PerturbationRecord event;
+            event.kind = PerturbationKind::Duplicate;
+            event.record = record.id;
+            event.node = record.node;
+            event.time = original.timestamp;
+            event.amount = static_cast<double>(lag);
+            out.events.push_back(event);
+            redeliveries.emplace(i + static_cast<std::size_t>(lag),
+                                 record);
+            ++out.duplicated;
+        }
+        pending.push_back({std::move(record), /*isDuplicate=*/false});
+    }
+    // Re-deliveries scheduled past the end arrive as a tail.
+    for (auto &[pos, record] : redeliveries)
+        pending.push_back({std::move(record), /*isDuplicate=*/true});
+
+    // Pass 2: wire-level faults on the encoded lines.
+    out.records.reserve(pending.size());
+    out.lines.reserve(pending.size());
+    for (PendingEntry &entry : pending) {
+        std::string line = logging::encodeLogLine(entry.record);
+        if (config.truncateProbability > 0.0 &&
+            rng.chance(config.truncateProbability)) {
+            double kept = rng.uniformReal(0.1, 0.9);
+            std::size_t cut = static_cast<std::size_t>(
+                static_cast<double>(line.size()) * kept);
+            PerturbationRecord event;
+            event.kind = PerturbationKind::Truncate;
+            event.record = entry.record.id;
+            event.node = entry.record.node;
+            event.time = entry.record.timestamp;
+            event.amount = kept;
+            out.events.push_back(event);
+            line.resize(cut);
+            ++out.truncated;
+        } else if (config.corruptProbability > 0.0 &&
+                   rng.chance(config.corruptProbability) &&
+                   !line.empty()) {
+            // Overwrite a short span with garbage, as a flaky pipe
+            // interleaving unrelated bytes would.
+            std::size_t start = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(line.size()) - 1));
+            std::size_t span = std::min(
+                line.size() - start,
+                static_cast<std::size_t>(rng.uniformInt(1, 12)));
+            for (std::size_t c = 0; c < span; ++c)
+                line[start + c] = '#';
+            PerturbationRecord event;
+            event.kind = PerturbationKind::Corrupt;
+            event.record = entry.record.id;
+            event.node = entry.record.node;
+            event.time = entry.record.timestamp;
+            event.amount = static_cast<double>(span);
+            out.events.push_back(event);
+            ++out.corrupted;
+        }
+        out.records.push_back(std::move(entry.record));
+        out.lines.push_back(std::move(line));
+    }
+    return out;
+}
+
+} // namespace cloudseer::collect

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Transport adversity: seeded, ground-truthed perturbation of an
+ * arrival-ordered log stream.
+ *
+ * shipToCollector models a *healthy* shipper (benign exponential
+ * delay). Real collectors also face dropped records, re-delivered
+ * duplicates, truncated or corrupted wire lines, per-node clock skew
+ * and drift, and burst loss across log rotations. StreamPerturber
+ * injects exactly those faults between the merged stream and the
+ * monitor, mirroring FaultInjector's design: an enum of fault kinds,
+ * a per-run ground-truth PerturbationRecord trail, and a
+ * deterministic RNG so every adversity run replays from its seed.
+ */
+
+#ifndef CLOUDSEER_COLLECT_STREAM_PERTURBER_HPP
+#define CLOUDSEER_COLLECT_STREAM_PERTURBER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging/log_record.hpp"
+
+namespace cloudseer::collect {
+
+/** Transport-fault kinds the perturber can inject. */
+enum class PerturbationKind
+{
+    Drop,      ///< record lost in transport
+    Duplicate, ///< record re-delivered later (at-least-once shipper)
+    Truncate,  ///< wire line cut short mid-byte-stream
+    Corrupt,   ///< wire line bytes mangled in flight
+    ClockSkew, ///< a node's clock offset/drift applied (one per node)
+    BurstLoss, ///< contiguous run of records lost (log rotation gap)
+};
+
+/** Canonical token ("DROP", ...). */
+const char *perturbationKindName(PerturbationKind kind);
+
+/** Intensity knobs; every probability is per record. */
+struct PerturbationConfig
+{
+    /** Chance a record is silently dropped. */
+    double dropProbability = 0.0;
+
+    /** Chance a record is re-delivered later in the stream. */
+    double duplicateProbability = 0.0;
+
+    /** Records between the original and its re-delivery (uniform). */
+    int duplicateLagMin = 1;
+    int duplicateLagMax = 16;
+
+    /** Chance a wire line is truncated (wire path only). */
+    double truncateProbability = 0.0;
+
+    /** Chance a wire line is corrupted (wire path only). */
+    double corruptProbability = 0.0;
+
+    /**
+     * Per-node clock offset magnitude, seconds: each node draws a
+     * fixed offset uniformly from [-max, +max] once.
+     */
+    double clockSkewMaxSeconds = 0.0;
+
+    /**
+     * Per-node drift rate magnitude, seconds of error per second of
+     * stream time, drawn uniformly from [-max, +max] per node.
+     */
+    double clockDriftMaxPerSecond = 0.0;
+
+    /** Chance a loss burst starts at a record. */
+    double burstProbability = 0.0;
+
+    /** Burst length bounds, records (uniform). */
+    int burstLengthMin = 4;
+    int burstLengthMax = 20;
+
+    std::uint64_t seed = 1;
+
+    /** All probabilities and skew magnitudes scaled by `factor`
+     *  (lag/length bounds and the seed are left alone) — the knob the
+     *  resilience harness sweeps. */
+    PerturbationConfig scaled(double factor) const;
+
+    /** True when every fault channel is disabled. */
+    bool inert() const;
+};
+
+/** Ground truth for one injected fault. */
+struct PerturbationRecord
+{
+    PerturbationKind kind = PerturbationKind::Drop;
+
+    /** Affected record (0 for per-node ClockSkew entries). */
+    logging::RecordId record = 0;
+
+    /** Node involved (ClockSkew, and convenience elsewhere). */
+    std::string node;
+
+    /** Emission timestamp of the affected record (pre-skew). */
+    common::SimTime time = 0.0;
+
+    /**
+     * Kind-specific magnitude: skew offset seconds (ClockSkew), kept
+     * fraction of the line (Truncate), burst length in records
+     * (BurstLoss), re-delivery lag in records (Duplicate).
+     */
+    double amount = 0.0;
+};
+
+/** Per-kind tallies plus the stream the faults produced. */
+struct PerturbedStream
+{
+    /**
+     * Record-path view: arrival order after drop / duplication /
+     * burst loss / clock skew. Truncation and corruption are
+     * wire-level faults and do not appear here.
+     */
+    std::vector<logging::LogRecord> records;
+
+    /**
+     * Wire-path view: one encoded line per element of `records`,
+     * with truncation/corruption applied on top. Feed these through
+     * WorkflowMonitor::feedLine to exercise the full ingest path.
+     */
+    std::vector<std::string> lines;
+
+    /** Ground truth of every injected fault, in stream order. */
+    std::vector<PerturbationRecord> events;
+
+    std::size_t dropped = 0;    ///< Drop + BurstLoss records lost
+    std::size_t duplicated = 0;
+    std::size_t truncated = 0;
+    std::size_t corrupted = 0;
+
+    /** Per-node clock offset actually applied (constant part). */
+    std::map<std::string, double> nodeSkew;
+};
+
+/** Applies one PerturbationConfig to arrival-ordered streams. */
+class StreamPerturber
+{
+  public:
+    explicit StreamPerturber(const PerturbationConfig &config);
+
+    /**
+     * Perturb one arrival-ordered stream. Deterministic: equal
+     * (config, input) pairs produce equal outputs. With an inert
+     * config the records pass through untouched and each line is
+     * exactly encodeLogLine(record).
+     */
+    PerturbedStream apply(
+        const std::vector<logging::LogRecord> &arrival_ordered);
+
+  private:
+    PerturbationConfig config;
+};
+
+} // namespace cloudseer::collect
+
+#endif // CLOUDSEER_COLLECT_STREAM_PERTURBER_HPP

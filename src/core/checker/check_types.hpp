@@ -38,6 +38,9 @@ enum class CheckEventKind
     Accepted,      ///< an automaton instance accepted a full sequence
     ErrorDetected, ///< error-message criterion fired
     Timeout,       ///< timeout criterion fired
+    Degraded,      ///< monitor shed state under pressure; the group's
+                   ///< verdict is unknown, not bad — an operator
+                   ///< health signal, never a workflow problem report
 };
 
 /**
@@ -83,6 +86,7 @@ struct CheckerStats
     std::uint64_t errorsReported = 0;
     std::uint64_t timeoutsReported = 0;
     std::uint64_t timeoutsSuppressed = 0;
+    std::uint64_t groupsShed = 0;        ///< cap-pressure evictions
     std::uint64_t accepted = 0;
     std::uint64_t consumeAttempts = 0;   ///< group probes (efficiency)
 

@@ -650,6 +650,44 @@ InterleavedChecker::sweepTimeouts(common::SimTime now,
 }
 
 std::vector<CheckEvent>
+InterleavedChecker::shedToCap(std::size_t cap, common::SimTime now)
+{
+    std::vector<CheckEvent> events;
+    if (groups.size() <= cap)
+        return events;
+
+    // Eviction order: zombies first (already reported; pure state),
+    // then least-recently-active. Ties fall back to the older group
+    // id, which is deterministic.
+    std::vector<GroupId> order;
+    order.reserve(groups.size());
+    for (const auto &[gid, group] : groups)
+        order.push_back(gid);
+    std::sort(order.begin(), order.end(),
+              [this](GroupId a, GroupId b) {
+                  const AutomatonGroup &ga = groups.at(a);
+                  const AutomatonGroup &gb = groups.at(b);
+                  if (ga.zombie() != gb.zombie())
+                      return ga.zombie();
+                  if (ga.lastActivity() != gb.lastActivity())
+                      return ga.lastActivity() < gb.lastActivity();
+                  return a < b;
+              });
+
+    std::size_t to_shed = groups.size() - cap;
+    for (std::size_t i = 0; i < to_shed && i < order.size(); ++i) {
+        auto it = groups.find(order[i]);
+        if (it == groups.end())
+            continue;
+        ++counters.groupsShed;
+        events.push_back(
+            makeEvent(CheckEventKind::Degraded, it->second, now));
+        eraseGroup(order[i]);
+    }
+    return events;
+}
+
+std::vector<CheckEvent>
 InterleavedChecker::finish(common::SimTime now)
 {
     std::vector<CheckEvent> events;

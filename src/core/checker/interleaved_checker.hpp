@@ -102,6 +102,18 @@ class InterleavedChecker
                                           const TimeoutResolver &resolver);
 
     /**
+     * Load shedding: evict groups until at most `cap` remain, each
+     * eviction emitting a Degraded event so no state vanishes
+     * silently. Zombies go first (they were already reported), then
+     * the groups idle the longest; the most recently active state is
+     * kept. Degraded events are operator health signals — a shed
+     * group's verdict is *unknown*, so they must never be scored as
+     * problem reports.
+     */
+    std::vector<CheckEvent> shedToCap(std::size_t cap,
+                                      common::SimTime now);
+
+    /**
      * Dependency-removal tallies accumulated by recovery (d) — the
      * input to refineFromRemovals (model-refinement feedback loop).
      */

@@ -11,6 +11,7 @@ checkEventKindName(CheckEventKind kind)
       case CheckEventKind::Accepted: return "ACCEPTED";
       case CheckEventKind::ErrorDetected: return "ERROR";
       case CheckEventKind::Timeout: return "TIMEOUT";
+      case CheckEventKind::Degraded: return "DEGRADED";
     }
     return "UNKNOWN";
 }

@@ -1,9 +1,23 @@
 #include "core/monitor/workflow_monitor.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
-#include "logging/log_codec.hpp"
 
 namespace cloudseer::core {
+
+IngestConfig
+hardenedIngestDefaults()
+{
+    IngestConfig config;
+    config.reorderWindowSeconds = 0.25;
+    config.reorderBufferCap = 4096;
+    config.clampNonMonotonic = true;
+    config.dedupWindowSeconds = 5.0;
+    config.maxActiveGroups = 256;
+    config.quarantineSampleCap = 16;
+    return config;
+}
 
 std::vector<const TaskAutomaton *>
 WorkflowMonitor::pointersTo(const std::vector<TaskAutomaton> &automata)
@@ -33,10 +47,77 @@ std::vector<MonitorReport>
 WorkflowMonitor::feed(const logging::LogRecord &record)
 {
     std::vector<MonitorReport> reports;
+    if (config.ingest.reorderWindowSeconds > 0.0)
+        bufferAndRelease(record, reports);
+    else
+        deliver(record, reports);
+    return reports;
+}
 
-    // The stream can be slightly out of timestamp order (shipping
-    // skew); the monitor clock never moves backwards.
-    common::SimTime now = std::max(lastTimestamp, record.timestamp);
+void
+WorkflowMonitor::bufferAndRelease(const logging::LogRecord &record,
+                                  std::vector<MonitorReport> &reports)
+{
+    highestSeen = std::max(highestSeen, record.timestamp);
+
+    // Keep the buffer sorted by (timestamp, arrival seq). Streams are
+    // mostly ordered, so scanning from the back finds the insertion
+    // point in O(1) amortized.
+    BufferedRecord entry{record, nextSeq++};
+    auto pos = reorderBuffer.end();
+    while (pos != reorderBuffer.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->record.timestamp <= entry.record.timestamp)
+            break;
+        pos = prev;
+    }
+    reorderBuffer.insert(pos, std::move(entry));
+    ingest.reorderBufferPeak =
+        std::max(ingest.reorderBufferPeak, reorderBuffer.size());
+
+    // Watermark release: a record is ripe once everything that could
+    // still precede it (within the window) must already have arrived.
+    common::SimTime watermark =
+        highestSeen - config.ingest.reorderWindowSeconds;
+    while (!reorderBuffer.empty() &&
+           reorderBuffer.front().record.timestamp <= watermark) {
+        logging::LogRecord ripe =
+            std::move(reorderBuffer.front().record);
+        reorderBuffer.pop_front();
+        deliver(ripe, reports);
+    }
+    // Overflow: force the oldest out rather than buffering unboundedly
+    // (a stuck node clock must not wedge the monitor).
+    while (reorderBuffer.size() > config.ingest.reorderBufferCap) {
+        logging::LogRecord forced =
+            std::move(reorderBuffer.front().record);
+        reorderBuffer.pop_front();
+        ++ingest.forcedReleases;
+        deliver(forced, reports);
+    }
+}
+
+void
+WorkflowMonitor::deliver(const logging::LogRecord &record,
+                         std::vector<MonitorReport> &reports)
+{
+    ++ingest.recordsDelivered;
+
+    // Timestamp guard. The stream can be slightly out of timestamp
+    // order (shipping skew); the monitor clock never moves backwards.
+    // With the clamp on, the *message* time is pinned to the clock
+    // too, so a backwards stamp cannot plant a group in the past and
+    // have the next sweep retroactively time it out.
+    common::SimTime message_time = record.timestamp;
+    if (record.timestamp < lastTimestamp) {
+        ++ingest.nonMonotonicClamped;
+        ingest.maxRegressionSeconds =
+            std::max(ingest.maxRegressionSeconds,
+                     lastTimestamp - record.timestamp);
+        if (config.ingest.clampNonMonotonic)
+            message_time = lastTimestamp;
+    }
+    common::SimTime now = std::max(lastTimestamp, message_time);
     lastTimestamp = now;
     anyFed = true;
 
@@ -59,19 +140,81 @@ WorkflowMonitor::feed(const logging::LogRecord &record)
     }
     message.level = record.level;
     message.record = record.id;
-    message.time = record.timestamp;
+    message.time = message_time;
+
+    // Near-duplicate suppression: an at-least-once shipper re-delivers
+    // byte-identical lines, so the key is everything the checker would
+    // see — keyed on the *original* stamp so a clamped re-delivery
+    // still matches its first delivery.
+    if (config.ingest.dedupWindowSeconds > 0.0) {
+        std::string key = record.node;
+        key += '\x1f';
+        key += record.service;
+        key += '\x1f';
+        key += std::to_string(message.tpl);
+        for (const std::string &id : message.identifiers) {
+            key += '\x1f';
+            key += id;
+        }
+        key += '\x1f';
+        key += std::to_string(record.timestamp);
+
+        double window = config.ingest.dedupWindowSeconds;
+        while (!recentOrder.empty() &&
+               recentOrder.front().first < now - window) {
+            auto it = recentKeys.find(recentOrder.front().second);
+            if (it != recentKeys.end() &&
+                it->second <= recentOrder.front().first) {
+                recentKeys.erase(it);
+            }
+            recentOrder.pop_front();
+        }
+        auto [it, inserted] = recentKeys.emplace(key, now);
+        it->second = now;
+        recentOrder.emplace_back(now, std::move(key));
+        if (!inserted) {
+            ++ingest.duplicatesSuppressed;
+            return;
+        }
+    }
 
     for (CheckEvent &event : engine.feed(message))
         reports.push_back({std::move(event), false});
-    return reports;
+
+    // Group-cap shedding: bound live state, loudly.
+    if (config.ingest.maxActiveGroups > 0 &&
+        engine.activeGroups() > config.ingest.maxActiveGroups) {
+        for (CheckEvent &event :
+             engine.shedToCap(config.ingest.maxActiveGroups, now)) {
+            ++ingest.groupsShed;
+            reports.push_back({std::move(event), false});
+        }
+    }
 }
 
 std::vector<MonitorReport>
 WorkflowMonitor::feedLine(const std::string &line)
 {
-    auto record = logging::decodeLogLine(line);
+    ++ingest.linesSeen;
+    logging::DecodeFailure why = logging::DecodeFailure::None;
+    auto record = logging::decodeLogLine(line, &why);
     if (!record) {
-        ++malformed;
+        switch (why) {
+          case logging::DecodeFailure::BadTimestamp:
+            ++ingest.malformedBadTimestamp;
+            break;
+          case logging::DecodeFailure::BadHeader:
+            ++ingest.malformedBadHeader;
+            break;
+          case logging::DecodeFailure::TruncatedPayload:
+            ++ingest.malformedTruncatedPayload;
+            break;
+          case logging::DecodeFailure::None:
+            ++ingest.malformedBadHeader;
+            break;
+        }
+        if (quarantined.size() < config.ingest.quarantineSampleCap)
+            quarantined.push_back({line, why});
         return {};
     }
     return feed(*record);
@@ -81,6 +224,16 @@ std::vector<MonitorReport>
 WorkflowMonitor::finish()
 {
     std::vector<MonitorReport> reports;
+
+    // Flush the reorder buffer: at end of stream every parked record
+    // is ripe by definition.
+    while (!reorderBuffer.empty()) {
+        logging::LogRecord ripe =
+            std::move(reorderBuffer.front().record);
+        reorderBuffer.pop_front();
+        deliver(ripe, reports);
+    }
+
     if (!anyFed)
         return reports;
 

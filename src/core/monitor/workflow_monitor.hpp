@@ -6,22 +6,127 @@
  * parsing front-end, and the interleaved checker; drives the timeout
  * criterion from message timestamps. This is the class a deployment
  * embeds next to its log collector.
+ *
+ * A configurable ingest-hardening pipeline sits in front of the
+ * checker (DESIGN.md §8): reorder buffer → timestamp guard →
+ * near-duplicate suppression → checker → group-cap shedding, plus a
+ * malformed-line quarantine on the wire path. Every guard is
+ * pass-through at its default setting, so a default-configured
+ * monitor behaves bit-identically to the unhardened one.
  */
 
 #ifndef CLOUDSEER_CORE_MONITOR_WORKFLOW_MONITOR_HPP
 #define CLOUDSEER_CORE_MONITOR_WORKFLOW_MONITOR_HPP
 
+#include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/checker/interleaved_checker.hpp"
 #include "core/monitor/report.hpp"
 #include "core/monitor/timeout_estimator.hpp"
+#include "logging/log_codec.hpp"
 #include "logging/log_record.hpp"
 #include "logging/variable_extractor.hpp"
 
 namespace cloudseer::core {
+
+/**
+ * Ingest-hardening knobs. Every field's default disables its guard,
+ * keeping the monitor bit-identical to the unhardened path; the
+ * hardenedIngestDefaults() profile enables all of them at values that
+ * absorb moderate transport adversity.
+ */
+struct IngestConfig
+{
+    /**
+     * Watermark lag of the reorder buffer, seconds. Records are held
+     * until the highest timestamp seen exceeds theirs by this much,
+     * then released in timestamp order — undoing cross-node shipping
+     * and skew inversions at the cost of that much added latency.
+     * 0 = no buffering (records flow straight through).
+     */
+    double reorderWindowSeconds = 0.0;
+
+    /**
+     * Hard bound on buffered records. On overflow the oldest records
+     * are force-released (counted in IngestStats) so a stalled
+     * watermark can never grow the buffer without bound.
+     */
+    std::size_t reorderBufferCap = 4096;
+
+    /**
+     * Clamp non-monotonic message timestamps to the monitor clock
+     * instead of letting a backwards stamp plant a group in the past
+     * (where the next sweep would retroactively time it out). The
+     * clock itself never moves backwards either way.
+     */
+    bool clampNonMonotonic = false;
+
+    /**
+     * Suppress near-duplicate messages — same (node, service,
+     * template, identifiers, timestamp) seen within this window,
+     * seconds. Catches at-least-once shipper re-deliveries without
+     * touching genuine repeats, which carry distinct timestamps.
+     * 0 = off.
+     */
+    double dedupWindowSeconds = 0.0;
+
+    /**
+     * Hard cap on checker groups. When a feed pushes the live count
+     * past the cap, the oldest-idle groups are shed, each emitting a
+     * Degraded report. 0 = unbounded.
+     */
+    std::size_t maxActiveGroups = 0;
+
+    /** Malformed lines retained verbatim for diagnosis, per monitor. */
+    std::size_t quarantineSampleCap = 16;
+};
+
+/** Hardened-profile defaults (all guards on, moderate settings). */
+IngestConfig hardenedIngestDefaults();
+
+/** One quarantined wire line. */
+struct QuarantinedLine
+{
+    std::string line;
+    logging::DecodeFailure cause = logging::DecodeFailure::None;
+};
+
+/** Ingest-pipeline counters (all zero on a clean, ordered stream). */
+struct IngestStats
+{
+    std::uint64_t linesSeen = 0;      ///< feedLine calls
+    std::uint64_t recordsDelivered = 0; ///< records reaching the checker
+
+    // Malformed-line quarantine, by cause.
+    std::uint64_t malformedBadTimestamp = 0;
+    std::uint64_t malformedBadHeader = 0;
+    std::uint64_t malformedTruncatedPayload = 0;
+
+    // Timestamp guard.
+    std::uint64_t nonMonotonicClamped = 0; ///< backwards stamps seen
+    double maxRegressionSeconds = 0.0;     ///< worst backwards jump
+
+    // Near-duplicate suppression.
+    std::uint64_t duplicatesSuppressed = 0;
+
+    // Reorder buffer.
+    std::size_t reorderBufferPeak = 0;
+    std::uint64_t forcedReleases = 0; ///< overflow force-outs
+
+    // Shedding.
+    std::uint64_t groupsShed = 0;
+
+    /** Total malformed lines across causes. */
+    std::uint64_t malformed() const
+    {
+        return malformedBadTimestamp + malformedBadHeader +
+               malformedTruncatedPayload;
+    }
+};
 
 /** Monitor configuration. */
 struct MonitorConfig
@@ -41,6 +146,9 @@ struct MonitorConfig
 
     /** Count bare numbers as identifiers (off by default; noisy). */
     bool numbersAsIdentifiers = false;
+
+    /** Ingest-hardening pipeline (pass-through by default). */
+    IngestConfig ingest;
 };
 
 /** Online workflow monitor (modeling output in, reports out). */
@@ -58,9 +166,10 @@ class WorkflowMonitor
                     std::vector<TaskAutomaton> automata);
 
     /**
-     * Feed one record. Advances the monitor clock to the record's
-     * timestamp (sweeping the timeout criterion), then checks the
-     * message. Ground-truth fields on the record are never read.
+     * Feed one record through the ingest pipeline. Advances the
+     * monitor clock to the record's timestamp (sweeping the timeout
+     * criterion), then checks the message. Ground-truth fields on
+     * the record are never read.
      */
     std::vector<MonitorReport> feed(const logging::LogRecord &record);
 
@@ -68,14 +177,23 @@ class WorkflowMonitor
     std::vector<MonitorReport> feedLine(const std::string &line);
 
     /**
-     * End of stream: run one final timeout sweep past the last
-     * timestamp, then flush still-open groups as end-of-stream
-     * timeouts.
+     * End of stream: flush the reorder buffer, run one final timeout
+     * sweep past the last timestamp, then flush still-open groups as
+     * end-of-stream timeouts.
      */
     std::vector<MonitorReport> finish();
 
     /** Checker counters. */
     const CheckerStats &stats() const { return engine.stats(); }
+
+    /** Ingest-pipeline counters. */
+    const IngestStats &ingestStats() const { return ingest; }
+
+    /** Quarantined malformed lines (bounded sample, oldest first). */
+    const std::vector<QuarantinedLine> &quarantine() const
+    {
+        return quarantined;
+    }
 
     /** Groups currently in flight. */
     std::size_t activeGroups() const { return engine.activeGroups(); }
@@ -99,7 +217,10 @@ class WorkflowMonitor
     }
 
     /** Lines the monitor failed to parse (feedLine only). */
-    std::size_t malformedLines() const { return malformed; }
+    std::size_t malformedLines() const
+    {
+        return static_cast<std::size_t>(ingest.malformed());
+    }
 
     /** Dependency-removal tallies from recovery (d). */
     const RemovalCounts &dependencyRemovals() const
@@ -115,6 +236,13 @@ class WorkflowMonitor
     std::vector<TaskAutomaton> refinedAutomata(int min_removals) const;
 
   private:
+    /** A record parked in the reorder buffer. */
+    struct BufferedRecord
+    {
+        logging::LogRecord record;
+        std::uint64_t seq = 0; ///< arrival order, for stable ties
+    };
+
     MonitorConfig config;
     TimeoutPolicy timeoutPolicy;
     std::shared_ptr<logging::TemplateCatalog> catalogPtr;
@@ -123,7 +251,25 @@ class WorkflowMonitor
     InterleavedChecker engine;
     common::SimTime lastTimestamp = 0.0;
     bool anyFed = false;
-    std::size_t malformed = 0;
+    IngestStats ingest;
+    std::vector<QuarantinedLine> quarantined;
+
+    // Reorder buffer state.
+    std::deque<BufferedRecord> reorderBuffer; ///< kept timestamp-sorted
+    common::SimTime highestSeen = 0.0;
+    std::uint64_t nextSeq = 0;
+
+    // Dedup state: key -> newest message time, plus an expiry queue.
+    std::unordered_map<std::string, common::SimTime> recentKeys;
+    std::deque<std::pair<common::SimTime, std::string>> recentOrder;
+
+    /** Guarded delivery: clock, dedup, checker, shedding. */
+    void deliver(const logging::LogRecord &record,
+                 std::vector<MonitorReport> &reports);
+
+    /** Insert into the reorder buffer and release ripe records. */
+    void bufferAndRelease(const logging::LogRecord &record,
+                          std::vector<MonitorReport> &reports);
 
     static std::vector<const TaskAutomaton *>
     pointersTo(const std::vector<TaskAutomaton> &automata);

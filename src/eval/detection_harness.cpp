@@ -8,9 +8,6 @@
 
 namespace cloudseer::eval {
 
-namespace {
-
-/** Majority ground-truth execution among a report's records. */
 logging::ExecutionId
 dominantExecution(const core::CheckEvent &event,
                   const std::map<logging::RecordId,
@@ -32,8 +29,6 @@ dominantExecution(const core::CheckEvent &event,
     }
     return best;
 }
-
-} // namespace
 
 DetectionResult
 runDetectionExperiment(const ModeledSystem &models,
@@ -117,7 +112,10 @@ runDetectionExperiment(const ModeledSystem &models,
             // End-of-stream reports count too: the shipped stream is
             // complete, so a healthy execution can never be cut off —
             // anything still open at the end is genuinely stuck.
-            if (report.event.kind == core::CheckEventKind::Accepted)
+            // Degraded reports are shed-state accounting, not problem
+            // verdicts, so they are never scored.
+            if (report.event.kind == core::CheckEventKind::Accepted ||
+                report.event.kind == core::CheckEventKind::Degraded)
                 continue;
             logging::ExecutionId exec =
                 dominantExecution(report.event, truth_of);

@@ -65,6 +65,16 @@ DetectionResult runDetectionExperiment(const ModeledSystem &models,
                                        const core::MonitorConfig &monitor);
 
 /**
+ * Majority ground-truth execution among a report's records — the
+ * attribution rule both the detection and resilience harnesses score
+ * with (0 = no injected execution dominates).
+ */
+logging::ExecutionId
+dominantExecution(const core::CheckEvent &event,
+                  const std::map<logging::RecordId,
+                                 logging::ExecutionId> &truth_of);
+
+/**
  * Offline-baseline comparison row: the same fault-injected streams
  * scored by a window-statistics detector that needs the complete log
  * (DESIGN.md — related-work family the paper argues against).

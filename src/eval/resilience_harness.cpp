@@ -1,0 +1,235 @@
+#include "eval/resilience_harness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/string_util.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace cloudseer::eval {
+
+double
+ResilienceCurve::recallRetention(const ResiliencePoint &point) const
+{
+    double base = clean().abortDelayRecall();
+    return base == 0.0 ? 0.0 : point.abortDelayRecall() / base;
+}
+
+namespace {
+
+/** Run every batch of one injection point at one intensity. */
+void
+runPoint(const ModeledSystem &models, const ResilienceConfig &config,
+         sim::InjectionPoint point, std::uint64_t point_salt,
+         const collect::PerturbationConfig &adversity,
+         ResiliencePoint &out)
+{
+    int triggered = 0;
+    for (int run = 0; run < config.maxRuns &&
+                      triggered < config.targetProblems;
+         ++run) {
+        std::uint64_t run_seed = config.seed + point_salt * 104729 +
+                                 static_cast<std::uint64_t>(run) * 7919;
+
+        sim::Simulation simulation(config.sim, run_seed);
+        simulation.setInjector(sim::FaultInjector(
+            point, config.triggerProbability,
+            config.errorMessageProbability, run_seed ^ 0xfa17ULL,
+            static_cast<std::size_t>(config.targetProblems -
+                                     triggered)));
+
+        workload::WorkloadConfig wl;
+        wl.users = config.usersPerRun;
+        wl.tasksPerUser = config.tasksPerUserPerRun;
+        wl.singleUid = false;
+        wl.seed = run_seed ^ 0x3141ULL;
+        workload::WorkloadGenerator generator(wl);
+        generator.submitAll(simulation);
+        simulation.run();
+
+        collect::ShippingConfig ship = config.shipping;
+        ship.seed = run_seed ^ 0x5a1cULL;
+        std::vector<logging::LogRecord> stream =
+            collect::mergeStream(simulation.records(), ship);
+
+        // Ground truth from the *unperturbed* stream: dropped records
+        // still attribute reports correctly, and duplicated records
+        // share the original's id.
+        std::map<logging::RecordId, logging::ExecutionId> truth_of;
+        for (const logging::LogRecord &record : stream)
+            truth_of[record.id] = record.truthExecution;
+
+        collect::PerturbationConfig fault = adversity;
+        fault.seed = run_seed ^ 0xadd5ULL;
+        collect::PerturbedStream wire =
+            collect::StreamPerturber(fault).apply(stream);
+        out.dropped += wire.dropped;
+        out.duplicated += wire.duplicated;
+        out.truncated += wire.truncated;
+        out.corrupted += wire.corrupted;
+
+        core::WorkflowMonitor monitor(config.monitor, models.catalog,
+                                      models.automataCopy());
+        std::vector<core::MonitorReport> reports;
+        for (std::size_t i = 0; i < wire.lines.size(); ++i) {
+            // Decode the wire line ourselves so a survivor can carry
+            // its record id (the scoring key): the wire strips ids,
+            // but truncated/corrupted lines must still hit the
+            // monitor's quarantine path.
+            std::optional<logging::LogRecord> decoded =
+                logging::decodeLogLine(wire.lines[i]);
+            if (decoded) {
+                decoded->id = wire.records[i].id;
+                for (core::MonitorReport &report :
+                     monitor.feed(*decoded))
+                    reports.push_back(std::move(report));
+            } else {
+                for (core::MonitorReport &report :
+                     monitor.feedLine(wire.lines[i]))
+                    reports.push_back(std::move(report));
+            }
+            out.peakActiveGroups = std::max(out.peakActiveGroups,
+                                            monitor.activeGroups());
+        }
+        for (core::MonitorReport &report : monitor.finish())
+            reports.push_back(std::move(report));
+
+        const core::IngestStats &ingest = monitor.ingestStats();
+        out.quarantinedLines += ingest.malformed();
+        out.duplicatesSuppressed += ingest.duplicatesSuppressed;
+        out.nonMonotonicClamped += ingest.nonMonotonicClamped;
+        out.groupsShed += ingest.groupsShed;
+
+        std::map<logging::ExecutionId, const sim::InjectionRecord *>
+            injected;
+        for (const sim::InjectionRecord &record :
+             simulation.injector().records()) {
+            injected[record.execution] = &record;
+            if (record.type == sim::ProblemType::Abort ||
+                record.type == sim::ProblemType::Delay) {
+                ++out.abortDelayProblems;
+            }
+        }
+        triggered += static_cast<int>(
+            simulation.injector().records().size());
+
+        // Same scoring rule as the detection harness.
+        std::set<logging::ExecutionId> credited;
+        std::set<logging::ExecutionId> blamed;
+        for (const core::MonitorReport &report : reports) {
+            if (report.event.kind == core::CheckEventKind::Degraded) {
+                ++out.degradedReports;
+                continue;
+            }
+            if (report.event.kind == core::CheckEventKind::Accepted)
+                continue;
+            logging::ExecutionId exec =
+                dominantExecution(report.event, truth_of);
+            if (exec != 0 && injected.count(exec)) {
+                if (!credited.count(exec)) {
+                    credited.insert(exec);
+                    ++out.stats.truePositives;
+                    const sim::InjectionRecord *record =
+                        injected.at(exec);
+                    out.detectionLatency.add(report.event.time -
+                                             record->time);
+                    if (record->type == sim::ProblemType::Abort ||
+                        record->type == sim::ProblemType::Delay) {
+                        ++out.abortDelayDetected;
+                    }
+                }
+            } else {
+                if (exec == 0 || !blamed.count(exec)) {
+                    if (exec != 0)
+                        blamed.insert(exec);
+                    ++out.stats.falsePositives;
+                }
+            }
+        }
+        for (const auto &[exec, record] : injected) {
+            if (!credited.count(exec))
+                ++out.stats.falseNegatives;
+        }
+    }
+}
+
+std::string
+jsonNumber(double value, int precision)
+{
+    return common::formatDouble(value, precision);
+}
+
+} // namespace
+
+ResilienceCurve
+runResilienceSweep(const ModeledSystem &models,
+                   const ResilienceConfig &config)
+{
+    ResilienceCurve curve;
+    for (double intensity : config.intensities) {
+        ResiliencePoint point;
+        point.intensity = intensity;
+        collect::PerturbationConfig adversity =
+            config.adversity.scaled(intensity);
+        for (std::size_t p = 0; p < config.points.size(); ++p) {
+            runPoint(models, config, config.points[p],
+                     static_cast<std::uint64_t>(p), adversity, point);
+        }
+        curve.points.push_back(std::move(point));
+    }
+    return curve;
+}
+
+std::string
+resilienceCurveToJson(const ResilienceCurve &curve)
+{
+    std::string out = "{\"points\":[";
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const ResiliencePoint &point = curve.points[i];
+        if (i > 0)
+            out += ",";
+        out += "{";
+        out += "\"intensity\":" + jsonNumber(point.intensity, 3) + ",";
+        out += "\"truePositives\":" +
+               std::to_string(point.stats.truePositives) + ",";
+        out += "\"falsePositives\":" +
+               std::to_string(point.stats.falsePositives) + ",";
+        out += "\"falseNegatives\":" +
+               std::to_string(point.stats.falseNegatives) + ",";
+        out += "\"precision\":" + jsonNumber(point.precision(), 4) + ",";
+        out += "\"recall\":" + jsonNumber(point.recall(), 4) + ",";
+        out += "\"abortDelayRecall\":" +
+               jsonNumber(point.abortDelayRecall(), 4) + ",";
+        out += "\"recallRetention\":" +
+               jsonNumber(curve.recallRetention(point), 4) + ",";
+        out += "\"meanDetectionLatency\":" +
+               jsonNumber(point.detectionLatency.mean(), 3) + ",";
+        out += "\"p95DetectionLatency\":" +
+               jsonNumber(point.detectionLatency.percentile(95.0), 3) +
+               ",";
+        out += "\"dropped\":" + std::to_string(point.dropped) + ",";
+        out += "\"duplicated\":" + std::to_string(point.duplicated) +
+               ",";
+        out += "\"truncated\":" + std::to_string(point.truncated) + ",";
+        out += "\"corrupted\":" + std::to_string(point.corrupted) + ",";
+        out += "\"quarantinedLines\":" +
+               std::to_string(point.quarantinedLines) + ",";
+        out += "\"duplicatesSuppressed\":" +
+               std::to_string(point.duplicatesSuppressed) + ",";
+        out += "\"nonMonotonicClamped\":" +
+               std::to_string(point.nonMonotonicClamped) + ",";
+        out += "\"groupsShed\":" + std::to_string(point.groupsShed) +
+               ",";
+        out += "\"degradedReports\":" +
+               std::to_string(point.degradedReports) + ",";
+        out += "\"peakActiveGroups\":" +
+               std::to_string(point.peakActiveGroups);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace cloudseer::eval

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Resilience harness: how does detection degrade as the transport
+ * misbehaves?
+ *
+ * Sweeps StreamPerturber intensity over the same fault-injected
+ * workloads the Table 7 experiment uses, feeding the monitor through
+ * the *wire* path (encoded lines, so truncation/corruption and the
+ * malformed-line quarantine are exercised), and reports precision /
+ * recall / detection-latency degradation curves against the
+ * intensity-zero clean baseline.
+ */
+
+#ifndef CLOUDSEER_EVAL_RESILIENCE_HARNESS_HPP
+#define CLOUDSEER_EVAL_RESILIENCE_HARNESS_HPP
+
+#include <string>
+#include <vector>
+
+#include "collect/stream_perturber.hpp"
+#include "eval/detection_harness.hpp"
+
+namespace cloudseer::eval {
+
+/** Resilience-sweep parameters. */
+struct ResilienceConfig
+{
+    /** Injection points aggregated into each sweep point. */
+    std::vector<sim::InjectionPoint> points = {
+        sim::InjectionPoint::AmqpSender,
+        sim::InjectionPoint::WsgiClient,
+    };
+
+    /** Triggered problems to accumulate per injection point. */
+    int targetProblems = 8;
+
+    int usersPerRun = 4;
+    int tasksPerUserPerRun = 8;
+    int maxRuns = 40;
+    double triggerProbability = 0.25;
+    double errorMessageProbability = 0.7;
+    std::uint64_t seed = 7777;
+    sim::SimConfig sim;
+    collect::ShippingConfig shipping;
+
+    /** Adversity model at intensity 1.0 (scaled per sweep point). */
+    collect::PerturbationConfig adversity;
+
+    /** Intensity multipliers; 0.0 is the clean baseline. */
+    std::vector<double> intensities = {0.0, 0.5, 1.0, 2.0};
+
+    /** Monitor under test (set `ingest` for the hardened profile). */
+    core::MonitorConfig monitor;
+};
+
+/** One sweep point's scored outcome. */
+struct ResiliencePoint
+{
+    double intensity = 0.0;
+
+    common::DetectionStats stats;     ///< all problem types
+    common::SampleStats detectionLatency;
+
+    /** Abort+Delay-only recall (Silent problems are the paper's known
+     *  blind spot; the resilience criterion tracks the detectable
+     *  classes). */
+    int abortDelayProblems = 0;
+    int abortDelayDetected = 0;
+
+    // Perturbation ground truth actually injected.
+    std::size_t dropped = 0;
+    std::size_t duplicated = 0;
+    std::size_t truncated = 0;
+    std::size_t corrupted = 0;
+
+    // Ingest-pipeline behaviour, summed over runs.
+    std::uint64_t quarantinedLines = 0;
+    std::uint64_t duplicatesSuppressed = 0;
+    std::uint64_t nonMonotonicClamped = 0;
+    std::uint64_t groupsShed = 0;
+    std::size_t degradedReports = 0;
+    std::size_t peakActiveGroups = 0;
+
+    double precision() const { return stats.precision(); }
+    double recall() const { return stats.recall(); }
+
+    double abortDelayRecall() const
+    {
+        return abortDelayProblems == 0
+                   ? 0.0
+                   : static_cast<double>(abortDelayDetected) /
+                         static_cast<double>(abortDelayProblems);
+    }
+};
+
+/** The full sweep: one point per configured intensity. */
+struct ResilienceCurve
+{
+    std::vector<ResiliencePoint> points; ///< intensity order
+
+    /** The intensity-0.0 baseline (first point, by construction). */
+    const ResiliencePoint &clean() const { return points.front(); }
+
+    /**
+     * Recall retention of a sweep point vs. the clean baseline, on
+     * Abort+Delay problems (1.0 = no degradation).
+     */
+    double recallRetention(const ResiliencePoint &point) const;
+};
+
+/** Run the sweep (deterministic in config.seed). */
+ResilienceCurve runResilienceSweep(const ModeledSystem &models,
+                                   const ResilienceConfig &config);
+
+/** Render a curve as a single JSON object (bench output). */
+std::string resilienceCurveToJson(const ResilienceCurve &curve);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_RESILIENCE_HARNESS_HPP

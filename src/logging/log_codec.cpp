@@ -41,26 +41,51 @@ encodeLogLine(const LogRecord &record)
     return out;
 }
 
-std::optional<LogRecord>
-decodeLogLine(const std::string &line)
+const char *
+decodeFailureName(DecodeFailure cause)
 {
+    switch (cause) {
+      case DecodeFailure::None: return "NONE";
+      case DecodeFailure::BadTimestamp: return "BAD-TIMESTAMP";
+      case DecodeFailure::BadHeader: return "BAD-HEADER";
+      case DecodeFailure::TruncatedPayload: return "TRUNCATED-PAYLOAD";
+    }
+    return "UNKNOWN";
+}
+
+std::optional<LogRecord>
+decodeLogLine(const std::string &line, DecodeFailure *why)
+{
+    auto fail = [why](DecodeFailure cause) -> std::optional<LogRecord> {
+        if (why != nullptr)
+            *why = cause;
+        return std::nullopt;
+    };
+    if (why != nullptr)
+        *why = DecodeFailure::None;
+
     std::size_t pos = 0;
     std::string date = takeToken(line, pos);
     std::string time = takeToken(line, pos);
     if (date.empty() || time.empty())
-        return std::nullopt;
+        return fail(DecodeFailure::BadTimestamp);
 
     LogRecord record;
     if (!common::parseTimestamp(date + " " + time, record.timestamp))
-        return std::nullopt;
+        return fail(DecodeFailure::BadTimestamp);
 
     record.node = takeToken(line, pos);
     record.service = takeToken(line, pos);
     std::string level_text = takeToken(line, pos);
-    if (record.node.empty() || record.service.empty() ||
-        !parseLogLevel(level_text, record.level)) {
-        return std::nullopt;
+    if (record.node.empty())
+        return fail(DecodeFailure::BadHeader);
+    if (record.service.empty() || level_text.empty()) {
+        // A well-formed timestamp with the tail cut off mid-header is
+        // a truncation artefact, not a malformed header.
+        return fail(DecodeFailure::TruncatedPayload);
     }
+    if (!parseLogLevel(level_text, record.level))
+        return fail(DecodeFailure::BadHeader);
 
     while (pos < line.size() &&
            std::isspace(static_cast<unsigned char>(line[pos]))) {
@@ -68,7 +93,7 @@ decodeLogLine(const std::string &line)
     }
     record.body = line.substr(pos);
     if (record.body.empty())
-        return std::nullopt;
+        return fail(DecodeFailure::TruncatedPayload);
     return record;
 }
 

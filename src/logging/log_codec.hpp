@@ -24,13 +24,28 @@ namespace cloudseer::logging {
 /** Render a record as one log line (no trailing newline). */
 std::string encodeLogLine(const LogRecord &record);
 
+/** Why a line failed to parse (for quarantine accounting). */
+enum class DecodeFailure
+{
+    None,            ///< parsed fine
+    BadTimestamp,    ///< leading timestamp missing or unparseable
+    BadHeader,       ///< node/service/level fields missing or invalid
+    TruncatedPayload ///< header parsed but the body is empty/cut off
+};
+
+/** Canonical token ("BAD-TIMESTAMP", ...). */
+const char *decodeFailureName(DecodeFailure cause);
+
 /**
  * Parse one log line.
  *
  * @param line The text line.
+ * @param why  When non-null, receives the failure cause (None on
+ *             success).
  * @return The parsed record, or nullopt if the line is malformed.
  */
-std::optional<LogRecord> decodeLogLine(const std::string &line);
+std::optional<LogRecord> decodeLogLine(const std::string &line,
+                                       DecodeFailure *why = nullptr);
 
 } // namespace cloudseer::logging
 

@@ -409,7 +409,7 @@ TEST_F(AmbiguityTest, OverlappingSequencesForkHypotheses)
     std::size_t accepted = 0;
     feed("A", {"u", "a"});
     feed("A", {"u", "b"});
-    for (const std::string &m : {"B", "B", "C", "C"}) {
+    for (const char *m : {"B", "B", "C", "C"}) {
         for (CheckEvent &event : feed(m, {"u"})) {
             EXPECT_EQ(event.kind, CheckEventKind::Accepted);
             EXPECT_EQ(event.records.size(), 3u);

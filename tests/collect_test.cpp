@@ -106,6 +106,78 @@ TEST(StreamMerger, NoRecordsLost)
     EXPECT_EQ(ids.size(), records.size());
 }
 
+TEST(StreamMerger, ArrivalTiesKeepEmissionOrder)
+{
+    // sortByArrival is documented stable: equal arrival times keep
+    // emission order. Build ties by hand and check directly.
+    std::vector<ArrivedRecord> arrived;
+    arrived.push_back({record(1, 0.0, "a", "m"), 5.0});
+    arrived.push_back({record(2, 0.1, "b", "m"), 3.0});
+    arrived.push_back({record(3, 0.2, "a", "m"), 5.0});
+    arrived.push_back({record(4, 0.3, "b", "m"), 3.0});
+    arrived.push_back({record(5, 0.4, "c", "m"), 5.0});
+    sortByArrival(arrived);
+    std::vector<logging::RecordId> order;
+    for (const ArrivedRecord &a : arrived)
+        order.push_back(a.record.id);
+    EXPECT_EQ(order, (std::vector<logging::RecordId>{2, 4, 1, 3, 5}));
+}
+
+TEST(StreamMerger, InversionsCountedPerNodePair)
+{
+    // a@1.0, b@2.0, a@3.0 arrive as b, a, a: the (b, a) pair inverted
+    // once; then c@4.0 arrives before a@3.5: (c, a) inverted once.
+    std::vector<logging::LogRecord> stream;
+    stream.push_back(record(2, 2.0, "b", "m"));
+    stream.push_back(record(1, 1.0, "a", "m"));
+    stream.push_back(record(3, 3.0, "a", "m"));
+    stream.push_back(record(5, 4.0, "c", "m"));
+    stream.push_back(record(4, 3.5, "a", "m"));
+
+    InversionStats stats = countInversionsDetailed(stream);
+    EXPECT_EQ(stats.total, 2u);
+    EXPECT_EQ(stats.total, countInversions(stream));
+    ASSERT_EQ(stats.byNodePair.size(), 2u);
+    EXPECT_EQ(stats.byNodePair.at({"b", "a"}), 1u);
+    EXPECT_EQ(stats.byNodePair.at({"c", "a"}), 1u);
+}
+
+TEST(StreamMerger, CrossNodeSkewShowsUpInNodePairCounts)
+{
+    // Two nodes, interleaved emissions; the slow-shipping node should
+    // dominate the inverted pairs.
+    std::vector<logging::LogRecord> records;
+    for (int i = 0; i < 200; ++i) {
+        records.push_back(record(static_cast<logging::RecordId>(i + 1),
+                                 i * 0.01,
+                                 i % 2 == 0 ? "fast" : "slow", "m"));
+    }
+    ShippingConfig config;
+    config.meanDelay = 1e-4;
+    config.tailProbability = 0.0;
+    // Delay the slow node's records by hand to force inversions.
+    auto arrived = shipToCollector(records, config);
+    for (ArrivedRecord &a : arrived) {
+        if (a.record.node == "slow")
+            a.arrival += 0.05;
+    }
+    sortByArrival(arrived);
+    std::vector<logging::LogRecord> stream;
+    for (ArrivedRecord &a : arrived)
+        stream.push_back(std::move(a.record));
+
+    InversionStats stats = countInversionsDetailed(stream);
+    ASSERT_GT(stats.total, 0u);
+    std::size_t fast_before_slow = 0;
+    for (const auto &[pair, count] : stats.byNodePair) {
+        if (pair.first == "fast" && pair.second == "slow")
+            fast_before_slow += count;
+    }
+    // Every inversion here is a fast-node record arriving before an
+    // earlier-stamped slow-node record.
+    EXPECT_EQ(fast_before_slow, stats.total);
+}
+
 TEST(LogStore, AppendAndCount)
 {
     LogStore store;

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the transport-adversity layer: every fault kind must
+ * be deterministic, ground-truthed, and absent at zero intensity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collect/stream_perturber.hpp"
+#include "logging/log_codec.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::collect;
+
+namespace {
+
+std::vector<logging::LogRecord>
+makeStream(int count, const std::vector<std::string> &nodes)
+{
+    std::vector<logging::LogRecord> out;
+    for (int i = 0; i < count; ++i) {
+        logging::LogRecord record;
+        record.id = static_cast<logging::RecordId>(i + 1);
+        record.timestamp = i * 0.1;
+        record.node = nodes[static_cast<std::size_t>(i) % nodes.size()];
+        record.service = "nova-api";
+        record.level = logging::LogLevel::Info;
+        record.body = "step " + std::to_string(i) + " of request "
+                      "11111111-2222-3333-4444-555555555555";
+        out.push_back(std::move(record));
+    }
+    return out;
+}
+
+std::size_t
+countKind(const PerturbedStream &stream, PerturbationKind kind)
+{
+    std::size_t n = 0;
+    for (const PerturbationRecord &event : stream.events) {
+        if (event.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(StreamPerturber, InertConfigIsIdentity)
+{
+    auto input = makeStream(50, {"controller", "compute-1"});
+    PerturbationConfig config;
+    EXPECT_TRUE(config.inert());
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    ASSERT_EQ(out.records.size(), input.size());
+    ASSERT_EQ(out.lines.size(), input.size());
+    EXPECT_TRUE(out.events.empty());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        EXPECT_EQ(out.records[i].id, input[i].id);
+        EXPECT_DOUBLE_EQ(out.records[i].timestamp, input[i].timestamp);
+        EXPECT_EQ(out.lines[i], logging::encodeLogLine(input[i]));
+    }
+}
+
+TEST(StreamPerturber, ScaledToZeroIsInert)
+{
+    PerturbationConfig config;
+    config.dropProbability = 0.2;
+    config.duplicateProbability = 0.2;
+    config.clockSkewMaxSeconds = 1.0;
+    config.burstProbability = 0.1;
+    EXPECT_FALSE(config.inert());
+    EXPECT_TRUE(config.scaled(0.0).inert());
+}
+
+TEST(StreamPerturber, DeterministicForEqualSeeds)
+{
+    auto input = makeStream(200, {"controller", "compute-1"});
+    PerturbationConfig config;
+    config.dropProbability = 0.05;
+    config.duplicateProbability = 0.05;
+    config.truncateProbability = 0.05;
+    config.corruptProbability = 0.05;
+    config.clockSkewMaxSeconds = 0.2;
+    config.seed = 31;
+    PerturbedStream a = StreamPerturber(config).apply(input);
+    PerturbedStream b = StreamPerturber(config).apply(input);
+    ASSERT_EQ(a.lines.size(), b.lines.size());
+    for (std::size_t i = 0; i < a.lines.size(); ++i)
+        EXPECT_EQ(a.lines[i], b.lines[i]);
+    EXPECT_EQ(a.events.size(), b.events.size());
+}
+
+TEST(StreamPerturber, DropsAreGroundTruthed)
+{
+    auto input = makeStream(400, {"controller"});
+    PerturbationConfig config;
+    config.dropProbability = 0.1;
+    config.seed = 5;
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    EXPECT_GT(out.dropped, 0u);
+    EXPECT_EQ(out.dropped, countKind(out, PerturbationKind::Drop));
+    EXPECT_EQ(out.records.size(), input.size() - out.dropped);
+
+    // Every dropped id is named in the ground truth and absent from
+    // the output.
+    std::set<logging::RecordId> surviving;
+    for (const logging::LogRecord &record : out.records)
+        surviving.insert(record.id);
+    for (const PerturbationRecord &event : out.events) {
+        if (event.kind == PerturbationKind::Drop) {
+            EXPECT_EQ(surviving.count(event.record), 0u);
+        }
+    }
+}
+
+TEST(StreamPerturber, DuplicatesShareIdAndArriveLater)
+{
+    auto input = makeStream(300, {"controller"});
+    PerturbationConfig config;
+    config.duplicateProbability = 0.1;
+    config.seed = 8;
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    EXPECT_GT(out.duplicated, 0u);
+    EXPECT_EQ(out.duplicated,
+              countKind(out, PerturbationKind::Duplicate));
+    EXPECT_EQ(out.records.size(), input.size() + out.duplicated);
+
+    // A duplicated id appears exactly twice, the re-delivery after
+    // the original.
+    std::map<logging::RecordId, int> seen;
+    for (const logging::LogRecord &record : out.records)
+        ++seen[record.id];
+    std::size_t twice = 0;
+    for (auto [id, count] : seen) {
+        EXPECT_LE(count, 2);
+        if (count == 2)
+            ++twice;
+    }
+    EXPECT_EQ(twice, out.duplicated);
+}
+
+TEST(StreamPerturber, ClockSkewIsPerNodeAndBounded)
+{
+    auto input = makeStream(100, {"controller", "compute-1"});
+    PerturbationConfig config;
+    config.clockSkewMaxSeconds = 0.05;
+    config.seed = 13;
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    ASSERT_EQ(out.records.size(), input.size());
+    ASSERT_EQ(out.nodeSkew.size(), 2u);
+    for (auto [node, skew] : out.nodeSkew)
+        EXPECT_LE(std::abs(skew), 0.05);
+    // With no drift, every record of a node shifts by that node's
+    // constant offset.
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        double shift = out.records[i].timestamp - input[i].timestamp;
+        EXPECT_NEAR(shift, out.nodeSkew.at(input[i].node), 1e-12);
+    }
+}
+
+TEST(StreamPerturber, BurstLossDropsContiguousRuns)
+{
+    auto input = makeStream(500, {"controller"});
+    PerturbationConfig config;
+    config.burstProbability = 0.01;
+    config.burstLengthMin = 5;
+    config.burstLengthMax = 10;
+    config.seed = 21;
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    std::size_t bursts = countKind(out, PerturbationKind::BurstLoss);
+    ASSERT_GT(bursts, 0u);
+    EXPECT_GE(out.dropped, bursts * 5u);
+
+    // Ids are contiguous in the input, so a burst shows up as a gap
+    // of at least burstLengthMin consecutive missing ids.
+    std::set<logging::RecordId> surviving;
+    for (const logging::LogRecord &record : out.records)
+        surviving.insert(record.id);
+    for (const PerturbationRecord &event : out.events) {
+        if (event.kind != PerturbationKind::BurstLoss)
+            continue;
+        auto length = static_cast<logging::RecordId>(event.amount);
+        for (logging::RecordId id = event.record;
+             id < event.record + length && id <= input.size(); ++id) {
+            EXPECT_EQ(surviving.count(id), 0u)
+                << "record " << id << " inside a loss burst survived";
+        }
+    }
+}
+
+TEST(StreamPerturber, TruncationMakesLinesUnparseableOrShort)
+{
+    auto input = makeStream(300, {"controller"});
+    PerturbationConfig config;
+    config.truncateProbability = 0.2;
+    config.seed = 34;
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    EXPECT_GT(out.truncated, 0u);
+    EXPECT_EQ(out.truncated, countKind(out, PerturbationKind::Truncate));
+    // Records are untouched on the record path; only lines suffer.
+    ASSERT_EQ(out.records.size(), out.lines.size());
+    std::size_t shorter = 0;
+    for (std::size_t i = 0; i < out.lines.size(); ++i) {
+        std::string full = logging::encodeLogLine(out.records[i]);
+        if (out.lines[i].size() < full.size())
+            ++shorter;
+    }
+    EXPECT_EQ(shorter, out.truncated);
+}
+
+TEST(StreamPerturber, CorruptionKeepsLineLength)
+{
+    auto input = makeStream(300, {"controller"});
+    PerturbationConfig config;
+    config.corruptProbability = 0.2;
+    config.seed = 55;
+    PerturbedStream out = StreamPerturber(config).apply(input);
+    EXPECT_GT(out.corrupted, 0u);
+    EXPECT_EQ(out.corrupted, countKind(out, PerturbationKind::Corrupt));
+    std::size_t mangled = 0;
+    for (std::size_t i = 0; i < out.lines.size(); ++i) {
+        std::string full = logging::encodeLogLine(out.records[i]);
+        ASSERT_EQ(out.lines[i].size(), full.size());
+        if (out.lines[i] != full) {
+            ++mangled;
+            EXPECT_NE(out.lines[i].find('#'), std::string::npos);
+        }
+    }
+    EXPECT_EQ(mangled, out.corrupted);
+}
+
+TEST(StreamPerturber, KindNamesAreStable)
+{
+    EXPECT_STREQ(perturbationKindName(PerturbationKind::Drop), "DROP");
+    EXPECT_STREQ(perturbationKindName(PerturbationKind::BurstLoss),
+                 "BURST-LOSS");
+    EXPECT_STREQ(perturbationKindName(PerturbationKind::ClockSkew),
+                 "CLOCK-SKEW");
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Acceptance tests for the resilience harness: the hardened ingest
+ * profile must hold detection quality under moderate transport
+ * adversity, stay inside its group cap, and account for every shed
+ * group — while matching the unhardened path exactly on clean input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/modeling_harness.hpp"
+#include "eval/resilience_harness.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+const eval::ModeledSystem &
+models()
+{
+    static eval::ModeledSystem system = [] {
+        eval::ModelingConfig config;
+        config.minRuns = 40;
+        config.maxRuns = 150;
+        return eval::buildModels(config);
+    }();
+    return system;
+}
+
+/** The ISSUE's "moderate adversity" point at intensity 1.0. */
+eval::ResilienceConfig
+moderateConfig()
+{
+    eval::ResilienceConfig config;
+    config.targetProblems = 6;
+    config.maxRuns = 30;
+    config.adversity.dropProbability = 0.01;
+    config.adversity.duplicateProbability = 0.01;
+    config.adversity.clockSkewMaxSeconds = 0.05;
+    config.intensities = {0.0, 1.0};
+    return config;
+}
+
+} // namespace
+
+TEST(Resilience, HardenedMonitorRetainsRecallUnderModerateAdversity)
+{
+    eval::ResilienceConfig config = moderateConfig();
+    config.monitor.ingest = core::hardenedIngestDefaults();
+    eval::ResilienceCurve curve =
+        eval::runResilienceSweep(models(), config);
+    ASSERT_EQ(curve.points.size(), 2u);
+
+    const eval::ResiliencePoint &clean = curve.clean();
+    const eval::ResiliencePoint &adverse = curve.points[1];
+
+    // The baseline detects the detectable classes reliably.
+    EXPECT_GT(clean.abortDelayProblems, 0);
+    EXPECT_GE(clean.abortDelayRecall(), 0.9);
+    EXPECT_EQ(clean.dropped + clean.duplicated, 0u);
+
+    // The perturber really did interfere at intensity 1.0 ...
+    EXPECT_GT(adverse.dropped, 0u);
+    EXPECT_GT(adverse.duplicated, 0u);
+
+    // ... yet Abort/Delay recall retains >= 90% of the clean value.
+    EXPECT_GE(curve.recallRetention(adverse), 0.9)
+        << "clean AD-recall " << clean.abortDelayRecall()
+        << " vs adverse " << adverse.abortDelayRecall();
+
+    // The group cap is never exceeded, and every shed group is
+    // accounted for by exactly one Degraded report.
+    std::size_t cap = config.monitor.ingest.maxActiveGroups;
+    for (const eval::ResiliencePoint &point : curve.points) {
+        EXPECT_LE(point.peakActiveGroups, cap);
+        EXPECT_EQ(point.degradedReports, point.groupsShed);
+    }
+}
+
+TEST(Resilience, CleanBaselineIdenticalAcrossIngestProfiles)
+{
+    // At intensity zero every hardening guard must pass through: the
+    // scored outcome is identical to the unhardened monitor's.
+    eval::ResilienceConfig config = moderateConfig();
+    config.intensities = {0.0};
+
+    eval::ResilienceCurve plain =
+        eval::runResilienceSweep(models(), config);
+    config.monitor.ingest = core::hardenedIngestDefaults();
+    eval::ResilienceCurve hardened =
+        eval::runResilienceSweep(models(), config);
+
+    const eval::ResiliencePoint &a = plain.clean();
+    const eval::ResiliencePoint &b = hardened.clean();
+    EXPECT_EQ(a.stats.truePositives, b.stats.truePositives);
+    EXPECT_EQ(a.stats.falsePositives, b.stats.falsePositives);
+    EXPECT_EQ(a.stats.falseNegatives, b.stats.falseNegatives);
+    EXPECT_DOUBLE_EQ(a.detectionLatency.mean(),
+                     b.detectionLatency.mean());
+    EXPECT_EQ(b.duplicatesSuppressed, 0u);
+    EXPECT_EQ(b.groupsShed, 0u);
+}
+
+TEST(Resilience, SweepIsDeterministic)
+{
+    eval::ResilienceConfig config = moderateConfig();
+    config.targetProblems = 3;
+    config.intensities = {1.0};
+    config.monitor.ingest = core::hardenedIngestDefaults();
+    eval::ResilienceCurve a = eval::runResilienceSweep(models(), config);
+    eval::ResilienceCurve b = eval::runResilienceSweep(models(), config);
+    EXPECT_EQ(eval::resilienceCurveToJson(a),
+              eval::resilienceCurveToJson(b));
+}
+
+TEST(Resilience, CurveJsonNamesItsFields)
+{
+    eval::ResilienceConfig config = moderateConfig();
+    config.targetProblems = 2;
+    config.intensities = {0.0};
+    eval::ResilienceCurve curve =
+        eval::runResilienceSweep(models(), config);
+    std::string json = eval::resilienceCurveToJson(curve);
+    for (const char *key :
+         {"\"intensity\":", "\"precision\":", "\"recall\":",
+          "\"abortDelayRecall\":", "\"recallRetention\":",
+          "\"meanDetectionLatency\":", "\"quarantinedLines\":",
+          "\"groupsShed\":", "\"peakActiveGroups\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
