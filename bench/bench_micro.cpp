@@ -64,12 +64,14 @@ void
 BM_IdentifierSetOverlap(benchmark::State &state)
 {
     common::Rng rng(1);
-    std::vector<std::string> pool;
+    logging::IdentifierInterner &interner =
+        logging::IdentifierInterner::process();
+    std::vector<logging::IdToken> pool;
     for (int i = 0; i < 24; ++i)
-        pool.push_back(common::makeUuid(rng));
+        pool.push_back(interner.intern(common::makeUuid(rng)));
     core::IdentifierSet set(pool);
-    std::vector<std::string> probe = {pool[3], pool[9],
-                                      common::makeUuid(rng)};
+    std::vector<logging::IdToken> probe = core::IdentifierSet::dedupSorted(
+        {pool[3], pool[9], interner.intern(common::makeUuid(rng))});
     for (auto _ : state) {
         benchmark::DoNotOptimize(set.overlap(probe));
         benchmark::DoNotOptimize(set.symmetricDifference(probe));
@@ -77,6 +79,42 @@ BM_IdentifierSetOverlap(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_IdentifierSetOverlap);
+
+void
+BM_IdentifierIntern(benchmark::State &state)
+{
+    common::Rng rng(2);
+    std::vector<std::string> ids;
+    for (int i = 0; i < 256; ++i)
+        ids.push_back(common::makeUuid(rng));
+    logging::IdentifierInterner &interner =
+        logging::IdentifierInterner::process();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(interner.intern(ids[i % ids.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdentifierIntern);
+
+void
+BM_TemplateCatalogFind(benchmark::State &state)
+{
+    const eval::ModeledSystem &system = models();
+    logging::VariableExtractor extractor;
+    const std::string body =
+        "[req-11111111-2222-3333-4444-555555555555] starting boot";
+    logging::ParsedBody parsed = extractor.parse(body);
+    system.catalog->intern("nova", parsed.templateText);
+    for (auto _ : state) {
+        // Heterogeneous lookup: no key string is materialised.
+        benchmark::DoNotOptimize(
+            system.catalog->find("nova", parsed.templateText));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TemplateCatalogFind);
 
 void
 BM_AutomatonWalk(benchmark::State &state)

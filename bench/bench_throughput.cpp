@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Routing-throughput sweep (DESIGN.md §9): messages/sec and per-message
+ * latency of the checker at 10 / 50 / 200 / 1000 concurrent in-flight
+ * tasks, for the reference scan path (the paper's linear Algorithm 2
+ * selection) and the inverted-index path, over the same deterministic
+ * message schedule. Emits BENCH_throughput.json; with --check it
+ * fails (exit 1) when any level's indexed-over-scan speedup regresses
+ * more than 20% below the checked-in baseline, making the index's
+ * complexity claim a CI invariant rather than a one-off measurement.
+ *
+ * Usage: bench_throughput [--smoke] [--check <baseline.json>]
+ *                         [--out <path>]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/uuid.hpp"
+#include "core/checker/interleaved_checker.hpp"
+#include "logging/identifier_interner.hpp"
+#include "logging/template_catalog.hpp"
+
+using namespace cloudseer;
+
+namespace {
+
+constexpr int kChainLength = 8;
+
+/** Linear workflow of kChainLength events (decisive-heavy schedule:
+ *  the sweep measures routing cost, not forking). */
+core::TaskAutomaton
+chainAutomaton(logging::TemplateCatalog &catalog)
+{
+    std::vector<core::EventNode> events;
+    std::vector<core::DependencyEdge> edges;
+    for (int i = 0; i < kChainLength; ++i) {
+        events.push_back(
+            {catalog.intern("svc", "step-" + std::to_string(i)), 0});
+        if (i > 0)
+            edges.push_back({i - 1, i, false});
+    }
+    return core::TaskAutomaton("chain", std::move(events),
+                               std::move(edges));
+}
+
+/**
+ * Deterministic interleaved schedule: `inflight` tasks in flight at
+ * all times, each with a unique (sequence, user) identifier pair; a
+ * finished task is immediately replaced by a fresh one. Both checker
+ * paths replay the identical message vector.
+ */
+std::vector<core::CheckMessage>
+makeSchedule(const core::TaskAutomaton &automaton, int inflight,
+             int total_messages, std::uint64_t seed)
+{
+    logging::IdentifierInterner &interner =
+        logging::IdentifierInterner::process();
+    common::Rng rng(seed);
+
+    struct Slot
+    {
+        std::vector<logging::IdToken> ids;
+        int next = 0;
+    };
+    auto freshSlot = [&] {
+        Slot slot;
+        slot.ids = {interner.intern(common::makeUuid(rng)),
+                    interner.intern(common::makeUuid(rng))};
+        return slot;
+    };
+
+    std::vector<Slot> slots;
+    for (int i = 0; i < inflight; ++i)
+        slots.push_back(freshSlot());
+
+    std::vector<core::CheckMessage> schedule;
+    schedule.reserve(static_cast<std::size_t>(total_messages));
+    logging::RecordId record = 1;
+    double t = 0.0;
+    while (static_cast<int>(schedule.size()) < total_messages) {
+        Slot &slot =
+            slots[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(slots.size()) - 1))];
+        core::CheckMessage message;
+        message.tpl = automaton.event(slot.next).tpl;
+        message.identifiers = slot.ids;
+        message.record = record++;
+        message.time = (t += 0.0001);
+        schedule.push_back(std::move(message));
+        if (++slot.next == kChainLength)
+            slot = freshSlot();
+    }
+    return schedule;
+}
+
+struct PathResult
+{
+    double mps = 0.0;
+    double p50us = 0.0;
+    double p99us = 0.0;
+    std::uint64_t accepted = 0;
+};
+
+PathResult
+runPath(const core::TaskAutomaton &automaton,
+        const std::vector<core::CheckMessage> &schedule,
+        bool routing_index)
+{
+    core::CheckerConfig config;
+    config.routingIndex = routing_index;
+    core::InterleavedChecker checker(config, {&automaton});
+
+    using Clock = std::chrono::steady_clock;
+    common::SampleStats latency;
+    Clock::time_point start = Clock::now();
+    for (const core::CheckMessage &message : schedule) {
+        Clock::time_point before = Clock::now();
+        checker.feed(message);
+        Clock::time_point after = Clock::now();
+        latency.add(
+            std::chrono::duration<double, std::micro>(after - before)
+                .count());
+    }
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    PathResult out;
+    out.mps = elapsed > 0.0
+                  ? static_cast<double>(schedule.size()) / elapsed
+                  : 0.0;
+    out.p50us = latency.percentile(50.0);
+    out.p99us = latency.percentile(99.0);
+    out.accepted = checker.stats().accepted;
+    checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
+    return out;
+}
+
+struct LevelResult
+{
+    int inflight = 0;
+    int messages = 0;
+    PathResult indexed;
+    PathResult scan;
+
+    double
+    speedup() const
+    {
+        return scan.mps > 0.0 ? indexed.mps / scan.mps : 0.0;
+    }
+};
+
+std::string
+toJson(const std::vector<LevelResult> &levels, bool smoke)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\n  \"bench\": \"throughput\",\n  \"smoke\": "
+        << (smoke ? "true" : "false") << ",\n  \"levels\": [\n";
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const LevelResult &level = levels[i];
+        out << "    {\"inflight\": " << level.inflight
+            << ", \"messages\": " << level.messages
+            << ",\n     \"indexed\": {\"mps\": " << level.indexed.mps
+            << ", \"p50_us\": " << level.indexed.p50us
+            << ", \"p99_us\": " << level.indexed.p99us << "}"
+            << ",\n     \"scan\": {\"mps\": " << level.scan.mps
+            << ", \"p50_us\": " << level.scan.p50us
+            << ", \"p99_us\": " << level.scan.p99us << "}"
+            << ",\n     \"speedup\": " << level.speedup() << "}"
+            << (i + 1 < levels.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+/**
+ * Minimal baseline reader: pulls ("inflight", "speedup") pairs out of
+ * a prior BENCH_throughput.json in document order. Not a general JSON
+ * parser — just enough for the file this bench itself writes.
+ */
+std::vector<std::pair<int, double>>
+readBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    std::vector<std::pair<int, double>> out;
+    std::size_t pos = 0;
+    while ((pos = text.find("\"inflight\":", pos)) != std::string::npos) {
+        int inflight = std::atoi(text.c_str() + pos + 11);
+        std::size_t sp = text.find("\"speedup\":", pos);
+        if (sp == std::string::npos)
+            break;
+        double speedup = std::atof(text.c_str() + sp + 10);
+        out.emplace_back(inflight, speedup);
+        pos = sp + 10;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string check_path;
+    std::string out_path = "BENCH_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--check") == 0 &&
+                   i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--check baseline.json] "
+                         "[--out path]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    logging::TemplateCatalog catalog;
+    core::TaskAutomaton automaton = chainAutomaton(catalog);
+
+    const std::vector<int> levels = {10, 50, 200, 1000};
+    std::vector<LevelResult> results;
+    std::printf("routing throughput sweep (%s)\n",
+                smoke ? "smoke" : "full");
+    std::printf("  %-9s %-10s %-12s %-12s %-12s %-12s %-8s\n",
+                "inflight", "messages", "indexed-mps", "scan-mps",
+                "idx-p99us", "scan-p99us", "speedup");
+    for (int inflight : levels) {
+        LevelResult level;
+        level.inflight = inflight;
+        // Enough messages for the slot pool to reach steady state and
+        // cycle several task generations.
+        level.messages = smoke ? std::max(4000, 4 * kChainLength * inflight / 2)
+                               : std::max(30000, 8 * kChainLength * inflight);
+        std::vector<core::CheckMessage> schedule = makeSchedule(
+            automaton, inflight, level.messages,
+            static_cast<std::uint64_t>(inflight) * 7919u + 11u);
+        // Scan first, then indexed: any cache warming favours neither
+        // systematically (each path builds its own checker state).
+        level.scan = runPath(automaton, schedule, false);
+        level.indexed = runPath(automaton, schedule, true);
+        std::printf("  %-9d %-10d %-12.0f %-12.0f %-12.1f %-12.1f "
+                    "%-8.2f\n",
+                    level.inflight, level.messages, level.indexed.mps,
+                    level.scan.mps, level.indexed.p99us,
+                    level.scan.p99us, level.speedup());
+        if (level.indexed.accepted != level.scan.accepted) {
+            std::fprintf(stderr,
+                         "FAIL: paths diverged at %d in-flight "
+                         "(indexed accepted %llu, scan %llu)\n",
+                         inflight,
+                         static_cast<unsigned long long>(
+                             level.indexed.accepted),
+                         static_cast<unsigned long long>(
+                             level.scan.accepted));
+            return 1;
+        }
+        results.push_back(level);
+    }
+
+    std::ofstream out(out_path);
+    out << toJson(results, smoke);
+    out.close();
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!check_path.empty()) {
+        std::vector<std::pair<int, double>> baseline =
+            readBaseline(check_path);
+        if (baseline.empty()) {
+            std::fprintf(stderr, "FAIL: no baseline entries in %s\n",
+                         check_path.c_str());
+            return 1;
+        }
+        bool ok = true;
+        for (const auto &[inflight, reference] : baseline) {
+            const LevelResult *measured = nullptr;
+            for (const LevelResult &level : results) {
+                if (level.inflight == inflight)
+                    measured = &level;
+            }
+            if (measured == nullptr)
+                continue;
+            // Speedup is a machine-independent ratio; allow 20%
+            // regression before failing.
+            double floor = 0.8 * reference;
+            if (measured->speedup() < floor) {
+                std::fprintf(stderr,
+                             "FAIL: speedup at %d in-flight is %.2f, "
+                             "below 0.8 x baseline %.2f\n",
+                             inflight, measured->speedup(), reference);
+                ok = false;
+            }
+        }
+        if (!ok)
+            return 1;
+        std::printf("baseline check passed (%zu levels)\n",
+                    baseline.size());
+    }
+    return 0;
+}

@@ -98,6 +98,9 @@ class AutomatonInstance
      */
     bool sameState(const AutomatonInstance &other) const;
 
+    /** Consumed flag per event (the state sameState compares). */
+    const std::vector<char> &consumedFlags() const { return done; }
+
   private:
     const TaskAutomaton *spec;
     std::vector<char> done;            ///< consumed flag per event

@@ -36,6 +36,7 @@ AutomatonGroup::consume(logging::TemplateId tpl, logging::RecordId record,
             kept.push_back(std::move(instance));
     }
     candidates = std::move(kept);
+    signatureValid = false;
     consumedMessages.push_back({record, tpl, now});
     if (!anyConsumed) {
         creationTime = now;
@@ -101,13 +102,24 @@ AutomatonGroup::candidateTaskNames() const
 bool
 AutomatonGroup::equivalentTo(const AutomatonGroup &other) const
 {
-    if (candidates.size() != other.candidates.size())
-        return false;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (!candidates[i].sameState(other.candidates[i]))
-            return false;
+    return stateSignature() == other.stateSignature();
+}
+
+const std::string &
+AutomatonGroup::stateSignature() const
+{
+    if (!signatureValid) {
+        signatureCache.clear();
+        for (const AutomatonInstance &instance : candidates) {
+            const TaskAutomaton *spec = &instance.automaton();
+            signatureCache.append(
+                reinterpret_cast<const char *>(&spec), sizeof(spec));
+            const std::vector<char> &flags = instance.consumedFlags();
+            signatureCache.append(flags.data(), flags.size());
+        }
+        signatureValid = true;
     }
-    return true;
+    return signatureCache;
 }
 
 AutomatonGroup

@@ -115,6 +115,18 @@ class AutomatonGroup
      */
     bool equivalentTo(const AutomatonGroup &other) const;
 
+    /**
+     * Canonical state fingerprint: two groups compare equal under
+     * equivalentTo() iff their signatures are byte-equal. Cached and
+     * recomputed lazily after consumption, so the checker's
+     * equivalence-class dedup hashes one string per group instead of
+     * running pairwise instance-state comparisons. The encoding is
+     * prefix-unambiguous (each instance's specification pointer fixes
+     * its state-vector length), so string equality is exact, not a
+     * hash.
+     */
+    const std::string &stateSignature() const;
+
     // --- lineage (Algorithm 2 case 2 bookkeeping) ---------------------
 
     /** The group this one was copied from (0 = root hypothesis). */
@@ -142,6 +154,8 @@ class AutomatonGroup
     GroupId groupId;
     std::vector<AutomatonInstance> candidates;
     std::vector<ConsumedMessage> consumedMessages;
+    mutable std::string signatureCache;
+    mutable bool signatureValid = false;
     common::SimTime lastActivityTime = 0.0;
     common::SimTime creationTime = 0.0;
     bool anyConsumed = false;

@@ -24,8 +24,9 @@ struct CheckMessage
     /** Interned template; kInvalidTemplate if never seen in modeling. */
     logging::TemplateId tpl = logging::kInvalidTemplate;
 
-    /** Identifier values (IPs, UUIDs) extracted from the body. */
-    std::vector<std::string> identifiers;
+    /** Identifier tokens (IPs, UUIDs) extracted from the body and
+     *  interned at extraction time, in order of appearance. */
+    std::vector<logging::IdToken> identifiers;
 
     logging::LogLevel level = logging::LogLevel::Info;
     logging::RecordId record = 0;

@@ -4,61 +4,76 @@
 
 namespace cloudseer::core {
 
-IdentifierSet::IdentifierSet(const std::vector<std::string> &values)
+using logging::IdToken;
+
+IdentifierSet::IdentifierSet(const std::vector<IdToken> &values)
+    : items(dedupSorted(values))
 {
-    insert(values);
+}
+
+std::vector<IdToken>
+IdentifierSet::dedupSorted(const std::vector<IdToken> &values)
+{
+    std::vector<IdToken> out = values;
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
 }
 
 bool
-IdentifierSet::contains(const std::string &value) const
+IdentifierSet::contains(IdToken value) const
 {
     return std::binary_search(items.begin(), items.end(), value);
 }
 
 int
-IdentifierSet::overlap(const std::vector<std::string> &values) const
+IdentifierSet::overlap(const std::vector<IdToken> &sorted_unique) const
 {
-    // Count distinct shared identifiers; duplicate values in the
-    // message (a UUID mentioned twice) count once.
     int shared = 0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-        bool duplicate = false;
-        for (std::size_t j = 0; j < i && !duplicate; ++j)
-            duplicate = values[j] == values[i];
-        if (!duplicate && contains(values[i]))
+    auto a = items.begin();
+    auto b = sorted_unique.begin();
+    while (a != items.end() && b != sorted_unique.end()) {
+        if (*a < *b) {
+            ++a;
+        } else if (*b < *a) {
+            ++b;
+        } else {
             ++shared;
+            ++a;
+            ++b;
+        }
     }
     return shared;
 }
 
 int
 IdentifierSet::symmetricDifference(
-    const std::vector<std::string> &values) const
+    const std::vector<IdToken> &sorted_unique) const
 {
-    int distinct_values = 0;
-    int shared = 0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-        bool duplicate = false;
-        for (std::size_t j = 0; j < i && !duplicate; ++j)
-            duplicate = values[j] == values[i];
-        if (duplicate)
-            continue;
-        ++distinct_values;
-        if (contains(values[i]))
-            ++shared;
-    }
+    int shared = overlap(sorted_unique);
     return (static_cast<int>(items.size()) - shared) +
-           (distinct_values - shared);
+           (static_cast<int>(sorted_unique.size()) - shared);
 }
 
 void
-IdentifierSet::insert(const std::vector<std::string> &values)
+IdentifierSet::insert(const std::vector<IdToken> &sorted_unique,
+                      std::vector<IdToken> *added)
 {
-    for (const std::string &value : values) {
-        auto it = std::lower_bound(items.begin(), items.end(), value);
-        if (it == items.end() || *it != value)
-            items.insert(it, value);
+    // Single merge pass: collect the genuinely new tokens, then splice
+    // them in (both inputs sorted-unique, so the result is too).
+    std::vector<IdToken> fresh;
+    std::set_difference(sorted_unique.begin(), sorted_unique.end(),
+                        items.begin(), items.end(),
+                        std::back_inserter(fresh));
+    if (!fresh.empty()) {
+        std::vector<IdToken> merged;
+        merged.reserve(items.size() + fresh.size());
+        std::merge(items.begin(), items.end(), fresh.begin(),
+                   fresh.end(), std::back_inserter(merged));
+        items = std::move(merged);
     }
+    if (added != nullptr)
+        *added = std::move(fresh);
 }
 
 void

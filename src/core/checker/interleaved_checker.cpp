@@ -1,10 +1,13 @@
 #include "core/checker/interleaved_checker.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/error.hpp"
 
 namespace cloudseer::core {
+
+using logging::IdToken;
 
 InterleavedChecker::InterleavedChecker(
     const CheckerConfig &config_,
@@ -31,15 +34,28 @@ InterleavedChecker::templateKnown(logging::TemplateId tpl) const
 }
 
 std::vector<std::uint64_t>
-InterleavedChecker::selectIdSets(
-    const std::vector<std::string> &identifiers,
-    int max_overlap_exclusive, int *overlap_out, bool tie_break) const
+InterleavedChecker::selectIdSets(const std::vector<IdToken> &view,
+                                 int max_overlap_exclusive,
+                                 int *overlap_out, bool tie_break) const
+{
+    return config.routingIndex
+               ? selectIdSetsIndexed(view, max_overlap_exclusive,
+                                     overlap_out, tie_break)
+               : selectIdSetsScan(view, max_overlap_exclusive,
+                                  overlap_out, tie_break);
+}
+
+std::vector<std::uint64_t>
+InterleavedChecker::selectIdSetsScan(const std::vector<IdToken> &view,
+                                     int max_overlap_exclusive,
+                                     int *overlap_out,
+                                     bool tie_break) const
 {
     // Best overlap below the (optional) exclusive bound; ties broken by
     // least symmetric difference when configured (paper heuristic 1).
     int best = 0;
     for (const auto &[id, entry] : idsets) {
-        int ov = entry.ids.overlap(identifiers);
+        int ov = entry.ids.overlap(view);
         if (max_overlap_exclusive >= 0 && ov >= max_overlap_exclusive)
             continue;
         best = std::max(best, ov);
@@ -52,7 +68,7 @@ InterleavedChecker::selectIdSets(
 
     int least_diff = -1;
     for (const auto &[id, entry] : idsets) {
-        int ov = entry.ids.overlap(identifiers);
+        int ov = entry.ids.overlap(view);
         if (ov != best)
             continue;
         if (max_overlap_exclusive >= 0 && ov >= max_overlap_exclusive)
@@ -61,13 +77,74 @@ InterleavedChecker::selectIdSets(
             selected.push_back(id);
             continue;
         }
-        int diff = entry.ids.symmetricDifference(identifiers);
+        int diff = entry.ids.symmetricDifference(view);
         if (least_diff == -1 || diff < least_diff) {
             least_diff = diff;
             selected.clear();
             selected.push_back(id);
         } else if (diff == least_diff) {
             selected.push_back(id);
+        }
+    }
+    return selected;
+}
+
+std::vector<std::uint64_t>
+InterleavedChecker::selectIdSetsIndexed(const std::vector<IdToken> &view,
+                                        int max_overlap_exclusive,
+                                        int *overlap_out,
+                                        bool tie_break) const
+{
+    // Posting-list accumulation: a set's count of hits across the
+    // message's distinct tokens IS its overlap, and any set sharing no
+    // token has overlap 0 — which the scan path can never select
+    // either (best == 0 returns empty; positive bounds are >= 2). The
+    // candidates are sorted by set id so the selection order matches
+    // the scan's ascending-map iteration exactly.
+    std::vector<std::pair<std::uint64_t, int>> candidates;
+    {
+        std::unordered_map<std::uint64_t, int> counts;
+        for (IdToken token : view) {
+            auto it = postings.find(token);
+            if (it == postings.end())
+                continue;
+            for (std::uint64_t set_id : it->second)
+                ++counts[set_id];
+        }
+        candidates.assign(counts.begin(), counts.end());
+        std::sort(candidates.begin(), candidates.end());
+    }
+
+    int best = 0;
+    for (const auto &[set_id, ov] : candidates) {
+        if (max_overlap_exclusive >= 0 && ov >= max_overlap_exclusive)
+            continue;
+        best = std::max(best, ov);
+    }
+    if (overlap_out != nullptr)
+        *overlap_out = best;
+    std::vector<std::uint64_t> selected;
+    if (best == 0)
+        return selected;
+
+    int least_diff = -1;
+    for (const auto &[set_id, ov] : candidates) {
+        if (ov != best)
+            continue;
+        if (!tie_break) {
+            selected.push_back(set_id);
+            continue;
+        }
+        // |A Δ B| = |A| + |B| - 2|A ∩ B|; the overlap is already
+        // known, so no merge is needed.
+        int diff = static_cast<int>(idsets.at(set_id).ids.size()) +
+                   static_cast<int>(view.size()) - 2 * ov;
+        if (least_diff == -1 || diff < least_diff) {
+            least_diff = diff;
+            selected.clear();
+            selected.push_back(set_id);
+        } else if (diff == least_diff) {
+            selected.push_back(set_id);
         }
     }
     return selected;
@@ -91,23 +168,23 @@ InterleavedChecker::candidateGroups(
             continue;
         }
         // Paper heuristic 2: among equivalent groups under one set,
-        // randomly select a single representative.
+        // randomly select a single representative. Classes are keyed
+        // by the cached state signature (equal signatures ⟺
+        // equivalentTo), in first-member order — the same classes the
+        // pairwise comparison used to build, without the O(members²)
+        // instance-state walks.
         std::vector<std::vector<GroupId>> classes;
+        std::unordered_map<std::string_view, std::size_t> class_of;
         for (GroupId gid : members) {
             auto git = groups.find(gid);
             if (git == groups.end())
                 continue;
-            bool placed = false;
-            for (auto &cls : classes) {
-                const AutomatonGroup &rep = groups.at(cls.front());
-                if (git->second.equivalentTo(rep)) {
-                    cls.push_back(gid);
-                    placed = true;
-                    break;
-                }
-            }
-            if (!placed)
-                classes.push_back({gid});
+            std::string_view sig = git->second.stateSignature();
+            auto [cls_it, fresh] =
+                class_of.try_emplace(sig, classes.size());
+            if (fresh)
+                classes.emplace_back();
+            classes[cls_it->second].push_back(gid);
         }
         for (auto &cls : classes) {
             // Prefer live members: a zombie that is state-equivalent
@@ -131,17 +208,71 @@ InterleavedChecker::candidateGroups(
     return out;
 }
 
+void
+InterleavedChecker::contentsAdd(std::uint64_t set_id,
+                                const std::vector<IdToken> &contents)
+{
+    std::vector<std::uint64_t> &ids = setsByContents[contents];
+    ids.insert(std::lower_bound(ids.begin(), ids.end(), set_id),
+               set_id);
+}
+
+void
+InterleavedChecker::contentsRemove(std::uint64_t set_id,
+                                   const std::vector<IdToken> &contents)
+{
+    auto it = setsByContents.find(contents);
+    CS_ASSERT(it != setsByContents.end(), "contents-map entry missing");
+    auto &ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), set_id), ids.end());
+    if (ids.empty())
+        setsByContents.erase(it);
+}
+
+void
+InterleavedChecker::indexAddSet(std::uint64_t set_id,
+                                const IdSetEntry &entry)
+{
+    for (IdToken token : entry.ids.values())
+        postings[token].push_back(set_id);
+    contentsAdd(set_id, entry.ids.values());
+}
+
+void
+InterleavedChecker::indexRemoveSet(std::uint64_t set_id,
+                                   const IdSetEntry &entry)
+{
+    for (IdToken token : entry.ids.values()) {
+        auto it = postings.find(token);
+        CS_ASSERT(it != postings.end(), "posting list missing");
+        auto &list = it->second;
+        list.erase(std::remove(list.begin(), list.end(), set_id),
+                   list.end());
+        if (list.empty())
+            postings.erase(it);
+    }
+    contentsRemove(set_id, entry.ids.values());
+}
+
 std::uint64_t
 InterleavedChecker::findOrCreateIdSet(IdentifierSet ids)
 {
-    for (auto &[set_id, entry] : idsets) {
-        if (entry.ids.values() == ids.values())
-            return set_id;
+    if (config.routingIndex) {
+        auto it = setsByContents.find(ids.values());
+        if (it != setsByContents.end())
+            return it->second.front();
+    } else {
+        for (auto &[set_id, entry] : idsets) {
+            if (entry.ids.values() == ids.values())
+                return set_id;
+        }
     }
     std::uint64_t set_id = nextIdSetId++;
     IdSetEntry entry;
     entry.ids = std::move(ids);
-    idsets.emplace(set_id, std::move(entry));
+    auto [pos, inserted] = idsets.emplace(set_id, std::move(entry));
+    CS_ASSERT(inserted, "identifier-set id collision");
+    indexAddSet(set_id, pos->second);
     return set_id;
 }
 
@@ -158,7 +289,7 @@ InterleavedChecker::registerGroup(AutomatonGroup &&group,
 
 void
 InterleavedChecker::applyDecisiveIdUpdate(
-    GroupId group, const std::vector<std::string> &ids)
+    GroupId group, const std::vector<IdToken> &view)
 {
     auto map_it = groupToSet.find(group);
     CS_ASSERT(map_it != groupToSet.end(), "group without identifier set");
@@ -167,8 +298,15 @@ InterleavedChecker::applyDecisiveIdUpdate(
     IdSetEntry &entry = set_it->second;
 
     if (entry.groupIds.size() == 1) {
-        // Sole owner: expand in place (the paper's ID ∪ m.Sv).
-        entry.ids.insert(ids);
+        // Sole owner: expand in place (the paper's ID ∪ m.Sv). The
+        // index follows: new tokens gain a posting, and the set is
+        // re-keyed under its new contents.
+        contentsRemove(set_it->first, entry.ids.values());
+        std::vector<IdToken> added;
+        entry.ids.insert(view, &added);
+        for (IdToken token : added)
+            postings[token].push_back(set_it->first);
+        contentsAdd(set_it->first, entry.ids.values());
         return;
     }
     // Shared set: split off an expanded copy for this group.
@@ -176,7 +314,7 @@ InterleavedChecker::applyDecisiveIdUpdate(
                                      entry.groupIds.end(), group),
                          entry.groupIds.end());
     IdentifierSet expanded = entry.ids;
-    expanded.insert(ids);
+    expanded.insert(view);
     std::uint64_t set_id = findOrCreateIdSet(std::move(expanded));
     idsets.at(set_id).groupIds.push_back(group);
     map_it->second = set_id;
@@ -196,8 +334,10 @@ InterleavedChecker::eraseGroup(GroupId group)
             members.erase(std::remove(members.begin(), members.end(),
                                       group),
                           members.end());
-            if (members.empty())
+            if (members.empty()) {
+                indexRemoveSet(set_it->first, set_it->second);
                 idsets.erase(set_it);
+            }
         }
         groupToSet.erase(map_it);
     }
@@ -311,6 +451,7 @@ InterleavedChecker::harvestAcceptance(const std::vector<GroupId> &touched,
 
 void
 InterleavedChecker::applyErrorCriterion(const CheckMessage &message,
+                                        const std::vector<IdToken> &view,
                                         std::vector<CheckEvent> &events)
 {
     ++counters.errorsReported;
@@ -319,8 +460,7 @@ InterleavedChecker::applyErrorCriterion(const CheckMessage &message,
     // (non-zombie) hypotheses.
     int overlap = 0;
     std::vector<std::uint64_t> sel = selectIdSets(
-        message.identifiers, -1, &overlap,
-        config.tieBreakLeastDifference);
+        view, -1, &overlap, config.tieBreakLeastDifference);
     GroupId chosen = 0;
     for (std::uint64_t set_id : sel) {
         auto set_it = idsets.find(set_id);
@@ -358,12 +498,17 @@ InterleavedChecker::feed(const CheckMessage &message)
     std::vector<CheckEvent> events;
     ++counters.messages;
 
+    // One dedup per message: every overlap / difference / insert below
+    // works on this sorted-unique token view.
+    const std::vector<IdToken> view =
+        IdentifierSet::dedupSorted(message.identifiers);
+
     // Recovery (a), hoisted: a template outside every automaton's Σ can
     // never be consumed. Non-error messages pass through; error
     // messages trigger the error-message criterion.
     if (!templateKnown(message.tpl)) {
         if (logging::isErrorLevel(message.level)) {
-            applyErrorCriterion(message, events);
+            applyErrorCriterion(message, view, events);
         } else {
             ++counters.recoveredPassUnknown;
         }
@@ -373,9 +518,9 @@ InterleavedChecker::feed(const CheckMessage &message)
     // --- selection (Algorithm 2 lines 1-3) ----------------------------
     int best_overlap = 0;
     std::vector<GroupId> candidates;
-    if (config.identifierRouting && !message.identifiers.empty()) {
+    if (config.identifierRouting && !view.empty()) {
         std::vector<std::uint64_t> sel =
-            selectIdSets(message.identifiers, -1, &best_overlap,
+            selectIdSets(view, -1, &best_overlap,
                          config.tieBreakLeastDifference);
         candidates = candidateGroups(sel);
     } else {
@@ -392,16 +537,16 @@ InterleavedChecker::feed(const CheckMessage &message)
             consuming.push_back(gid);
     }
 
-    auto doDecisive = [this, &message, &events](GroupId gid) {
+    auto doDecisive = [this, &message, &view, &events](GroupId gid) {
         AutomatonGroup &group = groups.at(gid);
         bool ok =
             group.consume(message.tpl, message.record, message.time);
         CS_ASSERT(ok, "decisive consumption failed after canConsume");
-        applyDecisiveIdUpdate(gid, message.identifiers);
+        applyDecisiveIdUpdate(gid, view);
         harvestAcceptance({gid}, message.time, events);
     };
 
-    auto doAmbiguous = [this, &message,
+    auto doAmbiguous = [this, &message, &view,
                         &events](std::vector<GroupId> gids) {
         // Case (2): fork a consuming clone of every contender; all
         // clones share one pooled identifier set (ID1 ∪ ID2 ∪ m.Sv).
@@ -423,7 +568,7 @@ InterleavedChecker::feed(const CheckMessage &message)
             if (set_it != idsets.end())
                 pooled.unionWith(set_it->second.ids);
         }
-        pooled.insert(message.identifiers);
+        pooled.insert(view);
         std::uint64_t set_id = findOrCreateIdSet(std::move(pooled));
         for (GroupId gid : gids) {
             GroupId clone_id = nextGroupId++;
@@ -479,8 +624,7 @@ InterleavedChecker::feed(const CheckMessage &message)
                                     message.time);
             CS_ASSERT(ok, "fresh group failed to consume");
             GroupId gid = fresh.id();
-            registerGroup(std::move(fresh),
-                          IdentifierSet(message.identifiers));
+            registerGroup(std::move(fresh), IdentifierSet(view));
             harvestAcceptance({gid}, message.time, events);
             return events;
         }
@@ -489,7 +633,7 @@ InterleavedChecker::feed(const CheckMessage &message)
     // (c) the chosen identifier set may be wrong: first retry the
     // tie-break losers at the best overlap, then walk down the
     // overlap ranks.
-    if (config.identifierRouting && !message.identifiers.empty()) {
+    if (config.identifierRouting && !view.empty()) {
         auto tryLevel =
             [this, &message,
              &events](const std::vector<std::uint64_t> &sel,
@@ -517,8 +661,8 @@ InterleavedChecker::feed(const CheckMessage &message)
 
         if (config.tieBreakLeastDifference && best_overlap > 0) {
             int level = 0;
-            std::vector<std::uint64_t> sel = selectIdSets(
-                message.identifiers, -1, &level, /*tie_break=*/false);
+            std::vector<std::uint64_t> sel =
+                selectIdSets(view, -1, &level, /*tie_break=*/false);
             if (tryLevel(sel, doDecisive, doAmbiguous))
                 return events;
         }
@@ -526,7 +670,7 @@ InterleavedChecker::feed(const CheckMessage &message)
         while (bound > 1) {
             int level = 0;
             std::vector<std::uint64_t> sel =
-                selectIdSets(message.identifiers, bound, &level,
+                selectIdSets(view, bound, &level,
                              config.tieBreakLeastDifference);
             if (sel.empty() || level == 0)
                 break;
@@ -552,7 +696,7 @@ InterleavedChecker::feed(const CheckMessage &message)
                     ++removalCounts[edge.automaton->name()]
                                    [{edge.from, edge.to}];
                 }
-                applyDecisiveIdUpdate(gid, message.identifiers);
+                applyDecisiveIdUpdate(gid, view);
                 harvestAcceptance({gid}, message.time, events);
                 return events;
             }
@@ -560,7 +704,7 @@ InterleavedChecker::feed(const CheckMessage &message)
     }
 
     if (logging::isErrorLevel(message.level)) {
-        applyErrorCriterion(message, events);
+        applyErrorCriterion(message, view, events);
         return events;
     }
 
@@ -705,7 +849,89 @@ InterleavedChecker::finish(common::SimTime now)
     }
     idsets.clear();
     groupToSet.clear();
+    postings.clear();
+    setsByContents.clear();
     return events;
+}
+
+const std::vector<std::uint64_t> *
+InterleavedChecker::postingsFor(IdToken token) const
+{
+    auto it = postings.find(token);
+    return it == postings.end() ? nullptr : &it->second;
+}
+
+bool
+InterleavedChecker::indexConsistent() const
+{
+    // Every live set's tokens each carry exactly one posting entry…
+    std::size_t expected_postings = 0;
+    for (const auto &[set_id, entry] : idsets) {
+        expected_postings += entry.ids.size();
+        for (IdToken token : entry.ids.values()) {
+            auto it = postings.find(token);
+            if (it == postings.end())
+                return false;
+            if (std::count(it->second.begin(), it->second.end(),
+                           set_id) != 1) {
+                return false;
+            }
+        }
+        // …the contents map knows the set…
+        auto cit = setsByContents.find(entry.ids.values());
+        if (cit == setsByContents.end() ||
+            std::count(cit->second.begin(), cit->second.end(),
+                       set_id) != 1) {
+            return false;
+        }
+        // …and every member group points back at the set.
+        for (GroupId gid : entry.groupIds) {
+            if (!groups.count(gid))
+                return false;
+            auto git = groupToSet.find(gid);
+            if (git == groupToSet.end() || git->second != set_id)
+                return false;
+        }
+    }
+    // …and no posting or contents entry points at a dead set.
+    std::size_t actual_postings = 0;
+    for (const auto &[token, list] : postings) {
+        if (list.empty())
+            return false;
+        actual_postings += list.size();
+        for (std::uint64_t set_id : list) {
+            auto it = idsets.find(set_id);
+            if (it == idsets.end() || !it->second.ids.contains(token))
+                return false;
+        }
+    }
+    if (actual_postings != expected_postings)
+        return false;
+    std::size_t contents_ids = 0;
+    for (const auto &[contents, ids] : setsByContents) {
+        if (ids.empty() || !std::is_sorted(ids.begin(), ids.end()))
+            return false;
+        contents_ids += ids.size();
+        for (std::uint64_t set_id : ids) {
+            auto it = idsets.find(set_id);
+            if (it == idsets.end() ||
+                it->second.ids.values() != contents) {
+                return false;
+            }
+        }
+    }
+    if (contents_ids != idsets.size())
+        return false;
+    // Every group is reachable from its set.
+    for (const auto &[gid, set_id] : groupToSet) {
+        auto it = idsets.find(set_id);
+        if (it == idsets.end())
+            return false;
+        const auto &members = it->second.groupIds;
+        if (std::count(members.begin(), members.end(), gid) != 1)
+            return false;
+    }
+    return groupToSet.size() == groups.size();
 }
 
 } // namespace cloudseer::core

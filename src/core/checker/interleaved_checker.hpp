@@ -15,6 +15,13 @@
  * forked hypotheses make the paper's "remove the other possibilities"
  * pruning deterministic, and timed-out groups whose lineage is still
  * progressing are pruned silently instead of reported.
+ *
+ * Routing index (DESIGN.md §9): the paper's set selection scans every
+ * live identifier set per message. With `routingIndex` on (default)
+ * the checker instead maintains an inverted index from identifier
+ * token to the id-sets containing it, so selection touches only the
+ * sets actually sharing an identifier with the message — sublinear in
+ * live groups, and bit-identical to the scan in every report.
  */
 
 #ifndef CLOUDSEER_CORE_CHECKER_INTERLEAVED_CHECKER_HPP
@@ -22,6 +29,7 @@
 
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,6 +43,15 @@ struct CheckerConfig
 {
     /** Route by identifier sets (off = brute-force every group). */
     bool identifierRouting = true;
+
+    /**
+     * Serve set selection from the inverted token→id-set index
+     * instead of the paper's linear scan over all live sets. Off is
+     * the reference scan path — behaviourally identical (the
+     * differential test pins report sequences bit-equal), only
+     * slower.
+     */
+    bool routingIndex = true;
 
     /** Tie-break equal overlaps by least symmetric difference. */
     bool tieBreakLeastDifference = true;
@@ -137,6 +154,25 @@ class InterleavedChecker
     /** Identifier sets currently tracked. */
     std::size_t activeIdentifierSets() const { return idsets.size(); }
 
+    /**
+     * Posting list of a token (id-set ids containing it), or nullptr
+     * when no live set holds the token. Test/introspection surface of
+     * the routing index.
+     */
+    const std::vector<std::uint64_t> *
+    postingsFor(logging::IdToken token) const;
+
+    /** Tokens currently carrying a non-empty posting list. */
+    std::size_t postingTokens() const { return postings.size(); }
+
+    /**
+     * Full cross-check of the routing structures: every id-set token
+     * appears in exactly one posting entry, no posting points at a
+     * dead set, the contents map mirrors the live sets, and every
+     * group↔set relation is bidirectional. O(state); test-only.
+     */
+    bool indexConsistent() const;
+
   private:
     struct IdSetEntry
     {
@@ -154,6 +190,25 @@ class InterleavedChecker
     RemovalCounts removalCounts;
     std::map<std::uint64_t, IdSetEntry> idsets;
     std::map<GroupId, std::uint64_t> groupToSet;
+
+    /**
+     * Inverted routing index: token -> sorted-insertion list of the
+     * id-set ids whose set contains the token. Maintained on set
+     * creation, in-place expansion, and retirement; entries whose
+     * lists drain are erased so the index never outgrows live state.
+     */
+    std::unordered_map<logging::IdToken, std::vector<std::uint64_t>>
+        postings;
+
+    /**
+     * Exact-contents lookup for findOrCreateIdSet: token vector ->
+     * ascending id-set ids with those exact contents (in-place
+     * expansion can transiently alias two sets; the scan semantics
+     * pick the lowest id, so the front() is the answer).
+     */
+    std::map<std::vector<logging::IdToken>, std::vector<std::uint64_t>>
+        setsByContents;
+
     std::uint64_t nextGroupId = 1;
     std::uint64_t nextIdSetId = 1;
     std::uint64_t nextRivalSet = 1;
@@ -162,14 +217,29 @@ class InterleavedChecker
 
     /**
      * Identifier-set ids with the best overlap below the exclusive
-     * bound (-1 = unbounded). `tie_break` applies the least-difference
-     * heuristic among equal overlaps; recovery (c) retries without it
-     * so tie-break losers get their chance before lower ranks.
+     * bound (-1 = unbounded). `view` must be sorted-unique (one
+     * dedup per message, done in feed). `tie_break` applies the
+     * least-difference heuristic among equal overlaps; recovery (c)
+     * retries without it so tie-break losers get their chance before
+     * lower ranks. Dispatches to the indexed or scan implementation
+     * per config.routingIndex; both return identical selections.
      */
     std::vector<std::uint64_t>
-    selectIdSets(const std::vector<std::string> &identifiers,
+    selectIdSets(const std::vector<logging::IdToken> &view,
                  int max_overlap_exclusive, int *overlap_out,
                  bool tie_break) const;
+
+    /** Reference implementation: linear scan over all live sets. */
+    std::vector<std::uint64_t>
+    selectIdSetsScan(const std::vector<logging::IdToken> &view,
+                     int max_overlap_exclusive, int *overlap_out,
+                     bool tie_break) const;
+
+    /** Indexed implementation: posting-list accumulation. */
+    std::vector<std::uint64_t>
+    selectIdSetsIndexed(const std::vector<logging::IdToken> &view,
+                        int max_overlap_exclusive, int *overlap_out,
+                        bool tie_break) const;
 
     /** Candidate groups of the selected sets, deduped per config. */
     std::vector<GroupId>
@@ -177,7 +247,7 @@ class InterleavedChecker
 
     /** Case 1 bookkeeping: expand or re-home the group's set. */
     void applyDecisiveIdUpdate(GroupId group,
-                               const std::vector<std::string> &ids);
+                               const std::vector<logging::IdToken> &view);
 
     /**
      * Identifier-set entry with the given contents, reusing an
@@ -186,6 +256,22 @@ class InterleavedChecker
      * equivalent-group heuristic collapse interchangeable groups).
      */
     std::uint64_t findOrCreateIdSet(IdentifierSet ids);
+
+    // --- routing-index maintenance ------------------------------------
+
+    /** Add a freshly created set to postings and the contents map. */
+    void indexAddSet(std::uint64_t set_id, const IdSetEntry &entry);
+
+    /** Remove a retiring set from postings and the contents map. */
+    void indexRemoveSet(std::uint64_t set_id, const IdSetEntry &entry);
+
+    /** Record `set_id` under `contents` in the contents map. */
+    void contentsAdd(std::uint64_t set_id,
+                     const std::vector<logging::IdToken> &contents);
+
+    /** Drop `set_id` from under `contents` in the contents map. */
+    void contentsRemove(std::uint64_t set_id,
+                        const std::vector<logging::IdToken> &contents);
 
     /** Register a brand-new group with a fresh identifier set. */
     void registerGroup(AutomatonGroup &&group,
@@ -219,6 +305,7 @@ class InterleavedChecker
 
     /** Error-message criterion (paper §4, Problem Detection). */
     void applyErrorCriterion(const CheckMessage &message,
+                             const std::vector<logging::IdToken> &view,
                              std::vector<CheckEvent> &events);
 };
 

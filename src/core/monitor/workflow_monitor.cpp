@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "logging/identifier_interner.hpp"
 
 namespace cloudseer::core {
 
@@ -136,7 +137,8 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
             !config.numbersAsIdentifiers) {
             continue;
         }
-        message.identifiers.push_back(std::move(var.text));
+        message.identifiers.push_back(
+            logging::IdentifierInterner::process().intern(var.text));
     }
     message.level = record.level;
     message.record = record.id;
@@ -152,9 +154,9 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
         key += record.service;
         key += '\x1f';
         key += std::to_string(message.tpl);
-        for (const std::string &id : message.identifiers) {
+        for (logging::IdToken id : message.identifiers) {
             key += '\x1f';
-            key += id;
+            key += std::to_string(id);
         }
         key += '\x1f';
         key += std::to_string(record.timestamp);

@@ -1,0 +1,51 @@
+#include "logging/identifier_interner.hpp"
+
+#include "common/error.hpp"
+
+namespace cloudseer::logging {
+
+IdToken
+IdentifierInterner::intern(std::string_view value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = index.find(value);
+    if (it != index.end())
+        return it->second;
+    IdToken token = static_cast<IdToken>(tokens.size());
+    CS_ASSERT(token != kInvalidIdToken, "identifier interner full");
+    tokens.emplace_back(value);
+    index.emplace(tokens.back(), token);
+    return token;
+}
+
+IdToken
+IdentifierInterner::find(std::string_view value) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = index.find(value);
+    return it == index.end() ? kInvalidIdToken : it->second;
+}
+
+const std::string &
+IdentifierInterner::text(IdToken token) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    CS_ASSERT(token < tokens.size(), "identifier token out of range");
+    return tokens[token];
+}
+
+std::size_t
+IdentifierInterner::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return tokens.size();
+}
+
+IdentifierInterner &
+IdentifierInterner::process()
+{
+    static IdentifierInterner instance;
+    return instance;
+}
+
+} // namespace cloudseer::logging

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Interns identifier values (UUIDs, IPs) to dense integer tokens.
+ *
+ * The checker's routing structures (identifier sets, the inverted
+ * routing index) operate on IdToken, not strings: overlap queries
+ * become integer merges and posting-list lookups instead of string
+ * comparisons. Tokens are assigned in first-seen order; the numbering
+ * is an implementation detail — no checker behaviour depends on token
+ * order, only on token identity.
+ *
+ * The process-wide instance (IdentifierInterner::process()) is what
+ * the monitor's extraction path uses, mirroring how TemplateCatalog
+ * owns template text. Unlike templates, the identifier universe is
+ * unbounded (every VM boot mints fresh UUIDs); the interner therefore
+ * grows for the life of the process. Epoch-based compaction once all
+ * id-sets referencing a token have retired is future work (DESIGN.md
+ * §9).
+ */
+
+#ifndef CLOUDSEER_LOGGING_IDENTIFIER_INTERNER_HPP
+#define CLOUDSEER_LOGGING_IDENTIFIER_INTERNER_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudseer::logging {
+
+/** Dense identifier token; valid tokens index the interner's table. */
+using IdToken = std::uint32_t;
+
+/** Sentinel for "not interned". */
+constexpr IdToken kInvalidIdToken = 0xffffffffu;
+
+/** Registry of identifier values seen during checking. */
+class IdentifierInterner
+{
+  public:
+    /** Intern a value; returns a stable dense token. */
+    IdToken intern(std::string_view value);
+
+    /** Look up without interning; kInvalidIdToken when unknown. */
+    IdToken find(std::string_view value) const;
+
+    /** Original text of a token. */
+    const std::string &text(IdToken token) const;
+
+    /** Number of interned identifiers. */
+    std::size_t size() const;
+
+    /** The process-wide instance the extraction path interns into. */
+    static IdentifierInterner &process();
+
+  private:
+    struct StringHash
+    {
+        using is_transparent = void;
+        std::size_t
+        operator()(std::string_view s) const
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
+    std::vector<std::string> tokens; // token -> text
+    std::unordered_map<std::string, IdToken, StringHash,
+                       std::equal_to<>>
+        index;
+    mutable std::mutex mutex;
+};
+
+} // namespace cloudseer::logging
+
+#endif // CLOUDSEER_LOGGING_IDENTIFIER_INTERNER_HPP

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -56,8 +57,40 @@ class TemplateCatalog
         std::string text;
     };
 
+    /** Unjoined lookup key: hashes/compares as service + '\x1f' + text
+     *  against the stored joined string, so hot-path find() never
+     *  materialises the concatenation. */
+    struct KeyRef
+    {
+        std::string_view service;
+        std::string_view text;
+    };
+
+    struct KeyHash
+    {
+        using is_transparent = void;
+        std::size_t operator()(const std::string &joined) const;
+        std::size_t operator()(const KeyRef &ref) const;
+    };
+
+    struct KeyEqual
+    {
+        using is_transparent = void;
+        bool
+        operator()(const std::string &a, const std::string &b) const
+        {
+            return a == b;
+        }
+        bool operator()(const KeyRef &ref, const std::string &joined) const;
+        bool
+        operator()(const std::string &joined, const KeyRef &ref) const
+        {
+            return (*this)(ref, joined);
+        }
+    };
+
     std::vector<Entry> entries;
-    std::unordered_map<std::string, TemplateId> index;
+    std::unordered_map<std::string, TemplateId, KeyHash, KeyEqual> index;
 
     static std::string key(const std::string &service,
                            const std::string &text);

@@ -64,7 +64,8 @@ randomWalk(const TaskAutomaton &automaton, common::Rng &rng,
         probe.consume(tpl);
         CheckMessage message;
         message.tpl = tpl;
-        message.identifiers = {seq_id, user_id};
+        message.identifiers =
+            cloudseer::testutil::internIds({seq_id, user_id});
         message.record = next_record++;
         out.messages.push_back(message);
     }

@@ -5,6 +5,8 @@
  * (Algorithm 2) with its recovery heuristics and detection criteria.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/checker/interleaved_checker.hpp"
@@ -38,34 +40,45 @@ bootAutomaton(LetterCatalog &letters)
 
 TEST(IdentifierSet, OverlapCountsDistinctShared)
 {
-    IdentifierSet set({"a", "b", "c"});
-    EXPECT_EQ(set.overlap({"a"}), 1);
-    EXPECT_EQ(set.overlap({"a", "b"}), 2);
-    EXPECT_EQ(set.overlap({"x", "y"}), 0);
-    EXPECT_EQ(set.overlap({"a", "a", "a"}), 1) << "duplicates count once";
-    EXPECT_EQ(set.overlap({}), 0);
+    auto ids = cloudseer::testutil::internIds;
+    IdentifierSet set(ids({"a", "b", "c"}));
+    auto view = [&](const std::vector<std::string> &raw) {
+        return IdentifierSet::dedupSorted(ids(raw));
+    };
+    EXPECT_EQ(set.overlap(view({"a"})), 1);
+    EXPECT_EQ(set.overlap(view({"a", "b"})), 2);
+    EXPECT_EQ(set.overlap(view({"x", "y"})), 0);
+    EXPECT_EQ(set.overlap(view({"a", "a", "a"})), 1)
+        << "duplicates count once";
+    EXPECT_EQ(set.overlap(view({})), 0);
 }
 
 TEST(IdentifierSet, SymmetricDifference)
 {
-    IdentifierSet set({"a", "b", "c"});
-    EXPECT_EQ(set.symmetricDifference({"a"}), 2);       // {b,c}
-    EXPECT_EQ(set.symmetricDifference({"a", "b", "c"}), 0);
-    EXPECT_EQ(set.symmetricDifference({"x"}), 4);       // {a,b,c}+{x}
-    EXPECT_EQ(set.symmetricDifference({"a", "x"}), 3);  // {b,c}+{x}
+    auto ids = cloudseer::testutil::internIds;
+    IdentifierSet set(ids({"a", "b", "c"}));
+    auto view = [&](const std::vector<std::string> &raw) {
+        return IdentifierSet::dedupSorted(ids(raw));
+    };
+    EXPECT_EQ(set.symmetricDifference(view({"a"})), 2);      // {b,c}
+    EXPECT_EQ(set.symmetricDifference(view({"a", "b", "c"})), 0);
+    EXPECT_EQ(set.symmetricDifference(view({"x"})), 4);      // {a,b,c}+{x}
+    EXPECT_EQ(set.symmetricDifference(view({"a", "x"})), 3); // {b,c}+{x}
 }
 
 TEST(IdentifierSet, InsertAndUnionDeduplicate)
 {
-    IdentifierSet set({"b", "a"});
-    set.insert({"a", "c"});
+    auto ids = cloudseer::testutil::internIds;
+    IdentifierSet set(ids({"b", "a"}));
+    set.insert(IdentifierSet::dedupSorted(ids({"a", "c"})));
     EXPECT_EQ(set.size(), 3u);
-    IdentifierSet other({"c", "d"});
+    IdentifierSet other(ids({"c", "d"}));
     set.unionWith(other);
     EXPECT_EQ(set.size(), 4u);
-    EXPECT_TRUE(set.contains("d"));
-    EXPECT_EQ(set.values(),
-              (std::vector<std::string>{"a", "b", "c", "d"}));
+    EXPECT_TRUE(set.contains(ids({"d"}).front()));
+    std::vector<logging::IdToken> expected = ids({"a", "b", "c", "d"});
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(set.values(), expected);
 }
 
 // --- AutomatonGroup (Algorithm 1) --------------------------------------

@@ -14,6 +14,7 @@
 
 #include "core/automaton/task_automaton.hpp"
 #include "core/checker/check_types.hpp"
+#include "logging/identifier_interner.hpp"
 #include "logging/template_catalog.hpp"
 
 namespace cloudseer::testutil {
@@ -61,16 +62,27 @@ makeLetterAutomaton(LetterCatalog &letters, const std::string &name,
     return core::TaskAutomaton(name, std::move(events), std::move(built));
 }
 
+/** Intern identifier strings the way the monitor does at extraction. */
+inline std::vector<logging::IdToken>
+internIds(const std::vector<std::string> &identifiers)
+{
+    std::vector<logging::IdToken> tokens;
+    tokens.reserve(identifiers.size());
+    for (const std::string &id : identifiers)
+        tokens.push_back(logging::IdentifierInterner::process().intern(id));
+    return tokens;
+}
+
 /** Build a CheckMessage over a letter template with identifiers. */
 inline core::CheckMessage
 makeMessage(LetterCatalog &letters, const std::string &letter,
-            std::vector<std::string> identifiers,
+            const std::vector<std::string> &identifiers,
             logging::RecordId record, common::SimTime time,
             logging::LogLevel level = logging::LogLevel::Info)
 {
     core::CheckMessage message;
     message.tpl = letters.id(letter);
-    message.identifiers = std::move(identifiers);
+    message.identifiers = internIds(identifiers);
     message.record = record;
     message.time = time;
     message.level = level;
