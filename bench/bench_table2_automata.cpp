@@ -7,7 +7,9 @@
 
 #include <cstdio>
 
+#include "analysis/model_lint.hpp"
 #include "common/table.hpp"
+#include "core/checker/check_types.hpp"
 #include "bench_util.hpp"
 
 using namespace cloudseer;
@@ -65,5 +67,21 @@ main()
                 "%zu initial, %zu final\n",
                 boot.forkStates().size(), boot.joinStates().size(),
                 boot.initialEvents().size(), boot.finalEvents().size());
+
+    // Static verification of the freshly mined bundle: the modeling
+    // pipeline must never emit an automaton seer-lint would reject.
+    analysis::LintOptions lint;
+    lint.maxForkFanout = core::kDefaultMaxForkFanout;
+    analysis::LintReport report = analysis::lintModels(
+        models.automata, *models.catalog, lint);
+    std::printf("\nseer-lint over the mined bundle: %zu error(s), "
+                "%zu warning(s), %zu info(s)\n",
+                report.count(analysis::Severity::Error),
+                report.count(analysis::Severity::Warning),
+                report.count(analysis::Severity::Info));
+    if (report.hasErrors()) {
+        std::printf("%s\n", report.toText().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -209,6 +209,34 @@ readBaseline(const std::string &path)
     return out;
 }
 
+/**
+ * Resolve a baseline path against the current directory first, then
+ * against the benchmark binary's directory and its ancestors. CI and
+ * developers invoke the bench from different working directories
+ * (repo root, build/, build/bench/); a repo-relative path like
+ * bench/baselines/throughput_baseline.json should work from all of
+ * them.
+ */
+std::string
+resolveBaselinePath(const std::string &path, const char *argv0)
+{
+    if (std::ifstream(path).good())
+        return path;
+    if (path.empty() || path.front() == '/')
+        return path;
+    std::string dir(argv0);
+    std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? std::string(".")
+                                     : dir.substr(0, slash);
+    for (int up = 0; up <= 3; ++up) {
+        std::string candidate = dir + "/" + path;
+        if (std::ifstream(candidate).good())
+            return candidate;
+        dir += "/..";
+    }
+    return path; // let the caller report the original name
+}
+
 } // namespace
 
 int
@@ -283,6 +311,7 @@ main(int argc, char **argv)
     std::printf("wrote %s\n", out_path.c_str());
 
     if (!check_path.empty()) {
+        check_path = resolveBaselinePath(check_path, argv[0]);
         std::vector<std::pair<int, double>> baseline =
             readBaseline(check_path);
         if (baseline.empty()) {

@@ -56,8 +56,20 @@ monitorOnce(const eval::ModeledSystem &models,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --no-verify: the load-time seer-lint escape hatch, for replaying
+    // a historical model bundle the current lint would reject.
+    bool verify = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--no-verify") {
+            verify = false;
+        } else {
+            std::fprintf(stderr, "usage: %s [--no-verify]\n", argv[0]);
+            return 2;
+        }
+    }
+
     std::printf("CloudSeer model lifecycle\n"
                 "=========================\n\n");
 
@@ -95,6 +107,10 @@ main()
     core::MonitorConfig config;
     config.timeoutSeconds = policy.defaultTimeout;
     config.perTaskTimeouts = policy.perTask;
+    config.verifyModelOnLoad = verify;
+    if (!verify)
+        std::printf("[gen 1] --no-verify: load-time model lint "
+                    "downgraded to report-only\n");
 
     core::RemovalCounts removals;
     std::uint64_t repairs = monitorOnce(reloaded, config, &removals);

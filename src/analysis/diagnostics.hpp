@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Diagnostic value types of the seer-lint static model verifier.
+ *
+ * Every defect the analysis passes can find carries a stable ID
+ * (SL001..SL009), a severity, and enough structure (automaton, event
+ * ids, edge flag) for a caller with a model-file source map to print
+ * file:line locations. The catalog below is the authoritative list;
+ * DESIGN.md §10 documents each entry with rationale and an example.
+ */
+
+#ifndef CLOUDSEER_ANALYSIS_DIAGNOSTICS_HPP
+#define CLOUDSEER_ANALYSIS_DIAGNOSTICS_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudseer::analysis {
+
+/** Severity ranks; Error blocks deployment, the rest inform. */
+enum class Severity
+{
+    Info,
+    Warning,
+    Error,
+};
+
+/** "info" / "warning" / "error". */
+const char *severityName(Severity severity);
+
+/** One finding of the static model verifier. */
+struct Diagnostic
+{
+    /** Stable catalog ID ("SL003"); never renumbered across releases. */
+    std::string id;
+
+    Severity severity = Severity::Info;
+
+    /** Task name of the automaton involved; empty for bundle-level
+     *  findings (cross-automaton collisions, duplicate names). */
+    std::string automaton;
+
+    /** Human-readable description, self-contained. */
+    std::string message;
+
+    /** Primary event id involved, -1 when not event-scoped. */
+    int eventA = -1;
+
+    /** Secondary event id (edge target, rival event), -1 when unused. */
+    int eventB = -1;
+
+    /** True when (eventA, eventB) names a dependency edge. */
+    bool isEdge = false;
+
+    /** Machine-readable payload (e.g. SL005's fan-out bound). */
+    std::map<std::string, double> metrics;
+};
+
+/** Catalog entry describing one diagnostic ID. */
+struct DiagnosticInfo
+{
+    const char *id;
+    Severity maxSeverity; ///< worst severity this ID can carry
+    const char *title;
+    const char *rationale;
+};
+
+/** The full diagnostic catalog, in ID order. */
+const std::vector<DiagnosticInfo> &diagnosticCatalog();
+
+/** Catalog entry for an ID, or nullptr when unknown. */
+const DiagnosticInfo *diagnosticInfo(const std::string &id);
+
+/** Result of one lint run. */
+struct LintReport
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t automataChecked = 0;
+
+    /** Findings at exactly the given severity. */
+    std::size_t count(Severity severity) const;
+
+    /** True when any error-severity finding exists. */
+    bool hasErrors() const;
+
+    /** All findings with the given ID (tests, gating). */
+    std::vector<const Diagnostic *> withId(const std::string &id) const;
+
+    /** Merge another report's findings into this one. */
+    void merge(LintReport &&other);
+
+    /** Deterministic order: automaton, id, events (CI-diffable). */
+    void sortStable();
+
+    /** Human-readable multi-line report (no trailing newline). */
+    std::string toText() const;
+
+    /** Machine-readable JSON document (for CI gating). */
+    std::string toJson() const;
+};
+
+} // namespace cloudseer::analysis
+
+#endif // CLOUDSEER_ANALYSIS_DIAGNOSTICS_HPP

@@ -1,0 +1,689 @@
+#include "analysis/model_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "logging/variable_extractor.hpp"
+
+namespace cloudseer::analysis {
+
+namespace {
+
+using core::DependencyEdge;
+using core::TaskAutomaton;
+
+/** Graph view of one automaton, self-loops and duplicates separated
+ *  out so the structural passes see a simple directed graph. */
+struct GraphView
+{
+    int n = 0;
+    std::vector<std::vector<int>> succs;   ///< deduped, no self-loops
+    std::vector<std::pair<int, int>> selfLoops;
+    std::vector<std::pair<int, int>> duplicates; ///< one entry per extra copy
+    /** Strength of each simple edge (true = strong). */
+    std::map<std::pair<int, int>, bool> strength;
+
+    explicit GraphView(const TaskAutomaton &automaton)
+        : n(static_cast<int>(automaton.eventCount())), succs(automaton.eventCount())
+    {
+        std::set<std::pair<int, int>> seen;
+        for (const DependencyEdge &edge : automaton.edges()) {
+            if (edge.from == edge.to) {
+                selfLoops.emplace_back(edge.from, edge.to);
+                continue;
+            }
+            std::pair<int, int> key{edge.from, edge.to};
+            if (!seen.insert(key).second) {
+                duplicates.push_back(key);
+                continue;
+            }
+            succs[static_cast<std::size_t>(edge.from)].push_back(edge.to);
+            strength[key] = edge.strong;
+        }
+    }
+};
+
+/** Tarjan strongly-connected components; returns SCCs of size >= 2. */
+std::vector<std::vector<int>>
+cyclicComponents(const GraphView &graph)
+{
+    struct State
+    {
+        const GraphView &g;
+        std::vector<int> index, low, stack;
+        std::vector<char> onStack;
+        std::vector<std::vector<int>> out;
+        int next = 0;
+
+        explicit State(const GraphView &graph)
+            : g(graph),
+              index(static_cast<std::size_t>(graph.n), -1),
+              low(static_cast<std::size_t>(graph.n), 0),
+              onStack(static_cast<std::size_t>(graph.n), 0)
+        {
+        }
+
+        void
+        visit(int v)
+        {
+            // Iterative Tarjan: (node, next-successor-position) frames.
+            std::vector<std::pair<int, std::size_t>> frames{{v, 0}};
+            while (!frames.empty()) {
+                auto &[node, pos] = frames.back();
+                std::size_t u = static_cast<std::size_t>(node);
+                if (pos == 0) {
+                    index[u] = low[u] = next++;
+                    stack.push_back(node);
+                    onStack[u] = 1;
+                }
+                bool descended = false;
+                while (pos < g.succs[u].size()) {
+                    int w = g.succs[u][pos++];
+                    std::size_t wi = static_cast<std::size_t>(w);
+                    if (index[wi] == -1) {
+                        frames.emplace_back(w, 0);
+                        descended = true;
+                        break;
+                    }
+                    if (onStack[wi])
+                        low[u] = std::min(low[u], index[wi]);
+                }
+                if (descended)
+                    continue;
+                if (low[u] == index[u]) {
+                    std::vector<int> component;
+                    int popped;
+                    do {
+                        popped = stack.back();
+                        stack.pop_back();
+                        onStack[static_cast<std::size_t>(popped)] = 0;
+                        component.push_back(popped);
+                    } while (popped != node);
+                    if (component.size() >= 2) {
+                        std::sort(component.begin(), component.end());
+                        out.push_back(std::move(component));
+                    }
+                }
+                frames.pop_back();
+                if (!frames.empty()) {
+                    std::size_t p = static_cast<std::size_t>(
+                        frames.back().first);
+                    low[p] = std::min(low[p], low[u]);
+                }
+            }
+        }
+    };
+
+    State state(graph);
+    for (int v = 0; v < graph.n; ++v) {
+        if (state.index[static_cast<std::size_t>(v)] == -1)
+            state.visit(v);
+    }
+    std::sort(state.out.begin(), state.out.end());
+    return state.out;
+}
+
+/** Reachability matrix over the simple graph (models are small). */
+std::vector<std::vector<char>>
+reachability(const GraphView &graph)
+{
+    std::vector<std::vector<char>> reach(
+        static_cast<std::size_t>(graph.n),
+        std::vector<char>(static_cast<std::size_t>(graph.n), 0));
+    for (int s = 0; s < graph.n; ++s) {
+        std::vector<int> work{s};
+        while (!work.empty()) {
+            int u = work.back();
+            work.pop_back();
+            for (int w : graph.succs[static_cast<std::size_t>(u)]) {
+                if (!reach[static_cast<std::size_t>(s)]
+                          [static_cast<std::size_t>(w)]) {
+                    reach[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(w)] = 1;
+                    work.push_back(w);
+                }
+            }
+        }
+    }
+    return reach;
+}
+
+std::string
+eventLabel(const TaskAutomaton &automaton,
+           const logging::TemplateCatalog &catalog, int event)
+{
+    const core::EventNode &node = automaton.event(event);
+    std::string label =
+        "e" + std::to_string(event) + " '" + catalog.label(node.tpl) + "'";
+    if (node.occurrence > 0)
+        label += " (#" + std::to_string(node.occurrence + 1) + ")";
+    return label;
+}
+
+std::string
+joinEvents(const std::vector<int> &events, std::size_t cap = 8)
+{
+    std::string out;
+    for (std::size_t i = 0; i < events.size() && i < cap; ++i) {
+        if (i > 0)
+            out += " -> ";
+        out += "e" + std::to_string(events[i]);
+    }
+    if (events.size() > cap)
+        out += " -> ...";
+    return out;
+}
+
+void
+add(LintReport &report, const char *id, Severity severity,
+    const std::string &automaton, std::string message, int event_a = -1,
+    int event_b = -1, bool is_edge = false,
+    std::map<std::string, double> metrics = {})
+{
+    Diagnostic diagnostic;
+    diagnostic.id = id;
+    diagnostic.severity = severity;
+    diagnostic.automaton = automaton;
+    diagnostic.message = std::move(message);
+    diagnostic.eventA = event_a;
+    diagnostic.eventB = event_b;
+    diagnostic.isEdge = is_edge;
+    diagnostic.metrics = std::move(metrics);
+    report.diagnostics.push_back(std::move(diagnostic));
+}
+
+// --- SL001: fork/join balance and nesting ------------------------------
+
+void
+checkForkJoin(const TaskAutomaton &automaton,
+              const logging::TemplateCatalog &catalog,
+              const GraphView &graph, bool acyclic,
+              const std::vector<std::vector<char>> &reach,
+              LintReport &report)
+{
+    const std::string &name = automaton.name();
+
+    std::set<std::pair<int, int>> reported;
+    for (const auto &[from, to] : graph.duplicates) {
+        if (!reported.insert({from, to}).second)
+            continue;
+        add(report, "SL001", Severity::Error, name,
+            "duplicate dependency edge e" + std::to_string(from) +
+                " -> e" + std::to_string(to) +
+                " double-counts a branch of join " +
+                eventLabel(automaton, catalog, to),
+            from, to, true);
+    }
+
+    if (!acyclic)
+        return; // nesting analysis needs a DAG
+
+    // Partial join: a join merging some but not all branches of an
+    // upstream fork — concurrency that neither fully syncs nor stays
+    // independent, which the mined series-parallel shapes never
+    // produce on their own.
+    for (int fork = 0; fork < graph.n; ++fork) {
+        const std::vector<int> &branches =
+            graph.succs[static_cast<std::size_t>(fork)];
+        if (branches.size() < 2)
+            continue;
+        for (int join = 0; join < graph.n; ++join) {
+            std::size_t indegree = 0;
+            for (int v = 0; v < graph.n; ++v) {
+                const auto &sv = graph.succs[static_cast<std::size_t>(v)];
+                if (std::find(sv.begin(), sv.end(), join) != sv.end())
+                    ++indegree;
+            }
+            if (indegree < 2)
+                continue;
+            std::size_t covering = 0;
+            for (int branch : branches) {
+                if (branch == join ||
+                    reach[static_cast<std::size_t>(branch)]
+                         [static_cast<std::size_t>(join)]) {
+                    ++covering;
+                }
+            }
+            if (covering >= 2 && covering < branches.size()) {
+                add(report, "SL001", Severity::Warning, name,
+                    "join " + eventLabel(automaton, catalog, join) +
+                        " merges " + std::to_string(covering) + " of " +
+                        std::to_string(branches.size()) +
+                        " branches of fork " +
+                        eventLabel(automaton, catalog, fork) +
+                        " (improper nesting)",
+                    fork, join);
+            }
+        }
+    }
+}
+
+// --- SL002: dead, orphan, disconnected states --------------------------
+
+void
+checkReachability(const TaskAutomaton &automaton,
+                  const logging::TemplateCatalog &catalog,
+                  const GraphView &graph, LintReport &report)
+{
+    const std::string &name = automaton.name();
+
+    for (const auto &[from, to] : graph.selfLoops) {
+        add(report, "SL002", Severity::Error, name,
+            "event " + eventLabel(automaton, catalog, from) +
+                " depends on itself and can never fire",
+            from, to, true);
+    }
+
+    if (graph.n > 1) {
+        for (int v = 0; v < graph.n; ++v) {
+            if (automaton.preds(v).empty() && automaton.succs(v).empty()) {
+                add(report, "SL002", Severity::Warning, name,
+                    "orphan event " + eventLabel(automaton, catalog, v) +
+                        " participates in no ordering (mining artifact?)",
+                    v);
+            }
+        }
+
+        // Weakly-connected components over non-orphan nodes.
+        std::vector<int> component(static_cast<std::size_t>(graph.n), -1);
+        int components = 0;
+        for (int s = 0; s < graph.n; ++s) {
+            if (component[static_cast<std::size_t>(s)] != -1 ||
+                (automaton.preds(s).empty() && automaton.succs(s).empty()))
+                continue;
+            std::vector<int> work{s};
+            component[static_cast<std::size_t>(s)] = components;
+            while (!work.empty()) {
+                int u = work.back();
+                work.pop_back();
+                auto follow = [&](int w) {
+                    if (component[static_cast<std::size_t>(w)] == -1) {
+                        component[static_cast<std::size_t>(w)] =
+                            components;
+                        work.push_back(w);
+                    }
+                };
+                for (int w : automaton.succs(u))
+                    follow(w);
+                for (int w : automaton.preds(u))
+                    follow(w);
+            }
+            ++components;
+        }
+        if (components > 1) {
+            add(report, "SL002", Severity::Info, name,
+                "specification splits into " +
+                    std::to_string(components) +
+                    " disconnected components — the task is really " +
+                    "several independent workflows");
+        }
+    }
+}
+
+// --- SL003 / SL009: dependency cycles ----------------------------------
+
+void
+checkCycles(const TaskAutomaton &automaton, const GraphView &graph,
+            const std::vector<std::vector<int>> &cycles,
+            LintReport &report)
+{
+    const std::string &name = automaton.name();
+    for (const std::vector<int> &component : cycles) {
+        std::set<int> members(component.begin(), component.end());
+        bool all_strong = true;
+        for (int u : component) {
+            for (int w : graph.succs[static_cast<std::size_t>(u)]) {
+                if (members.count(w) && !graph.strength.at({u, w}))
+                    all_strong = false;
+            }
+        }
+        std::string cycle_text = joinEvents(component);
+        if (all_strong) {
+            add(report, "SL009", Severity::Error, name,
+                "strong-dependency cycle {" + cycle_text +
+                    "}: contradicts its own always-adjacent training "
+                    "evidence and survives weak refinement",
+                component.front(), component.back());
+        } else {
+            add(report, "SL003", Severity::Error, name,
+                "dependency cycle {" + cycle_text +
+                    "}: member states can never fire; the automaton "
+                    "can never accept",
+                component.front(), component.back());
+        }
+    }
+}
+
+// --- SL004: transitive-reduction violations ----------------------------
+
+void
+checkRedundantEdges(const TaskAutomaton &automaton,
+                    const GraphView &graph, bool acyclic,
+                    LintReport &report)
+{
+    if (!acyclic)
+        return; // reachability is meaningless inside a cycle
+    const std::string &name = automaton.name();
+    for (int u = 0; u < graph.n; ++u) {
+        for (int w : graph.succs[static_cast<std::size_t>(u)]) {
+            // Path u -> w avoiding the direct edge?
+            std::vector<char> seen(static_cast<std::size_t>(graph.n), 0);
+            std::vector<int> work;
+            for (int v : graph.succs[static_cast<std::size_t>(u)]) {
+                if (v != w && !seen[static_cast<std::size_t>(v)]) {
+                    seen[static_cast<std::size_t>(v)] = 1;
+                    work.push_back(v);
+                }
+            }
+            bool redundant = false;
+            while (!work.empty() && !redundant) {
+                int v = work.back();
+                work.pop_back();
+                for (int x : graph.succs[static_cast<std::size_t>(v)]) {
+                    if (x == w) {
+                        redundant = true;
+                        break;
+                    }
+                    if (!seen[static_cast<std::size_t>(x)]) {
+                        seen[static_cast<std::size_t>(x)] = 1;
+                        work.push_back(x);
+                    }
+                }
+            }
+            if (redundant) {
+                add(report, "SL004", Severity::Warning, name,
+                    "edge e" + std::to_string(u) + " -> e" +
+                        std::to_string(w) +
+                        " is implied by a longer path (transitive "
+                        "reduction violated)",
+                    u, w, true);
+            }
+        }
+    }
+}
+
+// --- SL006: identifier coverage ----------------------------------------
+
+bool
+routableTemplate(const std::string &text, bool numbers_as_identifiers)
+{
+    using logging::VariableExtractor;
+    using logging::VariableKind;
+    if (text.find(VariableExtractor::placeholder(VariableKind::Uuid)) !=
+            std::string::npos ||
+        text.find(VariableExtractor::placeholder(VariableKind::Ip)) !=
+            std::string::npos) {
+        return true;
+    }
+    return numbers_as_identifiers &&
+           text.find(VariableExtractor::placeholder(
+               VariableKind::Number)) != std::string::npos;
+}
+
+void
+checkIdentifierCoverage(const TaskAutomaton &automaton,
+                        const logging::TemplateCatalog &catalog,
+                        const LintOptions &options, LintReport &report)
+{
+    const std::string &name = automaton.name();
+    std::set<logging::TemplateId> seen;
+    for (std::size_t e = 0; e < automaton.eventCount(); ++e) {
+        logging::TemplateId tpl =
+            automaton.event(static_cast<int>(e)).tpl;
+        if (!seen.insert(tpl).second)
+            continue;
+        if (!routableTemplate(catalog.text(tpl),
+                              options.numbersAsIdentifiers)) {
+            add(report, "SL006", Severity::Warning, name,
+                "template '" + catalog.label(tpl) +
+                    "' extracts no routable identifier; its messages "
+                    "bypass identifier-set selection and cost a "
+                    "recovery walk each",
+                static_cast<int>(e));
+        }
+    }
+}
+
+// --- SL007 (per automaton): event aliasing -----------------------------
+
+void
+checkEventAliasing(const TaskAutomaton &automaton,
+                   const logging::TemplateCatalog &catalog,
+                   LintReport &report)
+{
+    const std::string &name = automaton.name();
+    std::map<std::pair<logging::TemplateId, int>, int> first;
+    std::map<logging::TemplateId, std::vector<int>> occurrences;
+    for (std::size_t e = 0; e < automaton.eventCount(); ++e) {
+        const core::EventNode &node =
+            automaton.event(static_cast<int>(e));
+        auto [it, fresh] = first.try_emplace(
+            {node.tpl, node.occurrence}, static_cast<int>(e));
+        if (!fresh) {
+            add(report, "SL007", Severity::Error, name,
+                "events e" + std::to_string(it->second) + " and e" +
+                    std::to_string(e) + " alias the same (template '" +
+                    catalog.label(node.tpl) + "', occurrence " +
+                    std::to_string(node.occurrence) +
+                    ") state — consumption is non-deterministic",
+                it->second, static_cast<int>(e));
+        }
+        occurrences[node.tpl].push_back(node.occurrence);
+    }
+    for (auto &[tpl, occs] : occurrences) {
+        std::sort(occs.begin(), occs.end());
+        occs.erase(std::unique(occs.begin(), occs.end()), occs.end());
+        for (std::size_t i = 0; i < occs.size(); ++i) {
+            if (occs[i] != static_cast<int>(i)) {
+                add(report, "SL007", Severity::Warning, name,
+                    "occurrence indices of template '" +
+                        catalog.label(tpl) +
+                        "' are not contiguous from 0 — occurrence " +
+                        std::to_string(i) + " is missing");
+                break;
+            }
+        }
+    }
+}
+
+// --- SL008: timeout consistency ----------------------------------------
+
+void
+checkTimeouts(const TaskAutomaton &automaton, const LintOptions &options,
+              LintReport &report)
+{
+    const std::string &name = automaton.name();
+    auto it = options.perTaskTimeouts.find(name);
+    double timeout = it != options.perTaskTimeouts.end()
+                         ? it->second
+                         : options.defaultTimeout;
+    if (timeout <= 0.0) {
+        add(report, "SL008", Severity::Error, name,
+            "timeout " + std::to_string(timeout) +
+                "s is not positive — every group times out instantly",
+            -1, -1, false, {{"timeout_s", timeout}});
+        return;
+    }
+    auto gap = options.expectedTaskGaps.find(name);
+    if (gap != options.expectedTaskGaps.end() && gap->second > timeout) {
+        add(report, "SL008", Severity::Warning, name,
+            "timeout " + std::to_string(timeout) +
+                "s is below the largest quiet gap " +
+                std::to_string(gap->second) +
+                "s seen in correct executions — slow-but-correct runs "
+                "will be reported",
+            -1, -1, false,
+            {{"timeout_s", timeout}, {"max_gap_s", gap->second}});
+    }
+}
+
+// --- SL005 (bundle): cross-automaton template collisions ---------------
+
+void
+checkTemplateCollisions(const std::vector<TaskAutomaton> &automata,
+                        const logging::TemplateCatalog &catalog,
+                        const LintOptions &options, LintReport &report)
+{
+    struct Collision
+    {
+        std::vector<std::string> tasks;
+        std::size_t sites = 0;
+    };
+    std::map<logging::TemplateId, Collision> shared;
+    for (const TaskAutomaton &automaton : automata) {
+        std::set<logging::TemplateId> seen;
+        for (std::size_t e = 0; e < automaton.eventCount(); ++e)
+            seen.insert(automaton.event(static_cast<int>(e)).tpl);
+        for (logging::TemplateId tpl : seen) {
+            Collision &entry = shared[tpl];
+            entry.tasks.push_back(automaton.name());
+            entry.sites += automaton.eventsForTemplate(tpl).size();
+        }
+    }
+    for (const auto &[tpl, entry] : shared) {
+        if (entry.tasks.size() < 2)
+            continue;
+        std::string tasks;
+        for (const std::string &task : entry.tasks)
+            tasks += (tasks.empty() ? "" : ", ") + task;
+        double sites = static_cast<double>(entry.sites);
+        bool over_cap = options.maxForkFanout > 0 &&
+                        entry.sites > options.maxForkFanout;
+        std::string message =
+            "template '" + catalog.label(tpl) + "' is shared by " +
+            std::to_string(entry.tasks.size()) + " automata (" + tasks +
+            "); one colliding message can fork up to " +
+            std::to_string(entry.sites) +
+            " hypotheses per indistinguishable interleaving";
+        if (over_cap) {
+            message += ", exceeding the checker's fork-fanout cap of " +
+                       std::to_string(options.maxForkFanout) +
+                       " — correct hypotheses can be dropped";
+        }
+        add(report, "SL005", over_cap ? Severity::Warning : Severity::Info,
+            "", std::move(message), -1, -1, false,
+            {{"sites", sites},
+             {"automata", static_cast<double>(entry.tasks.size())},
+             {"cap", static_cast<double>(options.maxForkFanout)}});
+    }
+}
+
+// --- SL007 (bundle): specification aliasing ----------------------------
+
+void
+checkSpecificationAliasing(const std::vector<TaskAutomaton> &automata,
+                           LintReport &report)
+{
+    std::map<std::string, std::size_t> byName;
+    for (std::size_t i = 0; i < automata.size(); ++i) {
+        auto [it, fresh] = byName.try_emplace(automata[i].name(), i);
+        if (!fresh) {
+            add(report, "SL007", Severity::Error, automata[i].name(),
+                "two automata share the task name '" +
+                    automata[i].name() +
+                    "' — reports and timeout policy cannot tell them "
+                    "apart");
+        }
+    }
+    for (std::size_t i = 0; i < automata.size(); ++i) {
+        for (std::size_t j = i + 1; j < automata.size(); ++j) {
+            if (automata[i].name() != automata[j].name() &&
+                automata[i].sameStructure(automata[j])) {
+                add(report, "SL007", Severity::Warning,
+                    automata[i].name(),
+                    "automata '" + automata[i].name() + "' and '" +
+                        automata[j].name() +
+                        "' are structurally identical — every message "
+                        "they match forks permanently ambiguous "
+                        "hypotheses");
+            }
+        }
+    }
+}
+
+} // namespace
+
+LintReport
+lintAutomaton(const TaskAutomaton &automaton,
+              const logging::TemplateCatalog &catalog,
+              const LintOptions &options)
+{
+    LintReport report;
+    report.automataChecked = 1;
+
+    if (automaton.eventCount() == 0) {
+        add(report, "SL002", Severity::Error, automaton.name(),
+            "automaton has no events — it accepts nothing and matches "
+            "nothing");
+        return report;
+    }
+
+    GraphView graph(automaton);
+    std::vector<std::vector<int>> cycles = cyclicComponents(graph);
+    bool acyclic = cycles.empty() && graph.selfLoops.empty();
+    std::vector<std::vector<char>> reach;
+    if (acyclic)
+        reach = reachability(graph);
+
+    checkForkJoin(automaton, catalog, graph, acyclic, reach, report);
+    checkReachability(automaton, catalog, graph, report);
+    checkCycles(automaton, graph, cycles, report);
+    checkRedundantEdges(automaton, graph, acyclic, report);
+    checkIdentifierCoverage(automaton, catalog, options, report);
+    checkEventAliasing(automaton, catalog, report);
+    checkTimeouts(automaton, options, report);
+    return report;
+}
+
+LintReport
+lintModels(const std::vector<TaskAutomaton> &automata,
+           const logging::TemplateCatalog &catalog,
+           const LintOptions &options)
+{
+    LintReport report;
+    report.automataChecked = automata.size();
+    for (const TaskAutomaton &automaton : automata) {
+        LintReport sub = lintAutomaton(automaton, catalog, options);
+        report.merge(std::move(sub));
+    }
+    checkTemplateCollisions(automata, catalog, options, report);
+    checkSpecificationAliasing(automata, report);
+    report.sortStable();
+    return report;
+}
+
+std::vector<std::string>
+errorSummaries(const LintReport &report)
+{
+    std::vector<std::string> out;
+    for (const Diagnostic &diagnostic : report.diagnostics) {
+        if (diagnostic.severity != Severity::Error)
+            continue;
+        std::string line = "[" + diagnostic.id + "] ";
+        if (!diagnostic.automaton.empty())
+            line += diagnostic.automaton + ": ";
+        line += diagnostic.message;
+        out.push_back(std::move(line));
+    }
+    return out;
+}
+
+core::TaskModeler::Verifier
+makeLintVerifier(LintOptions options)
+{
+    return [options = std::move(options)](
+               const TaskAutomaton &automaton,
+               const logging::TemplateCatalog &catalog) {
+        return errorSummaries(lintAutomaton(automaton, catalog, options));
+    };
+}
+
+void
+attachLint(core::TaskModeler &modeler, LintOptions options)
+{
+    modeler.setVerifier(makeLintVerifier(std::move(options)));
+}
+
+} // namespace cloudseer::analysis

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * seer-lint: static verification of mined task automata.
+ *
+ * CloudSeer's online checker inherits every defect of the offline
+ * model: an unbalanced fork/join, a dead state, or a template shared
+ * across task automata surfaces at runtime as ambiguity explosions,
+ * false divergences, or unroutable messages. These passes prove
+ * well-formedness properties *before* a model is deployed — at mine
+ * time (TaskModeler verifier hook), at load time (WorkflowMonitor),
+ * and in CI (the seer-lint CLI over the golden models).
+ *
+ * The pass set (stable IDs, DESIGN.md §10):
+ *   SL001  fork/join balance and nesting
+ *   SL002  dead / orphan / disconnected states
+ *   SL003  dependency cycles containing a weak edge
+ *   SL004  transitive-reduction violations (redundant edges)
+ *   SL005  cross-automaton template collisions vs. the fork-fanout cap
+ *   SL006  identifier coverage (unroutable templates)
+ *   SL007  state-signature determinism (aliasing)
+ *   SL008  timeout consistency
+ *   SL009  all-strong cycles that survive weak refinement
+ */
+
+#ifndef CLOUDSEER_ANALYSIS_MODEL_LINT_HPP
+#define CLOUDSEER_ANALYSIS_MODEL_LINT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/automaton/task_automaton.hpp"
+#include "core/mining/model_builder.hpp"
+#include "logging/template_catalog.hpp"
+
+namespace cloudseer::analysis {
+
+/** Deployment context the passes verify the model against. */
+struct LintOptions
+{
+    /**
+     * The checker's hypothesis cap (CheckerConfig::maxForkFanout) for
+     * SL005's bound check. 0 = unknown cap: collisions are still
+     * reported, at info severity.
+     */
+    std::size_t maxForkFanout = 0;
+
+    /** Whether <num> placeholders count as routable (SL006), matching
+     *  MonitorConfig::numbersAsIdentifiers. */
+    bool numbersAsIdentifiers = false;
+
+    /** Deployment timeout criterion for SL008. */
+    double defaultTimeout = 10.0;
+
+    /** Per-task timeout overrides (task -> seconds), for SL008. */
+    std::map<std::string, double> perTaskTimeouts;
+
+    /**
+     * Largest quiet gap observed per task in correct executions
+     * (TimeoutEstimator::maxGap), for SL008's lower-bound check.
+     * Tasks absent from the map skip that check.
+     */
+    std::map<std::string, double> expectedTaskGaps;
+};
+
+/**
+ * Run the per-automaton passes (SL001-SL004, SL006-SL009) on one
+ * automaton. Cross-automaton passes need lintModels.
+ */
+LintReport lintAutomaton(const core::TaskAutomaton &automaton,
+                         const logging::TemplateCatalog &catalog,
+                         const LintOptions &options = {});
+
+/**
+ * Run every pass over a full model bundle: the per-automaton passes
+ * plus the cross-automaton ones (SL005 collisions, SL007 duplicate
+ * names / indistinguishable specifications). The report is in stable
+ * order.
+ */
+LintReport lintModels(const std::vector<core::TaskAutomaton> &automata,
+                      const logging::TemplateCatalog &catalog,
+                      const LintOptions &options = {});
+
+/** Error-severity findings as one-line strings (enforcement paths). */
+std::vector<std::string> errorSummaries(const LintReport &report);
+
+/**
+ * Verifier for TaskModeler::setVerifier: runs the per-automaton
+ * passes on every freshly built automaton and returns error-severity
+ * findings (mining a structurally broken automaton is a miner bug).
+ */
+core::TaskModeler::Verifier makeLintVerifier(LintOptions options = {});
+
+/** Install makeLintVerifier's hook on a modeler. */
+void attachLint(core::TaskModeler &modeler, LintOptions options = {});
+
+} // namespace cloudseer::analysis
+
+#endif // CLOUDSEER_ANALYSIS_MODEL_LINT_HPP

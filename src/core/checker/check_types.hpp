@@ -18,6 +18,14 @@
 
 namespace cloudseer::core {
 
+/**
+ * Default hypothesis cap for ambiguous forking (Algorithm 2 case 2).
+ * Exported as a named constant so tools outside the checker — the
+ * seer-lint fan-out bound check in particular — gate against the same
+ * number CheckerConfig deploys with.
+ */
+inline constexpr std::size_t kDefaultMaxForkFanout = 6;
+
 /** One log message, pre-parsed for checking. */
 struct CheckMessage
 {

@@ -75,9 +75,10 @@ struct CheckerConfig
      * identifiers cannot separate sequences at all; the cap keeps the
      * checker online at the cost of occasionally dropping the correct
      * hypothesis (surfacing as a checking inaccuracy, like the
-     * paper's).
+     * paper's). seer-lint's SL005 pass checks mined models against
+     * this cap before deployment.
      */
-    std::size_t maxForkFanout = 6;
+    std::size_t maxForkFanout = kDefaultMaxForkFanout;
 
     /** Seed for the random-selection heuristic among equivalents. */
     std::uint64_t seed = 42;

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/error.hpp"
 #include "core/mining/dependency_miner.hpp"
 
 namespace cloudseer::core {
@@ -9,6 +10,12 @@ namespace cloudseer::core {
 TaskModeler::TaskModeler(logging::TemplateCatalog &catalog_)
     : catalog(catalog_)
 {
+}
+
+void
+TaskModeler::setVerifier(Verifier verifier_)
+{
+    verifier = std::move(verifier_);
 }
 
 TemplateSequence
@@ -30,8 +37,13 @@ TaskModeler::buildAutomaton(const std::string &task_name,
 {
     PreprocessResult pre = preprocessSequences(runs);
     MinedModel mined = mineDependencies(pre.sequences);
-    return TaskAutomaton(task_name, std::move(mined.events),
-                         std::move(mined.edges));
+    TaskAutomaton automaton(task_name, std::move(mined.events),
+                            std::move(mined.edges));
+    if (verifier) {
+        for (const std::string &finding : verifier(automaton, catalog))
+            common::warn("modeler: " + finding);
+    }
+    return automaton;
 }
 
 TaskModeler::ConvergenceResult
@@ -55,7 +67,11 @@ TaskModeler::modelUntilStable(
         if (current && candidate.sameStructure(*current)) {
             ++unchanged;
             if (unchanged >= stable_checks) {
-                return {std::move(candidate), runs.size(), true};
+                std::vector<std::string> findings =
+                    verifier ? verifier(candidate, catalog)
+                             : std::vector<std::string>{};
+                return {std::move(candidate), runs.size(), true,
+                        std::move(findings)};
             }
         } else {
             unchanged = 0;
@@ -64,11 +80,13 @@ TaskModeler::modelUntilStable(
     }
 
     // Cap reached: return the best model so far (not converged).
-    if (!current) {
-        TaskAutomaton automaton = buildAutomaton(task_name, runs);
-        return {std::move(automaton), runs.size(), false};
-    }
-    return {std::move(*current), runs.size(), false};
+    if (!current)
+        current = std::make_unique<TaskAutomaton>(
+            buildAutomaton(task_name, runs));
+    std::vector<std::string> findings =
+        verifier ? verifier(*current, catalog)
+                 : std::vector<std::string>{};
+    return {std::move(*current), runs.size(), false, std::move(findings)};
 }
 
 } // namespace cloudseer::core

@@ -47,12 +47,29 @@ class TaskModeler
         const std::string &task_name,
         const std::vector<TemplateSequence> &runs) const;
 
+    /**
+     * Post-build verification hook. Receives each freshly built
+     * automaton plus the catalog and returns findings (one line each);
+     * an empty vector means the automaton is clean. The analysis layer
+     * installs seer-lint here (analysis::attachLint) — the miner stays
+     * below the analysis library and never depends on it.
+     */
+    using Verifier = std::function<std::vector<std::string>(
+        const TaskAutomaton &, const logging::TemplateCatalog &)>;
+
+    /** Install (or clear, with nullptr) the post-build verifier. */
+    void setVerifier(Verifier verifier);
+
     /** Outcome of the convergence-driven modeling loop. */
     struct ConvergenceResult
     {
         TaskAutomaton automaton;
         std::size_t runsUsed = 0;
         bool converged = false;
+
+        /** Verifier findings on the final automaton (empty = clean or
+         *  no verifier installed). */
+        std::vector<std::string> lintFindings;
     };
 
     /**
@@ -76,6 +93,7 @@ class TaskModeler
   private:
     logging::TemplateCatalog &catalog;
     logging::VariableExtractor extractor;
+    Verifier verifier;
 };
 
 } // namespace cloudseer::core

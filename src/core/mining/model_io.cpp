@@ -125,8 +125,32 @@ saveModelsToString(const logging::TemplateCatalog &catalog,
     return out.str();
 }
 
+int
+ModelSourceMap::eventLine(std::size_t index, int id) const
+{
+    if (index >= automata.size() || id < 0 ||
+        static_cast<std::size_t>(id) >= automata[index].eventLines.size())
+        return 0;
+    return automata[index].eventLines[static_cast<std::size_t>(id)];
+}
+
+int
+ModelSourceMap::edgeLine(std::size_t index, int from, int to) const
+{
+    if (index >= automata.size())
+        return 0;
+    auto it = automata[index].edgeLines.find({from, to});
+    return it == automata[index].edgeLines.end() ? 0 : it->second;
+}
+
+int
+ModelSourceMap::declLine(std::size_t index) const
+{
+    return index < automata.size() ? automata[index].declLine : 0;
+}
+
 std::optional<ModelBundle>
-loadModels(std::istream &in)
+loadModels(std::istream &in, ModelSourceMap *source_map)
 {
     std::string line;
     if (!std::getline(in, line))
@@ -141,6 +165,7 @@ loadModels(std::istream &in)
 
     ModelBundle bundle;
     bundle.catalog = std::make_shared<logging::TemplateCatalog>();
+    ModelSourceMap locations;
     // File template id -> re-interned id.
     std::map<logging::TemplateId, logging::TemplateId> remap;
 
@@ -152,6 +177,7 @@ loadModels(std::istream &in)
         std::vector<EventNode> events;
         std::vector<DependencyEdge> edges;
         bool open = false;
+        AutomatonSourceMap lines;
     };
     PendingAutomaton pending;
 
@@ -171,11 +197,14 @@ loadModels(std::istream &in)
         bundle.automata.emplace_back(pending.name,
                                      std::move(pending.events),
                                      std::move(pending.edges));
+        locations.automata.push_back(std::move(pending.lines));
         pending = PendingAutomaton{};
         return true;
     };
 
+    int line_no = 1; // the header was line 1
     while (std::getline(in, line)) {
+        ++line_no;
         auto fields = common::splitWhitespace(line);
         if (fields.empty())
             continue;
@@ -189,7 +218,10 @@ loadModels(std::istream &in)
                 return std::nullopt;
             logging::TemplateId file_id = static_cast<logging::TemplateId>(
                 std::stoul(fields[1]));
-            remap[file_id] = bundle.catalog->intern(*service, *text);
+            logging::TemplateId interned =
+                bundle.catalog->intern(*service, *text);
+            remap[file_id] = interned;
+            locations.templateLines.try_emplace(interned, line_no);
         } else if (kind == "automaton") {
             if (fields.size() != 4 || pending.open)
                 return std::nullopt;
@@ -200,6 +232,7 @@ loadModels(std::istream &in)
             pending.event_count = std::stoul(fields[2]);
             pending.edge_count = std::stoul(fields[3]);
             pending.open = true;
+            pending.lines.declLine = line_no;
         } else if (kind == "event") {
             if (fields.size() != 4 || !pending.open)
                 return std::nullopt;
@@ -213,12 +246,16 @@ loadModels(std::istream &in)
                 return std::nullopt;
             pending.events.push_back(
                 {it->second, std::stoi(fields[3])});
+            pending.lines.eventLines.push_back(line_no);
         } else if (kind == "edge") {
             if (fields.size() != 4 || !pending.open)
                 return std::nullopt;
             pending.edges.push_back({std::stoi(fields[1]),
                                      std::stoi(fields[2]),
                                      fields[3] == "1"});
+            pending.lines.edgeLines.try_emplace(
+                {pending.edges.back().from, pending.edges.back().to},
+                line_no);
         } else if (kind == "end") {
             if (!pending.open || !finishAutomaton())
                 return std::nullopt;
@@ -228,6 +265,8 @@ loadModels(std::istream &in)
     }
     if (pending.open)
         return std::nullopt; // truncated automaton section
+    if (source_map)
+        *source_map = std::move(locations);
     return bundle;
 }
 

@@ -22,9 +22,11 @@
 #define CLOUDSEER_CORE_MINING_MODEL_IO_HPP
 
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/automaton/task_automaton.hpp"
@@ -36,6 +38,43 @@ struct ModelBundle
 {
     std::shared_ptr<logging::TemplateCatalog> catalog;
     std::vector<TaskAutomaton> automata;
+};
+
+/**
+ * Line numbers (1-based) of one automaton's sections in a model file,
+ * recorded at parse time so diagnostics can point into the file that
+ * was actually loaded.
+ */
+struct AutomatonSourceMap
+{
+    /** Line of the "automaton <name> ..." declaration. */
+    int declLine = 0;
+
+    /** Line of each "event" directive, indexed by event id. */
+    std::vector<int> eventLines;
+
+    /** First line declaring each (from, to) edge; duplicate edge
+     *  directives keep the first occurrence. */
+    std::map<std::pair<int, int>, int> edgeLines;
+};
+
+/** Source locations for a loaded bundle (parallel to its automata). */
+struct ModelSourceMap
+{
+    /** Line of each "template" directive, keyed by re-interned id. */
+    std::map<logging::TemplateId, int> templateLines;
+
+    /** Per-automaton maps, same order as ModelBundle::automata. */
+    std::vector<AutomatonSourceMap> automata;
+
+    /** Line of event `id` in automaton `index`, or 0 when unknown. */
+    int eventLine(std::size_t index, int id) const;
+
+    /** Line of edge (from, to) in automaton `index`, or 0. */
+    int edgeLine(std::size_t index, int from, int to) const;
+
+    /** Declaration line of automaton `index`, or 0. */
+    int declLine(std::size_t index) const;
 };
 
 /** Serialise a bundle to a stream. */
@@ -50,8 +89,13 @@ std::string saveModelsToString(const logging::TemplateCatalog &catalog,
  * Parse a bundle. Returns nullopt on any structural error (bad magic,
  * dangling ids, truncated sections). Template ids are re-interned, so
  * a loaded bundle is self-consistent even if the file shuffled ids.
+ *
+ * @param source_map When non-null, filled with the 1-based line
+ *        numbers of every directive so callers (seer-lint) can print
+ *        file:line locations for findings.
  */
-std::optional<ModelBundle> loadModels(std::istream &in);
+std::optional<ModelBundle> loadModels(std::istream &in,
+                                      ModelSourceMap *source_map = nullptr);
 
 /** Parse a bundle from a string. */
 std::optional<ModelBundle> loadModelsFromString(const std::string &text);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/model_lint.hpp"
 #include "common/error.hpp"
 #include "logging/identifier_interner.hpp"
 
@@ -42,6 +43,26 @@ WorkflowMonitor::WorkflowMonitor(
     CS_ASSERT(catalogPtr != nullptr, "monitor needs a catalog");
     timeoutPolicy.defaultTimeout = config.timeoutSeconds;
     timeoutPolicy.perTask = config.perTaskTimeouts;
+
+    // Load-time model verification (seer-lint): a structurally broken
+    // specification produces confidently wrong reports for as long as
+    // the deployment runs, so errors refuse to start by default.
+    analysis::LintOptions lint;
+    lint.maxForkFanout = config.checker.maxForkFanout;
+    lint.numbersAsIdentifiers = config.numbersAsIdentifiers;
+    lint.defaultTimeout = config.timeoutSeconds;
+    lint.perTaskTimeouts = config.perTaskTimeouts;
+    loadReport = analysis::lintModels(specs, *catalogPtr, lint);
+    if (config.verifyModelOnLoad && loadReport.hasErrors()) {
+        std::string msg = "seer-lint rejected the model bundle:";
+        for (const std::string &finding :
+             analysis::errorSummaries(loadReport)) {
+            msg += "\n  " + finding;
+        }
+        msg += "\nfix the model or replay with verifyModelOnLoad=false "
+               "(--no-verify)";
+        common::fatal(msg);
+    }
 }
 
 std::vector<MonitorReport>

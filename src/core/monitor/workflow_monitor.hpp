@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "core/checker/interleaved_checker.hpp"
 #include "core/monitor/report.hpp"
 #include "core/monitor/timeout_estimator.hpp"
@@ -149,6 +150,16 @@ struct MonitorConfig
 
     /** Ingest-hardening pipeline (pass-through by default). */
     IngestConfig ingest;
+
+    /**
+     * Run the seer-lint passes over the model bundle at construction
+     * and refuse (common::fatal) to monitor against a model with
+     * error-severity findings — a broken specification produces
+     * confidently wrong reports for months. Escape hatch for forensic
+     * replays of a historical model: set to false (tools expose it as
+     * --no-verify); the report is still computed and kept (loadLint).
+     */
+    bool verifyModelOnLoad = true;
 };
 
 /** Online workflow monitor (modeling output in, reports out). */
@@ -228,6 +239,10 @@ class WorkflowMonitor
         return engine.dependencyRemovals();
     }
 
+    /** The load-time seer-lint report over the model bundle (always
+     *  computed, even with verifyModelOnLoad off). */
+    const analysis::LintReport &loadLint() const { return loadReport; }
+
     /**
      * Refined copies of the automata with every dependency removed at
      * least `min_removals` times weakened (Figure 4 at the model
@@ -248,6 +263,7 @@ class WorkflowMonitor
     std::shared_ptr<logging::TemplateCatalog> catalogPtr;
     std::vector<TaskAutomaton> specs;
     logging::VariableExtractor extractor;
+    analysis::LintReport loadReport;
     InterleavedChecker engine;
     common::SimTime lastTimestamp = 0.0;
     bool anyFed = false;

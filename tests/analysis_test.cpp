@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Tests for the seer-lint static model verifier: every diagnostic ID
+ * fires on a deliberately broken model, the golden bundles are clean,
+ * the SL005 fan-out bound is validated against a live checker run on
+ * a seeded collision model, and the mine-time (TaskModeler verifier)
+ * and load-time (WorkflowMonitor) enforcement hooks behave.
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/model_lint.hpp"
+#include "core/checker/interleaved_checker.hpp"
+#include "core/mining/model_builder.hpp"
+#include "core/mining/model_io.hpp"
+#include "core/monitor/workflow_monitor.hpp"
+#include "test_util.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+using cloudseer::analysis::Diagnostic;
+using cloudseer::analysis::LintOptions;
+using cloudseer::analysis::LintReport;
+using cloudseer::analysis::Severity;
+using cloudseer::testutil::LetterCatalog;
+using cloudseer::testutil::makeLetterAutomaton;
+using cloudseer::testutil::makeMessage;
+
+namespace {
+
+/** Build an automaton with explicit edges (strong flags included). */
+TaskAutomaton
+rawAutomaton(LetterCatalog &letters, const std::string &name,
+             const std::vector<std::string> &nodes,
+             const std::vector<DependencyEdge> &edges)
+{
+    std::vector<EventNode> events;
+    for (const std::string &node : nodes)
+        events.push_back({letters.id(node), 0});
+    return TaskAutomaton(name, std::move(events),
+                         std::vector<DependencyEdge>(edges));
+}
+
+/** Count findings with the given ID at the given severity. */
+std::size_t
+countId(const LintReport &report, const std::string &id,
+        Severity severity)
+{
+    std::size_t n = 0;
+    for (const Diagnostic *diagnostic : report.withId(id)) {
+        if (diagnostic->severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+// --- SL001: fork/join balance ------------------------------------------
+
+TEST(SeerLint, SL001DuplicateEdgeIsError)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "dup", {"A", "B"},
+        {{0, 1, false}, {0, 1, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL001", Severity::Error), 1u);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(SeerLint, SL001PartialJoinIsWarning)
+{
+    // Fork A -> {B, C, D}; join E merges only B and C; D bypasses to F.
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "partial", {"A", "B", "C", "D", "E", "F"},
+        {{0, 1, false},
+         {0, 2, false},
+         {0, 3, false},
+         {1, 4, false},
+         {2, 4, false},
+         {3, 5, false},
+         {4, 5, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL001", Severity::Warning), 1u);
+    EXPECT_FALSE(report.hasErrors());
+
+    // The full join F (all three branches converge) is not flagged.
+    for (const Diagnostic *diagnostic : report.withId("SL001"))
+        EXPECT_EQ(diagnostic->eventB, 4);
+}
+
+// --- SL002: dead / orphan / disconnected states ------------------------
+
+TEST(SeerLint, SL002EmptyAutomatonIsError)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton("empty", {}, {});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL002", Severity::Error), 1u);
+}
+
+TEST(SeerLint, SL002SelfLoopIsError)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(letters, "selfloop",
+                                           {"A", "B"},
+                                           {{0, 1, false}, {1, 1, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL002", Severity::Error), 1u);
+}
+
+TEST(SeerLint, SL002OrphanEventIsWarning)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(letters, "orphan",
+                                           {"A", "B", "C"},
+                                           {{0, 1, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL002", Severity::Warning), 1u);
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(SeerLint, SL002DisconnectedComponentsIsInfo)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "split", {"A", "B", "C", "D"},
+        {{0, 1, false}, {2, 3, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL002", Severity::Info), 1u);
+}
+
+// --- SL003 / SL009: cycles ---------------------------------------------
+
+TEST(SeerLint, SL003WeakCycleIsError)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "weakcycle", {"A", "B"},
+        {{0, 1, true}, {1, 0, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL003", Severity::Error), 1u);
+    EXPECT_TRUE(report.withId("SL009").empty());
+}
+
+TEST(SeerLint, SL009StrongCycleIsError)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "strongcycle", {"A", "B"},
+        {{0, 1, true}, {1, 0, true}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL009", Severity::Error), 1u);
+    EXPECT_TRUE(report.withId("SL003").empty());
+}
+
+// --- SL004: transitive-reduction violations ----------------------------
+
+TEST(SeerLint, SL004RedundantEdgeIsWarning)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "redundant", {"A", "B", "C"},
+        {{0, 1, false}, {1, 2, false}, {0, 2, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    ASSERT_EQ(countId(report, "SL004", Severity::Warning), 1u);
+    const Diagnostic *finding = report.withId("SL004").front();
+    EXPECT_EQ(finding->eventA, 0);
+    EXPECT_EQ(finding->eventB, 2);
+    EXPECT_TRUE(finding->isEdge);
+}
+
+TEST(SeerLint, SL004SilentInsideCycles)
+{
+    // Reachability is vacuous in a cycle; the cycle error stands alone.
+    LetterCatalog letters;
+    TaskAutomaton automaton = rawAutomaton(
+        letters, "cycleplus", {"A", "B", "C"},
+        {{0, 1, false}, {1, 0, false}, {1, 2, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_TRUE(report.withId("SL004").empty());
+    EXPECT_FALSE(report.withId("SL003").empty());
+}
+
+// --- SL005: cross-automaton template collisions ------------------------
+
+TEST(SeerLint, SL005CollisionUnderCapIsInfo)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(makeLetterAutomaton(letters, "alpha", {"A", "S"},
+                                         {{"A", "S"}}));
+    bundle.push_back(makeLetterAutomaton(letters, "beta", {"B", "S"},
+                                         {{"B", "S"}}));
+    LintOptions options;
+    options.maxForkFanout = 6;
+    LintReport report = analysis::lintModels(bundle, *letters.catalog,
+                                             options);
+    ASSERT_EQ(countId(report, "SL005", Severity::Info), 1u);
+    const Diagnostic *finding = report.withId("SL005").front();
+    EXPECT_EQ(finding->metrics.at("sites"), 2.0);
+    EXPECT_EQ(finding->metrics.at("automata"), 2.0);
+}
+
+TEST(SeerLint, SL005CollisionOverCapIsWarning)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(makeLetterAutomaton(letters, "alpha", {"A", "S"},
+                                         {{"A", "S"}}));
+    bundle.push_back(makeLetterAutomaton(letters, "beta", {"B", "S"},
+                                         {{"B", "S"}}));
+    LintOptions options;
+    options.maxForkFanout = 1;
+    LintReport report = analysis::lintModels(bundle, *letters.catalog,
+                                             options);
+    EXPECT_EQ(countId(report, "SL005", Severity::Warning), 1u);
+}
+
+/**
+ * The acceptance check for the SL005 bound: on a seeded collision
+ * model, one shared message forks no more hypotheses than the static
+ * per-interleaving site count — and never more than the checker cap.
+ */
+TEST(SeerLint, SL005StaticBoundHoldsInCheckerRun)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(makeLetterAutomaton(
+        letters, "alpha", {"A", "S", "X"}, {{"A", "S"}, {"S", "X"}}));
+    bundle.push_back(makeLetterAutomaton(
+        letters, "beta", {"B", "S", "Y"}, {{"B", "S"}, {"S", "Y"}}));
+
+    LintOptions options;
+    options.maxForkFanout = kDefaultMaxForkFanout;
+    LintReport report = analysis::lintModels(bundle, *letters.catalog,
+                                             options);
+    ASSERT_FALSE(report.withId("SL005").empty());
+    double static_sites =
+        report.withId("SL005").front()->metrics.at("sites");
+
+    CheckerConfig config; // deployed defaults, cap included
+    InterleavedChecker checker(config,
+                               {&bundle[0], &bundle[1]});
+    checker.feed(makeMessage(letters, "A", {"idx"}, 1, 1.0));
+    checker.feed(makeMessage(letters, "B", {"idy"}, 2, 2.0));
+    std::size_t before = checker.activeGroups();
+
+    // The collision: one shared-template message matching both live
+    // interleavings (Algorithm 2 case 2 fires).
+    checker.feed(makeMessage(letters, "S", {"idx", "idy"}, 3, 3.0));
+    std::size_t after = checker.activeGroups();
+
+    EXPECT_GE(checker.stats().ambiguous, 1u);
+    std::size_t forked = after - before;
+    EXPECT_GE(forked, 1u);
+    // Per live interleaving, fan-out is bounded by the site count the
+    // lint reported statically; in total, by the checker's cap.
+    EXPECT_LE(forked, static_cast<std::size_t>(static_sites));
+    EXPECT_LE(forked, config.maxForkFanout);
+}
+
+// --- SL006: identifier coverage ----------------------------------------
+
+TEST(SeerLint, SL006UnroutableTemplateIsWarning)
+{
+    logging::TemplateCatalog catalog;
+    std::vector<EventNode> events{
+        {catalog.intern("svc", "starting request req-<uuid>"), 0},
+        {catalog.intern("svc", "worker pool drained"), 0}};
+    TaskAutomaton automaton("coverage", std::move(events),
+                            {{0, 1, false}});
+    LintReport report = analysis::lintAutomaton(automaton, catalog);
+    ASSERT_EQ(countId(report, "SL006", Severity::Warning), 1u);
+    EXPECT_EQ(report.withId("SL006").front()->eventA, 1);
+}
+
+TEST(SeerLint, SL006NumbersRoutableOnlyWhenConfigured)
+{
+    logging::TemplateCatalog catalog;
+    std::vector<EventNode> events{
+        {catalog.intern("svc", "retry attempt <num>"), 0}};
+    TaskAutomaton automaton("numbers", std::move(events), {});
+
+    LintReport strict = analysis::lintAutomaton(automaton, catalog);
+    EXPECT_EQ(countId(strict, "SL006", Severity::Warning), 1u);
+
+    LintOptions options;
+    options.numbersAsIdentifiers = true;
+    LintReport relaxed = analysis::lintAutomaton(automaton, catalog,
+                                                 options);
+    EXPECT_TRUE(relaxed.withId("SL006").empty());
+}
+
+// --- SL007: state-signature aliasing -----------------------------------
+
+TEST(SeerLint, SL007DuplicateEventIsError)
+{
+    LetterCatalog letters;
+    std::vector<EventNode> events{{letters.id("A"), 0},
+                                  {letters.id("A"), 0}};
+    TaskAutomaton automaton("aliased", std::move(events),
+                            {{0, 1, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL007", Severity::Error), 1u);
+}
+
+TEST(SeerLint, SL007OccurrenceGapIsWarning)
+{
+    LetterCatalog letters;
+    std::vector<EventNode> events{{letters.id("A"), 0},
+                                  {letters.id("A"), 2}};
+    TaskAutomaton automaton("gapped", std::move(events),
+                            {{0, 1, false}});
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog);
+    EXPECT_EQ(countId(report, "SL007", Severity::Warning), 1u);
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(SeerLint, SL007DuplicateTaskNameIsError)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(makeLetterAutomaton(letters, "same", {"A", "B"},
+                                         {{"A", "B"}}));
+    bundle.push_back(makeLetterAutomaton(letters, "same", {"C", "D"},
+                                         {{"C", "D"}}));
+    LintReport report = analysis::lintModels(bundle, *letters.catalog);
+    EXPECT_EQ(countId(report, "SL007", Severity::Error), 1u);
+}
+
+TEST(SeerLint, SL007IndistinguishableAutomataIsWarning)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(makeLetterAutomaton(letters, "first", {"A", "B"},
+                                         {{"A", "B"}}));
+    bundle.push_back(makeLetterAutomaton(letters, "second", {"A", "B"},
+                                         {{"A", "B"}}));
+    LintReport report = analysis::lintModels(bundle, *letters.catalog);
+    EXPECT_EQ(countId(report, "SL007", Severity::Warning), 1u);
+}
+
+// --- SL008: timeout consistency ----------------------------------------
+
+TEST(SeerLint, SL008NonPositiveTimeoutIsError)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = makeLetterAutomaton(
+        letters, "task", {"A", "B"}, {{"A", "B"}});
+    LintOptions options;
+    options.defaultTimeout = 0.0;
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog,
+                                                options);
+    EXPECT_EQ(countId(report, "SL008", Severity::Error), 1u);
+}
+
+TEST(SeerLint, SL008TimeoutBelowObservedGapIsWarning)
+{
+    LetterCatalog letters;
+    TaskAutomaton automaton = makeLetterAutomaton(
+        letters, "task", {"A", "B"}, {{"A", "B"}});
+    LintOptions options;
+    options.perTaskTimeouts["task"] = 5.0;
+    options.expectedTaskGaps["task"] = 12.5;
+    LintReport report = analysis::lintAutomaton(automaton,
+                                                *letters.catalog,
+                                                options);
+    ASSERT_EQ(countId(report, "SL008", Severity::Warning), 1u);
+    EXPECT_EQ(report.withId("SL008").front()->metrics.at("max_gap_s"),
+              12.5);
+}
+
+// --- report plumbing ----------------------------------------------------
+
+TEST(SeerLint, EveryEmittedIdIsInTheCatalog)
+{
+    // One sweep over a maximally broken bundle; every finding's ID
+    // must resolve in the published catalog.
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(rawAutomaton(
+        letters, "broken", {"A", "B", "C"},
+        {{0, 1, false}, {0, 1, false}, {1, 1, false}, {1, 2, true},
+         {2, 1, true}}));
+    bundle.push_back(makeLetterAutomaton(letters, "broken", {"D"}, {}));
+    LintOptions options;
+    options.defaultTimeout = -1.0;
+    LintReport report = analysis::lintModels(bundle, *letters.catalog,
+                                             options);
+    EXPECT_TRUE(report.hasErrors());
+    for (const Diagnostic &diagnostic : report.diagnostics)
+        EXPECT_NE(analysis::diagnosticInfo(diagnostic.id), nullptr)
+            << diagnostic.id;
+}
+
+TEST(SeerLint, JsonReportIsWellFormedEnoughForCi)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(rawAutomaton(letters, "dup", {"A", "B"},
+                                  {{0, 1, false}, {0, 1, false}}));
+    LintReport report = analysis::lintModels(bundle, *letters.catalog);
+    std::string json = report.toJson();
+    EXPECT_NE(json.find("\"tool\": \"seer-lint\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"id\": \"SL001\""), std::string::npos);
+}
+
+TEST(SeerLint, ReportOrderIsDeterministic)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(rawAutomaton(letters, "zeta", {"A", "B"},
+                                  {{0, 1, false}, {0, 1, false}}));
+    bundle.push_back(rawAutomaton(letters, "alpha", {"C", "C"},
+                                  {{0, 1, false}, {1, 1, false}}));
+    LintReport once = analysis::lintModels(bundle, *letters.catalog);
+    LintReport twice = analysis::lintModels(bundle, *letters.catalog);
+    ASSERT_EQ(once.diagnostics.size(), twice.diagnostics.size());
+    for (std::size_t i = 0; i < once.diagnostics.size(); ++i) {
+        EXPECT_EQ(once.diagnostics[i].id, twice.diagnostics[i].id);
+        EXPECT_EQ(once.diagnostics[i].automaton,
+                  twice.diagnostics[i].automaton);
+    }
+    // Sorted: automaton first, then ID.
+    for (std::size_t i = 1; i < once.diagnostics.size(); ++i) {
+        EXPECT_LE(once.diagnostics[i - 1].automaton,
+                  once.diagnostics[i].automaton);
+    }
+}
+
+// --- mine-time hook (TaskModeler verifier) ------------------------------
+
+TEST(SeerLint, VerifierFlagsBrokenAutomaton)
+{
+    LetterCatalog letters;
+    TaskAutomaton broken = rawAutomaton(letters, "loop", {"A", "B"},
+                                        {{0, 1, true}, {1, 0, true}});
+    auto verifier = analysis::makeLintVerifier();
+    std::vector<std::string> findings =
+        verifier(broken, *letters.catalog);
+    ASSERT_FALSE(findings.empty());
+    EXPECT_NE(findings.front().find("SL009"), std::string::npos);
+}
+
+TEST(SeerLint, AttachedModelerReportsCleanMining)
+{
+    logging::TemplateCatalog catalog;
+    TaskModeler modeler(catalog);
+    analysis::attachLint(modeler);
+
+    logging::TemplateId a = catalog.intern("svc", "begin <uuid>");
+    logging::TemplateId b = catalog.intern("svc", "finish <uuid>");
+    std::size_t served = 0;
+    auto next_run = [&]() -> TemplateSequence {
+        ++served;
+        return {a, b};
+    };
+    TaskModeler::ConvergenceResult result = modeler.modelUntilStable(
+        "clean", next_run, /*min_runs=*/4, /*check_every=*/2,
+        /*stable_checks=*/2, /*max_runs=*/40);
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.lintFindings.empty());
+    EXPECT_EQ(result.automaton.eventCount(), 2u);
+}
+
+// --- load-time hook (WorkflowMonitor) -----------------------------------
+
+TEST(SeerLintDeathTest, MonitorRefusesBrokenModelOnLoad)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(rawAutomaton(letters, "loop", {"A", "B"},
+                                  {{0, 1, true}, {1, 0, true}}));
+    MonitorConfig config;
+    EXPECT_EXIT(
+        {
+            WorkflowMonitor monitor(config, letters.catalog,
+                                    std::move(bundle));
+        },
+        testing::ExitedWithCode(1), "seer-lint rejected");
+}
+
+TEST(SeerLint, MonitorBypassKeepsReportAvailable)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(rawAutomaton(letters, "loop", {"A", "B"},
+                                  {{0, 1, true}, {1, 0, true}}));
+    MonitorConfig config;
+    config.verifyModelOnLoad = false; // the --no-verify escape hatch
+    WorkflowMonitor monitor(config, letters.catalog, std::move(bundle));
+    EXPECT_TRUE(monitor.loadLint().hasErrors());
+    EXPECT_FALSE(monitor.loadLint().withId("SL009").empty());
+}
+
+TEST(SeerLint, MonitorAcceptsCleanModelAndKeepsReport)
+{
+    LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(makeLetterAutomaton(letters, "ok", {"A", "B"},
+                                         {{"A", "B"}}));
+    MonitorConfig config;
+    WorkflowMonitor monitor(config, letters.catalog, std::move(bundle));
+    EXPECT_FALSE(monitor.loadLint().hasErrors());
+    EXPECT_EQ(monitor.loadLint().automataChecked, 1u);
+}
+
+// --- golden bundles -----------------------------------------------------
+
+namespace {
+
+LintReport
+lintGoldenFile(const std::string &relative)
+{
+    std::string path =
+        std::string(CLOUDSEER_SOURCE_DIR) + "/" + relative;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing golden file " << path;
+    auto bundle = loadModels(in);
+    EXPECT_TRUE(bundle.has_value()) << "unparseable bundle " << path;
+    LintOptions options;
+    options.maxForkFanout = kDefaultMaxForkFanout;
+    return analysis::lintModels(bundle->automata, *bundle->catalog,
+                                options);
+}
+
+} // namespace
+
+TEST(SeerLintGolden, HandcraftedBundleIsClean)
+{
+    LintReport report = lintGoldenFile("tests/golden/handcrafted.model");
+    EXPECT_EQ(report.automataChecked, 2u);
+    EXPECT_EQ(report.diagnostics.size(), 0u) << report.toText();
+}
+
+TEST(SeerLintGolden, MinedBundleHasNoErrors)
+{
+    LintReport report = lintGoldenFile("tests/golden/mined_tasks.model");
+    EXPECT_GE(report.automataChecked, 2u);
+    EXPECT_FALSE(report.hasErrors()) << report.toText();
+}
+
+TEST(SeerLintGolden, FreshlyMinedModelsHaveNoErrors)
+{
+    // Mine a small bundle from scratch (reduced scale of the Table 2
+    // pipeline) and verify the miner's output is lint-clean.
+    logging::TemplateCatalog catalog;
+    TaskModeler modeler(catalog);
+    logging::TemplateId s1 = catalog.intern("svc", "phase one <uuid>");
+    logging::TemplateId s2 = catalog.intern("svc", "phase two <uuid>");
+    logging::TemplateId s3 = catalog.intern("svc", "phase three <uuid>");
+    std::vector<TemplateSequence> runs(30, {s1, s2, s3});
+    TaskAutomaton automaton = modeler.buildAutomaton("pipeline", runs);
+    LintReport report = analysis::lintAutomaton(automaton, catalog);
+    EXPECT_FALSE(report.hasErrors()) << report.toText();
+    EXPECT_TRUE(report.withId("SL004").empty()) << report.toText();
+}

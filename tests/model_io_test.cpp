@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "analysis/model_lint.hpp"
 #include "core/mining/model_io.hpp"
 #include "core/monitor/workflow_monitor.hpp"
 #include "eval/accuracy_harness.hpp"
@@ -163,4 +166,148 @@ TEST(ModelIo, EmptyBundleIsValid)
         loadModelsFromString(saveModelsToString(catalog, {}));
     ASSERT_TRUE(loaded.has_value());
     EXPECT_TRUE(loaded->automata.empty());
+}
+
+TEST(ModelIo, SourceMapRecordsDirectiveLines)
+{
+    const std::string text = "cloudseer-models 1\n"   // line 1
+                             "template 0 svc A\n"     // line 2
+                             "template 1 svc B\n"     // line 3
+                             "automaton t 2 1\n"      // line 4
+                             "event 0 0 0\n"          // line 5
+                             "event 1 1 0\n"          // line 6
+                             "edge 0 1 1\n"           // line 7
+                             "end\n";                 // line 8
+    std::istringstream in(text);
+    ModelSourceMap sources;
+    auto loaded = loadModels(in, &sources);
+    ASSERT_TRUE(loaded.has_value());
+
+    EXPECT_EQ(sources.declLine(0), 4);
+    EXPECT_EQ(sources.eventLine(0, 0), 5);
+    EXPECT_EQ(sources.eventLine(0, 1), 6);
+    EXPECT_EQ(sources.edgeLine(0, 0, 1), 7);
+    ASSERT_EQ(sources.templateLines.size(), 2u);
+
+    // Out-of-range queries degrade to "unknown" rather than crash.
+    EXPECT_EQ(sources.eventLine(0, 9), 0);
+    EXPECT_EQ(sources.eventLine(3, 0), 0);
+    EXPECT_EQ(sources.edgeLine(0, 1, 0), 0);
+    EXPECT_EQ(sources.declLine(7), 0);
+}
+
+TEST(ModelIo, SourceMapSkipsBlankLinesCorrectly)
+{
+    const std::string text = "cloudseer-models 1\n"  // line 1
+                             "\n"                    // line 2
+                             "template 0 svc A\n"    // line 3
+                             "\n"                    // line 4
+                             "automaton t 1 0\n"     // line 5
+                             "event 0 0 0\n"         // line 6
+                             "end\n";
+    std::istringstream in(text);
+    ModelSourceMap sources;
+    auto loaded = loadModels(in, &sources);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(sources.declLine(0), 5);
+    EXPECT_EQ(sources.eventLine(0, 0), 6);
+}
+
+/**
+ * Broken-model matrix: every corrupted bundle either fails to load
+ * (structural damage the parser owns) or loads and produces the
+ * matching seer-lint diagnostic (semantic damage the analyzer owns).
+ * No corruption may slip through both nets.
+ */
+TEST(ModelIo, BrokenModelsLoadFailOrLintFail)
+{
+    struct Case
+    {
+        const char *label;
+        const char *text;
+        const char *lintId; ///< nullptr = the loader must reject it
+    };
+    const Case cases[] = {
+        {"truncated header", "cloudseer-models\n", nullptr},
+        {"event count lies",
+         "cloudseer-models 1\n"
+         "template 0 svc A%20<uuid>\n"
+         "automaton t 2 0\n"
+         "event 0 0 0\n"
+         "end\n",
+         nullptr},
+        {"duplicate edge",
+         "cloudseer-models 1\n"
+         "template 0 svc A%20<uuid>\n"
+         "template 1 svc B%20<uuid>\n"
+         "automaton t 2 2\n"
+         "event 0 0 0\n"
+         "event 1 1 0\n"
+         "edge 0 1 0\n"
+         "edge 0 1 0\n"
+         "end\n",
+         "SL001"},
+        {"self-loop edge",
+         "cloudseer-models 1\n"
+         "template 0 svc A%20<uuid>\n"
+         "automaton t 1 1\n"
+         "event 0 0 0\n"
+         "edge 0 0 0\n"
+         "end\n",
+         "SL002"},
+        {"dependency cycle",
+         "cloudseer-models 1\n"
+         "template 0 svc A%20<uuid>\n"
+         "template 1 svc B%20<uuid>\n"
+         "automaton t 2 2\n"
+         "event 0 0 0\n"
+         "event 1 1 0\n"
+         "edge 0 1 0\n"
+         "edge 1 0 0\n"
+         "end\n",
+         "SL003"},
+        {"strong cycle",
+         "cloudseer-models 1\n"
+         "template 0 svc A%20<uuid>\n"
+         "template 1 svc B%20<uuid>\n"
+         "automaton t 2 2\n"
+         "event 0 0 0\n"
+         "event 1 1 0\n"
+         "edge 0 1 1\n"
+         "edge 1 0 1\n"
+         "end\n",
+         "SL009"},
+        {"two templates merge into one aliased event pair",
+         // Two template directives with identical text re-intern to
+         // one id, leaving duplicate (template, occurrence) events.
+         "cloudseer-models 1\n"
+         "template 0 svc A%20<uuid>\n"
+         "template 1 svc A%20<uuid>\n"
+         "automaton t 2 1\n"
+         "event 0 0 0\n"
+         "event 1 1 0\n"
+         "edge 0 1 0\n"
+         "end\n",
+         "SL007"},
+        {"empty automaton",
+         "cloudseer-models 1\n"
+         "automaton t 0 0\n"
+         "end\n",
+         "SL002"},
+    };
+
+    for (const Case &broken : cases) {
+        auto loaded = loadModelsFromString(broken.text);
+        if (broken.lintId == nullptr) {
+            EXPECT_FALSE(loaded.has_value()) << broken.label;
+            continue;
+        }
+        ASSERT_TRUE(loaded.has_value()) << broken.label;
+        analysis::LintReport report = analysis::lintModels(
+            loaded->automata, *loaded->catalog);
+        EXPECT_FALSE(report.withId(broken.lintId).empty())
+            << broken.label << "\n"
+            << report.toText();
+        EXPECT_TRUE(report.hasErrors()) << broken.label;
+    }
 }

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * seer-lint: the static model verifier as a command-line tool.
+ *
+ * Runs every analysis pass over one or more serialized model bundles
+ * and prints findings with file:line locations (via the loader's
+ * source map). Exit status is CI-friendly: 0 clean, 1 findings at or
+ * above the gating severity, 2 usage or I/O failure.
+ *
+ *     seer-lint [options] model-file...
+ *     seer-lint --list            # print the diagnostic catalog
+ *     seer-lint --explain SL005   # one entry in detail
+ *
+ * Options:
+ *     --json                    machine-readable report on stdout
+ *     --werror                  gate on warnings as well as errors
+ *     --max-fanout N            checker hypothesis cap for SL005
+ *                               (default: the checker's deployed cap)
+ *     --numbers-as-identifiers  <num> placeholders count as routable
+ *     --timeout S               deployment timeout for SL008
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/model_lint.hpp"
+#include "core/checker/check_types.hpp"
+#include "core/mining/model_io.hpp"
+
+namespace {
+
+using namespace cloudseer;
+
+int
+usage(std::ostream &out, int status)
+{
+    out << "usage: seer-lint [options] model-file...\n"
+           "       seer-lint --list | --explain <ID>\n"
+           "options:\n"
+           "  --json                    JSON report on stdout\n"
+           "  --werror                  nonzero exit on warnings too\n"
+           "  --max-fanout N            checker hypothesis cap (SL005)\n"
+           "  --numbers-as-identifiers  <num> counts as routable (SL006)\n"
+           "  --timeout S               deployment timeout (SL008)\n";
+    return status;
+}
+
+int
+listCatalog()
+{
+    for (const analysis::DiagnosticInfo &info :
+         analysis::diagnosticCatalog()) {
+        std::cout << info.id << "  ["
+                  << analysis::severityName(info.maxSeverity) << "]  "
+                  << info.title << "\n";
+    }
+    return 0;
+}
+
+int
+explainDiagnostic(const std::string &id)
+{
+    const analysis::DiagnosticInfo *info = analysis::diagnosticInfo(id);
+    if (!info) {
+        std::cerr << "seer-lint: unknown diagnostic '" << id
+                  << "' (try --list)\n";
+        return 2;
+    }
+    std::cout << info->id << ": " << info->title << " (max severity "
+              << analysis::severityName(info->maxSeverity) << ")\n\n"
+              << info->rationale << "\n";
+    return 0;
+}
+
+/** file:line prefix for a finding, best-effort via the source map. */
+std::string
+location(const std::string &file, const core::ModelBundle &bundle,
+         const core::ModelSourceMap &sources,
+         const analysis::Diagnostic &diagnostic)
+{
+    int line = 0;
+    for (std::size_t i = 0; i < bundle.automata.size(); ++i) {
+        if (bundle.automata[i].name() != diagnostic.automaton)
+            continue;
+        if (diagnostic.isEdge)
+            line = sources.edgeLine(i, diagnostic.eventA,
+                                    diagnostic.eventB);
+        if (line == 0 && diagnostic.eventA >= 0)
+            line = sources.eventLine(i, diagnostic.eventA);
+        if (line == 0)
+            line = sources.declLine(i);
+        break;
+    }
+    if (line == 0)
+        return file;
+    return file + ":" + std::to_string(line);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    analysis::LintOptions options;
+    options.maxForkFanout = core::kDefaultMaxForkFanout;
+    bool json = false;
+    bool werror = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "seer-lint: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (arg == "--list") {
+            return listCatalog();
+        } else if (arg == "--explain") {
+            return explainDiagnostic(next("--explain"));
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--max-fanout") {
+            options.maxForkFanout = std::stoul(next("--max-fanout"));
+        } else if (arg == "--numbers-as-identifiers") {
+            options.numbersAsIdentifiers = true;
+        } else if (arg == "--timeout") {
+            options.defaultTimeout = std::stod(next("--timeout"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "seer-lint: unknown option " << arg << "\n";
+            return usage(std::cerr, 2);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage(std::cerr, 2);
+
+    bool gate = false;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "seer-lint: cannot open " << file << "\n";
+            return 2;
+        }
+        core::ModelSourceMap sources;
+        auto bundle = core::loadModels(in, &sources);
+        if (!bundle) {
+            std::cerr << "seer-lint: " << file
+                      << ": not a valid model bundle\n";
+            return 2;
+        }
+        analysis::LintReport report = analysis::lintModels(
+            bundle->automata, *bundle->catalog, options);
+        if (json) {
+            std::cout << report.toJson();
+        } else {
+            for (const analysis::Diagnostic &diagnostic :
+                 report.diagnostics) {
+                std::cout
+                    << location(file, *bundle, sources, diagnostic)
+                    << ": " << analysis::severityName(diagnostic.severity)
+                    << ": [" << diagnostic.id << "] ";
+                if (!diagnostic.automaton.empty())
+                    std::cout << diagnostic.automaton << ": ";
+                std::cout << diagnostic.message << "\n";
+            }
+            std::cout << file << ": " << report.automataChecked
+                      << " automata, "
+                      << report.count(analysis::Severity::Error)
+                      << " error(s), "
+                      << report.count(analysis::Severity::Warning)
+                      << " warning(s), "
+                      << report.count(analysis::Severity::Info)
+                      << " info(s)\n";
+        }
+        gate = gate || report.hasErrors() ||
+               (werror && report.count(analysis::Severity::Warning) > 0);
+    }
+    return gate ? 1 : 0;
+}
