@@ -9,8 +9,16 @@
  * more than 20% below the checked-in baseline, making the index's
  * complexity claim a CI invariant rather than a one-off measurement.
  *
+ * With --obs, a third measured path runs the indexed checker with the
+ * seer-scope sinks attached (execution tracer + feed-latency
+ * histogram), and each level additionally reports the instrumented
+ * rate and its relative overhead — the ≤2% claim from DESIGN.md §11
+ * as a number in the artifact. --trace-out writes the final level's
+ * execution trace as Chrome trace_event JSON.
+ *
  * Usage: bench_throughput [--smoke] [--check <baseline.json>]
- *                         [--out <path>]
+ *                         [--out <path>] [--obs]
+ *                         [--trace-out <trace.json>]
  */
 
 #include <chrono>
@@ -27,6 +35,7 @@
 #include "core/checker/interleaved_checker.hpp"
 #include "logging/identifier_interner.hpp"
 #include "logging/template_catalog.hpp"
+#include "obs/observability.hpp"
 
 using namespace cloudseer;
 
@@ -112,11 +121,14 @@ struct PathResult
 PathResult
 runPath(const core::TaskAutomaton &automaton,
         const std::vector<core::CheckMessage> &schedule,
-        bool routing_index)
+        bool routing_index, obs::Observability *sinks = nullptr,
+        std::string *trace_json = nullptr)
 {
     core::CheckerConfig config;
     config.routingIndex = routing_index;
     core::InterleavedChecker checker(config, {&automaton});
+    if (sinks != nullptr)
+        checker.setTracer(sinks->tracer());
 
     using Clock = std::chrono::steady_clock;
     common::SampleStats latency;
@@ -125,9 +137,12 @@ runPath(const core::TaskAutomaton &automaton,
         Clock::time_point before = Clock::now();
         checker.feed(message);
         Clock::time_point after = Clock::now();
-        latency.add(
+        double micros =
             std::chrono::duration<double, std::micro>(after - before)
-                .count());
+                .count();
+        latency.add(micros);
+        if (sinks != nullptr)
+            sinks->recordFeedLatency(micros);
     }
     double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
@@ -140,6 +155,9 @@ runPath(const core::TaskAutomaton &automaton,
     out.p99us = latency.percentile(99.0);
     out.accepted = checker.stats().accepted;
     checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
+    if (trace_json != nullptr && sinks != nullptr &&
+        sinks->tracer() != nullptr)
+        *trace_json = sinks->tracer()->chromeTraceJson();
     return out;
 }
 
@@ -149,13 +167,38 @@ struct LevelResult
     int messages = 0;
     PathResult indexed;
     PathResult scan;
+    PathResult observed; ///< indexed + seer-scope sinks (--obs only)
+    bool hasObserved = false;
 
     double
     speedup() const
     {
         return scan.mps > 0.0 ? indexed.mps / scan.mps : 0.0;
     }
+
+    /** Fractional slowdown of the instrumented path (0.02 = 2%). */
+    double
+    obsOverhead() const
+    {
+        return indexed.mps > 0.0 && hasObserved
+                   ? 1.0 - observed.mps / indexed.mps
+                   : 0.0;
+    }
 };
+
+/**
+ * Smallest in-flight level whose indexed path at least matches the
+ * scan path, i.e. where the routing index starts paying for itself.
+ * -1 when the index never catches up (would be a real regression).
+ */
+int
+crossoverInflight(const std::vector<LevelResult> &levels)
+{
+    for (const LevelResult &level : levels)
+        if (level.speedup() >= 1.0)
+            return level.inflight;
+    return -1;
+}
 
 std::string
 toJson(const std::vector<LevelResult> &levels, bool smoke)
@@ -164,7 +207,9 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
     out.setf(std::ios::fixed);
     out.precision(3);
     out << "{\n  \"bench\": \"throughput\",\n  \"smoke\": "
-        << (smoke ? "true" : "false") << ",\n  \"levels\": [\n";
+        << (smoke ? "true" : "false")
+        << ",\n  \"crossover_inflight\": "
+        << crossoverInflight(levels) << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < levels.size(); ++i) {
         const LevelResult &level = levels[i];
         out << "    {\"inflight\": " << level.inflight
@@ -174,8 +219,15 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
             << ", \"p99_us\": " << level.indexed.p99us << "}"
             << ",\n     \"scan\": {\"mps\": " << level.scan.mps
             << ", \"p50_us\": " << level.scan.p50us
-            << ", \"p99_us\": " << level.scan.p99us << "}"
-            << ",\n     \"speedup\": " << level.speedup() << "}"
+            << ", \"p99_us\": " << level.scan.p99us << "}";
+        if (level.hasObserved) {
+            out << ",\n     \"indexed_obs\": {\"mps\": "
+                << level.observed.mps
+                << ", \"p50_us\": " << level.observed.p50us
+                << ", \"p99_us\": " << level.observed.p99us << "}"
+                << ",\n     \"obs_overhead\": " << level.obsOverhead();
+        }
+        out << ",\n     \"speedup\": " << level.speedup() << "}"
             << (i + 1 < levels.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -243,20 +295,28 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool with_obs = false;
     std::string check_path;
     std::string out_path = "BENCH_throughput.json";
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--obs") == 0) {
+            with_obs = true;
         } else if (std::strcmp(argv[i], "--check") == 0 &&
                    i + 1 < argc) {
             check_path = argv[++i];
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
+            with_obs = true; // a trace requires the instrumented path
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--check baseline.json] "
-                         "[--out path]\n",
+                         "[--out path] [--obs] [--trace-out path]\n",
                          argv[0]);
             return 2;
         }
@@ -286,23 +346,63 @@ main(int argc, char **argv)
         // systematically (each path builds its own checker state).
         level.scan = runPath(automaton, schedule, false);
         level.indexed = runPath(automaton, schedule, true);
+        if (with_obs) {
+            obs::ObsConfig obs_config;
+            obs_config.metrics = true;
+            obs_config.tracing = true;
+            obs::Observability sinks(obs_config);
+            bool last_level = inflight == levels.back();
+            std::string trace;
+            level.observed = runPath(
+                automaton, schedule, true, &sinks,
+                !trace_path.empty() && last_level ? &trace : nullptr);
+            level.hasObserved = true;
+            if (!trace.empty()) {
+                std::ofstream trace_out(trace_path);
+                trace_out << trace;
+                std::printf("wrote %s\n", trace_path.c_str());
+            }
+        }
         std::printf("  %-9d %-10d %-12.0f %-12.0f %-12.1f %-12.1f "
                     "%-8.2f\n",
                     level.inflight, level.messages, level.indexed.mps,
                     level.scan.mps, level.indexed.p99us,
                     level.scan.p99us, level.speedup());
-        if (level.indexed.accepted != level.scan.accepted) {
+        if (level.speedup() < 1.0) {
+            // Not fatal — small fleets fit the scan path's cache and
+            // the index bookkeeping can lose by a few percent — but
+            // worth flagging so the crossover shift is noticed.
+            std::printf("  WARN: index slower than scan at %d "
+                        "in-flight (speedup %.2f)\n",
+                        inflight, level.speedup());
+        }
+        if (with_obs) {
+            std::printf("  obs: %-d in-flight instrumented %.0f mps "
+                        "(overhead %.1f%%)\n",
+                        inflight, level.observed.mps,
+                        100.0 * level.obsOverhead());
+        }
+        if (level.indexed.accepted != level.scan.accepted ||
+            (level.hasObserved &&
+             level.observed.accepted != level.indexed.accepted)) {
             std::fprintf(stderr,
                          "FAIL: paths diverged at %d in-flight "
-                         "(indexed accepted %llu, scan %llu)\n",
+                         "(indexed accepted %llu, scan %llu, "
+                         "obs %llu)\n",
                          inflight,
                          static_cast<unsigned long long>(
                              level.indexed.accepted),
                          static_cast<unsigned long long>(
-                             level.scan.accepted));
+                             level.scan.accepted),
+                         static_cast<unsigned long long>(
+                             level.observed.accepted));
             return 1;
         }
         results.push_back(level);
+    }
+    if (crossoverInflight(results) != levels.front()) {
+        std::printf("crossover: index first pays off at %d in-flight\n",
+                    crossoverInflight(results));
     }
 
     std::ofstream out(out_path);

@@ -9,9 +9,16 @@
  * log store is then queried around the report time — the diagnosis
  * workflow an administrator would follow (paper §2.3, "Interpreting
  * Results").
+ *
+ * The monitor itself runs instrumented (seer-scope, DESIGN.md §11):
+ * it emits periodic health snapshots on the message clock, and the
+ * run leaves behind cloudseer_health.jsonl (pretty-print with
+ * seer-stats), cloudseer_trace.json (open in Perfetto or
+ * about:tracing), and a Prometheus exposition excerpt on stdout.
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "collect/log_store.hpp"
 #include "common/string_util.hpp"
@@ -58,6 +65,9 @@ main()
 
     core::MonitorConfig config;
     config.timeoutSeconds = 10.0;
+    config.observability.metrics = true;
+    config.observability.tracing = true;
+    config.observability.snapshotIntervalSeconds = 30.0;
     core::WorkflowMonitor monitor(config, models.catalog,
                                   models.automataCopy());
 
@@ -127,5 +137,39 @@ main()
                     monitor.stats().errorsReported),
                 common::formatPercent(
                     monitor.stats().decisiveFraction()).c_str());
+    std::printf("%s\n",
+                core::statsSummaryJson(monitor.stats(),
+                                       monitor.ingestStats(),
+                                       monitor.lastTime())
+                    .c_str());
+
+    // seer-scope artifacts: health series, execution trace, and a
+    // Prometheus exposition excerpt of the headline series.
+    {
+        std::ofstream health("cloudseer_health.jsonl");
+        health << monitor.observability()->snapshotJsonLines();
+    }
+    {
+        std::ofstream trace("cloudseer_trace.json");
+        trace << monitor.chromeTraceJson();
+    }
+    std::printf("\nwrote cloudseer_health.jsonl (seer-stats "
+                "cloudseer_health.jsonl) and cloudseer_trace.json "
+                "(Perfetto / about:tracing)\n\n");
+    std::printf("Prometheus exposition excerpt:\n");
+    std::string prom = monitor.prometheusText();
+    std::size_t shown = 0;
+    std::size_t pos = 0;
+    while (pos < prom.size() && shown < 12) {
+        std::size_t end = prom.find('\n', pos);
+        if (end == std::string::npos)
+            end = prom.size();
+        std::string line = prom.substr(pos, end - pos);
+        if (!line.empty() && line[0] != '#') {
+            std::printf("  %s\n", line.c_str());
+            ++shown;
+        }
+        pos = end + 1;
+    }
     return 0;
 }

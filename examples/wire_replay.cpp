@@ -17,6 +17,7 @@
 #include "collect/node_sinks.hpp"
 #include "collect/stream_merger.hpp"
 #include "common/string_util.hpp"
+#include "core/monitor/report_json.hpp"
 #include "eval/modeling_harness.hpp"
 #include "workload/workload_generator.hpp"
 
@@ -128,6 +129,14 @@ main()
     std::printf("decisive checking: %s\n",
                 common::formatPercent(
                     monitor.stats().decisiveFraction()).c_str());
+
+    // Close the report stream with the machine-readable SUMMARY record
+    // an alerting consumer would score the run from.
+    std::printf("\n%s\n",
+                core::statsSummaryJson(monitor.stats(),
+                                       monitor.ingestStats(),
+                                       monitor.lastTime())
+                    .c_str());
     std::remove(path);
     for (const std::string &file : files)
         std::remove(file.c_str());

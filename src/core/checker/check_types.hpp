@@ -99,11 +99,16 @@ struct CheckerStats
     std::uint64_t accepted = 0;
     std::uint64_t consumeAttempts = 0;   ///< group probes (efficiency)
 
-    /** Fraction of routed messages resolved decisively (paper §5.5). */
+    /** Fraction of routed messages resolved decisively (paper §5.5).
+     *  The denominator covers every routed message, including recovery
+     *  (a) — an unknown-template message still went through routing
+     *  and was resolved (by passing it through), so leaving it out
+     *  overstated decisiveness on noisy streams. */
     double
     decisiveFraction() const
     {
         std::uint64_t denom = decisive + ambiguous +
+                              recoveredPassUnknown +
                               recoveredNewSequence + recoveredOtherSet +
                               recoveredFalseDependency + unmatched;
         return denom == 0 ? 0.0

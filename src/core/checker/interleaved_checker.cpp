@@ -285,6 +285,24 @@ InterleavedChecker::registerGroup(AutomatonGroup &&group,
     idsets.at(set_id).groupIds.push_back(gid);
     groupToSet[gid] = set_id;
     groups.emplace(gid, std::move(group));
+    if (tracer != nullptr)
+        tracer->beginSpan(gid, traceNow);
+}
+
+void
+InterleavedChecker::traceEnd(const AutomatonGroup &group,
+                             common::SimTime time,
+                             obs::SpanEnd reason) const
+{
+    if (tracer == nullptr)
+        return;
+    const AutomatonInstance *instance = group.acceptingInstance();
+    if (instance == nullptr && !group.instances().empty())
+        instance = &group.instances().front();
+    tracer->endSpan(group.id(), time, reason,
+                    instance != nullptr ? instance->automaton().name()
+                                        : std::string(),
+                    group.history().size());
 }
 
 void
@@ -326,6 +344,10 @@ InterleavedChecker::eraseGroup(GroupId group)
     auto it = groups.find(group);
     if (it == groups.end())
         return;
+    // Default span end for teardown without a report; sites with a
+    // real fate (accept/error/timeout/shed) close the span first and
+    // this becomes a no-op.
+    traceEnd(it->second, traceNow, obs::SpanEnd::Pruned);
     auto map_it = groupToSet.find(group);
     if (map_it != groupToSet.end()) {
         auto set_it = idsets.find(map_it->second);
@@ -442,6 +464,7 @@ InterleavedChecker::harvestAcceptance(const std::vector<GroupId> &touched,
             continue;
         if (!it->second.zombie()) {
             ++counters.accepted;
+            traceEnd(it->second, now, obs::SpanEnd::Accepted);
             events.push_back(
                 makeEvent(CheckEventKind::Accepted, it->second, now));
         }
@@ -479,6 +502,8 @@ InterleavedChecker::applyErrorCriterion(const CheckMessage &message,
 
     CheckEvent event;
     if (chosen != 0) {
+        traceEnd(groups.at(chosen), message.time,
+                 obs::SpanEnd::Diverged);
         event = makeEvent(CheckEventKind::ErrorDetected,
                           groups.at(chosen), message.time);
         // The paper stops choosing this instance for further messages.
@@ -497,6 +522,7 @@ InterleavedChecker::feed(const CheckMessage &message)
 {
     std::vector<CheckEvent> events;
     ++counters.messages;
+    traceNow = message.time;
 
     // One dedup per message: every overlap / difference / insert below
     // works on this sorted-unique token view.
@@ -542,6 +568,9 @@ InterleavedChecker::feed(const CheckMessage &message)
         bool ok =
             group.consume(message.tpl, message.record, message.time);
         CS_ASSERT(ok, "decisive consumption failed after canConsume");
+        if (tracer != nullptr)
+            tracer->annotate(gid, message.time,
+                             obs::ConsumeAnnotation::Decisive);
         applyDecisiveIdUpdate(gid, view);
         harvestAcceptance({gid}, message.time, events);
     };
@@ -581,6 +610,11 @@ InterleavedChecker::feed(const CheckMessage &message)
             idsets.at(set_id).groupIds.push_back(clone_id);
             groupToSet[clone_id] = set_id;
             groups.emplace(clone_id, std::move(clone));
+            if (tracer != nullptr) {
+                tracer->beginSpan(clone_id, message.time);
+                tracer->annotate(clone_id, message.time,
+                                 obs::ConsumeAnnotation::Ambiguous);
+            }
             touched.push_back(clone_id);
         }
         harvestAcceptance(touched, message.time, events);
@@ -625,6 +659,10 @@ InterleavedChecker::feed(const CheckMessage &message)
             CS_ASSERT(ok, "fresh group failed to consume");
             GroupId gid = fresh.id();
             registerGroup(std::move(fresh), IdentifierSet(view));
+            if (tracer != nullptr)
+                tracer->annotate(
+                    gid, message.time,
+                    obs::ConsumeAnnotation::RecoveryNewSequence);
             harvestAcceptance({gid}, message.time, events);
             return events;
         }
@@ -652,6 +690,12 @@ InterleavedChecker::feed(const CheckMessage &message)
                 if (takers.empty())
                     return false;
                 ++counters.recoveredOtherSet;
+                if (tracer != nullptr) {
+                    for (GroupId gid : takers)
+                        tracer->annotate(
+                            gid, message.time,
+                            obs::ConsumeAnnotation::RecoveryOtherSet);
+                }
                 if (takers.size() == 1)
                     doDecisiveFn(takers.front());
                 else
@@ -691,6 +735,10 @@ InterleavedChecker::feed(const CheckMessage &message)
             if (it->second.consumeWithRepair(message.tpl, message.record,
                                              message.time, &repaired)) {
                 ++counters.recoveredFalseDependency;
+                if (tracer != nullptr)
+                    tracer->annotate(gid, message.time,
+                                     obs::ConsumeAnnotation::
+                                         RecoveryFalseDependency);
                 for (const AutomatonGroup::RepairedEdge &edge :
                      repaired) {
                     ++removalCounts[edge.automaton->name()]
@@ -757,6 +805,7 @@ InterleavedChecker::sweepTimeouts(common::SimTime now,
                                   const TimeoutResolver &resolver)
 {
     std::vector<CheckEvent> events;
+    traceNow = now;
     std::vector<GroupId> snapshot;
     snapshot.reserve(groups.size());
     for (const auto &[gid, group] : groups)
@@ -784,6 +833,7 @@ InterleavedChecker::sweepTimeouts(common::SimTime now,
             continue;
         }
         ++counters.timeoutsReported;
+        traceEnd(group, now, obs::SpanEnd::TimedOut);
         events.push_back(makeEvent(CheckEventKind::Timeout, group, now));
         if (config.zombieAbsorption)
             group.markZombie();
@@ -797,6 +847,7 @@ std::vector<CheckEvent>
 InterleavedChecker::shedToCap(std::size_t cap, common::SimTime now)
 {
     std::vector<CheckEvent> events;
+    traceNow = now;
     if (groups.size() <= cap)
         return events;
 
@@ -824,6 +875,7 @@ InterleavedChecker::shedToCap(std::size_t cap, common::SimTime now)
         if (it == groups.end())
             continue;
         ++counters.groupsShed;
+        traceEnd(it->second, now, obs::SpanEnd::Shed);
         events.push_back(
             makeEvent(CheckEventKind::Degraded, it->second, now));
         eraseGroup(order[i]);
@@ -835,6 +887,7 @@ std::vector<CheckEvent>
 InterleavedChecker::finish(common::SimTime now)
 {
     std::vector<CheckEvent> events;
+    traceNow = now;
     std::vector<GroupId> snapshot;
     for (const auto &[gid, group] : groups)
         snapshot.push_back(gid);
@@ -842,9 +895,11 @@ InterleavedChecker::finish(common::SimTime now)
         auto it = groups.find(gid);
         if (it == groups.end())
             continue;
-        if (!it->second.zombie())
+        if (!it->second.zombie()) {
+            traceEnd(it->second, now, obs::SpanEnd::EndOfStream);
             events.push_back(makeEvent(CheckEventKind::Timeout,
                                        it->second, now));
+        }
         eraseGroup(gid);
     }
     idsets.clear();

@@ -35,6 +35,7 @@
 #include "common/rng.hpp"
 #include "core/automaton/refinement.hpp"
 #include "core/checker/check_types.hpp"
+#include "obs/trace.hpp"
 
 namespace cloudseer::core {
 
@@ -174,6 +175,15 @@ class InterleavedChecker
      */
     bool indexConsistent() const;
 
+    /**
+     * Attach an execution-lifecycle tracer (seer-scope, DESIGN.md
+     * §11): one span per group from creation to its fate, annotated
+     * with the Algorithm 2 outcome of every consumed message. Null
+     * (the default) is the null sink — every hook below is a single
+     * pointer test and the checker behaves bit-identically.
+     */
+    void setTracer(obs::ExecutionTracer *tracer_) { tracer = tracer_; }
+
   private:
     struct IdSetEntry
     {
@@ -294,6 +304,20 @@ class InterleavedChecker
 
     /** Largest timeout handed out so far (zombie-expiry horizon). */
     double maxResolvedTimeout = 0.0;
+
+    /** Optional execution tracer (null = no tracing). */
+    obs::ExecutionTracer *tracer = nullptr;
+
+    /**
+     * Message-clock time of the current feed/sweep, so generic
+     * teardown paths (eraseGroup) can stamp span ends without the
+     * reason-specific call sites threading a time through.
+     */
+    common::SimTime traceNow = 0.0;
+
+    /** Close a group's span (no-op when untraced or already closed). */
+    void traceEnd(const AutomatonGroup &group, common::SimTime time,
+                  obs::SpanEnd reason) const;
 
     /** Build a report for a group. */
     CheckEvent makeEvent(CheckEventKind kind, const AutomatonGroup &group,

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/string_util.hpp"
+#include "core/monitor/workflow_monitor.hpp"
 
 namespace cloudseer::core {
 
@@ -92,6 +93,49 @@ reportToJson(const MonitorReport &report,
     out += "\"states\":" + jsonStringArray(states) + ",";
     out += "\"expected\":" + jsonStringArray(expected);
     out += "}";
+    return out;
+}
+
+std::string
+statsSummaryJson(const CheckerStats &checker, const IngestStats &ingest,
+                 double time)
+{
+    std::string out = "{\"kind\":\"SUMMARY\",";
+    out += "\"time\":" + common::formatDouble(time, 3) + ",";
+    out += "\"checker\":{";
+    out += "\"messages\":" + std::to_string(checker.messages) + ",";
+    out += "\"decisive\":" + std::to_string(checker.decisive) + ",";
+    out += "\"ambiguous\":" + std::to_string(checker.ambiguous) + ",";
+    out += "\"recoveries\":{\"a\":" +
+           std::to_string(checker.recoveredPassUnknown) + ",\"b\":" +
+           std::to_string(checker.recoveredNewSequence) + ",\"c\":" +
+           std::to_string(checker.recoveredOtherSet) + ",\"d\":" +
+           std::to_string(checker.recoveredFalseDependency) + "},";
+    out += "\"unmatched\":" + std::to_string(checker.unmatched) + ",";
+    out += "\"accepted\":" + std::to_string(checker.accepted) + ",";
+    out += "\"errors\":" + std::to_string(checker.errorsReported) + ",";
+    out += "\"timeouts\":" + std::to_string(checker.timeoutsReported) +
+           ",";
+    out += "\"timeoutsSuppressed\":" +
+           std::to_string(checker.timeoutsSuppressed) + ",";
+    out += "\"shed\":" + std::to_string(checker.groupsShed) + ",";
+    out += "\"consumeAttempts\":" +
+           std::to_string(checker.consumeAttempts) + ",";
+    out += "\"decisiveFraction\":" +
+           common::formatDouble(checker.decisiveFraction(), 4) + "},";
+    out += "\"ingest\":{";
+    out += "\"lines\":" + std::to_string(ingest.linesSeen) + ",";
+    out += "\"delivered\":" + std::to_string(ingest.recordsDelivered) +
+           ",";
+    out += "\"malformed\":" + std::to_string(ingest.malformed()) + ",";
+    out += "\"clamped\":" + std::to_string(ingest.nonMonotonicClamped) +
+           ",";
+    out += "\"duplicates\":" +
+           std::to_string(ingest.duplicatesSuppressed) + ",";
+    out += "\"forcedReleases\":" +
+           std::to_string(ingest.forcedReleases) + ",";
+    out += "\"reorderPeak\":" +
+           std::to_string(ingest.reorderBufferPeak) + "}}";
     return out;
 }
 

@@ -20,12 +20,23 @@
 
 namespace cloudseer::core {
 
+struct IngestStats;
+
 /** Escape a string per JSON rules. */
 std::string jsonEscape(const std::string &raw);
 
 /** Render one report as a single-line JSON object. */
 std::string reportToJson(const MonitorReport &report,
                          const logging::TemplateCatalog &catalog);
+
+/**
+ * Final summary record for the report stream: checker and ingest
+ * counters as one {"kind":"SUMMARY",...} line, emitted after the last
+ * report so a captured run is self-describing — a consumer can score
+ * accuracy and audit the ingest guards without attaching a debugger.
+ */
+std::string statsSummaryJson(const CheckerStats &checker,
+                             const IngestStats &ingest, double time);
 
 } // namespace cloudseer::core
 

@@ -15,6 +15,16 @@ double
 TimeoutPolicy::timeoutForCandidates(
     const std::vector<std::string> &tasks) const
 {
+    ++resolutions;
+    bool any_entry = false;
+    for (const std::string &task : tasks) {
+        if (perTask.count(task)) {
+            any_entry = true;
+            break;
+        }
+    }
+    if (!any_entry)
+        ++defaultFallbacks;
     if (tasks.empty())
         return defaultTimeout;
     double best = 0.0;
@@ -63,6 +73,29 @@ TimeoutEstimator::estimate(double safety_factor, double floor,
             std::max(entry.gaps.max() * safety_factor, floor);
     }
     return policy;
+}
+
+void
+TimeoutEstimator::publishTo(obs::MetricsRegistry &registry) const
+{
+    std::size_t runs = 0;
+    double widest = 0.0;
+    for (const auto &[task, entry] : perTask) {
+        runs += entry.runs;
+        widest = std::max(widest, entry.gaps.max());
+    }
+    registry
+        .gauge("seer_timeout_estimator_tasks",
+               "tasks with observed gap statistics")
+        .set(static_cast<double>(perTask.size()));
+    registry
+        .gauge("seer_timeout_estimator_runs",
+               "correct runs ingested by the estimator")
+        .set(static_cast<double>(runs));
+    registry
+        .gauge("seer_timeout_estimator_max_gap_seconds",
+               "widest inter-message gap observed across tasks")
+        .set(widest);
 }
 
 } // namespace cloudseer::core

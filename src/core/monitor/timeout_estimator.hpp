@@ -14,12 +14,14 @@
 #ifndef CLOUDSEER_CORE_MONITOR_TIMEOUT_ESTIMATOR_HPP
 #define CLOUDSEER_CORE_MONITOR_TIMEOUT_ESTIMATOR_HPP
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/time_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace cloudseer::core {
 
@@ -29,13 +31,23 @@ struct TimeoutPolicy
     double defaultTimeout = 10.0;
     std::map<std::string, double> perTask;
 
+    /**
+     * Resolution tallies (seer-scope, DESIGN.md §11): how often the
+     * policy was consulted and how often no per-task entry applied —
+     * a high fallback share means the estimator never saw the tasks
+     * actually in flight. Mutable: resolution is semantically const.
+     */
+    mutable std::uint64_t resolutions = 0;
+    mutable std::uint64_t defaultFallbacks = 0;
+
     /** Timeout for one task (default when unknown). */
     double timeoutFor(const std::string &task) const;
 
     /**
      * Timeout for a group still tracking several candidate tasks:
      * the most generous candidate wins (never report early just
-     * because a short task is also still possible).
+     * because a short task is also still possible). Counts one
+     * resolution (and a fallback when no candidate had an entry).
      */
     double
     timeoutForCandidates(const std::vector<std::string> &tasks) const;
@@ -68,6 +80,13 @@ class TimeoutEstimator
     TimeoutPolicy estimate(double safety_factor = 3.0,
                            double floor = 2.0,
                            double default_timeout = 10.0) const;
+
+    /**
+     * seer-scope hook: publish estimator coverage into a registry
+     * (tasks observed, runs ingested, the widest gap seen) so a
+     * deployment can see how well-founded its timeout table is.
+     */
+    void publishTo(obs::MetricsRegistry &registry) const;
 
   private:
     struct TaskGaps

@@ -1,6 +1,7 @@
 #include "core/monitor/workflow_monitor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/model_lint.hpp"
 #include "common/error.hpp"
@@ -44,6 +45,14 @@ WorkflowMonitor::WorkflowMonitor(
     timeoutPolicy.defaultTimeout = config.timeoutSeconds;
     timeoutPolicy.perTask = config.perTaskTimeouts;
 
+    // seer-scope: only instantiated when some sink is on; the null
+    // sink is a null pointer, not a disabled object.
+    if (config.observability.enabled()) {
+        obsPtr =
+            std::make_unique<obs::Observability>(config.observability);
+        engine.setTracer(obsPtr->tracer());
+    }
+
     // Load-time model verification (seer-lint): a structurally broken
     // specification produces confidently wrong reports for as long as
     // the deployment runs, so errors refuse to start by default.
@@ -69,10 +78,28 @@ std::vector<MonitorReport>
 WorkflowMonitor::feed(const logging::LogRecord &record)
 {
     std::vector<MonitorReport> reports;
+
+    // Feed-latency timing only exists when metrics are on; the
+    // null-sink path never reads a clock.
+    const bool timed =
+        obsPtr != nullptr && obsPtr->config().metrics;
+    std::chrono::steady_clock::time_point before;
+    if (timed)
+        before = std::chrono::steady_clock::now();
+
     if (config.ingest.reorderWindowSeconds > 0.0)
         bufferAndRelease(record, reports);
     else
         deliver(record, reports);
+
+    if (timed) {
+        obsPtr->recordFeedLatency(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - before)
+                .count());
+    }
+    if (obsPtr != nullptr && obsPtr->snapshotDue(lastTimestamp))
+        obsPtr->addSnapshot(healthSample());
     return reports;
 }
 
@@ -276,6 +303,13 @@ WorkflowMonitor::finish()
     }
     for (CheckEvent &event : engine.finish(horizon))
         reports.push_back({std::move(event), true});
+
+    // Close the health series with a final post-flush observation so
+    // the snapshot stream is self-terminating.
+    if (obsPtr != nullptr &&
+        obsPtr->config().snapshotIntervalSeconds > 0.0) {
+        obsPtr->addSnapshot(healthSample());
+    }
     return reports;
 }
 
@@ -284,6 +318,81 @@ WorkflowMonitor::refinedAutomata(int min_removals) const
 {
     return refineFromRemovals(specs, engine.dependencyRemovals(),
                               min_removals);
+}
+
+obs::HealthSample
+WorkflowMonitor::healthSample() const
+{
+    obs::HealthSample s;
+    s.time = lastTimestamp;
+
+    const CheckerStats &c = engine.stats();
+    s.messages = c.messages;
+    s.decisive = c.decisive;
+    s.ambiguous = c.ambiguous;
+    s.recoveredPassUnknown = c.recoveredPassUnknown;
+    s.recoveredNewSequence = c.recoveredNewSequence;
+    s.recoveredOtherSet = c.recoveredOtherSet;
+    s.recoveredFalseDependency = c.recoveredFalseDependency;
+    s.unmatched = c.unmatched;
+    s.accepted = c.accepted;
+    s.errorsReported = c.errorsReported;
+    s.timeoutsReported = c.timeoutsReported;
+    s.timeoutsSuppressed = c.timeoutsSuppressed;
+    s.groupsShed = c.groupsShed;
+    s.consumeAttempts = c.consumeAttempts;
+    s.decisiveFraction = c.decisiveFraction();
+
+    s.activeGroups = engine.activeGroups();
+    s.activeIdentifierSets = engine.activeIdentifierSets();
+
+    s.linesSeen = ingest.linesSeen;
+    s.recordsDelivered = ingest.recordsDelivered;
+    s.malformedLines = ingest.malformed();
+    s.nonMonotonicClamped = ingest.nonMonotonicClamped;
+    s.duplicatesSuppressed = ingest.duplicatesSuppressed;
+    s.forcedReleases = ingest.forcedReleases;
+    s.reorderBufferPeak = ingest.reorderBufferPeak;
+
+    logging::InternerStats interner =
+        logging::IdentifierInterner::process().stats();
+    s.internerSize = interner.size;
+    s.internerHits = interner.hits;
+    s.internerMisses = interner.misses;
+
+    s.timeoutResolutions = timeoutPolicy.resolutions;
+    s.timeoutDefaultFallbacks = timeoutPolicy.defaultFallbacks;
+
+    if (obsPtr != nullptr && obsPtr->feedLatency() != nullptr) {
+        const obs::Histogram &latency = *obsPtr->feedLatency();
+        s.feedP50us = latency.percentile(50.0);
+        s.feedP90us = latency.percentile(90.0);
+        s.feedP99us = latency.percentile(99.0);
+        s.feedMaxUs = latency.maxSeen();
+    }
+    return s;
+}
+
+std::string
+WorkflowMonitor::prometheusText()
+{
+    return obsPtr == nullptr ? std::string()
+                             : obsPtr->prometheusText(healthSample());
+}
+
+std::string
+WorkflowMonitor::healthSnapshotJson() const
+{
+    return obsPtr == nullptr ? std::string()
+                             : healthSample().toJson();
+}
+
+std::string
+WorkflowMonitor::chromeTraceJson() const
+{
+    return obsPtr == nullptr || obsPtr->tracer() == nullptr
+               ? std::string()
+               : obsPtr->tracer()->chromeTraceJson();
 }
 
 } // namespace cloudseer::core

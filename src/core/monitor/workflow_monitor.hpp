@@ -31,6 +31,7 @@
 #include "logging/log_codec.hpp"
 #include "logging/log_record.hpp"
 #include "logging/variable_extractor.hpp"
+#include "obs/observability.hpp"
 
 namespace cloudseer::core {
 
@@ -160,6 +161,14 @@ struct MonitorConfig
      * --no-verify); the report is still computed and kept (loadLint).
      */
     bool verifyModelOnLoad = true;
+
+    /**
+     * seer-scope observability (DESIGN.md §11). All-off by default —
+     * the null sink — in which case no Observability object is even
+     * constructed and the monitor is bit-identical to an
+     * uninstrumented one.
+     */
+    obs::ObsConfig observability;
 };
 
 /** Online workflow monitor (modeling output in, reports out). */
@@ -206,6 +215,9 @@ class WorkflowMonitor
         return quarantined;
     }
 
+    /** Monitor clock: highest message timestamp fed so far. */
+    common::SimTime lastTime() const { return lastTimestamp; }
+
     /** Groups currently in flight. */
     std::size_t activeGroups() const { return engine.activeGroups(); }
 
@@ -250,6 +262,36 @@ class WorkflowMonitor
      */
     std::vector<TaskAutomaton> refinedAutomata(int min_removals) const;
 
+    // --- seer-scope (DESIGN.md §11) -----------------------------------
+
+    /** True when any observability sink is configured. */
+    bool observabilityEnabled() const { return obsPtr != nullptr; }
+
+    /** The observability bundle, or nullptr in null-sink mode. */
+    obs::Observability *observability() { return obsPtr.get(); }
+    const obs::Observability *observability() const
+    {
+        return obsPtr.get();
+    }
+
+    /** Flatten the monitor's current state into one health sample. */
+    obs::HealthSample healthSample() const;
+
+    /**
+     * Prometheus text exposition of the metric catalog, refreshed
+     * from live state. Empty string in null-sink mode.
+     */
+    std::string prometheusText();
+
+    /** One fresh health snapshot as single-line JSON ("" when off). */
+    std::string healthSnapshotJson() const;
+
+    /**
+     * Chrome trace_event JSON of the recorded execution spans
+     * (loads in about:tracing / Perfetto). "" when tracing is off.
+     */
+    std::string chromeTraceJson() const;
+
   private:
     /** A record parked in the reorder buffer. */
     struct BufferedRecord
@@ -265,6 +307,7 @@ class WorkflowMonitor
     logging::VariableExtractor extractor;
     analysis::LintReport loadReport;
     InterleavedChecker engine;
+    std::unique_ptr<obs::Observability> obsPtr; ///< null = null sink
     common::SimTime lastTimestamp = 0.0;
     bool anyFed = false;
     IngestStats ingest;

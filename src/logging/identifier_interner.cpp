@@ -9,8 +9,11 @@ IdentifierInterner::intern(std::string_view value)
 {
     std::lock_guard<std::mutex> lock(mutex);
     auto it = index.find(value);
-    if (it != index.end())
+    if (it != index.end()) {
+        ++hitCount;
         return it->second;
+    }
+    ++missCount;
     IdToken token = static_cast<IdToken>(tokens.size());
     CS_ASSERT(token != kInvalidIdToken, "identifier interner full");
     tokens.emplace_back(value);
@@ -39,6 +42,17 @@ IdentifierInterner::size() const
 {
     std::lock_guard<std::mutex> lock(mutex);
     return tokens.size();
+}
+
+InternerStats
+IdentifierInterner::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    InternerStats out;
+    out.size = tokens.size();
+    out.hits = hitCount;
+    out.misses = missCount;
+    return out;
 }
 
 IdentifierInterner &

@@ -36,6 +36,24 @@ using IdToken = std::uint32_t;
 /** Sentinel for "not interned". */
 constexpr IdToken kInvalidIdToken = 0xffffffffu;
 
+/** Table health counters (seer-scope, DESIGN.md §11). */
+struct InternerStats
+{
+    std::size_t size = 0;       ///< distinct identifiers interned
+    std::uint64_t hits = 0;     ///< intern() served from the table
+    std::uint64_t misses = 0;   ///< intern() minted a new token
+
+    /** Fraction of intern() calls served from the table. */
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
 /** Registry of identifier values seen during checking. */
 class IdentifierInterner
 {
@@ -51,6 +69,9 @@ class IdentifierInterner
 
     /** Number of interned identifiers. */
     std::size_t size() const;
+
+    /** Table size and hit/miss tallies since process start. */
+    InternerStats stats() const;
 
     /** The process-wide instance the extraction path interns into. */
     static IdentifierInterner &process();
@@ -70,6 +91,8 @@ class IdentifierInterner
     std::unordered_map<std::string, IdToken, StringHash,
                        std::equal_to<>>
         index;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
     mutable std::mutex mutex;
 };
 

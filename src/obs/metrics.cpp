@@ -1,0 +1,209 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cloudseer::obs {
+
+namespace {
+
+constexpr int kSubBuckets = 9; // mantissa 1..9 per decade
+
+std::string
+formatNumber(double value)
+{
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+} // namespace
+
+Histogram::Histogram(int min_exp, int max_exp)
+{
+    CS_ASSERT(max_exp > min_exp, "histogram range must be non-empty");
+    for (int e = min_exp; e < max_exp; ++e) {
+        double decade = std::pow(10.0, e);
+        for (int m = 1; m <= kSubBuckets; ++m)
+            bounds.push_back(static_cast<double>(m) * decade);
+    }
+    bounds.push_back(std::pow(10.0, max_exp));
+    hits.assign(bounds.size() - 1, 0);
+}
+
+void
+Histogram::record(double value)
+{
+    if (samples == 0) {
+        minValue = maxValue = value;
+    } else {
+        minValue = std::min(minValue, value);
+        maxValue = std::max(maxValue, value);
+    }
+    ++samples;
+    total += value;
+
+    if (value < bounds.front()) {
+        ++underflowCount;
+        return;
+    }
+    if (value >= bounds.back()) {
+        ++overflowCount;
+        return;
+    }
+    // First boundary strictly above the value; the bucket before it
+    // covers [bounds[i], bounds[i+1]).
+    auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+    ++hits[static_cast<std::size_t>(it - bounds.begin()) - 1];
+}
+
+double
+Histogram::mean() const
+{
+    return samples == 0 ? 0.0
+                        : total / static_cast<double>(samples);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples == 0)
+        return 0.0;
+    double clamped = std::min(100.0, std::max(0.0, p));
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(samples)));
+    rank = std::max<std::uint64_t>(rank, 1);
+
+    std::uint64_t seen = underflowCount;
+    if (rank <= seen)
+        return minValue; // inside the underflow region
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        seen += hits[i];
+        if (rank <= seen) {
+            return std::max(minValue,
+                            std::min(bounds[i + 1], maxValue));
+        }
+    }
+    return maxValue; // overflow region
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    auto [it, fresh] = counters.try_emplace(name);
+    if (fresh)
+        it->second.help = help;
+    return it->second.metric;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    auto [it, fresh] = gauges.try_emplace(name);
+    if (fresh)
+        it->second.help = help;
+    return it->second.metric;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help, int min_exp,
+                           int max_exp)
+{
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+        it = histograms
+                 .emplace(name,
+                          Named<Histogram>{Histogram(min_exp, max_exp),
+                                           help})
+                 .first;
+    }
+    return it->second.metric;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+std::string
+MetricsRegistry::prometheusText() const
+{
+    std::ostringstream out;
+    for (const auto &[name, entry] : counters) {
+        out << "# HELP " << name << " " << entry.help << "\n";
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << entry.metric.value() << "\n";
+    }
+    for (const auto &[name, entry] : gauges) {
+        out << "# HELP " << name << " " << entry.help << "\n";
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << formatNumber(entry.metric.value())
+            << "\n";
+    }
+    for (const auto &[name, entry] : histograms) {
+        const Histogram &h = entry.metric;
+        out << "# HELP " << name << " " << entry.help << "\n";
+        out << "# TYPE " << name << " histogram\n";
+        // Cumulative buckets; the underflow region folds into the
+        // first bucket's tally, per Prometheus le-semantics.
+        std::uint64_t cumulative = h.underflow();
+        for (std::size_t i = 0; i < h.buckets(); ++i) {
+            cumulative += h.bucketHits(i);
+            // Only boundaries that carry mass keep the text compact.
+            if (h.bucketHits(i) == 0 && i + 1 != h.buckets())
+                continue;
+            out << name << "_bucket{le=\""
+                << formatNumber(h.bucketUpper(i)) << "\"} "
+                << cumulative << "\n";
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        out << name << "_sum " << formatNumber(h.sum()) << "\n";
+        out << name << "_count " << h.count() << "\n";
+    }
+    return out.str();
+}
+
+std::string
+MetricsRegistry::jsonSnapshot() const
+{
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, entry] : counters) {
+        out << (first ? "" : ",") << "\"" << name
+            << "\":" << entry.metric.value();
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, entry] : gauges) {
+        out << (first ? "" : ",") << "\"" << name
+            << "\":" << formatNumber(entry.metric.value());
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, entry] : histograms) {
+        const Histogram &h = entry.metric;
+        out << (first ? "" : ",") << "\"" << name << "\":{\"count\":"
+            << h.count() << ",\"sum\":" << formatNumber(h.sum())
+            << ",\"min\":" << formatNumber(h.minSeen())
+            << ",\"max\":" << formatNumber(h.maxSeen())
+            << ",\"p50\":" << formatNumber(h.percentile(50.0))
+            << ",\"p90\":" << formatNumber(h.percentile(90.0))
+            << ",\"p99\":" << formatNumber(h.percentile(99.0))
+            << ",\"underflow\":" << h.underflow()
+            << ",\"overflow\":" << h.overflow() << "}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+} // namespace cloudseer::obs

@@ -1,0 +1,219 @@
+#include "obs/observability.hpp"
+
+#include <sstream>
+
+namespace cloudseer::obs {
+
+namespace {
+
+std::string
+formatNumber(double value)
+{
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+} // namespace
+
+std::string
+HealthSample::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"kind\":\"HEALTH\",\"time\":" << formatNumber(time)
+        << ",\"messages\":" << messages
+        << ",\"delivered\":" << recordsDelivered
+        << ",\"activeGroups\":" << activeGroups
+        << ",\"idsets\":" << activeIdentifierSets
+        << ",\"decisive\":" << decisive
+        << ",\"ambiguous\":" << ambiguous
+        << ",\"recoveries\":{\"a\":" << recoveredPassUnknown
+        << ",\"b\":" << recoveredNewSequence
+        << ",\"c\":" << recoveredOtherSet
+        << ",\"d\":" << recoveredFalseDependency << "}"
+        << ",\"unmatched\":" << unmatched
+        << ",\"accepted\":" << accepted
+        << ",\"errors\":" << errorsReported
+        << ",\"timeouts\":" << timeoutsReported
+        << ",\"suppressed\":" << timeoutsSuppressed
+        << ",\"shed\":" << groupsShed
+        << ",\"consumeAttempts\":" << consumeAttempts
+        << ",\"decisiveFraction\":" << formatNumber(decisiveFraction)
+        << ",\"ingest\":{\"lines\":" << linesSeen
+        << ",\"malformed\":" << malformedLines
+        << ",\"clamped\":" << nonMonotonicClamped
+        << ",\"duplicates\":" << duplicatesSuppressed
+        << ",\"forced\":" << forcedReleases
+        << ",\"reorderPeak\":" << reorderBufferPeak << "}"
+        << ",\"interner\":{\"size\":" << internerSize
+        << ",\"hits\":" << internerHits
+        << ",\"misses\":" << internerMisses << "}"
+        << ",\"timeoutPolicy\":{\"resolutions\":" << timeoutResolutions
+        << ",\"fallbacks\":" << timeoutDefaultFallbacks << "}"
+        << ",\"feedLatencyUs\":{\"p50\":" << formatNumber(feedP50us)
+        << ",\"p90\":" << formatNumber(feedP90us)
+        << ",\"p99\":" << formatNumber(feedP99us)
+        << ",\"max\":" << formatNumber(feedMaxUs) << "}}";
+    return out.str();
+}
+
+Observability::Observability(const ObsConfig &config) : cfg(config)
+{
+    if (cfg.metrics) {
+        // Feed latencies span sub-microsecond to seconds: 0.1us..1s.
+        feedLatencyHist = &registry.histogram(
+            "seer_feed_latency_us",
+            "per-record monitor feed latency, microseconds", -1, 6);
+    }
+    if (cfg.tracing) {
+        tracerPtr =
+            std::make_unique<ExecutionTracer>(cfg.maxTraceSpans);
+        if (cfg.metrics) {
+            tracerPtr->attachHistograms(
+                &registry.histogram(
+                    "seer_span_duration_seconds",
+                    "automaton-group lifetime, message-clock seconds",
+                    -3, 5),
+                &registry.histogram(
+                    "seer_span_messages",
+                    "messages consumed per automaton group", 0, 5));
+        }
+    }
+}
+
+void
+Observability::recordFeedLatency(double micros)
+{
+    if (feedLatencyHist != nullptr)
+        feedLatencyHist->record(micros);
+}
+
+bool
+Observability::snapshotDue(double message_time) const
+{
+    if (cfg.snapshotIntervalSeconds <= 0.0)
+        return false;
+    return !anySnapshot || message_time - lastSnapshotTime >=
+                               cfg.snapshotIntervalSeconds;
+}
+
+void
+Observability::addSnapshot(const HealthSample &sample)
+{
+    lastSnapshotTime = sample.time;
+    anySnapshot = true;
+    updateRegistry(sample);
+    history.push_back(sample);
+    if (history.size() > cfg.maxSnapshots)
+        history.erase(history.begin(),
+                      history.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              history.size() - cfg.maxSnapshots));
+}
+
+void
+Observability::updateRegistry(const HealthSample &s)
+{
+    auto c = [this](const char *name, const char *help,
+                    std::uint64_t value) {
+        registry.counter(name, help).set(value);
+    };
+    auto g = [this](const char *name, const char *help, double value) {
+        registry.gauge(name, help).set(value);
+    };
+
+    c("seer_messages_total", "messages the checker processed",
+      s.messages);
+    c("seer_decisive_total", "Algorithm 2 case-1 consumptions",
+      s.decisive);
+    c("seer_ambiguous_total", "Algorithm 2 case-2 forks", s.ambiguous);
+    c("seer_recovery_pass_unknown_total",
+      "recovery (a): unknown-template pass-throughs",
+      s.recoveredPassUnknown);
+    c("seer_recovery_new_sequence_total",
+      "recovery (b): new-sequence starts", s.recoveredNewSequence);
+    c("seer_recovery_other_set_total",
+      "recovery (c): re-routed to another identifier set",
+      s.recoveredOtherSet);
+    c("seer_recovery_false_dependency_total",
+      "recovery (d): false-dependency repairs",
+      s.recoveredFalseDependency);
+    c("seer_unmatched_total", "messages no recovery could place",
+      s.unmatched);
+    c("seer_accepted_total", "sequences accepted", s.accepted);
+    c("seer_errors_reported_total", "error-criterion reports",
+      s.errorsReported);
+    c("seer_timeouts_reported_total", "timeout-criterion reports",
+      s.timeoutsReported);
+    c("seer_timeouts_suppressed_total",
+      "timeouts pruned by lineage coverage", s.timeoutsSuppressed);
+    c("seer_groups_shed_total", "groups evicted under cap pressure",
+      s.groupsShed);
+    c("seer_consume_attempts_total", "group consumption probes",
+      s.consumeAttempts);
+
+    c("seer_ingest_lines_total", "raw lines offered to feedLine",
+      s.linesSeen);
+    c("seer_ingest_records_delivered_total",
+      "records that reached the checker", s.recordsDelivered);
+    c("seer_ingest_malformed_total", "quarantined malformed lines",
+      s.malformedLines);
+    c("seer_ingest_clamped_total",
+      "non-monotonic timestamps seen by the guard",
+      s.nonMonotonicClamped);
+    c("seer_ingest_duplicates_suppressed_total",
+      "near-duplicate deliveries suppressed", s.duplicatesSuppressed);
+    c("seer_ingest_forced_releases_total",
+      "reorder-buffer overflow force-outs", s.forcedReleases);
+    c("seer_timeout_resolutions_total",
+      "per-group timeout resolutions", s.timeoutResolutions);
+    c("seer_timeout_default_fallbacks_total",
+      "timeout resolutions that fell back to the default",
+      s.timeoutDefaultFallbacks);
+
+    g("seer_active_groups", "automaton groups currently in flight",
+      static_cast<double>(s.activeGroups));
+    g("seer_active_identifier_sets",
+      "identifier sets currently tracked",
+      static_cast<double>(s.activeIdentifierSets));
+    g("seer_reorder_buffer_peak", "largest reorder-buffer depth seen",
+      static_cast<double>(s.reorderBufferPeak));
+    g("seer_interner_size", "identifiers interned process-wide",
+      static_cast<double>(s.internerSize));
+    double lookups =
+        static_cast<double>(s.internerHits + s.internerMisses);
+    g("seer_interner_hit_rate",
+      "fraction of intern lookups served from the table",
+      lookups > 0.0 ? static_cast<double>(s.internerHits) / lookups
+                    : 0.0);
+    g("seer_decisive_fraction",
+      "fraction of routed messages resolved decisively",
+      s.decisiveFraction);
+    if (tracerPtr != nullptr) {
+        c("seer_trace_spans_dropped_total",
+          "closed spans dropped past the retention cap",
+          tracerPtr->droppedSpans());
+        g("seer_trace_open_spans", "spans currently open",
+          static_cast<double>(tracerPtr->openSpans()));
+    }
+}
+
+std::string
+Observability::prometheusText(const HealthSample &current)
+{
+    updateRegistry(current);
+    return registry.prometheusText();
+}
+
+std::string
+Observability::snapshotJsonLines() const
+{
+    std::string out;
+    for (const HealthSample &sample : history) {
+        out += sample.toJson();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace cloudseer::obs

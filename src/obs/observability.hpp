@@ -1,0 +1,176 @@
+/**
+ * @file
+ * seer-scope facade: one object bundling the monitor's metric
+ * registry, execution tracer, and periodic health-snapshot stream
+ * (DESIGN.md §11).
+ *
+ * Null-sink by default: MonitorConfig carries an ObsConfig whose
+ * every field is off, and a monitor with that config never constructs
+ * an Observability at all — the hot path sees a null pointer test and
+ * nothing else, keeping the uninstrumented monitor bit-identical in
+ * behavior and within noise in throughput.
+ *
+ * The facade deliberately knows nothing about checker or monitor
+ * types (obs sits below core in the link graph). The monitor flattens
+ * its CheckerStats/IngestStats/interner/timeout-policy state into a
+ * HealthSample of plain numbers; the facade stores the sample series,
+ * refreshes the registry from the newest sample, and renders both.
+ */
+
+#ifndef CLOUDSEER_OBS_OBSERVABILITY_HPP
+#define CLOUDSEER_OBS_OBSERVABILITY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cloudseer::obs {
+
+/** Observability knobs. Every default is off (the null sink). */
+struct ObsConfig
+{
+    /** Maintain the metric registry and feed-latency histogram. */
+    bool metrics = false;
+
+    /** Record per-execution spans (implies their histograms). */
+    bool tracing = false;
+
+    /**
+     * Emit a health snapshot every this many seconds of *message*
+     * time (the monitor clock, not wall time — replays of the same
+     * stream produce the same snapshot series). 0 = off.
+     */
+    double snapshotIntervalSeconds = 0.0;
+
+    /** Closed spans retained before the oldest are dropped. */
+    std::size_t maxTraceSpans = 4096;
+
+    /** Health snapshots retained (ring; oldest dropped). */
+    std::size_t maxSnapshots = 4096;
+
+    /** True when any sink is active. */
+    bool
+    enabled() const
+    {
+        return metrics || tracing || snapshotIntervalSeconds > 0.0;
+    }
+};
+
+/**
+ * One flattened health observation of a running monitor. Field names
+ * mirror the stable metric catalog in DESIGN.md §11.
+ */
+struct HealthSample
+{
+    double time = 0.0; ///< message-clock seconds
+
+    // Checker (CheckerStats).
+    std::uint64_t messages = 0;
+    std::uint64_t decisive = 0;
+    std::uint64_t ambiguous = 0;
+    std::uint64_t recoveredPassUnknown = 0;
+    std::uint64_t recoveredNewSequence = 0;
+    std::uint64_t recoveredOtherSet = 0;
+    std::uint64_t recoveredFalseDependency = 0;
+    std::uint64_t unmatched = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t errorsReported = 0;
+    std::uint64_t timeoutsReported = 0;
+    std::uint64_t timeoutsSuppressed = 0;
+    std::uint64_t groupsShed = 0;
+    std::uint64_t consumeAttempts = 0;
+    double decisiveFraction = 0.0;
+
+    // Live state.
+    std::uint64_t activeGroups = 0;
+    std::uint64_t activeIdentifierSets = 0;
+
+    // Ingest guards (IngestStats).
+    std::uint64_t linesSeen = 0;
+    std::uint64_t recordsDelivered = 0;
+    std::uint64_t malformedLines = 0;
+    std::uint64_t nonMonotonicClamped = 0;
+    std::uint64_t duplicatesSuppressed = 0;
+    std::uint64_t forcedReleases = 0;
+    std::uint64_t reorderBufferPeak = 0;
+
+    // Identifier interner.
+    std::uint64_t internerSize = 0;
+    std::uint64_t internerHits = 0;
+    std::uint64_t internerMisses = 0;
+
+    // Timeout policy resolution.
+    std::uint64_t timeoutResolutions = 0;
+    std::uint64_t timeoutDefaultFallbacks = 0;
+
+    // Feed latency (microseconds; zero until metrics record some).
+    double feedP50us = 0.0;
+    double feedP90us = 0.0;
+    double feedP99us = 0.0;
+    double feedMaxUs = 0.0;
+
+    /** Single-line JSON rendering ({"kind":"HEALTH",...}). */
+    std::string toJson() const;
+};
+
+/** The per-monitor observability bundle. */
+class Observability
+{
+  public:
+    explicit Observability(const ObsConfig &config);
+
+    const ObsConfig &config() const { return cfg; }
+
+    MetricsRegistry &metrics() { return registry; }
+    const MetricsRegistry &metrics() const { return registry; }
+
+    /** The tracer, or nullptr when tracing is off. */
+    ExecutionTracer *tracer() { return tracerPtr.get(); }
+    const ExecutionTracer *tracer() const { return tracerPtr.get(); }
+
+    /** Record one feed's processing latency (microseconds). */
+    void recordFeedLatency(double micros);
+
+    /** Feed-latency histogram (null when metrics are off). */
+    const Histogram *feedLatency() const { return feedLatencyHist; }
+
+    /** True when the message clock crossed the snapshot interval. */
+    bool snapshotDue(double message_time) const;
+
+    /**
+     * Store one sample (advancing the snapshot clock) and refresh
+     * the registry counters/gauges from it.
+     */
+    void addSnapshot(const HealthSample &sample);
+
+    /** Snapshot series, oldest first (bounded by maxSnapshots). */
+    const std::vector<HealthSample> &snapshots() const
+    {
+        return history;
+    }
+
+    /** Refresh the registry from `current` and render Prometheus. */
+    std::string prometheusText(const HealthSample &current);
+
+    /** The snapshot series as newline-separated JSON lines. */
+    std::string snapshotJsonLines() const;
+
+  private:
+    ObsConfig cfg;
+    MetricsRegistry registry;
+    std::unique_ptr<ExecutionTracer> tracerPtr;
+    Histogram *feedLatencyHist = nullptr;
+    std::vector<HealthSample> history;
+    double lastSnapshotTime = 0.0;
+    bool anySnapshot = false;
+
+    void updateRegistry(const HealthSample &sample);
+};
+
+} // namespace cloudseer::obs
+
+#endif // CLOUDSEER_OBS_OBSERVABILITY_HPP

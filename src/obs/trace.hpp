@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Execution-lifecycle tracing (DESIGN.md §11).
+ *
+ * The checker narrates each automaton group's life to an
+ * ExecutionTracer: a span opens when the group is created (recovery
+ * (b) or a case-2 fork), collects one annotation per consumed message
+ * naming the Algorithm 2 outcome that routed it, and closes with the
+ * group's fate — accepted, error, timed out, shed, pruned as a losing
+ * hypothesis, or cut off by end of stream. Times are message-clock
+ * seconds, the same clock every report uses.
+ *
+ * Spans export as Chrome trace_event JSON (one "X" complete event per
+ * span on tid = group id, one "i" instant event per annotation), which
+ * loads directly in about:tracing and Perfetto. Retention is bounded:
+ * past maxSpans closed spans, the oldest are dropped and counted, so
+ * a long monitor run cannot grow the tracer without bound.
+ *
+ * All hooks are O(1) amortized and safe to call for unknown groups
+ * (endSpan on a never-opened or already-closed group is a no-op) —
+ * the checker does not need to know which groups the tracer kept.
+ */
+
+#ifndef CLOUDSEER_OBS_TRACE_HPP
+#define CLOUDSEER_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cloudseer::obs {
+
+/** How a span (an automaton group's life) ended. */
+enum class SpanEnd
+{
+    Accepted,    ///< concluded: an instance accepted the sequence
+    Diverged,    ///< error-message criterion fired on the group
+    TimedOut,    ///< timeout criterion reported the group
+    Shed,        ///< evicted under cap pressure (verdict unknown)
+    Pruned,      ///< losing hypothesis removed by lineage pruning
+    EndOfStream, ///< still open when the stream ended
+};
+
+/** Canonical lower-case token ("accepted", "timed-out", ...). */
+const char *spanEndName(SpanEnd end);
+
+/** Which Algorithm 2 outcome consumed a message into the group. */
+enum class ConsumeAnnotation
+{
+    Decisive,                ///< case (1)
+    Ambiguous,               ///< case (2) fork
+    RecoveryNewSequence,     ///< recovery (b)
+    RecoveryOtherSet,        ///< recovery (c)
+    RecoveryFalseDependency, ///< recovery (d)
+};
+
+/** Canonical lower-case token ("decisive", "recovery-b", ...). */
+const char *consumeAnnotationName(ConsumeAnnotation kind);
+
+/** One annotated moment in a span. */
+struct SpanEvent
+{
+    double time = 0.0;
+    ConsumeAnnotation kind = ConsumeAnnotation::Decisive;
+};
+
+/** One automaton group's recorded life. */
+struct ExecutionSpan
+{
+    std::uint64_t group = 0;
+    double start = 0.0;
+    double end = 0.0;
+    bool open = true;
+    SpanEnd endReason = SpanEnd::EndOfStream;
+    std::string task; ///< resolved task name ("" until known)
+    std::uint64_t messages = 0;
+    std::vector<SpanEvent> events;
+};
+
+/** Recorder for per-execution spans with bounded retention. */
+class ExecutionTracer
+{
+  public:
+    explicit ExecutionTracer(std::size_t max_spans = 4096);
+
+    /** Open a span for a freshly created group. */
+    void beginSpan(std::uint64_t group, double time);
+
+    /** Record a consume outcome on an open span (no-op if unknown). */
+    void annotate(std::uint64_t group, double time,
+                  ConsumeAnnotation kind);
+
+    /**
+     * Close a span. `task` is the group's resolved (or most likely)
+     * task name; `messages` the consumed-message count. Unknown or
+     * already-closed groups are ignored, so callers may end a span
+     * eagerly at the report site and let the generic erase path try
+     * again with SpanEnd::Pruned.
+     */
+    void endSpan(std::uint64_t group, double time, SpanEnd reason,
+                 const std::string &task = std::string(),
+                 std::uint64_t messages = 0);
+
+    /** Spans closed so far, oldest first (bounded by maxSpans). */
+    const std::deque<ExecutionSpan> &closedSpans() const
+    {
+        return closed;
+    }
+
+    /** Spans still open (live groups). */
+    std::size_t openSpans() const { return open.size(); }
+
+    /** Closed spans dropped past the retention cap. */
+    std::uint64_t droppedSpans() const { return dropped; }
+
+    /**
+     * Feed span statistics into registry histograms at close time
+     * (duration in seconds, messages per span). Either may be null.
+     */
+    void attachHistograms(Histogram *duration_seconds,
+                          Histogram *messages_per_span);
+
+    /**
+     * Chrome trace_event JSON: {"traceEvents":[...]} with one
+     * complete ("X") event per span and instant ("i") events for its
+     * annotations; open spans export with their last known time and
+     * an "open" end marker. Loads in about:tracing / Perfetto.
+     */
+    std::string chromeTraceJson() const;
+
+  private:
+    std::size_t maxSpans;
+    std::unordered_map<std::uint64_t, ExecutionSpan> open;
+    std::deque<ExecutionSpan> closed;
+    std::uint64_t dropped = 0;
+    Histogram *durationHistogram = nullptr;
+    Histogram *messagesHistogram = nullptr;
+
+    static void appendSpanJson(std::string &out,
+                               const ExecutionSpan &span, bool &first);
+};
+
+} // namespace cloudseer::obs
+
+#endif // CLOUDSEER_OBS_TRACE_HPP

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * seer-stats: pretty-printer for seer-scope health snapshots.
+ *
+ * Consumes the health-JSON-lines stream the monitor emits (one
+ * {"kind":"HEALTH",...} object per line, DESIGN.md §11) and renders
+ * it for a terminal. Three modes:
+ *
+ *     seer-stats health.jsonl            # one table row per snapshot
+ *     seer-stats --last health.jsonl     # detailed view, final sample
+ *     seer-stats --follow health.jsonl   # tail the file as it grows
+ *
+ * Lines whose kind is not HEALTH (e.g. interleaved SUMMARY records)
+ * are skipped, so the tool can be pointed at a mixed report stream.
+ * Reads stdin when no file is given (not with --follow).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+/**
+ * Extract the value after `"key":` at or past `from`, as raw text up
+ * to the next delimiter. Returns "" when absent. The health schema is
+ * flat numbers inside at most one level of nesting, so substring
+ * search keyed on the quoted name is unambiguous.
+ */
+std::string
+rawValue(const std::string &line, const std::string &key,
+         std::size_t from = 0)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t at = line.find(needle, from);
+    if (at == std::string::npos)
+        return "";
+    std::size_t start = at + needle.size();
+    std::size_t end = line.find_first_of(",}", start);
+    if (end == std::string::npos)
+        end = line.size();
+    return line.substr(start, end - start);
+}
+
+double
+numberValue(const std::string &line, const std::string &key,
+            std::size_t from = 0)
+{
+    std::string raw = rawValue(line, key, from);
+    if (raw.empty())
+        return 0.0;
+    try {
+        return std::stod(raw);
+    } catch (...) {
+        return 0.0;
+    }
+}
+
+/** Offset of a nested section like "ingest":{...}, or npos. */
+std::size_t
+sectionStart(const std::string &line, const std::string &name)
+{
+    return line.find("\"" + name + "\":{");
+}
+
+bool
+isHealthLine(const std::string &line)
+{
+    return line.find("\"kind\":\"HEALTH\"") != std::string::npos;
+}
+
+void
+printHeader()
+{
+    std::printf("%10s %10s %8s %8s %9s %7s %7s %6s %9s\n", "time",
+                "messages", "groups", "idsets", "decisive%", "errors",
+                "timeout", "shed", "p99us");
+}
+
+void
+printRow(const std::string &line)
+{
+    std::printf("%10.2f %10.0f %8.0f %8.0f %8.1f%% %7.0f %7.0f %6.0f "
+                "%9.1f\n",
+                numberValue(line, "time"),
+                numberValue(line, "messages"),
+                numberValue(line, "activeGroups"),
+                numberValue(line, "idsets"),
+                numberValue(line, "decisiveFraction") * 100.0,
+                numberValue(line, "errors"),
+                numberValue(line, "timeouts"),
+                numberValue(line, "shed"),
+                numberValue(line, "p99",
+                            sectionStart(line, "feedLatencyUs")));
+}
+
+void
+printDetail(const std::string &line)
+{
+    auto row = [](const char *label, double value) {
+        std::printf("  %-28s %.6g\n", label, value);
+    };
+    std::printf("health snapshot @ t=%.3f\n", numberValue(line, "time"));
+    std::printf("checker:\n");
+    row("messages", numberValue(line, "messages"));
+    row("decisive", numberValue(line, "decisive"));
+    row("ambiguous", numberValue(line, "ambiguous"));
+    std::size_t rec = sectionStart(line, "recoveries");
+    row("recovery a (pass unknown)", numberValue(line, "a", rec));
+    row("recovery b (new sequence)", numberValue(line, "b", rec));
+    row("recovery c (other set)", numberValue(line, "c", rec));
+    row("recovery d (false dep)", numberValue(line, "d", rec));
+    row("unmatched", numberValue(line, "unmatched"));
+    row("accepted", numberValue(line, "accepted"));
+    row("errors reported", numberValue(line, "errors"));
+    row("timeouts reported", numberValue(line, "timeouts"));
+    row("timeouts suppressed", numberValue(line, "suppressed"));
+    row("groups shed", numberValue(line, "shed"));
+    row("decisive fraction",
+        numberValue(line, "decisiveFraction"));
+    row("active groups", numberValue(line, "activeGroups"));
+    row("identifier sets", numberValue(line, "idsets"));
+    std::printf("ingest:\n");
+    std::size_t ing = sectionStart(line, "ingest");
+    row("lines", numberValue(line, "lines", ing));
+    row("malformed", numberValue(line, "malformed", ing));
+    row("clamped", numberValue(line, "clamped", ing));
+    row("duplicates suppressed", numberValue(line, "duplicates", ing));
+    row("forced releases", numberValue(line, "forced", ing));
+    row("reorder-buffer peak", numberValue(line, "reorderPeak", ing));
+    std::printf("interner:\n");
+    std::size_t intr = sectionStart(line, "interner");
+    double hits = numberValue(line, "hits", intr);
+    double misses = numberValue(line, "misses", intr);
+    row("size", numberValue(line, "size", intr));
+    row("hit rate", hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
+    std::printf("timeout policy:\n");
+    std::size_t pol = sectionStart(line, "timeoutPolicy");
+    row("resolutions", numberValue(line, "resolutions", pol));
+    row("default fallbacks", numberValue(line, "fallbacks", pol));
+    std::printf("feed latency (us):\n");
+    std::size_t lat = sectionStart(line, "feedLatencyUs");
+    row("p50", numberValue(line, "p50", lat));
+    row("p90", numberValue(line, "p90", lat));
+    row("p99", numberValue(line, "p99", lat));
+    row("max", numberValue(line, "max", lat));
+}
+
+int
+usage(std::ostream &out, int status)
+{
+    out << "usage: seer-stats [--last | --follow] [health.jsonl]\n"
+           "  (default) one table row per HEALTH snapshot\n"
+           "  --last    detailed view of the final snapshot\n"
+           "  --follow  tail the file, printing rows as they appear\n"
+           "reads stdin when no file is given (except --follow)\n";
+    return status;
+}
+
+int
+follow(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "seer-stats: cannot open " << path << "\n";
+        return 2;
+    }
+    printHeader();
+    std::string line;
+    while (true) {
+        if (std::getline(in, line)) {
+            if (isHealthLine(line))
+                printRow(line);
+            continue;
+        }
+        if (in.eof()) {
+            // Wait for the writer to append more, then retry from the
+            // current offset.
+            in.clear();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(250));
+        } else {
+            break;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool lastOnly = false;
+    bool tailMode = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--last") {
+            lastOnly = true;
+        } else if (arg == "--follow" || arg == "-f") {
+            tailMode = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(std::cerr, 2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage(std::cerr, 2);
+        }
+    }
+    if (tailMode) {
+        if (lastOnly || path.empty())
+            return usage(std::cerr, 2);
+        return follow(path);
+    }
+
+    std::istream *in = &std::cin;
+    std::ifstream file;
+    if (!path.empty()) {
+        file.open(path);
+        if (!file) {
+            std::cerr << "seer-stats: cannot open " << path << "\n";
+            return 2;
+        }
+        in = &file;
+    }
+
+    std::vector<std::string> samples;
+    std::string line;
+    while (std::getline(*in, line))
+        if (isHealthLine(line))
+            samples.push_back(line);
+    if (samples.empty()) {
+        std::cerr << "seer-stats: no HEALTH records found\n";
+        return 1;
+    }
+    if (lastOnly) {
+        printDetail(samples.back());
+    } else {
+        printHeader();
+        for (const std::string &sample : samples)
+            printRow(sample);
+    }
+    return 0;
+}
