@@ -4,9 +4,19 @@
  * the unhardened and hardened ingest paths side by side. Emits one
  * JSON object per path (machine-readable degradation curves) plus a
  * short human summary.
+ *
+ * With --flight, both paths run with the seer-flight recorder armed
+ * (per-node ring of 32 raw lines): every divergence or timeout the
+ * sweep provokes freezes a forensic bundle, proving bundle capture
+ * works under transport adversity. --bundles-out <path> writes the
+ * hardened path's bundles as JSON lines — seer_postmortem input, and
+ * the CI anomaly-bundle artifact.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "eval/resilience_harness.hpp"
@@ -58,21 +68,59 @@ printCurve(const char *label, const eval::ResilienceCurve &curve)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool with_flight = false;
+    std::string bundles_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--flight") == 0) {
+            with_flight = true;
+        } else if (std::strcmp(argv[i], "--bundles-out") == 0 &&
+                   i + 1 < argc) {
+            bundles_path = argv[++i];
+            with_flight = true; // bundles require the recorder
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--flight] "
+                         "[--bundles-out bundles.jsonl]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     bench::printHeader("Resilience", "detection under transport adversity");
     const eval::ModeledSystem &models = bench::paperModels();
 
     eval::ResilienceConfig unhardened = baseConfig();
+    if (with_flight) {
+        unhardened.monitor.observability.flightRecorder
+            .perNodeCapacity = 32;
+    }
     eval::ResilienceCurve raw =
         eval::runResilienceSweep(models, unhardened);
     printCurve("unhardened", raw);
 
     eval::ResilienceConfig hardened = baseConfig();
     hardened.monitor.ingest = core::hardenedIngestDefaults();
+    if (with_flight) {
+        hardened.monitor.observability.flightRecorder
+            .perNodeCapacity = 32;
+    }
     eval::ResilienceCurve guarded =
         eval::runResilienceSweep(models, hardened);
     printCurve("hardened", guarded);
+
+    if (!bundles_path.empty()) {
+        std::ofstream out(bundles_path);
+        std::size_t bundles = 0;
+        for (const eval::ResiliencePoint &point : guarded.points) {
+            out << point.forensicBundles;
+            for (char c : point.forensicBundles)
+                bundles += c == '\n' ? 1 : 0;
+        }
+        std::printf("\nwrote %zu forensic bundles to %s\n", bundles,
+                    bundles_path.c_str());
+    }
 
     return 0;
 }

@@ -16,8 +16,16 @@
  * as a number in the artifact. --trace-out writes the final level's
  * execution trace as Chrome trace_event JSON.
  *
+ * With --flight, a fourth path runs the indexed checker with the
+ * seer-flight machinery armed: every message's raw line lands in a
+ * FlightRecorder ring and the latency criterion evaluates every
+ * acceptance against a mined profile. Each level reports the flighted
+ * rate and its relative overhead (`flight_overhead`), warning when the
+ * flighted path falls more than 15% behind uninstrumented — the
+ * DESIGN.md §12 ingest-overhead bar.
+ *
  * Usage: bench_throughput [--smoke] [--check <baseline.json>]
- *                         [--out <path>] [--obs]
+ *                         [--out <path>] [--obs] [--flight]
  *                         [--trace-out <trace.json>]
  */
 
@@ -33,8 +41,10 @@
 #include "common/stats.hpp"
 #include "common/uuid.hpp"
 #include "core/checker/interleaved_checker.hpp"
+#include "core/mining/latency_profile.hpp"
 #include "logging/identifier_interner.hpp"
 #include "logging/template_catalog.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
 
 using namespace cloudseer;
@@ -118,23 +128,41 @@ struct PathResult
     std::uint64_t accepted = 0;
 };
 
+/** Seer-flight instrumentation for the flighted path: the recorder
+ *  the ingest loop feeds, plus the raw lines it would capture (built
+ *  outside the timed region) and the armed latency profile. */
+struct FlightPath
+{
+    obs::FlightRecorder *recorder = nullptr;
+    const std::vector<std::string> *rawLines = nullptr;
+    const core::LatencyProfile *profile = nullptr;
+};
+
 PathResult
 runPath(const core::TaskAutomaton &automaton,
         const std::vector<core::CheckMessage> &schedule,
         bool routing_index, obs::Observability *sinks = nullptr,
-        std::string *trace_json = nullptr)
+        std::string *trace_json = nullptr,
+        const FlightPath *flight = nullptr)
 {
     core::CheckerConfig config;
     config.routingIndex = routing_index;
     core::InterleavedChecker checker(config, {&automaton});
     if (sinks != nullptr)
         checker.setTracer(sinks->tracer());
+    if (flight != nullptr && flight->profile != nullptr)
+        checker.setLatencyPolicy({*flight->profile},
+                                 core::LatencyCheckConfig{});
 
     using Clock = std::chrono::steady_clock;
     common::SampleStats latency;
     Clock::time_point start = Clock::now();
-    for (const core::CheckMessage &message : schedule) {
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const core::CheckMessage &message = schedule[i];
         Clock::time_point before = Clock::now();
+        if (flight != nullptr && flight->recorder != nullptr)
+            flight->recorder->record("bench-node", message.time,
+                                     (*flight->rawLines)[i]);
         checker.feed(message);
         Clock::time_point after = Clock::now();
         double micros =
@@ -169,6 +197,8 @@ struct LevelResult
     PathResult scan;
     PathResult observed; ///< indexed + seer-scope sinks (--obs only)
     bool hasObserved = false;
+    PathResult flighted; ///< indexed + seer-flight (--flight only)
+    bool hasFlighted = false;
 
     double
     speedup() const
@@ -182,6 +212,15 @@ struct LevelResult
     {
         return indexed.mps > 0.0 && hasObserved
                    ? 1.0 - observed.mps / indexed.mps
+                   : 0.0;
+    }
+
+    /** Fractional slowdown of the flight-enabled path. */
+    double
+    flightOverhead() const
+    {
+        return indexed.mps > 0.0 && hasFlighted
+                   ? 1.0 - flighted.mps / indexed.mps
                    : 0.0;
     }
 };
@@ -226,6 +265,14 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
                 << ", \"p50_us\": " << level.observed.p50us
                 << ", \"p99_us\": " << level.observed.p99us << "}"
                 << ",\n     \"obs_overhead\": " << level.obsOverhead();
+        }
+        if (level.hasFlighted) {
+            out << ",\n     \"indexed_flight\": {\"mps\": "
+                << level.flighted.mps
+                << ", \"p50_us\": " << level.flighted.p50us
+                << ", \"p99_us\": " << level.flighted.p99us << "}"
+                << ",\n     \"flight_overhead\": "
+                << level.flightOverhead();
         }
         out << ",\n     \"speedup\": " << level.speedup() << "}"
             << (i + 1 < levels.size() ? "," : "") << "\n";
@@ -296,6 +343,7 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool with_obs = false;
+    bool with_flight = false;
     std::string check_path;
     std::string out_path = "BENCH_throughput.json";
     std::string trace_path;
@@ -304,6 +352,8 @@ main(int argc, char **argv)
             smoke = true;
         } else if (std::strcmp(argv[i], "--obs") == 0) {
             with_obs = true;
+        } else if (std::strcmp(argv[i], "--flight") == 0) {
+            with_flight = true;
         } else if (std::strcmp(argv[i], "--check") == 0 &&
                    i + 1 < argc) {
             check_path = argv[++i];
@@ -316,7 +366,8 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--check baseline.json] "
-                         "[--out path] [--obs] [--trace-out path]\n",
+                         "[--out path] [--obs] [--flight] "
+                         "[--trace-out path]\n",
                          argv[0]);
             return 2;
         }
@@ -324,6 +375,20 @@ main(int argc, char **argv)
 
     logging::TemplateCatalog catalog;
     core::TaskAutomaton automaton = chainAutomaton(catalog);
+
+    // Latency profile for the flighted path: mined from a nominal
+    // chain run so annotateLatency does real per-edge work on every
+    // acceptance, with budgets loose enough to stay anomaly-free.
+    core::LatencyProfile chain_profile;
+    if (with_flight) {
+        std::vector<core::TimedSequence> training;
+        core::TimedSequence nominal;
+        for (int i = 0; i < kChainLength; ++i)
+            nominal.push_back({automaton.event(i).tpl,
+                               static_cast<double>(i) * 10.0});
+        training.push_back(std::move(nominal));
+        chain_profile = core::mineLatencyProfile(automaton, training);
+    }
 
     const std::vector<int> levels = {10, 50, 200, 1000};
     std::vector<LevelResult> results;
@@ -363,6 +428,28 @@ main(int argc, char **argv)
                 std::printf("wrote %s\n", trace_path.c_str());
             }
         }
+        if (with_flight) {
+            // Raw lines are what the monitor's ingest path would hand
+            // the recorder; building them is the producer's cost, so
+            // they are synthesised outside the timed region.
+            std::vector<std::string> raw_lines;
+            raw_lines.reserve(schedule.size());
+            for (const core::CheckMessage &message : schedule) {
+                raw_lines.push_back(
+                    "bench-node svc step record=" +
+                    std::to_string(message.record));
+            }
+            obs::FlightRecorderConfig flight_config;
+            flight_config.perNodeCapacity = 64;
+            obs::FlightRecorder recorder(flight_config);
+            FlightPath flight;
+            flight.recorder = &recorder;
+            flight.rawLines = &raw_lines;
+            flight.profile = &chain_profile;
+            level.flighted = runPath(automaton, schedule, true, nullptr,
+                                     nullptr, &flight);
+            level.hasFlighted = true;
+        }
         std::printf("  %-9d %-10d %-12.0f %-12.0f %-12.1f %-12.1f "
                     "%-8.2f\n",
                     level.inflight, level.messages, level.indexed.mps,
@@ -382,9 +469,22 @@ main(int argc, char **argv)
                         inflight, level.observed.mps,
                         100.0 * level.obsOverhead());
         }
+        if (level.hasFlighted) {
+            std::printf("  flight: %-d in-flight flighted %.0f mps "
+                        "(overhead %.1f%%)\n",
+                        inflight, level.flighted.mps,
+                        100.0 * level.flightOverhead());
+            if (level.flightOverhead() > 0.15) {
+                std::printf("  WARN: flight overhead %.1f%% exceeds "
+                            "the 15%% ingest bar at %d in-flight\n",
+                            100.0 * level.flightOverhead(), inflight);
+            }
+        }
         if (level.indexed.accepted != level.scan.accepted ||
             (level.hasObserved &&
-             level.observed.accepted != level.indexed.accepted)) {
+             level.observed.accepted != level.indexed.accepted) ||
+            (level.hasFlighted &&
+             level.flighted.accepted != level.indexed.accepted)) {
             std::fprintf(stderr,
                          "FAIL: paths diverged at %d in-flight "
                          "(indexed accepted %llu, scan %llu, "

@@ -71,6 +71,14 @@ diagnosticCatalog()
          "contradicts its own training evidence and survives the "
          "false-dependency refinement loop, which only weakens "
          "reorder-induced weak orderings."},
+        {"SL010", Severity::Error, "latency profile mismatch",
+         "A latency profile must describe the automaton it ships "
+         "with: edge timings for edges the automaton does not have, "
+         "or non-monotone quantiles (p50 > p95 > p99 > max), poison "
+         "the online latency-anomaly criterion (error). A profile "
+         "that covers only part of the dependency edges, or an "
+         "automaton deployed with no profile at all, leaves "
+         "transitions unbudgeted and silently unmonitored (warning)."},
     };
     return catalog;
 }

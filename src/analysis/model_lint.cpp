@@ -654,6 +654,84 @@ lintModels(const std::vector<TaskAutomaton> &automata,
     return report;
 }
 
+LintReport
+lintLatencyProfiles(const std::vector<TaskAutomaton> &automata,
+                    const std::vector<core::LatencyProfile> &profiles)
+{
+    LintReport report;
+    report.automataChecked = automata.size();
+
+    std::map<std::string, const TaskAutomaton *> by_name;
+    for (const TaskAutomaton &automaton : automata)
+        by_name.emplace(automaton.name(), &automaton);
+
+    std::set<std::string> profiled;
+    for (const core::LatencyProfile &profile : profiles) {
+        auto it = by_name.find(profile.task);
+        if (it == by_name.end()) {
+            add(report, "SL010", Severity::Error, profile.task,
+                "latency profile names no automaton in the bundle — a "
+                "stale or misassembled deployment");
+            continue;
+        }
+        if (!profile.hasSamples())
+            continue;
+        profiled.insert(profile.task);
+        const TaskAutomaton &automaton = *it->second;
+
+        if (!profile.total.wellFormed()) {
+            add(report, "SL010", Severity::Error, profile.task,
+                "task-level latency quantiles are non-monotone "
+                "(expect p50 <= p95 <= p99 <= max)");
+        }
+        std::set<std::pair<int, int>> spec_edges;
+        for (const DependencyEdge &edge : automaton.edges())
+            spec_edges.insert({edge.from, edge.to});
+        std::size_t covered = 0;
+        for (const auto &[edge, stats] : profile.edges) {
+            if (spec_edges.count(edge) == 0) {
+                add(report, "SL010", Severity::Error, profile.task,
+                    "edge timing for (" + std::to_string(edge.first) +
+                        " -> " + std::to_string(edge.second) +
+                        ") but the automaton has no such dependency "
+                        "edge",
+                    edge.first, edge.second, true);
+                continue;
+            }
+            if (!stats.wellFormed()) {
+                add(report, "SL010", Severity::Error, profile.task,
+                    "edge (" + std::to_string(edge.first) + " -> " +
+                        std::to_string(edge.second) +
+                        ") latency quantiles are non-monotone",
+                    edge.first, edge.second, true);
+            }
+            if (stats.count > 0)
+                ++covered;
+        }
+        if (covered < spec_edges.size()) {
+            add(report, "SL010", Severity::Warning, profile.task,
+                "latency profile covers " + std::to_string(covered) +
+                    " of " + std::to_string(spec_edges.size()) +
+                    " dependency edges — uncovered transitions have "
+                    "no budget and go unmonitored",
+                -1, -1, false,
+                {{"covered", static_cast<double>(covered)},
+                 {"edges", static_cast<double>(spec_edges.size())}});
+        }
+    }
+
+    for (const TaskAutomaton &automaton : automata) {
+        if (profiled.count(automaton.name()) == 0) {
+            add(report, "SL010", Severity::Warning, automaton.name(),
+                "automaton deployed with no sampled latency profile — "
+                "its executions are exempt from the latency-anomaly "
+                "criterion");
+        }
+    }
+    report.sortStable();
+    return report;
+}
+
 std::vector<std::string>
 errorSummaries(const LintReport &report)
 {

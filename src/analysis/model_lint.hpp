@@ -20,6 +20,7 @@
  *   SL007  state-signature determinism (aliasing)
  *   SL008  timeout consistency
  *   SL009  all-strong cycles that survive weak refinement
+ *   SL010  latency profile / edge coverage mismatch (seer-flight)
  */
 
 #ifndef CLOUDSEER_ANALYSIS_MODEL_LINT_HPP
@@ -81,6 +82,18 @@ LintReport lintAutomaton(const core::TaskAutomaton &automaton,
 LintReport lintModels(const std::vector<core::TaskAutomaton> &automata,
                       const logging::TemplateCatalog &catalog,
                       const LintOptions &options = {});
+
+/**
+ * SL010: verify latency profiles against the automata they ship with
+ * (seer-flight). Errors: a profile naming no automaton, edge timings
+ * for nonexistent edges, non-monotone quantiles. Warnings: automata
+ * deployed without a sampled profile, profiles covering only part of
+ * the dependency edges. Run it only when latency monitoring is in
+ * play — a bundle mined before seer-flight is not a defect.
+ */
+LintReport
+lintLatencyProfiles(const std::vector<core::TaskAutomaton> &automata,
+                    const std::vector<core::LatencyProfile> &profiles);
 
 /** Error-severity findings as one-line strings (enforcement paths). */
 std::vector<std::string> errorSummaries(const LintReport &report);

@@ -11,6 +11,7 @@ AutomatonInstance::AutomatonInstance(const TaskAutomaton *model)
 {
     CS_ASSERT(model != nullptr, "instance needs a specification");
     done.assign(spec->eventCount(), 0);
+    when.assign(spec->eventCount(), 0.0);
     remainingPreds.resize(spec->eventCount());
     for (std::size_t i = 0; i < spec->eventCount(); ++i) {
         remainingPreds[i] =
@@ -77,7 +78,7 @@ AutomatonInstance::canConsume(logging::TemplateId tpl) const
 }
 
 bool
-AutomatonInstance::consume(logging::TemplateId tpl)
+AutomatonInstance::consume(logging::TemplateId tpl, common::SimTime now)
 {
     int event = nextPendingEvent(tpl);
     if (event == -1 ||
@@ -85,6 +86,8 @@ AutomatonInstance::consume(logging::TemplateId tpl)
         return false;
     }
     done[static_cast<std::size_t>(event)] = 1;
+    when[static_cast<std::size_t>(event)] = now;
+    lastEvent = event;
     ++consumed_;
     for (int succ : succsOf(event))
         --remainingPreds[static_cast<std::size_t>(succ)];

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/time_util.hpp"
 #include "core/automaton/task_automaton.hpp"
 
 namespace cloudseer::core {
@@ -35,10 +36,13 @@ class AutomatonInstance
     /**
      * Consume the next occurrence of tpl (the paper's TryInputMessage).
      *
+     * @param now Message-clock stamp recorded against the consumed
+     *        event (seer-flight's per-transition timing; 0.0 when the
+     *        caller has no clock, e.g. structural replays).
      * @retval true  if a state transition happened.
      * @retval false if tpl is unknown here or its event is not enabled.
      */
-    bool consume(logging::TemplateId tpl);
+    bool consume(logging::TemplateId tpl, common::SimTime now = 0.0);
 
     /** True iff every event has been consumed (accepting state). */
     bool accepting() const { return consumedCount() == totalEvents(); }
@@ -101,11 +105,27 @@ class AutomatonInstance
     /** Consumed flag per event (the state sameState compares). */
     const std::vector<char> &consumedFlags() const { return done; }
 
+    /**
+     * Message-clock stamp per event, set at consumption (0.0 for
+     * unconsumed events). The raw material of seer-flight's per-edge
+     * timing: elapsed on edge (u, v) is consumeTimes()[v] -
+     * consumeTimes()[u] once both fired.
+     */
+    const std::vector<common::SimTime> &consumeTimes() const
+    {
+        return when;
+    }
+
+    /** Event id taken by the most recent consume(), or -1. */
+    int lastConsumedEvent() const { return lastEvent; }
+
   private:
     const TaskAutomaton *spec;
     std::vector<char> done;            ///< consumed flag per event
+    std::vector<common::SimTime> when; ///< consume stamp per event
     std::vector<int> remainingPreds;   ///< unconsumed direct preds
     std::size_t consumed_ = 0;
+    int lastEvent = -1;
     std::vector<std::pair<int, int>> removedList;
 
     /**

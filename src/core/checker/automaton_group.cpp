@@ -32,7 +32,7 @@ AutomatonGroup::consume(logging::TemplateId tpl, logging::RecordId record,
     std::vector<AutomatonInstance> kept;
     kept.reserve(candidates.size());
     for (AutomatonInstance &instance : candidates) {
-        if (instance.consume(tpl))
+        if (instance.consume(tpl, now))
             kept.push_back(std::move(instance));
     }
     candidates = std::move(kept);

@@ -47,9 +47,36 @@ enum class CheckEventKind
     Accepted,      ///< an automaton instance accepted a full sequence
     ErrorDetected, ///< error-message criterion fired
     Timeout,       ///< timeout criterion fired
+    LatencyAnomaly, ///< accepted logically but ran over its mined
+                    ///< latency budget (seer-flight); finer-grained
+                    ///< than the timeout criterion, which only sees
+                    ///< executions that stall outright
     Degraded,      ///< monitor shed state under pressure; the group's
                    ///< verdict is unknown, not bad — an operator
                    ///< health signal, never a workflow problem report
+};
+
+/**
+ * Elapsed time across one automaton transition of a finished
+ * execution, compared against the mined budget (seer-flight).
+ */
+struct EdgeTiming
+{
+    int from = -1;
+    int to = -1;
+
+    /** Templates of the two events, for rendering. */
+    logging::TemplateId fromTpl = logging::kInvalidTemplate;
+    logging::TemplateId toTpl = logging::kInvalidTemplate;
+
+    /** Seconds between consuming `from` and consuming `to`. */
+    double elapsed = 0.0;
+
+    /** Mined per-edge budget; negative when the edge is unprofiled. */
+    double budget = -1.0;
+
+    /** True when elapsed strictly exceeded a known budget. */
+    bool exceeded = false;
 };
 
 /**
@@ -77,8 +104,34 @@ struct CheckEvent
     /** Enabled-next templates — "what never arrived" for timeouts. */
     std::vector<logging::TemplateId> expectedTemplates;
 
+    /** Identifier tokens the group's identifier set accumulated, in
+     *  insertion order — resolve text via IdentifierInterner. */
+    std::vector<logging::IdToken> identifiers;
+
+    /** Message-clock stamp of the group's first consumed message. */
+    common::SimTime startTime = 0.0;
+
     common::SimTime time = 0.0;
     GroupId group = 0;
+
+    /**
+     * Per-transition elapsed times vs. mined budgets, populated when a
+     * latency policy is installed and the execution finished (Accepted
+     * or LatencyAnomaly). Order follows the automaton's edge list.
+     */
+    std::vector<EdgeTiming> edgeTimings;
+
+    /**
+     * Critical branch through forks/joins: event ids from an initial
+     * event to the last-consumed one, each step picking the
+     * latest-finishing predecessor. Empty unless edgeTimings is set.
+     */
+    std::vector<int> criticalPath;
+
+    /** Total message-clock duration vs. the task-level budget; budget
+     *  is negative when no policy or profile applied. */
+    double totalElapsed = 0.0;
+    double totalBudget = -1.0;
 };
 
 /** Counters describing how the checker earned its result. */
@@ -95,6 +148,7 @@ struct CheckerStats
     std::uint64_t errorsReported = 0;
     std::uint64_t timeoutsReported = 0;
     std::uint64_t timeoutsSuppressed = 0;
+    std::uint64_t latencyAnomalies = 0;  ///< over-budget acceptances
     std::uint64_t groupsShed = 0;        ///< cap-pressure evictions
     std::uint64_t accepted = 0;
     std::uint64_t consumeAttempts = 0;   ///< group probes (efficiency)

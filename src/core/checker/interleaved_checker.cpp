@@ -33,6 +33,79 @@ InterleavedChecker::templateKnown(logging::TemplateId tpl) const
            tpl < knownTemplates.size() && knownTemplates[tpl] != 0;
 }
 
+void
+InterleavedChecker::setLatencyPolicy(
+    const std::vector<LatencyProfile> &profiles,
+    const LatencyCheckConfig &policy)
+{
+    latencyProfiles.clear();
+    for (const LatencyProfile &profile : profiles) {
+        if (profile.hasSamples())
+            latencyProfiles.emplace(profile.task, profile);
+    }
+    latencyPolicy = policy;
+}
+
+bool
+InterleavedChecker::annotateLatency(CheckEvent &event,
+                                    const AutomatonGroup &group,
+                                    const AutomatonInstance &instance) const
+{
+    auto it = latencyProfiles.find(instance.automaton().name());
+    if (it == latencyProfiles.end())
+        return false;
+    const LatencyProfile &profile = it->second;
+    const TaskAutomaton &automaton = instance.automaton();
+    const std::vector<common::SimTime> &when = instance.consumeTimes();
+
+    event.totalElapsed = group.lastActivity() - group.createdAt();
+    event.totalBudget =
+        profile.total.count > 0
+            ? latencyBudget(profile.total, latencyPolicy)
+            : -1.0;
+
+    for (const DependencyEdge &edge : automaton.edges()) {
+        EdgeTiming timing;
+        timing.from = edge.from;
+        timing.to = edge.to;
+        timing.fromTpl = automaton.event(edge.from).tpl;
+        timing.toTpl = automaton.event(edge.to).tpl;
+        timing.elapsed = std::max(
+            0.0, when[static_cast<std::size_t>(edge.to)] -
+                     when[static_cast<std::size_t>(edge.from)]);
+        auto stats = profile.edges.find({edge.from, edge.to});
+        if (stats != profile.edges.end() && stats->second.count > 0) {
+            timing.budget = latencyBudget(stats->second, latencyPolicy);
+            timing.exceeded = timing.elapsed > timing.budget;
+        }
+        event.edgeTimings.push_back(timing);
+    }
+
+    // Critical branch through forks/joins: walk back from the last
+    // consumed event, at each join taking the predecessor that
+    // finished latest — the branch that actually gated progress.
+    int cursor = instance.lastConsumedEvent();
+    if (cursor >= 0) {
+        std::vector<int> path{cursor};
+        while (!automaton.preds(cursor).empty()) {
+            int slowest = -1;
+            for (int pred : automaton.preds(cursor)) {
+                if (slowest < 0 ||
+                    when[static_cast<std::size_t>(pred)] >
+                        when[static_cast<std::size_t>(slowest)]) {
+                    slowest = pred;
+                }
+            }
+            cursor = slowest;
+            path.push_back(cursor);
+        }
+        event.criticalPath.assign(path.rbegin(), path.rend());
+    }
+
+    return event.totalBudget >= 0.0 &&
+           event.totalElapsed > event.totalBudget;
+}
+
 std::vector<std::uint64_t>
 InterleavedChecker::selectIdSets(const std::vector<IdToken> &view,
                                  int max_overlap_exclusive,
@@ -444,6 +517,13 @@ InterleavedChecker::makeEvent(CheckEventKind kind,
     }
     for (const ConsumedMessage &msg : group.history())
         event.records.push_back(msg.record);
+    auto rel = groupToSet.find(group.id());
+    if (rel != groupToSet.end()) {
+        auto set_it = idsets.find(rel->second);
+        if (set_it != idsets.end())
+            event.identifiers = set_it->second.ids.values();
+    }
+    event.startTime = group.createdAt();
     event.time = time;
     event.group = group.id();
     return event;
@@ -464,9 +544,30 @@ InterleavedChecker::harvestAcceptance(const std::vector<GroupId> &touched,
             continue;
         if (!it->second.zombie()) {
             ++counters.accepted;
+            CheckEvent event =
+                makeEvent(CheckEventKind::Accepted, it->second, now);
+            if (latencyPolicyActive() &&
+                annotateLatency(event, it->second, *accepted)) {
+                event.kind = CheckEventKind::LatencyAnomaly;
+                ++counters.latencyAnomalies;
+            }
+            if (tracer != nullptr && latencyPolicyActive() &&
+                !event.edgeTimings.empty()) {
+                std::vector<obs::SpanTransition> slices;
+                slices.reserve(event.edgeTimings.size());
+                const std::vector<common::SimTime> &when =
+                    accepted->consumeTimes();
+                for (const EdgeTiming &timing : event.edgeTimings) {
+                    slices.push_back(
+                        {"e" + std::to_string(timing.from) + "->e" +
+                             std::to_string(timing.to),
+                         when[static_cast<std::size_t>(timing.from)],
+                         timing.elapsed, timing.exceeded});
+                }
+                tracer->addTransitions(gid, std::move(slices));
+            }
             traceEnd(it->second, now, obs::SpanEnd::Accepted);
-            events.push_back(
-                makeEvent(CheckEventKind::Accepted, it->second, now));
+            events.push_back(std::move(event));
         }
         pruneLineageOnAccept(gid);
     }

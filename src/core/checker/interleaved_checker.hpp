@@ -35,6 +35,7 @@
 #include "common/rng.hpp"
 #include "core/automaton/refinement.hpp"
 #include "core/checker/check_types.hpp"
+#include "core/mining/latency_profile.hpp"
 #include "obs/trace.hpp"
 
 namespace cloudseer::core {
@@ -184,6 +185,21 @@ class InterleavedChecker
      */
     void setTracer(obs::ExecutionTracer *tracer_) { tracer = tracer_; }
 
+    /**
+     * Install the latency-anomaly criterion (seer-flight, DESIGN.md
+     * §12): executions that accept logically but run over the mined
+     * task-level budget are reported as LatencyAnomaly instead of
+     * Accepted, with per-edge timings and the critical branch through
+     * forks attached. Profiles are matched by task name; tasks without
+     * a sampled profile stay exempt. An empty vector clears the
+     * policy and restores bit-identical pre-flight behaviour.
+     */
+    void setLatencyPolicy(const std::vector<LatencyProfile> &profiles,
+                          const LatencyCheckConfig &policy = {});
+
+    /** True when a latency policy with at least one profile is set. */
+    bool latencyPolicyActive() const { return !latencyProfiles.empty(); }
+
   private:
     struct IdSetEntry
     {
@@ -307,6 +323,20 @@ class InterleavedChecker
 
     /** Optional execution tracer (null = no tracing). */
     obs::ExecutionTracer *tracer = nullptr;
+
+    /** Latency profiles by task name (empty = criterion off). */
+    std::map<std::string, LatencyProfile> latencyProfiles;
+
+    /** Budget rule applied to the mined quantiles. */
+    LatencyCheckConfig latencyPolicy;
+
+    /**
+     * Fill the seer-flight fields of an acceptance event (timings,
+     * budgets, critical path) from the accepting instance. Returns
+     * true when the execution ran over its task-level budget.
+     */
+    bool annotateLatency(CheckEvent &event, const AutomatonGroup &group,
+                         const AutomatonInstance &instance) const;
 
     /**
      * Message-clock time of the current feed/sweep, so generic

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-transition latency profiles mined from correct executions
+ * (seer-flight, DESIGN.md §12).
+ *
+ * The paper's only temporal criterion is a whole-task timeout; its
+ * case studies, however, feature executions that are *slow but
+ * logically correct* — every message arrives, in a legal order, just
+ * late. A latency profile captures what "on time" means per automaton
+ * edge: for each dependency edge (u, v) the message-clock quantiles of
+ * t(v) - t(u) over many correct training runs, plus the whole-task
+ * duration quantiles. Fork branches profile naturally — each in-edge
+ * of a join carries its own distribution, so a slow branch is
+ * attributed to its own edges rather than smeared over the task.
+ *
+ * Profiles are mined offline (TaskModeler::toTimedSequence +
+ * mineLatencyProfile), persisted alongside the model (model_io
+ * `edgelat`/`tasklat` directives), lint-checked for edge coverage
+ * (SL010), and consumed online by the checker's latency criterion.
+ */
+
+#ifndef CLOUDSEER_CORE_MINING_LATENCY_PROFILE_HPP
+#define CLOUDSEER_CORE_MINING_LATENCY_PROFILE_HPP
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time_util.hpp"
+#include "core/automaton/task_automaton.hpp"
+
+namespace cloudseer::core {
+
+/** Quantile summary of one latency distribution (seconds). */
+struct LatencyStats
+{
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double maxSeen = 0.0;
+
+    /**
+     * Value at a supported quantile: 50, 95, 99, or 100 (= maxSeen).
+     * Unsupported quantiles resolve to the next one up, so a caller
+     * asking for "p90" gets the conservative p95.
+     */
+    double at(int quantile) const;
+
+    /** Quantiles are mutually consistent (p50 <= p95 <= ... <= max). */
+    bool wellFormed() const;
+
+    bool operator==(const LatencyStats &other) const = default;
+};
+
+/** Summarise a sample set (empty input yields count == 0). */
+LatencyStats summarizeLatencies(std::vector<double> samples);
+
+/** One timed message: interned template plus message-clock stamp. */
+struct TimedTemplate
+{
+    logging::TemplateId tpl = logging::kInvalidTemplate;
+    common::SimTime time = 0.0;
+};
+
+/** One execution's messages with timestamps, in time order. */
+using TimedSequence = std::vector<TimedTemplate>;
+
+/** Latency expectations for one task automaton. */
+struct LatencyProfile
+{
+    /** Task name; matches TaskAutomaton::name(). */
+    std::string task;
+
+    /** Per-edge stats, keyed by (from, to) event ids. */
+    std::map<std::pair<int, int>, LatencyStats> edges;
+
+    /** Whole-task duration (first to last consumed message). */
+    LatencyStats total;
+
+    /** Accepting training runs the profile was mined from. */
+    std::uint64_t runs = 0;
+
+    /** True when some edge or the total carries samples. */
+    bool
+    hasSamples() const
+    {
+        return total.count > 0 || !edges.empty();
+    }
+
+    bool operator==(const LatencyProfile &other) const = default;
+};
+
+/**
+ * Mine a latency profile for one automaton from timed training runs.
+ *
+ * Each run is replayed through a fresh AutomatonInstance; messages the
+ * instance cannot consume (noise, unstable templates stripped by the
+ * key-message filter) are skipped, mirroring how checking routes them
+ * away. Only runs that reach the accepting state contribute samples —
+ * a truncated run would fabricate infinite latencies for the edges it
+ * never crossed. Negative deltas (shipping reorder within an edge) are
+ * clamped to zero.
+ */
+LatencyProfile
+mineLatencyProfile(const TaskAutomaton &automaton,
+                   const std::vector<TimedSequence> &runs);
+
+// --- online policy -----------------------------------------------------
+
+/** How the checker turns a profile into an anomaly threshold. */
+struct LatencyCheckConfig
+{
+    /** Quantile compared against: 50, 95, 99 (default), or 100. */
+    int quantile = 99;
+
+    /** Multiplicative headroom over the quantile. */
+    double factor = 1.5;
+
+    /** Additive headroom, seconds (absorbs tiny-quantile edges). */
+    double slackSeconds = 0.5;
+};
+
+/**
+ * The budget an observation must exceed (strictly) to be anomalous:
+ * quantile * factor + slack. Stats with no samples have no budget —
+ * callers must skip them (returns -1.0 as a guard).
+ */
+double latencyBudget(const LatencyStats &stats,
+                     const LatencyCheckConfig &config);
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_MINING_LATENCY_PROFILE_HPP

@@ -31,6 +31,21 @@ TaskModeler::toTemplateSequence(
     return out;
 }
 
+TimedSequence
+TaskModeler::toTimedSequence(
+    const std::vector<logging::LogRecord> &records)
+{
+    TimedSequence out;
+    out.reserve(records.size());
+    for (const logging::LogRecord &record : records) {
+        logging::ParsedBody parsed = extractor.parse(record.body);
+        out.push_back({catalog.intern(record.service,
+                                      parsed.templateText),
+                       record.timestamp});
+    }
+    return out;
+}
+
 TaskAutomaton
 TaskModeler::buildAutomaton(const std::string &task_name,
                             const std::vector<TemplateSequence> &runs) const

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/automaton/task_automaton.hpp"
+#include "core/mining/latency_profile.hpp"
 #include "core/mining/preprocessor.hpp"
 #include "logging/log_record.hpp"
 #include "logging/variable_extractor.hpp"
@@ -38,6 +39,13 @@ class TaskModeler
      */
     TemplateSequence
     toTemplateSequence(const std::vector<logging::LogRecord> &records);
+
+    /**
+     * Like toTemplateSequence, but keep each record's message-clock
+     * stamp — the raw material for mineLatencyProfile (seer-flight).
+     */
+    TimedSequence
+    toTimedSequence(const std::vector<logging::LogRecord> &records);
 
     /**
      * Build the task automaton from many correct runs: preprocess,

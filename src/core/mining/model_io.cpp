@@ -80,11 +80,62 @@ decodeModelToken(const std::string &token)
     return out;
 }
 
+namespace {
+
+/** Shortest decimal that round-trips the double exactly. */
+std::string
+formatLatency(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+void
+writeLatencyStats(std::ostream &out, const LatencyStats &stats)
+{
+    out << stats.count << " " << formatLatency(stats.p50) << " "
+        << formatLatency(stats.p95) << " " << formatLatency(stats.p99)
+        << " " << formatLatency(stats.maxSeen);
+}
+
+bool
+parseLatencyStats(const std::vector<std::string> &fields,
+                  std::size_t offset, LatencyStats &stats)
+{
+    if (fields.size() != offset + 5)
+        return false;
+    try {
+        stats.count = std::stoull(fields[offset]);
+        stats.p50 = std::stod(fields[offset + 1]);
+        stats.p95 = std::stod(fields[offset + 2]);
+        stats.p99 = std::stod(fields[offset + 3]);
+        stats.maxSeen = std::stod(fields[offset + 4]);
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
 void
 saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
            const std::vector<TaskAutomaton> &automata)
 {
+    saveModels(out, catalog, automata, {});
+}
+
+void
+saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
+           const std::vector<TaskAutomaton> &automata,
+           const std::vector<LatencyProfile> &profiles)
+{
     out << kMagic << " " << kVersion << "\n";
+
+    std::map<std::string, const LatencyProfile *> profile_of;
+    for (const LatencyProfile &profile : profiles)
+        profile_of.emplace(profile.task, &profile);
 
     // Persist only the templates the automata actually reference.
     std::set<logging::TemplateId> used;
@@ -111,6 +162,19 @@ saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
         for (const DependencyEdge &edge : automaton.edges()) {
             out << "edge " << edge.from << " " << edge.to << " "
                 << (edge.strong ? 1 : 0) << "\n";
+        }
+        auto pit = profile_of.find(automaton.name());
+        if (pit != profile_of.end() && pit->second->hasSamples()) {
+            const LatencyProfile &profile = *pit->second;
+            out << "tasklat " << profile.runs << " ";
+            writeLatencyStats(out, profile.total);
+            out << "\n";
+            for (const auto &[edge, stats] : profile.edges) {
+                out << "edgelat " << edge.first << " " << edge.second
+                    << " ";
+                writeLatencyStats(out, stats);
+                out << "\n";
+            }
         }
         out << "end\n";
     }
@@ -176,6 +240,7 @@ loadModels(std::istream &in, ModelSourceMap *source_map)
         std::size_t edge_count = 0;
         std::vector<EventNode> events;
         std::vector<DependencyEdge> edges;
+        LatencyProfile profile;
         bool open = false;
         AutomatonSourceMap lines;
     };
@@ -194,9 +259,20 @@ loadModels(std::istream &in, ModelSourceMap *source_map)
                 return false;
             }
         }
+        for (const auto &[edge, stats] : pending.profile.edges) {
+            (void)stats;
+            if (edge.first < 0 ||
+                edge.first >= static_cast<int>(pending.events.size()) ||
+                edge.second < 0 ||
+                edge.second >= static_cast<int>(pending.events.size())) {
+                return false;
+            }
+        }
+        pending.profile.task = pending.name;
         bundle.automata.emplace_back(pending.name,
                                      std::move(pending.events),
                                      std::move(pending.edges));
+        bundle.profiles.push_back(std::move(pending.profile));
         locations.automata.push_back(std::move(pending.lines));
         pending = PendingAutomaton{};
         return true;
@@ -256,6 +332,31 @@ loadModels(std::istream &in, ModelSourceMap *source_map)
             pending.lines.edgeLines.try_emplace(
                 {pending.edges.back().from, pending.edges.back().to},
                 line_no);
+        } else if (kind == "tasklat") {
+            if (fields.size() != 7 || !pending.open)
+                return std::nullopt;
+            try {
+                pending.profile.runs = std::stoull(fields[1]);
+            } catch (...) {
+                return std::nullopt;
+            }
+            if (!parseLatencyStats(fields, 2, pending.profile.total))
+                return std::nullopt;
+        } else if (kind == "edgelat") {
+            if (fields.size() != 8 || !pending.open)
+                return std::nullopt;
+            std::pair<int, int> edge;
+            LatencyStats stats;
+            try {
+                edge.first = std::stoi(fields[1]);
+                edge.second = std::stoi(fields[2]);
+            } catch (...) {
+                return std::nullopt;
+            }
+            if (!parseLatencyStats(
+                    {fields.begin() + 3, fields.end()}, 0, stats))
+                return std::nullopt;
+            pending.profile.edges[edge] = stats;
         } else if (kind == "end") {
             if (!pending.open || !finishAutomaton())
                 return std::nullopt;
@@ -265,6 +366,14 @@ loadModels(std::istream &in, ModelSourceMap *source_map)
     }
     if (pending.open)
         return std::nullopt; // truncated automaton section
+    // A pre-seer-flight file has no latency directives at all: hand
+    // back an empty profile vector (the documented "no profiles"
+    // signal) rather than one placeholder per automaton.
+    bool any_samples = false;
+    for (const LatencyProfile &profile : bundle.profiles)
+        any_samples = any_samples || profile.hasSamples();
+    if (!any_samples)
+        bundle.profiles.clear();
     if (source_map)
         *source_map = std::move(locations);
     return bundle;

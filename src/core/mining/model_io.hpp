@@ -12,10 +12,18 @@
  *     automaton <name> <events> <edges>
  *     event <id> <template-id> <occurrence>
  *     edge <from> <to> <strong>
+ *     tasklat <runs> <count> <p50> <p95> <p99> <max>
+ *     edgelat <from> <to> <count> <p50> <p95> <p99> <max>
  *     end
  *
  * Template text is percent-encoded so embedded spaces and newlines
  * survive the tokenizer.
+ *
+ * The `tasklat`/`edgelat` directives are the seer-flight latency
+ * profile (DESIGN.md §12) and are optional: a pre-flight file without
+ * them loads with empty profiles, preserving the version-1 magic.
+ * Latency seconds are printed with %.17g so a loaded profile replays
+ * bit-identically against the stream it was mined from.
  */
 
 #ifndef CLOUDSEER_CORE_MINING_MODEL_IO_HPP
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "core/automaton/task_automaton.hpp"
+#include "core/mining/latency_profile.hpp"
 
 namespace cloudseer::core {
 
@@ -38,6 +47,13 @@ struct ModelBundle
 {
     std::shared_ptr<logging::TemplateCatalog> catalog;
     std::vector<TaskAutomaton> automata;
+
+    /**
+     * Latency profiles parallel to `automata` (empty vector when the
+     * file predates seer-flight; a profile with no samples when its
+     * automaton carried no latency directives).
+     */
+    std::vector<LatencyProfile> profiles;
 };
 
 /**
@@ -80,6 +96,15 @@ struct ModelSourceMap
 /** Serialise a bundle to a stream. */
 void saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
                 const std::vector<TaskAutomaton> &automata);
+
+/**
+ * Serialise a bundle with latency profiles (seer-flight). `profiles`
+ * is matched to automata by task name, so it may be shorter, longer,
+ * or differently ordered; unmatched profiles are dropped.
+ */
+void saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
+                const std::vector<TaskAutomaton> &automata,
+                const std::vector<LatencyProfile> &profiles);
 
 /** Serialise a bundle to a string. */
 std::string saveModelsToString(const logging::TemplateCatalog &catalog,

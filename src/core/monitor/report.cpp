@@ -11,6 +11,7 @@ checkEventKindName(CheckEventKind kind)
       case CheckEventKind::Accepted: return "ACCEPTED";
       case CheckEventKind::ErrorDetected: return "ERROR";
       case CheckEventKind::Timeout: return "TIMEOUT";
+      case CheckEventKind::LatencyAnomaly: return "LATENCY";
       case CheckEventKind::Degraded: return "DEGRADED";
     }
     return "UNKNOWN";
@@ -48,6 +49,20 @@ MonitorReport::describe(const logging::TemplateCatalog &catalog) const
         out += "  expected next:\n";
         for (logging::TemplateId tpl : event.expectedTemplates)
             out += "    - " + catalog.label(tpl) + "\n";
+    }
+    if (event.totalBudget >= 0.0) {
+        out += "  duration " +
+               common::formatDouble(event.totalElapsed, 2) +
+               "s vs budget " +
+               common::formatDouble(event.totalBudget, 2) + "s\n";
+        for (const EdgeTiming &timing : event.edgeTimings) {
+            if (!timing.exceeded)
+                continue;
+            out += "  slow transition " + catalog.label(timing.fromTpl) +
+                   " -> " + catalog.label(timing.toTpl) + ": " +
+                   common::formatDouble(timing.elapsed, 2) + "s (budget " +
+                   common::formatDouble(timing.budget, 2) + "s)\n";
+        }
     }
     return out;
 }

@@ -78,6 +78,9 @@ reportToJson(const MonitorReport &report,
            std::string(checkEventKindName(event.kind)) + "\",";
     out += "\"task\":\"" + jsonEscape(event.taskName) + "\",";
     out += "\"time\":" + common::formatDouble(event.time, 3) + ",";
+    out += "\"start\":" + common::formatDouble(event.startTime, 3) + ",";
+    out += "\"duration\":" +
+           common::formatDouble(event.time - event.startTime, 3) + ",";
     out += std::string("\"endOfStream\":") +
            (report.endOfStream ? "true" : "false") + ",";
     out += "\"messages\":" + std::to_string(event.records.size()) + ",";
@@ -92,6 +95,38 @@ reportToJson(const MonitorReport &report,
            ",";
     out += "\"states\":" + jsonStringArray(states) + ",";
     out += "\"expected\":" + jsonStringArray(expected);
+    if (event.totalBudget >= 0.0) {
+        out += ",\"latency\":{";
+        out += "\"total\":" +
+               common::formatDouble(event.totalElapsed, 3) + ",";
+        out += "\"budget\":" +
+               common::formatDouble(event.totalBudget, 3) + ",";
+        out += "\"criticalPath\":[";
+        for (std::size_t i = 0; i < event.criticalPath.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += std::to_string(event.criticalPath[i]);
+        }
+        out += "],\"edges\":[";
+        for (std::size_t i = 0; i < event.edgeTimings.size(); ++i) {
+            const EdgeTiming &timing = event.edgeTimings[i];
+            if (i > 0)
+                out += ",";
+            out += "{\"from\":" + std::to_string(timing.from) +
+                   ",\"to\":" + std::to_string(timing.to) +
+                   ",\"fromLabel\":\"" +
+                   jsonEscape(catalog.label(timing.fromTpl)) +
+                   "\",\"toLabel\":\"" +
+                   jsonEscape(catalog.label(timing.toTpl)) +
+                   "\",\"elapsed\":" +
+                   common::formatDouble(timing.elapsed, 3) +
+                   ",\"budget\":" +
+                   common::formatDouble(timing.budget, 3) +
+                   ",\"exceeded\":" +
+                   (timing.exceeded ? "true" : "false") + "}";
+        }
+        out += "]}";
+    }
     out += "}";
     return out;
 }
@@ -118,6 +153,8 @@ statsSummaryJson(const CheckerStats &checker, const IngestStats &ingest,
            ",";
     out += "\"timeoutsSuppressed\":" +
            std::to_string(checker.timeoutsSuppressed) + ",";
+    out += "\"latencyAnomalies\":" +
+           std::to_string(checker.latencyAnomalies) + ",";
     out += "\"shed\":" + std::to_string(checker.groupsShed) + ",";
     out += "\"consumeAttempts\":" +
            std::to_string(checker.consumeAttempts) + ",";

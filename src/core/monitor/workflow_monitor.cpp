@@ -5,6 +5,8 @@
 
 #include "analysis/model_lint.hpp"
 #include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/monitor/report_json.hpp"
 #include "logging/identifier_interner.hpp"
 
 namespace cloudseer::core {
@@ -53,6 +55,12 @@ WorkflowMonitor::WorkflowMonitor(
         engine.setTracer(obsPtr->tracer());
     }
 
+    // seer-flight: install the latency criterion when profiles ship
+    // with the model. Tasks without a sampled profile stay exempt.
+    if (!config.latencyProfiles.empty())
+        engine.setLatencyPolicy(config.latencyProfiles,
+                                config.latencyCheck);
+
     // Load-time model verification (seer-lint): a structurally broken
     // specification produces confidently wrong reports for as long as
     // the deployment runs, so errors refuse to start by default.
@@ -62,6 +70,10 @@ WorkflowMonitor::WorkflowMonitor(
     lint.defaultTimeout = config.timeoutSeconds;
     lint.perTaskTimeouts = config.perTaskTimeouts;
     loadReport = analysis::lintModels(specs, *catalogPtr, lint);
+    if (!config.latencyProfiles.empty()) {
+        loadReport.merge(analysis::lintLatencyProfiles(
+            specs, config.latencyProfiles));
+    }
     if (config.verifyModelOnLoad && loadReport.hasErrors()) {
         std::string msg = "seer-lint rejected the model bundle:";
         for (const std::string &finding :
@@ -87,10 +99,18 @@ WorkflowMonitor::feed(const logging::LogRecord &record)
     if (timed)
         before = std::chrono::steady_clock::now();
 
+    // seer-flight: capture the raw line at arrival, before reordering
+    // — a forensic context must show the stream as it actually came in.
+    if (obsPtr != nullptr && obsPtr->flight() != nullptr) {
+        obsPtr->flight()->record(record.node, record.timestamp,
+                                 logging::encodeLogLine(record));
+    }
+
     if (config.ingest.reorderWindowSeconds > 0.0)
         bufferAndRelease(record, reports);
     else
         deliver(record, reports);
+    captureBundles(reports);
 
     if (timed) {
         obsPtr->recordFeedLatency(
@@ -265,6 +285,12 @@ WorkflowMonitor::feedLine(const std::string &line)
         }
         if (quarantined.size() < config.ingest.quarantineSampleCap)
             quarantined.push_back({line, why});
+        // Malformed lines never reach feed(), so capture them here —
+        // garbage on the wire is exactly what a postmortem wants to
+        // see. Stamped with the monitor clock; the line's own
+        // timestamp is the part that failed to parse.
+        if (obsPtr != nullptr && obsPtr->flight() != nullptr)
+            obsPtr->flight()->record("<malformed>", lastTimestamp, line);
         return {};
     }
     return feed(*record);
@@ -303,6 +329,7 @@ WorkflowMonitor::finish()
     }
     for (CheckEvent &event : engine.finish(horizon))
         reports.push_back({std::move(event), true});
+    captureBundles(reports);
 
     // Close the health series with a final post-flush observation so
     // the snapshot stream is self-terminating.
@@ -385,6 +412,73 @@ WorkflowMonitor::healthSnapshotJson() const
 {
     return obsPtr == nullptr ? std::string()
                              : healthSample().toJson();
+}
+
+void
+WorkflowMonitor::captureBundles(const std::vector<MonitorReport> &reports)
+{
+    if (obsPtr == nullptr || obsPtr->flight() == nullptr)
+        return;
+    for (const MonitorReport &report : reports) {
+        switch (report.event.kind) {
+          case CheckEventKind::ErrorDetected:
+          case CheckEventKind::Timeout:
+          case CheckEventKind::LatencyAnomaly:
+            obsPtr->flight()->addBundle(forensicBundleJson(report));
+            break;
+          case CheckEventKind::Accepted:
+          case CheckEventKind::Degraded:
+            break;
+        }
+    }
+}
+
+std::string
+WorkflowMonitor::forensicBundleJson(const MonitorReport &report) const
+{
+    const logging::IdentifierInterner &interner =
+        logging::IdentifierInterner::process();
+
+    std::string out = "{\"kind\":\"BUNDLE\",";
+    out += "\"reason\":\"";
+    out += checkEventKindName(report.event.kind);
+    out += "\",";
+    out += "\"task\":\"" + jsonEscape(report.event.taskName) + "\",";
+    out += "\"time\":" + common::formatDouble(report.event.time, 3) +
+           ",";
+    out += "\"group\":" + std::to_string(report.event.group) + ",";
+
+    // The group's accumulated identifier set, resolved to text — the
+    // handles an operator greps the wider infrastructure logs for.
+    out += "\"identifiers\":[";
+    for (std::size_t i = 0; i < report.event.identifiers.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "\"" +
+               jsonEscape(interner.text(report.event.identifiers[i])) +
+               "\"";
+    }
+    out += "],";
+
+    // The full report record: group state (states/expected), ambiguity
+    // alternatives (candidates), per-edge timings (latency).
+    out += "\"report\":" + reportToJson(report, *catalogPtr) + ",";
+
+    // Frozen flight-recorder rings: the raw lines surrounding the
+    // failure, merged across nodes in time order.
+    out += "\"context\":[";
+    bool first = true;
+    for (const obs::ContextLine &line :
+         obsPtr->flight()->context()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"node\":\"" + jsonEscape(line.node) + "\",";
+        out += "\"time\":" + common::formatDouble(line.time, 3) + ",";
+        out += "\"line\":\"" + jsonEscape(line.line) + "\"}";
+    }
+    out += "]}";
+    return out;
 }
 
 std::string

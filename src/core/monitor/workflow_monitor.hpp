@@ -166,9 +166,23 @@ struct MonitorConfig
      * seer-scope observability (DESIGN.md §11). All-off by default —
      * the null sink — in which case no Observability object is even
      * constructed and the monitor is bit-identical to an
-     * uninstrumented one.
+     * uninstrumented one. The flight recorder (seer-flight forensics)
+     * lives inside this config and follows the same contract.
      */
     obs::ObsConfig observability;
+
+    /**
+     * seer-flight latency criterion (DESIGN.md §12): per-task latency
+     * profiles mined offline (mineLatencyProfile, or loaded from the
+     * model file's tasklat/edgelat directives). Empty — the default —
+     * keeps the criterion off and the monitor bit-identical to a
+     * pre-flight one. Non-empty profiles are lint-checked (SL010)
+     * against the automata under the same verifyModelOnLoad policy.
+     */
+    std::vector<LatencyProfile> latencyProfiles;
+
+    /** Budget rule applied to the profile quantiles. */
+    LatencyCheckConfig latencyCheck;
 };
 
 /** Online workflow monitor (modeling output in, reports out). */
@@ -292,6 +306,26 @@ class WorkflowMonitor
      */
     std::string chromeTraceJson() const;
 
+    // --- seer-flight (DESIGN.md §12) -----------------------------------
+
+    /** The flight recorder, or nullptr when it is off. */
+    const obs::FlightRecorder *flightRecorder() const
+    {
+        return obsPtr == nullptr ? nullptr : obsPtr->flight();
+    }
+
+    /**
+     * Forensic bundles captured so far as newline-separated JSON
+     * objects (the seer_postmortem input). "" when the recorder is
+     * off or nothing fired.
+     */
+    std::string forensicBundleJsonLines() const
+    {
+        return flightRecorder() == nullptr
+                   ? std::string()
+                   : flightRecorder()->bundleJsonLines();
+    }
+
   private:
     /** A record parked in the reorder buffer. */
     struct BufferedRecord
@@ -329,6 +363,16 @@ class WorkflowMonitor
     /** Insert into the reorder buffer and release ripe records. */
     void bufferAndRelease(const logging::LogRecord &record,
                           std::vector<MonitorReport> &reports);
+
+    /**
+     * Freeze the flight-recorder context into one forensic bundle per
+     * problem report (ErrorDetected, Timeout, LatencyAnomaly) in
+     * `reports`. No-op without a flight recorder.
+     */
+    void captureBundles(const std::vector<MonitorReport> &reports);
+
+    /** Render one report's forensic bundle as single-line JSON. */
+    std::string forensicBundleJson(const MonitorReport &report) const;
 
     static std::vector<const TaskAutomaton *>
     pointersTo(const std::vector<TaskAutomaton> &automata);

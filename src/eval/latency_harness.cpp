@@ -1,0 +1,264 @@
+#include "eval/latency_harness.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/string_util.hpp"
+#include "core/mining/model_builder.hpp"
+#include "eval/detection_harness.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace cloudseer::eval {
+
+namespace {
+
+/** TaskType whose canonical name matches `name`, or nullopt. */
+std::optional<sim::TaskType>
+taskTypeByName(const std::string &name)
+{
+    for (sim::TaskType type : sim::kAllTaskTypes) {
+        if (name == sim::taskTypeName(type))
+            return type;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<core::LatencyProfile>
+mineSystemProfiles(const ModeledSystem &models,
+                   const LatencyMiningConfig &config)
+{
+    std::vector<core::LatencyProfile> out;
+    core::TaskModeler modeler(*models.catalog);
+
+    std::uint64_t seed = config.seed;
+    for (const core::TaskAutomaton &automaton : models.automata) {
+        std::optional<sim::TaskType> type =
+            taskTypeByName(automaton.name());
+        ++seed;
+        if (!type) {
+            // A hand-built automaton the simulator cannot exercise:
+            // ship an empty profile so the output stays parallel to
+            // the automata (the checker leaves such tasks exempt).
+            core::LatencyProfile empty;
+            empty.task = automaton.name();
+            out.push_back(std::move(empty));
+            continue;
+        }
+
+        // The modeling harness's sequential-runner procedure: one
+        // dedicated simulation, runs spaced far apart, each window
+        // shipped with fresh skew.
+        sim::Simulation simulation(config.sim, seed);
+        sim::UserProfile user = simulation.makeUser();
+        std::vector<core::TimedSequence> runs;
+        std::size_t cursor = 0;
+        common::SimTime nextStart = 1.0;
+        std::uint64_t shipSeed = seed ^ 0x5eedf00dULL;
+        for (std::size_t run = 0; run < config.runsPerTask; ++run) {
+            sim::VmHandle vm = simulation.makeVm();
+            simulation.submit(*type, nextStart, user, vm);
+            nextStart += 30.0;
+            simulation.run();
+
+            const auto &all = simulation.records();
+            std::vector<logging::LogRecord> window(
+                all.begin() + static_cast<long>(cursor), all.end());
+            cursor = all.size();
+
+            collect::ShippingConfig ship = config.shipping;
+            ship.seed = shipSeed++;
+            runs.push_back(modeler.toTimedSequence(
+                collect::mergeStream(window, ship)));
+        }
+        out.push_back(core::mineLatencyProfile(automaton, runs));
+    }
+    return out;
+}
+
+double
+LatencyEvalResult::precision() const
+{
+    int reported = truePositives + falsePositives;
+    return reported == 0 ? 1.0
+                         : static_cast<double>(truePositives) /
+                               static_cast<double>(reported);
+}
+
+double
+LatencyEvalResult::recall() const
+{
+    int positives = truePositives + falseNegatives;
+    return positives == 0 ? 1.0
+                          : static_cast<double>(truePositives) /
+                                static_cast<double>(positives);
+}
+
+LatencyEvalResult
+runLatencyExperiment(const ModeledSystem &models,
+                     const std::vector<core::LatencyProfile> &profiles,
+                     const LatencyEvalConfig &config)
+{
+    LatencyEvalResult result;
+    result.point = config.point;
+
+    core::MonitorConfig monitor_config;
+    monitor_config.timeoutSeconds = config.timeoutSeconds;
+    monitor_config.latencyProfiles = profiles;
+    monitor_config.latencyCheck = config.check;
+
+    int triggered = 0;
+    for (int run = 0; run < config.maxRuns &&
+                      triggered < config.targetProblems;
+         ++run) {
+        std::uint64_t run_seed =
+            config.seed + static_cast<std::uint64_t>(run) * 7919;
+
+        sim::Simulation simulation(config.sim, run_seed);
+        simulation.setInjector(sim::FaultInjector(
+            config.point, config.triggerProbability,
+            /*error_message_probability=*/0.7, run_seed ^ 0xfa17ULL,
+            static_cast<std::size_t>(config.targetProblems -
+                                     triggered)));
+
+        workload::WorkloadConfig wl;
+        wl.users = config.usersPerRun;
+        wl.tasksPerUser = config.tasksPerUserPerRun;
+        wl.singleUid = false;
+        wl.seed = run_seed ^ 0x3141ULL;
+        workload::WorkloadGenerator generator(wl);
+        result.tasksRun += generator.submitAll(simulation);
+        simulation.run();
+
+        collect::ShippingConfig ship = config.shipping;
+        ship.seed = run_seed ^ 0x5a1cULL;
+        std::vector<logging::LogRecord> stream =
+            collect::mergeStream(simulation.records(), ship);
+
+        std::map<logging::RecordId, logging::ExecutionId> truth_of;
+        for (const logging::LogRecord &record : stream)
+            truth_of[record.id] = record.truthExecution;
+
+        core::WorkflowMonitor monitor(monitor_config, models.catalog,
+                                      models.automataCopy());
+        std::vector<core::MonitorReport> reports;
+        for (const logging::LogRecord &record : stream) {
+            for (core::MonitorReport &report : monitor.feed(record))
+                reports.push_back(std::move(report));
+        }
+        for (core::MonitorReport &report : monitor.finish())
+            reports.push_back(std::move(report));
+
+        // Injection ground truth: Delay executions are the positives.
+        std::map<logging::ExecutionId, const sim::InjectionRecord *>
+            delayed;
+        for (const sim::InjectionRecord &record :
+             simulation.injector().records()) {
+            if (record.type == sim::ProblemType::Delay) {
+                ++result.delayProblems;
+                delayed[record.execution] = &record;
+            } else {
+                ++result.otherProblems;
+            }
+        }
+        triggered += static_cast<int>(
+            simulation.injector().records().size());
+
+        std::set<logging::ExecutionId> credited;
+        std::set<logging::ExecutionId> blamed;
+        for (const core::MonitorReport &report : reports) {
+            if (report.event.kind !=
+                core::CheckEventKind::LatencyAnomaly)
+                continue;
+            ++result.anomaliesReported;
+            logging::ExecutionId exec =
+                dominantExecution(report.event, truth_of);
+            if (exec != 0 && delayed.count(exec)) {
+                if (!credited.count(exec)) {
+                    credited.insert(exec);
+                    ++result.truePositives;
+                    result.detectionDelay.add(
+                        report.event.time - delayed.at(exec)->time);
+                }
+            } else {
+                // Anomalies pinned on Abort/Silent injections are not
+                // false alarms — that execution *was* broken — but
+                // they are not the criterion's target either, so they
+                // score as neither TP nor FP.
+                bool injected_other = false;
+                for (const sim::InjectionRecord &record :
+                     simulation.injector().records()) {
+                    if (record.execution == exec) {
+                        injected_other = true;
+                        break;
+                    }
+                }
+                if (injected_other)
+                    continue;
+                if (exec == 0 || !blamed.count(exec)) {
+                    if (exec != 0)
+                        blamed.insert(exec);
+                    ++result.falsePositives;
+                }
+            }
+        }
+        for (const auto &[exec, record] : delayed) {
+            if (!credited.count(exec))
+                ++result.falseNegatives;
+        }
+    }
+    return result;
+}
+
+std::string
+latencyEvalTable(const std::vector<LatencyEvalResult> &rows)
+{
+    char buf[192];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s %6s %5s %6s %9s %4s %4s %4s %9s %7s\n",
+                  "point", "tasks", "delay", "other", "anomalies",
+                  "TP", "FP", "FN", "precision", "recall");
+    out += buf;
+    for (const LatencyEvalResult &row : rows) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-14s %6zu %5d %6d %9d %4d %4d %4d %9.3f %7.3f\n",
+                      sim::injectionPointName(row.point), row.tasksRun,
+                      row.delayProblems, row.otherProblems,
+                      row.anomaliesReported, row.truePositives,
+                      row.falsePositives, row.falseNegatives,
+                      row.precision(), row.recall());
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+latencyEvalJson(const LatencyEvalResult &result)
+{
+    std::string out = "{\"kind\":\"LATENCY_EVAL\",";
+    out += "\"point\":\"";
+    out += sim::injectionPointName(result.point);
+    out += "\",";
+    out += "\"tasks\":" + std::to_string(result.tasksRun) + ",";
+    out += "\"delayProblems\":" +
+           std::to_string(result.delayProblems) + ",";
+    out += "\"otherProblems\":" +
+           std::to_string(result.otherProblems) + ",";
+    out += "\"anomalies\":" +
+           std::to_string(result.anomaliesReported) + ",";
+    out += "\"tp\":" + std::to_string(result.truePositives) + ",";
+    out += "\"fp\":" + std::to_string(result.falsePositives) + ",";
+    out += "\"fn\":" + std::to_string(result.falseNegatives) + ",";
+    out += "\"precision\":" +
+           common::formatDouble(result.precision(), 4) + ",";
+    out += "\"recall\":" + common::formatDouble(result.recall(), 4) +
+           ",";
+    out += "\"meanDetectionDelay\":" +
+           common::formatDouble(result.detectionDelay.mean(), 3) + "}";
+    return out;
+}
+
+} // namespace cloudseer::eval

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Latency-anomaly evaluation harness (seer-flight, DESIGN.md §12).
+ *
+ * The sim's Delay problem type is labeled ground truth for performance
+ * anomalies: the execution completes logically — every message, a
+ * legal order — just 15–30 s late at the injection point. This harness
+ * (1) mines per-task latency profiles from correct sequential training
+ * runs, exactly as a deployment would before enabling the criterion,
+ * and (2) replays fault-injected interleaved workloads through a
+ * monitor with the latency criterion armed, scoring LatencyAnomaly
+ * reports against the Delay injections for a precision/recall row.
+ */
+
+#ifndef CLOUDSEER_EVAL_LATENCY_HARNESS_HPP
+#define CLOUDSEER_EVAL_LATENCY_HARNESS_HPP
+
+#include "common/stats.hpp"
+#include "core/mining/latency_profile.hpp"
+#include "eval/modeling_harness.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace cloudseer::eval {
+
+/** Correct-execution training knobs for profile mining. */
+struct LatencyMiningConfig
+{
+    std::uint64_t seed = 4242;
+
+    /** Training executions per task (accepting runs contribute). */
+    std::size_t runsPerTask = 40;
+
+    /** Ship training logs with the same mild skew as checking. */
+    collect::ShippingConfig shipping;
+
+    sim::SimConfig sim;
+};
+
+/**
+ * Mine one latency profile per modeled task, by running each task
+ * sequentially (background noise on) and replaying the shipped stream
+ * through its automaton — the offline procedure behind the model
+ * file's tasklat/edgelat directives.
+ */
+std::vector<core::LatencyProfile>
+mineSystemProfiles(const ModeledSystem &models,
+                   const LatencyMiningConfig &config);
+
+/** Latency-detection experiment parameters. */
+struct LatencyEvalConfig
+{
+    sim::InjectionPoint point = sim::InjectionPoint::AmqpSender;
+    int targetProblems = 10; ///< triggered problems to accumulate
+    int usersPerRun = 4;
+    int tasksPerUserPerRun = 4;
+    int maxRuns = 80;
+    double triggerProbability = 0.25;
+    std::uint64_t seed = 99;
+
+    /**
+     * Whole-task timeout while the criterion runs. Deliberately
+     * generous (not the paper's 10 s): an injected delay of 15–30 s
+     * must not trip the timeout criterion first, or the execution
+     * never reaches acceptance and the latency criterion never sees
+     * it. Finer-grained detection needs the coarse criterion out of
+     * the way.
+     */
+    double timeoutSeconds = 60.0;
+
+    /** Budget rule under test (default: p99 * 1.5 + 0.5 s). */
+    core::LatencyCheckConfig check;
+
+    sim::SimConfig sim;
+    collect::ShippingConfig shipping;
+};
+
+/** Precision/recall row for latency-anomaly detection. */
+struct LatencyEvalResult
+{
+    sim::InjectionPoint point = sim::InjectionPoint::AmqpSender;
+    std::size_t tasksRun = 0;
+    int delayProblems = 0; ///< ground-truth positives
+    int otherProblems = 0; ///< Abort/Silent injections (not positives)
+    int anomaliesReported = 0; ///< LatencyAnomaly reports emitted
+    int truePositives = 0;
+    int falsePositives = 0;
+    int falseNegatives = 0;
+
+    /** Seconds from injection to the crediting LatencyAnomaly. */
+    common::SampleStats detectionDelay;
+
+    double precision() const;
+    double recall() const;
+};
+
+/**
+ * Run the latency-detection experiment: same batch loop and seeds as
+ * runDetectionExperiment, monitored with `profiles` armed. Scoring:
+ * a LatencyAnomaly whose dominant execution is a Delay injection is a
+ * true positive (credited once); one blaming a healthy or unknown
+ * execution is a false positive; a Delay injection no LatencyAnomaly
+ * credits is a false negative. Anomalies attributed to Abort/Silent
+ * injections are neither — those executions are genuinely broken,
+ * just not the criterion's target (and they normally never accept).
+ */
+LatencyEvalResult
+runLatencyExperiment(const ModeledSystem &models,
+                     const std::vector<core::LatencyProfile> &profiles,
+                     const LatencyEvalConfig &config);
+
+/** Fixed-width table of one or more result rows. */
+std::string
+latencyEvalTable(const std::vector<LatencyEvalResult> &rows);
+
+/** One row as single-line JSON ({"kind":"LATENCY_EVAL",...}). */
+std::string latencyEvalJson(const LatencyEvalResult &result);
+
+} // namespace cloudseer::eval
+
+#endif // CLOUDSEER_EVAL_LATENCY_HARNESS_HPP

@@ -95,6 +95,7 @@ runPoint(const ModeledSystem &models, const ResilienceConfig &config,
         }
         for (core::MonitorReport &report : monitor.finish())
             reports.push_back(std::move(report));
+        out.forensicBundles += monitor.forensicBundleJsonLines();
 
         const core::IngestStats &ingest = monitor.ingestStats();
         out.quarantinedLines += ingest.malformed();

@@ -81,6 +81,11 @@ struct ResiliencePoint
     std::size_t degradedReports = 0;
     std::size_t peakActiveGroups = 0;
 
+    /** Forensic bundles (JSON lines, seer-flight) harvested from the
+     *  per-run monitors; empty unless config.monitor enables the
+     *  flight recorder. */
+    std::string forensicBundles;
+
     double precision() const { return stats.precision(); }
     double recall() const { return stats.recall(); }
 

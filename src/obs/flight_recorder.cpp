@@ -1,0 +1,82 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace cloudseer::obs {
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig &config)
+    : cfg(config)
+{
+}
+
+void
+FlightRecorder::record(const std::string &node, double time,
+                       const std::string &line)
+{
+    if (cfg.perNodeCapacity == 0)
+        return;
+    auto it = rings.find(node);
+    if (it == rings.end()) {
+        if (rings.size() >= cfg.maxNodes) {
+            ++droppedLineCount;
+            return;
+        }
+        it = rings.emplace(node, NodeRing{}).first;
+        it->second.lines.reserve(cfg.perNodeCapacity);
+    }
+    NodeRing &ring = it->second;
+    ContextLine entry{node, time, line};
+    if (ring.lines.size() < cfg.perNodeCapacity) {
+        ring.lines.push_back(std::move(entry));
+    } else {
+        ring.lines[ring.next] = std::move(entry);
+        ring.next = (ring.next + 1) % cfg.perNodeCapacity;
+    }
+    ++ring.seq;
+    ++recorded;
+}
+
+std::vector<ContextLine>
+FlightRecorder::context() const
+{
+    std::vector<ContextLine> out;
+    for (const auto &[node, ring] : rings) {
+        // Oldest-first within the ring: the wrap point is `next`.
+        for (std::size_t i = 0; i < ring.lines.size(); ++i) {
+            std::size_t at = ring.lines.size() < cfg.perNodeCapacity
+                                 ? i
+                                 : (ring.next + i) % ring.lines.size();
+            out.push_back(ring.lines[at]);
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ContextLine &a, const ContextLine &b) {
+                         if (a.time != b.time)
+                             return a.time < b.time;
+                         return a.node < b.node;
+                     });
+    return out;
+}
+
+void
+FlightRecorder::addBundle(std::string bundle_json)
+{
+    store.push_back(std::move(bundle_json));
+    while (store.size() > cfg.maxBundles) {
+        store.erase(store.begin());
+        ++droppedBundleCount;
+    }
+}
+
+std::string
+FlightRecorder::bundleJsonLines() const
+{
+    std::string out;
+    for (const std::string &bundle : store) {
+        out += bundle;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace cloudseer::obs

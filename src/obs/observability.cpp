@@ -65,6 +65,8 @@ Observability::Observability(const ObsConfig &config) : cfg(config)
             "seer_feed_latency_us",
             "per-record monitor feed latency, microseconds", -1, 6);
     }
+    if (cfg.flightRecorder.enabled())
+        flightPtr = std::make_unique<FlightRecorder>(cfg.flightRecorder);
     if (cfg.tracing) {
         tracerPtr =
             std::make_unique<ExecutionTracer>(cfg.maxTraceSpans);
@@ -201,6 +203,8 @@ Observability::updateRegistry(const HealthSample &s)
 std::string
 Observability::prometheusText(const HealthSample &current)
 {
+    if (!cfg.metrics)
+        return "";
     updateRegistry(current);
     return registry.prometheusText();
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -52,11 +53,15 @@ struct ObsConfig
     /** Health snapshots retained (ring; oldest dropped). */
     std::size_t maxSnapshots = 4096;
 
+    /** Flight recorder (seer-flight forensics); default off. */
+    FlightRecorderConfig flightRecorder;
+
     /** True when any sink is active. */
     bool
     enabled() const
     {
-        return metrics || tracing || snapshotIntervalSeconds > 0.0;
+        return metrics || tracing || snapshotIntervalSeconds > 0.0 ||
+               flightRecorder.enabled();
     }
 };
 
@@ -132,6 +137,10 @@ class Observability
     ExecutionTracer *tracer() { return tracerPtr.get(); }
     const ExecutionTracer *tracer() const { return tracerPtr.get(); }
 
+    /** The flight recorder, or nullptr when it is off. */
+    FlightRecorder *flight() { return flightPtr.get(); }
+    const FlightRecorder *flight() const { return flightPtr.get(); }
+
     /** Record one feed's processing latency (microseconds). */
     void recordFeedLatency(double micros);
 
@@ -153,7 +162,8 @@ class Observability
         return history;
     }
 
-    /** Refresh the registry from `current` and render Prometheus. */
+    /** Refresh the registry from `current` and render Prometheus.
+     *  Empty when metrics are off (e.g. a flight-only config). */
     std::string prometheusText(const HealthSample &current);
 
     /** The snapshot series as newline-separated JSON lines. */
@@ -163,6 +173,7 @@ class Observability
     ObsConfig cfg;
     MetricsRegistry registry;
     std::unique_ptr<ExecutionTracer> tracerPtr;
+    std::unique_ptr<FlightRecorder> flightPtr;
     Histogram *feedLatencyHist = nullptr;
     std::vector<HealthSample> history;
     double lastSnapshotTime = 0.0;

@@ -77,6 +77,23 @@ ExecutionTracer::annotate(std::uint64_t group, double time,
 }
 
 void
+ExecutionTracer::addTransitions(std::uint64_t group,
+                                std::vector<SpanTransition> transitions)
+{
+    auto it = open.find(group);
+    if (it == open.end())
+        return;
+    std::vector<SpanTransition> &dest = it->second.transitions;
+    if (dest.empty()) {
+        dest = std::move(transitions);
+    } else {
+        dest.insert(dest.end(),
+                    std::make_move_iterator(transitions.begin()),
+                    std::make_move_iterator(transitions.end()));
+    }
+}
+
+void
 ExecutionTracer::endSpan(std::uint64_t group, double time,
                          SpanEnd reason, const std::string &task,
                          std::uint64_t messages)
@@ -146,6 +163,21 @@ ExecutionTracer::appendSpanJson(std::string &out,
                std::to_string(traceMicros(event.time)) +
                ",\"pid\":1,\"tid\":" + std::to_string(span.group) +
                ",\"s\":\"t\"}";
+    }
+    // Transition slices nest under the span in Perfetto because they
+    // share its tid and fall inside its [start, end] window.
+    for (const SpanTransition &transition : span.transitions) {
+        comma();
+        out += "{\"name\":\"" + transition.name +
+               "\",\"cat\":\"transition\",\"ph\":\"X\",\"ts\":" +
+               std::to_string(traceMicros(transition.start)) +
+               ",\"dur\":" +
+               std::to_string(
+                   traceMicros(transition.start + transition.dur) -
+                   traceMicros(transition.start)) +
+               ",\"pid\":1,\"tid\":" + std::to_string(span.group) +
+               ",\"args\":{\"overBudget\":" +
+               (transition.overBudget ? "true" : "false") + "}}";
     }
 }
 

@@ -68,6 +68,20 @@ struct SpanEvent
     ConsumeAnnotation kind = ConsumeAnnotation::Decisive;
 };
 
+/**
+ * One automaton transition rendered as a child slice of its
+ * execution span (seer-flight, DESIGN.md §12). Nested "X" events on
+ * the span's tid, so Perfetto stacks per-edge latency under the
+ * execution.
+ */
+struct SpanTransition
+{
+    std::string name; ///< e.g. "e3->e5"
+    double start = 0.0;
+    double dur = 0.0;
+    bool overBudget = false;
+};
+
 /** One automaton group's recorded life. */
 struct ExecutionSpan
 {
@@ -79,6 +93,7 @@ struct ExecutionSpan
     std::string task; ///< resolved task name ("" until known)
     std::uint64_t messages = 0;
     std::vector<SpanEvent> events;
+    std::vector<SpanTransition> transitions;
 };
 
 /** Recorder for per-execution spans with bounded retention. */
@@ -93,6 +108,13 @@ class ExecutionTracer
     /** Record a consume outcome on an open span (no-op if unknown). */
     void annotate(std::uint64_t group, double time,
                   ConsumeAnnotation kind);
+
+    /**
+     * Attach per-transition child slices to an open span (seer-flight;
+     * call before endSpan). No-op for unknown groups.
+     */
+    void addTransitions(std::uint64_t group,
+                        std::vector<SpanTransition> transitions);
 
     /**
      * Close a span. `task` is the group's resolved (or most likely)

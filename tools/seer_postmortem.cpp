@@ -1,0 +1,381 @@
+/**
+ * @file
+ * seer-postmortem: offline renderer for seer-flight forensic bundles
+ * (DESIGN.md §12).
+ *
+ * Consumes the bundle stream the monitor's flight recorder emits (one
+ * {"kind":"BUNDLE",...} object per line — forensicBundleJsonLines, or
+ * bench_resilience --bundles-out) and renders each failure with its
+ * raw-log context for a terminal. Three modes:
+ *
+ *     seer-postmortem bundles.jsonl            # render every bundle
+ *     seer-postmortem --list bundles.jsonl     # one line per bundle
+ *     seer-postmortem --index 2 bundles.jsonl  # render bundle 2 only
+ *
+ * Non-BUNDLE lines are skipped, so the tool can be pointed at a mixed
+ * report stream. Reads stdin when no file is given. The parser is a
+ * purpose-built scanner for the bundle schema (strings with JSON
+ * escapes, one level of nesting plus the report object), not a general
+ * JSON parser — the monitor is the only producer.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** Position just past `"key":` at or after `from`, or npos. */
+std::size_t
+afterKey(const std::string &s, const std::string &key, std::size_t from = 0)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t at = s.find(needle, from);
+    return at == std::string::npos ? std::string::npos
+                                   : at + needle.size();
+}
+
+/**
+ * Decode the JSON string starting at `pos` (which must point at the
+ * opening quote). Advances `pos` past the closing quote. Handles the
+ * escapes the monitor emits (\" \\ \n \r \t \uXXXX).
+ */
+std::string
+parseString(const std::string &s, std::size_t &pos)
+{
+    std::string out;
+    if (pos >= s.size() || s[pos] != '"')
+        return out;
+    ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+        char c = s[pos];
+        if (c == '\\' && pos + 1 < s.size()) {
+            char esc = s[pos + 1];
+            pos += 2;
+            switch (esc) {
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u':
+                if (pos + 4 <= s.size()) {
+                    unsigned code = static_cast<unsigned>(
+                        std::strtoul(s.substr(pos, 4).c_str(), nullptr,
+                                     16));
+                    out += static_cast<char>(code & 0xff);
+                    pos += 4;
+                }
+                break;
+              default: out += esc; break;
+            }
+        } else {
+            out += c;
+            ++pos;
+        }
+    }
+    if (pos < s.size())
+        ++pos; // closing quote
+    return out;
+}
+
+/** String value of `"key":"..."` at or after `from` ("" if absent). */
+std::string
+stringValue(const std::string &s, const std::string &key,
+            std::size_t from = 0)
+{
+    std::size_t pos = afterKey(s, key, from);
+    if (pos == std::string::npos)
+        return "";
+    return parseString(s, pos);
+}
+
+/** Numeric value of `"key":N` at or after `from` (0.0 if absent). */
+double
+numberValue(const std::string &s, const std::string &key,
+            std::size_t from = 0)
+{
+    std::size_t pos = afterKey(s, key, from);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::atof(s.c_str() + pos);
+}
+
+/**
+ * The balanced {...} or [...] starting at `pos`, respecting strings.
+ * Returns "" when `pos` does not point at the opening bracket.
+ */
+std::string
+extractBalanced(const std::string &s, std::size_t pos)
+{
+    if (pos >= s.size() || (s[pos] != '{' && s[pos] != '['))
+        return "";
+    char open = s[pos];
+    char close = open == '{' ? '}' : ']';
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = pos; i < s.size(); ++i) {
+        char c = s[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == open)
+            ++depth;
+        else if (c == close && --depth == 0)
+            return s.substr(pos, i - pos + 1);
+    }
+    return "";
+}
+
+/** Items of a flat string array `"key":["a","b"]` after `from`. */
+std::vector<std::string>
+stringArray(const std::string &s, const std::string &key,
+            std::size_t from = 0)
+{
+    std::vector<std::string> out;
+    std::size_t pos = afterKey(s, key, from);
+    if (pos == std::string::npos || pos >= s.size() || s[pos] != '[')
+        return out;
+    ++pos;
+    while (pos < s.size() && s[pos] != ']') {
+        if (s[pos] == '"')
+            out.push_back(parseString(s, pos));
+        else
+            ++pos;
+    }
+    return out;
+}
+
+bool
+isBundleLine(const std::string &line)
+{
+    return line.find("\"kind\":\"BUNDLE\"") != std::string::npos;
+}
+
+/** One context-array entry, pre-parsed for rendering. */
+struct Context
+{
+    std::string node;
+    double time = 0.0;
+    std::string line;
+};
+
+std::vector<Context>
+parseContext(const std::string &bundle)
+{
+    std::vector<Context> out;
+    std::size_t pos = afterKey(bundle, "context");
+    if (pos == std::string::npos)
+        return out;
+    std::string array = extractBalanced(bundle, pos);
+    std::size_t at = 0;
+    while ((at = array.find('{', at)) != std::string::npos) {
+        std::string object = extractBalanced(array, at);
+        if (object.empty())
+            break;
+        Context entry;
+        entry.node = stringValue(object, "node");
+        entry.time = numberValue(object, "time");
+        entry.line = stringValue(object, "line");
+        out.push_back(std::move(entry));
+        at += object.size();
+    }
+    return out;
+}
+
+std::string
+joined(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += items[i];
+    }
+    return out;
+}
+
+void
+printListRow(std::size_t index, const std::string &bundle)
+{
+    std::printf("%4zu  %-8s %-14s t=%9.3f  context=%zu\n", index,
+                stringValue(bundle, "reason").c_str(),
+                stringValue(bundle, "task").c_str(),
+                numberValue(bundle, "time"),
+                parseContext(bundle).size());
+}
+
+void
+printBundle(std::size_t index, const std::string &bundle)
+{
+    std::printf("bundle %zu: %s task=%s @ t=%.3f (group %.0f)\n", index,
+                stringValue(bundle, "reason").c_str(),
+                stringValue(bundle, "task").c_str(),
+                numberValue(bundle, "time"),
+                numberValue(bundle, "group"));
+
+    std::vector<std::string> ids = stringArray(bundle, "identifiers");
+    if (!ids.empty())
+        std::printf("  identifiers: %s\n", joined(ids).c_str());
+
+    std::size_t reportAt = afterKey(bundle, "report");
+    std::string report = reportAt == std::string::npos
+                             ? std::string()
+                             : extractBalanced(bundle, reportAt);
+    if (!report.empty()) {
+        std::printf("  duration %.3fs (start %.3fs, %.0f messages%s)\n",
+                    numberValue(report, "duration"),
+                    numberValue(report, "start"),
+                    numberValue(report, "messages"),
+                    report.find("\"endOfStream\":true") !=
+                            std::string::npos
+                        ? ", end of stream"
+                        : "");
+        std::vector<std::string> candidates =
+            stringArray(report, "candidates");
+        if (candidates.size() > 1) {
+            std::printf("  ambiguity alternatives: %s\n",
+                        joined(candidates).c_str());
+        }
+        std::vector<std::string> states = stringArray(report, "states");
+        if (!states.empty())
+            std::printf("  at state: %s\n", joined(states).c_str());
+        std::vector<std::string> expected =
+            stringArray(report, "expected");
+        if (!expected.empty())
+            std::printf("  expected next: %s\n",
+                        joined(expected).c_str());
+
+        std::size_t latencyAt = afterKey(report, "latency");
+        if (latencyAt != std::string::npos) {
+            std::string latency = extractBalanced(report, latencyAt);
+            std::printf("  latency: total %.3fs vs budget %.3fs\n",
+                        numberValue(latency, "total"),
+                        numberValue(latency, "budget"));
+            // Per-edge rows, slowest story first: only the edges that
+            // ran over their own budget are worth terminal space.
+            std::size_t edgesAt = afterKey(latency, "edges");
+            std::string edges =
+                edgesAt == std::string::npos
+                    ? std::string()
+                    : extractBalanced(latency, edgesAt);
+            std::size_t at = 0;
+            while ((at = edges.find('{', at)) != std::string::npos) {
+                std::string edge = extractBalanced(edges, at);
+                if (edge.empty())
+                    break;
+                if (edge.find("\"exceeded\":true") !=
+                    std::string::npos) {
+                    std::printf("    slow: %s -> %s  %.3fs (budget "
+                                "%.3fs)\n",
+                                stringValue(edge, "fromLabel").c_str(),
+                                stringValue(edge, "toLabel").c_str(),
+                                numberValue(edge, "elapsed"),
+                                numberValue(edge, "budget"));
+                }
+                at += edge.size();
+            }
+        }
+    }
+
+    std::vector<Context> context = parseContext(bundle);
+    std::printf("  context (%zu lines):\n", context.size());
+    for (const Context &entry : context) {
+        std::printf("    [%9.3f] %-12s %s\n", entry.time,
+                    entry.node.c_str(), entry.line.c_str());
+    }
+}
+
+int
+usage(std::ostream &out, int status)
+{
+    out << "usage: seer-postmortem [--list | --index N] "
+           "[bundles.jsonl]\n"
+           "  (default) render every forensic bundle\n"
+           "  --list    one summary line per bundle\n"
+           "  --index N render only bundle N (0-based)\n"
+           "reads stdin when no file is given\n";
+    return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool listMode = false;
+    long index = -1;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            listMode = true;
+        } else if (arg == "--index") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            index = std::atol(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(std::cerr, 2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage(std::cerr, 2);
+        }
+    }
+    if (listMode && index >= 0)
+        return usage(std::cerr, 2);
+
+    std::istream *in = &std::cin;
+    std::ifstream file;
+    if (!path.empty()) {
+        file.open(path);
+        if (!file) {
+            std::cerr << "seer-postmortem: cannot open " << path
+                      << "\n";
+            return 2;
+        }
+        in = &file;
+    }
+
+    std::vector<std::string> bundles;
+    std::string line;
+    while (std::getline(*in, line))
+        if (isBundleLine(line))
+            bundles.push_back(line);
+    if (bundles.empty()) {
+        std::cerr << "seer-postmortem: no BUNDLE records found\n";
+        return 1;
+    }
+
+    if (index >= 0) {
+        if (static_cast<std::size_t>(index) >= bundles.size()) {
+            std::cerr << "seer-postmortem: index " << index
+                      << " out of range (have " << bundles.size()
+                      << " bundles)\n";
+            return 2;
+        }
+        printBundle(static_cast<std::size_t>(index),
+                    bundles[static_cast<std::size_t>(index)]);
+        return 0;
+    }
+    if (listMode) {
+        for (std::size_t i = 0; i < bundles.size(); ++i)
+            printListRow(i, bundles[i]);
+        return 0;
+    }
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+        if (i > 0)
+            std::printf("\n");
+        printBundle(i, bundles[i]);
+    }
+    return 0;
+}

@@ -9,10 +9,13 @@
  *     seer-stats health.jsonl            # one table row per snapshot
  *     seer-stats --last health.jsonl     # detailed view, final sample
  *     seer-stats --follow health.jsonl   # tail the file as it grows
+ *     seer-stats --summary report.jsonl  # final {"kind":"SUMMARY"}
  *
- * Lines whose kind is not HEALTH (e.g. interleaved SUMMARY records)
- * are skipped, so the tool can be pointed at a mixed report stream.
- * Reads stdin when no file is given (not with --follow).
+ * The first three modes read HEALTH snapshots and skip everything
+ * else; --summary reads the trailing checker+ingest SUMMARY record a
+ * wire_replay / monitor_cloud report stream closes with, so those
+ * runs are self-describing without a debugger. Reads stdin when no
+ * file is given (not with --follow).
  */
 
 #include <chrono>
@@ -72,6 +75,50 @@ bool
 isHealthLine(const std::string &line)
 {
     return line.find("\"kind\":\"HEALTH\"") != std::string::npos;
+}
+
+bool
+isSummaryLine(const std::string &line)
+{
+    return line.find("\"kind\":\"SUMMARY\"") != std::string::npos;
+}
+
+/** Detailed view of one {"kind":"SUMMARY"} checker+ingest record. */
+void
+printSummary(const std::string &line)
+{
+    auto row = [](const char *label, double value) {
+        std::printf("  %-28s %.6g\n", label, value);
+    };
+    std::printf("run summary @ t=%.3f\n", numberValue(line, "time"));
+    std::printf("checker:\n");
+    row("messages", numberValue(line, "messages"));
+    row("decisive", numberValue(line, "decisive"));
+    row("ambiguous", numberValue(line, "ambiguous"));
+    std::size_t rec = sectionStart(line, "recoveries");
+    row("recovery a (pass unknown)", numberValue(line, "a", rec));
+    row("recovery b (new sequence)", numberValue(line, "b", rec));
+    row("recovery c (other set)", numberValue(line, "c", rec));
+    row("recovery d (false dep)", numberValue(line, "d", rec));
+    row("unmatched", numberValue(line, "unmatched"));
+    row("accepted", numberValue(line, "accepted"));
+    row("errors reported", numberValue(line, "errors"));
+    row("timeouts reported", numberValue(line, "timeouts"));
+    row("timeouts suppressed",
+        numberValue(line, "timeoutsSuppressed"));
+    row("latency anomalies", numberValue(line, "latencyAnomalies"));
+    row("groups shed", numberValue(line, "shed"));
+    row("consume attempts", numberValue(line, "consumeAttempts"));
+    row("decisive fraction", numberValue(line, "decisiveFraction"));
+    std::printf("ingest:\n");
+    std::size_t ing = sectionStart(line, "ingest");
+    row("lines", numberValue(line, "lines", ing));
+    row("delivered", numberValue(line, "delivered", ing));
+    row("malformed", numberValue(line, "malformed", ing));
+    row("clamped", numberValue(line, "clamped", ing));
+    row("duplicates suppressed", numberValue(line, "duplicates", ing));
+    row("forced releases", numberValue(line, "forcedReleases", ing));
+    row("reorder-buffer peak", numberValue(line, "reorderPeak", ing));
 }
 
 void
@@ -154,10 +201,12 @@ printDetail(const std::string &line)
 int
 usage(std::ostream &out, int status)
 {
-    out << "usage: seer-stats [--last | --follow] [health.jsonl]\n"
+    out << "usage: seer-stats [--last | --follow | --summary] "
+           "[stream.jsonl]\n"
            "  (default) one table row per HEALTH snapshot\n"
            "  --last    detailed view of the final snapshot\n"
            "  --follow  tail the file, printing rows as they appear\n"
+           "  --summary detailed view of the trailing SUMMARY record\n"
            "reads stdin when no file is given (except --follow)\n";
     return status;
 }
@@ -198,6 +247,7 @@ main(int argc, char **argv)
 {
     bool lastOnly = false;
     bool tailMode = false;
+    bool summaryMode = false;
     std::string path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -205,6 +255,8 @@ main(int argc, char **argv)
             lastOnly = true;
         } else if (arg == "--follow" || arg == "-f") {
             tailMode = true;
+        } else if (arg == "--summary") {
+            summaryMode = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage(std::cout, 0);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -216,10 +268,12 @@ main(int argc, char **argv)
         }
     }
     if (tailMode) {
-        if (lastOnly || path.empty())
+        if (lastOnly || summaryMode || path.empty())
             return usage(std::cerr, 2);
         return follow(path);
     }
+    if (summaryMode && lastOnly)
+        return usage(std::cerr, 2);
 
     std::istream *in = &std::cin;
     std::ifstream file;
@@ -235,11 +289,17 @@ main(int argc, char **argv)
     std::vector<std::string> samples;
     std::string line;
     while (std::getline(*in, line))
-        if (isHealthLine(line))
+        if (summaryMode ? isSummaryLine(line) : isHealthLine(line))
             samples.push_back(line);
     if (samples.empty()) {
-        std::cerr << "seer-stats: no HEALTH records found\n";
+        std::cerr << "seer-stats: no "
+                  << (summaryMode ? "SUMMARY" : "HEALTH")
+                  << " records found\n";
         return 1;
+    }
+    if (summaryMode) {
+        printSummary(samples.back());
+        return 0;
     }
     if (lastOnly) {
         printDetail(samples.back());
