@@ -24,14 +24,31 @@
  * flighted path falls more than 15% behind uninstrumented — the
  * DESIGN.md §12 ingest-overhead bar.
  *
+ * With --vault, a fifth path runs the indexed checker under the
+ * seer-vault write discipline: every message appends a group-committed
+ * ledger frame (lines synthesised outside the timed region, as with
+ * --flight). The vaulted path and a bare indexed baseline are timed
+ * back-to-back, best of three alternating runs each, so the reported
+ * `vault_overhead` is a paired measurement rather than a ratio
+ * against a pass taken seconds earlier — at these per-message scales
+ * run-to-run drift otherwise swamps the signal. The warning fires
+ * above the same 15% ingest bar — DESIGN.md §13's durability-cost
+ * claim as a number in the artifact. Checkpoint cost is periodic, not
+ * per-message (deployments snapshot every seconds-to-minutes, and
+ * bench_soak charts it at a realistic cadence under kill/restore), so
+ * each level times one full checker+interner checkpoint outside the
+ * message loop and reports `vault_checkpoint_ms` / `_bytes`
+ * separately instead of folding it into the rate.
+ *
  * Usage: bench_throughput [--smoke] [--check <baseline.json>]
- *                         [--out <path>] [--obs] [--flight]
+ *                         [--out <path>] [--obs] [--flight] [--vault]
  *                         [--trace-out <trace.json>]
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -46,6 +63,7 @@
 #include "logging/template_catalog.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
+#include "vault/vault.hpp"
 
 using namespace cloudseer;
 
@@ -138,12 +156,55 @@ struct FlightPath
     const core::LatencyProfile *profile = nullptr;
 };
 
+/** Seer-vault write discipline for the vaulted path: the ledger every
+ *  message is framed into (lines built outside the timed region, as
+ *  with --flight). */
+struct VaultPath
+{
+    vault::WriteAheadLedger *ledger = nullptr;
+    const std::vector<std::string> *rawLines = nullptr;
+    std::string checkpointFile;
+};
+
+/** Snapshot checker + interner into a checkpoint image and rotate the
+ *  ledger — the same work VaultedMonitor::checkpoint() does, at the
+ *  checker level this bench drives. Returns the image size in bytes
+ *  (0 on failure). */
+std::uint64_t
+vaultCheckpoint(const VaultPath &path,
+                const core::InterleavedChecker &checker,
+                const core::TaskAutomaton &automaton,
+                std::uint64_t covered_seq, double now)
+{
+    vault::CheckpointMeta meta;
+    meta.modelFingerprint = core::modelFingerprint({&automaton});
+    meta.coveredSeq = covered_seq;
+    meta.monitorTime = now;
+    common::BinWriter interner_out;
+    logging::IdentifierInterner::process().snapshotState(interner_out);
+    common::BinWriter checker_out;
+    checker.saveState(checker_out);
+    std::vector<std::pair<vault::CheckpointSection, std::string>>
+        sections;
+    sections.emplace_back(vault::CheckpointSection::Meta,
+                          vault::encodeMeta(meta));
+    sections.emplace_back(vault::CheckpointSection::Interner,
+                          interner_out.takeBytes());
+    sections.emplace_back(vault::CheckpointSection::Monitor,
+                          checker_out.takeBytes());
+    std::uint64_t bytes =
+        vault::writeCheckpoint(path.checkpointFile, sections);
+    path.ledger->rotate();
+    return bytes;
+}
+
 PathResult
 runPath(const core::TaskAutomaton &automaton,
         const std::vector<core::CheckMessage> &schedule,
         bool routing_index, obs::Observability *sinks = nullptr,
         std::string *trace_json = nullptr,
-        const FlightPath *flight = nullptr)
+        const FlightPath *flight = nullptr,
+        const VaultPath *vaulted = nullptr)
 {
     core::CheckerConfig config;
     config.routingIndex = routing_index;
@@ -163,6 +224,10 @@ runPath(const core::TaskAutomaton &automaton,
         if (flight != nullptr && flight->recorder != nullptr)
             flight->recorder->record("bench-node", message.time,
                                      (*flight->rawLines)[i]);
+        if (vaulted != nullptr) {
+            vaulted->ledger->appendLine(i + 1,
+                                        (*vaulted->rawLines)[i]);
+        }
         checker.feed(message);
         Clock::time_point after = Clock::now();
         double micros =
@@ -199,6 +264,11 @@ struct LevelResult
     bool hasObserved = false;
     PathResult flighted; ///< indexed + seer-flight (--flight only)
     bool hasFlighted = false;
+    PathResult vaulted; ///< indexed + seer-vault writes (--vault only)
+    bool hasVaulted = false;
+    PathResult vaultBase; ///< paired bare-indexed baseline (--vault)
+    double vaultCheckpointMs = 0.0; ///< one full snapshot, timed alone
+    std::uint64_t vaultCheckpointBytes = 0;
 
     double
     speedup() const
@@ -221,6 +291,17 @@ struct LevelResult
     {
         return indexed.mps > 0.0 && hasFlighted
                    ? 1.0 - flighted.mps / indexed.mps
+                   : 0.0;
+    }
+
+    /** Fractional slowdown of the vault-enabled path, relative to the
+     *  baseline timed back-to-back with it (not the indexed pass from
+     *  earlier in the level — pairing cancels run-to-run drift). */
+    double
+    vaultOverhead() const
+    {
+        return vaultBase.mps > 0.0 && hasVaulted
+                   ? 1.0 - vaulted.mps / vaultBase.mps
                    : 0.0;
     }
 };
@@ -273,6 +354,20 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
                 << ", \"p99_us\": " << level.flighted.p99us << "}"
                 << ",\n     \"flight_overhead\": "
                 << level.flightOverhead();
+        }
+        if (level.hasVaulted) {
+            out << ",\n     \"indexed_vault\": {\"mps\": "
+                << level.vaulted.mps
+                << ", \"p50_us\": " << level.vaulted.p50us
+                << ", \"p99_us\": " << level.vaulted.p99us << "}"
+                << ",\n     \"vault_base_mps\": "
+                << level.vaultBase.mps
+                << ",\n     \"vault_overhead\": "
+                << level.vaultOverhead()
+                << ",\n     \"vault_checkpoint_ms\": "
+                << level.vaultCheckpointMs
+                << ",\n     \"vault_checkpoint_bytes\": "
+                << level.vaultCheckpointBytes;
         }
         out << ",\n     \"speedup\": " << level.speedup() << "}"
             << (i + 1 < levels.size() ? "," : "") << "\n";
@@ -344,6 +439,7 @@ main(int argc, char **argv)
     bool smoke = false;
     bool with_obs = false;
     bool with_flight = false;
+    bool with_vault = false;
     std::string check_path;
     std::string out_path = "BENCH_throughput.json";
     std::string trace_path;
@@ -354,6 +450,8 @@ main(int argc, char **argv)
             with_obs = true;
         } else if (std::strcmp(argv[i], "--flight") == 0) {
             with_flight = true;
+        } else if (std::strcmp(argv[i], "--vault") == 0) {
+            with_vault = true;
         } else if (std::strcmp(argv[i], "--check") == 0 &&
                    i + 1 < argc) {
             check_path = argv[++i];
@@ -366,7 +464,7 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--check baseline.json] "
-                         "[--out path] [--obs] [--flight] "
+                         "[--out path] [--obs] [--flight] [--vault] "
                          "[--trace-out path]\n",
                          argv[0]);
             return 2;
@@ -450,6 +548,62 @@ main(int argc, char **argv)
                                      nullptr, &flight);
             level.hasFlighted = true;
         }
+        if (with_vault) {
+            std::string vault_dir = "bench_vault.tmp";
+            std::filesystem::create_directories(vault_dir);
+            std::vector<std::string> raw_lines;
+            raw_lines.reserve(schedule.size());
+            for (const core::CheckMessage &message : schedule) {
+                raw_lines.push_back(
+                    "bench-node svc step record=" +
+                    std::to_string(message.record));
+            }
+            vault::WriteAheadLedger ledger(vault_dir + "/ledger.wal");
+            VaultPath vaulted;
+            vaulted.ledger = &ledger;
+            vaulted.rawLines = &raw_lines;
+            vaulted.checkpointFile = vault_dir + "/checkpoint.ckpt";
+            // Paired best-of-three: alternate the bare baseline and
+            // the vaulted run so the overhead ratio is taken between
+            // adjacent measurements (frequency scaling and cache
+            // state drift across a level otherwise dwarf the
+            // ~150ns/msg the ledger append actually costs).
+            for (int rep = 0; rep < 3; ++rep) {
+                PathResult base =
+                    runPath(automaton, schedule, true);
+                ledger.rotate(); // each rep appends to a fresh ledger
+                PathResult vlt =
+                    runPath(automaton, schedule, true, nullptr,
+                            nullptr, nullptr, &vaulted);
+                if (base.mps > level.vaultBase.mps)
+                    level.vaultBase = base;
+                if (vlt.mps > level.vaulted.mps)
+                    level.vaulted = vlt;
+            }
+            level.hasVaulted = true;
+            // Checkpoint cost is periodic, not per-message: time one
+            // full checker+interner snapshot against a checker that
+            // has absorbed the whole schedule, outside the rate loop.
+            {
+                core::CheckerConfig ckpt_config;
+                ckpt_config.routingIndex = true;
+                core::InterleavedChecker checker(ckpt_config,
+                                                 {&automaton});
+                for (const core::CheckMessage &message : schedule)
+                    checker.feed(message);
+                auto t0 = std::chrono::steady_clock::now();
+                level.vaultCheckpointBytes = vaultCheckpoint(
+                    vaulted, checker, automaton, schedule.size(),
+                    schedule.back().time);
+                level.vaultCheckpointMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                checker.finish(schedule.back().time + 1.0);
+            }
+            std::error_code ec;
+            std::filesystem::remove_all(vault_dir, ec);
+        }
         std::printf("  %-9d %-10d %-12.0f %-12.0f %-12.1f %-12.1f "
                     "%-8.2f\n",
                     level.inflight, level.messages, level.indexed.mps,
@@ -480,11 +634,28 @@ main(int argc, char **argv)
                             100.0 * level.flightOverhead(), inflight);
             }
         }
+        if (level.hasVaulted) {
+            std::printf("  vault: %-d in-flight vaulted %.0f mps "
+                        "(overhead %.1f%% vs paired %.0f mps, "
+                        "checkpoint %.2f ms / %llu bytes)\n",
+                        inflight, level.vaulted.mps,
+                        100.0 * level.vaultOverhead(),
+                        level.vaultBase.mps, level.vaultCheckpointMs,
+                        static_cast<unsigned long long>(
+                            level.vaultCheckpointBytes));
+            if (level.vaultOverhead() > 0.15) {
+                std::printf("  WARN: vault overhead %.1f%% exceeds "
+                            "the 15%% ingest bar at %d in-flight\n",
+                            100.0 * level.vaultOverhead(), inflight);
+            }
+        }
         if (level.indexed.accepted != level.scan.accepted ||
             (level.hasObserved &&
              level.observed.accepted != level.indexed.accepted) ||
             (level.hasFlighted &&
-             level.flighted.accepted != level.indexed.accepted)) {
+             level.flighted.accepted != level.indexed.accepted) ||
+            (level.hasVaulted &&
+             level.vaulted.accepted != level.indexed.accepted)) {
             std::fprintf(stderr,
                          "FAIL: paths diverged at %d in-flight "
                          "(indexed accepted %llu, scan %llu, "

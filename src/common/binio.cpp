@@ -1,0 +1,239 @@
+#include "common/binio.hpp"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace cloudseer::common {
+
+namespace {
+
+/** Lazily built slicing-by-4 CRC-32 tables (reflected 0xEDB88320).
+ *  Table 0 is the classic byte-at-a-time table; tables 1-3 fold four
+ *  input bytes per iteration, which matters because the write-ahead
+ *  ledger checksums every frame on the ingest hot path. */
+const std::uint32_t (*crcTables())[256]
+{
+    static const auto tables = [] {
+        std::vector<std::array<std::uint32_t, 256>> t(4);
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = t[0][i];
+            for (int k = 1; k < 4; ++k) {
+                c = t[0][c & 0xFFu] ^ (c >> 8);
+                t[static_cast<std::size_t>(k)][i] = c;
+            }
+        }
+        return t;
+    }();
+    return reinterpret_cast<const std::uint32_t(*)[256]>(
+        tables.data());
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view data)
+{
+    const std::uint32_t(*t)[256] = crcTables();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const char *p = data.data();
+    std::size_t n = data.size();
+    while (n >= 4) {
+        // Byte-assembled little-endian load: compiles to one mov on
+        // LE hosts, stays correct elsewhere.
+        const auto *u = reinterpret_cast<const unsigned char *>(p);
+        crc ^= static_cast<std::uint32_t>(u[0]) |
+               (static_cast<std::uint32_t>(u[1]) << 8) |
+               (static_cast<std::uint32_t>(u[2]) << 16) |
+               (static_cast<std::uint32_t>(u[3]) << 24);
+        crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+              t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+        p += 4;
+        n -= 4;
+    }
+    while (n-- > 0) {
+        crc = t[0][(crc ^ static_cast<unsigned char>(*p++)) & 0xFFu] ^
+              (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+void
+BinWriter::writeU8(std::uint8_t value)
+{
+    buffer.push_back(static_cast<char>(value));
+}
+
+void
+BinWriter::writeU32(std::uint32_t value)
+{
+    // Encode on the stack and append once: byte-wise push_back pays a
+    // capacity check per byte, which shows up in the WAL hot path.
+    char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+    buffer.append(bytes, 4);
+}
+
+void
+BinWriter::writeU64(std::uint64_t value)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+    buffer.append(bytes, 8);
+}
+
+void
+BinWriter::writeI64(std::int64_t value)
+{
+    writeU64(static_cast<std::uint64_t>(value));
+}
+
+void
+BinWriter::writeF64(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    writeU64(bits);
+}
+
+void
+BinWriter::writeString(std::string_view value)
+{
+    writeU64(value.size());
+    buffer.append(value.data(), value.size());
+}
+
+void
+BinWriter::writeU32Vector(const std::vector<std::uint32_t> &values)
+{
+    writeU64(values.size());
+    for (std::uint32_t v : values)
+        writeU32(v);
+}
+
+void
+BinWriter::writeU64Vector(const std::vector<std::uint64_t> &values)
+{
+    writeU64(values.size());
+    for (std::uint64_t v : values)
+        writeU64(v);
+}
+
+bool
+BinReader::take(std::size_t n, const char **out)
+{
+    if (failed || input.size() - cursor < n) {
+        failed = true;
+        return false;
+    }
+    *out = input.data() + cursor;
+    cursor += n;
+    return true;
+}
+
+std::uint8_t
+BinReader::readU8()
+{
+    const char *p = nullptr;
+    if (!take(1, &p))
+        return 0;
+    return static_cast<std::uint8_t>(*p);
+}
+
+std::uint32_t
+BinReader::readU32()
+{
+    const char *p = nullptr;
+    if (!take(4, &p))
+        return 0;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+BinReader::readU64()
+{
+    const char *p = nullptr;
+    if (!take(8, &p))
+        return 0;
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::int64_t
+BinReader::readI64()
+{
+    return static_cast<std::int64_t>(readU64());
+}
+
+double
+BinReader::readF64()
+{
+    std::uint64_t bits = readU64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::string
+BinReader::readString()
+{
+    std::uint64_t length = readU64();
+    if (failed || length > input.size() - cursor) {
+        failed = true;
+        return {};
+    }
+    const char *p = nullptr;
+    take(static_cast<std::size_t>(length), &p);
+    return failed ? std::string()
+                  : std::string(p, static_cast<std::size_t>(length));
+}
+
+std::vector<std::uint32_t>
+BinReader::readU32Vector()
+{
+    std::uint64_t count = readU64();
+    if (failed || count > (input.size() - cursor) / 4) {
+        failed = true;
+        return {};
+    }
+    std::vector<std::uint32_t> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && !failed; ++i)
+        out.push_back(readU32());
+    return out;
+}
+
+std::vector<std::uint64_t>
+BinReader::readU64Vector()
+{
+    std::uint64_t count = readU64();
+    if (failed || count > (input.size() - cursor) / 8) {
+        failed = true;
+        return {};
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && !failed; ++i)
+        out.push_back(readU64());
+    return out;
+}
+
+} // namespace cloudseer::common

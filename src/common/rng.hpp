@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "common/error.hpp"
 
 namespace cloudseer::common {
@@ -103,6 +105,35 @@ class Rng
 
     /** Access the underlying engine (for std::shuffle). */
     std::mt19937_64 &raw() { return engine; }
+
+    /**
+     * Serialise the full engine state (seer-vault). mt19937_64 defines
+     * textual stream operators over its 312-word state; the text form
+     * is portable across processes, which is exactly the checkpoint
+     * use case.
+     */
+    void
+    saveState(BinWriter &out) const
+    {
+        std::ostringstream text;
+        text << engine;
+        out.writeString(text.str());
+    }
+
+    /** Restore an engine state written by saveState. */
+    bool
+    restoreState(BinReader &in)
+    {
+        std::istringstream text(in.readString());
+        if (!in.ok())
+            return false;
+        text >> engine;
+        if (text.fail()) {
+            in.fail();
+            return false;
+        }
+        return true;
+    }
 
   private:
     std::mt19937_64 engine;

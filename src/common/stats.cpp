@@ -107,6 +107,34 @@ DetectionStats::merge(const DetectionStats &other)
     falseNegatives += other.falseNegatives;
 }
 
+void
+SampleStats::saveState(BinWriter &out) const
+{
+    out.writeU64(samples.size());
+    for (double sample : samples)
+        out.writeF64(sample);
+    out.writeF64(total);
+}
+
+bool
+SampleStats::restoreState(BinReader &in)
+{
+    std::uint64_t count = in.readU64();
+    if (!in.ok())
+        return false;
+    std::vector<double> restored;
+    restored.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && in.ok(); ++i)
+        restored.push_back(in.readF64());
+    double restored_total = in.readF64();
+    if (!in.ok())
+        return false;
+    samples = std::move(restored);
+    sorted = false;
+    total = restored_total;
+    return true;
+}
+
 std::string
 formatRange(const SampleStats &stats, int precision)
 {

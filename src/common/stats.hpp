@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.hpp"
+
 namespace cloudseer::common {
 
 /**
@@ -47,6 +49,12 @@ class SampleStats
 
     /** Sum of all samples. */
     double sum() const { return total; }
+
+    /** Serialise every retained sample (seer-vault, DESIGN.md §13). */
+    void saveState(BinWriter &out) const;
+
+    /** Replace this accumulator with a saved one. */
+    bool restoreState(BinReader &in);
 
   private:
     mutable std::vector<double> samples;

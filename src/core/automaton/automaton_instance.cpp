@@ -207,4 +207,121 @@ AutomatonInstance::sameState(const AutomatonInstance &other) const
     return done == other.done;
 }
 
+namespace {
+
+void
+writeIntVector(common::BinWriter &out, const std::vector<int> &values)
+{
+    out.writeU64(values.size());
+    for (int v : values)
+        out.writeI64(v);
+}
+
+bool
+readIntVector(common::BinReader &in, std::vector<int> &values)
+{
+    std::uint64_t count = in.readU64();
+    if (!in.ok())
+        return false;
+    values.clear();
+    values.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        values.push_back(static_cast<int>(in.readI64()));
+    return in.ok();
+}
+
+} // namespace
+
+void
+AutomatonInstance::saveState(common::BinWriter &out) const
+{
+    out.writeU64(done.size());
+    for (char flag : done)
+        out.writeU8(static_cast<std::uint8_t>(flag));
+    for (common::SimTime stamp : when)
+        out.writeF64(stamp);
+    for (int preds : remainingPreds)
+        out.writeI64(preds);
+    out.writeU64(consumed_);
+    out.writeI64(lastEvent);
+    out.writeU64(removedList.size());
+    for (const auto &[from, to] : removedList) {
+        out.writeI64(from);
+        out.writeI64(to);
+    }
+    out.writeBool(ownPreds.has_value());
+    if (ownPreds) {
+        for (const std::vector<int> &adj : *ownPreds)
+            writeIntVector(out, adj);
+        for (const std::vector<int> &adj : *ownSuccs)
+            writeIntVector(out, adj);
+    }
+}
+
+bool
+AutomatonInstance::restoreState(common::BinReader &in)
+{
+    std::uint64_t events = in.readU64();
+    if (!in.ok() || events != spec->eventCount()) {
+        in.fail();
+        return false;
+    }
+    for (std::size_t i = 0; i < done.size(); ++i)
+        done[i] = static_cast<char>(in.readU8());
+    for (std::size_t i = 0; i < when.size(); ++i)
+        when[i] = in.readF64();
+    for (std::size_t i = 0; i < remainingPreds.size(); ++i)
+        remainingPreds[i] = static_cast<int>(in.readI64());
+    consumed_ = static_cast<std::size_t>(in.readU64());
+    lastEvent = static_cast<int>(in.readI64());
+    std::uint64_t removed = in.readU64();
+    if (!in.ok())
+        return false;
+    removedList.clear();
+    removedList.reserve(static_cast<std::size_t>(removed));
+    for (std::uint64_t i = 0; i < removed; ++i) {
+        int from = static_cast<int>(in.readI64());
+        int to = static_cast<int>(in.readI64());
+        removedList.emplace_back(from, to);
+    }
+    bool has_own = in.readBool();
+    if (!in.ok())
+        return false;
+    if (has_own) {
+        std::vector<std::vector<int>> preds(spec->eventCount());
+        std::vector<std::vector<int>> succs(spec->eventCount());
+        for (std::size_t i = 0; i < spec->eventCount(); ++i) {
+            if (!readIntVector(in, preds[i]))
+                return false;
+        }
+        for (std::size_t i = 0; i < spec->eventCount(); ++i) {
+            if (!readIntVector(in, succs[i]))
+                return false;
+        }
+        ownPreds = std::move(preds);
+        ownSuccs = std::move(succs);
+    } else {
+        ownPreds.reset();
+        ownSuccs.reset();
+    }
+    return in.ok();
+}
+
+std::size_t
+AutomatonInstance::approxRetainedBytes() const
+{
+    std::size_t bytes = sizeof(AutomatonInstance);
+    bytes += done.size() *
+             (sizeof(char) + sizeof(common::SimTime) + sizeof(int));
+    bytes += removedList.size() * sizeof(std::pair<int, int>);
+    if (ownPreds) {
+        bytes += 2 * spec->eventCount() * sizeof(std::vector<int>);
+        for (const std::vector<int> &adj : *ownPreds)
+            bytes += adj.size() * sizeof(int);
+        for (const std::vector<int> &adj : *ownSuccs)
+            bytes += adj.size() * sizeof(int);
+    }
+    return bytes;
+}
+
 } // namespace cloudseer::core

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "common/time_util.hpp"
 #include "core/automaton/task_automaton.hpp"
 
@@ -118,6 +119,31 @@ class AutomatonInstance
 
     /** Event id taken by the most recent consume(), or -1. */
     int lastConsumedEvent() const { return lastEvent; }
+
+    /**
+     * Serialise the mutable checking state (seer-vault, DESIGN.md §13).
+     * The specification itself is NOT written — the caller identifies
+     * it externally (the checker writes an index into its automaton
+     * vector) and reconstructs the instance over the same shared model
+     * before calling restoreState.
+     */
+    void saveState(common::BinWriter &out) const;
+
+    /**
+     * Overwrite this instance's state from a saveState image. Fails
+     * (stream marked bad, instance unspecified) when the image's event
+     * count disagrees with the specification — i.e. when the snapshot
+     * was taken against a different model.
+     */
+    bool restoreState(common::BinReader &in);
+
+    /**
+     * Deterministic size estimate for the memory ceiling (seer-vault).
+     * Counts only state that survives saveState/restoreState, so a
+     * restored checker makes the same eviction decisions as the
+     * uninterrupted one.
+     */
+    std::size_t approxRetainedBytes() const;
 
   private:
     const TaskAutomaton *spec;

@@ -133,4 +133,102 @@ AutomatonGroup::cloneAs(GroupId new_id) const
     return copy;
 }
 
+void
+AutomatonGroup::saveState(
+    common::BinWriter &out,
+    const std::vector<const TaskAutomaton *> &automata) const
+{
+    out.writeU64(groupId);
+    out.writeU64(candidates.size());
+    for (const AutomatonInstance &instance : candidates) {
+        std::uint32_t index = 0xffffffffu;
+        for (std::size_t i = 0; i < automata.size(); ++i) {
+            if (automata[i] == &instance.automaton()) {
+                index = static_cast<std::uint32_t>(i);
+                break;
+            }
+        }
+        out.writeU32(index);
+        instance.saveState(out);
+    }
+    out.writeU64(consumedMessages.size());
+    for (const ConsumedMessage &msg : consumedMessages) {
+        out.writeU64(msg.record);
+        out.writeU32(msg.tpl);
+        out.writeF64(msg.time);
+    }
+    out.writeF64(lastActivityTime);
+    out.writeF64(creationTime);
+    out.writeBool(anyConsumed);
+    out.writeU64(parentId);
+    out.writeU64(childIds.size());
+    for (GroupId child : childIds)
+        out.writeU64(child);
+    out.writeU64(rivalSetId);
+    out.writeBool(isZombie);
+}
+
+bool
+AutomatonGroup::restoreState(
+    common::BinReader &in,
+    const std::vector<const TaskAutomaton *> &automata)
+{
+    groupId = in.readU64();
+    std::uint64_t candidate_count = in.readU64();
+    if (!in.ok())
+        return false;
+    candidates.clear();
+    candidates.reserve(static_cast<std::size_t>(candidate_count));
+    for (std::uint64_t i = 0; i < candidate_count; ++i) {
+        std::uint32_t index = in.readU32();
+        if (!in.ok() || index >= automata.size()) {
+            in.fail();
+            return false;
+        }
+        AutomatonInstance instance(automata[index]);
+        if (!instance.restoreState(in))
+            return false;
+        candidates.push_back(std::move(instance));
+    }
+    std::uint64_t message_count = in.readU64();
+    if (!in.ok())
+        return false;
+    consumedMessages.clear();
+    consumedMessages.reserve(static_cast<std::size_t>(message_count));
+    for (std::uint64_t i = 0; i < message_count; ++i) {
+        ConsumedMessage msg;
+        msg.record = in.readU64();
+        msg.tpl = in.readU32();
+        msg.time = in.readF64();
+        consumedMessages.push_back(msg);
+    }
+    lastActivityTime = in.readF64();
+    creationTime = in.readF64();
+    anyConsumed = in.readBool();
+    parentId = in.readU64();
+    std::uint64_t child_count = in.readU64();
+    if (!in.ok())
+        return false;
+    childIds.clear();
+    childIds.reserve(static_cast<std::size_t>(child_count));
+    for (std::uint64_t i = 0; i < child_count; ++i)
+        childIds.push_back(in.readU64());
+    rivalSetId = in.readU64();
+    isZombie = in.readBool();
+    signatureValid = false;
+    signatureCache.clear();
+    return in.ok();
+}
+
+std::size_t
+AutomatonGroup::approxRetainedBytes() const
+{
+    std::size_t bytes = sizeof(AutomatonGroup);
+    for (const AutomatonInstance &instance : candidates)
+        bytes += instance.approxRetainedBytes();
+    bytes += consumedMessages.size() * sizeof(ConsumedMessage);
+    bytes += childIds.size() * sizeof(GroupId);
+    return bytes;
+}
+
 } // namespace cloudseer::core

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "common/time_util.hpp"
 #include "core/automaton/automaton_instance.hpp"
 #include "core/checker/identifier_set.hpp"
@@ -149,6 +150,31 @@ class AutomatonGroup
 
     /** Deep copy with a new id (case-2 hypothesis forking). */
     AutomatonGroup cloneAs(GroupId new_id) const;
+
+    /**
+     * Serialise the group (seer-vault, DESIGN.md §13). Each candidate
+     * is written as an index into `automata` plus the instance's
+     * mutable state; the signature cache is recomputed lazily after
+     * restore, never persisted (it embeds raw specification pointers).
+     */
+    void
+    saveState(common::BinWriter &out,
+              const std::vector<const TaskAutomaton *> &automata) const;
+
+    /**
+     * Overwrite this group from a saveState image taken against the
+     * same automaton vector (same order — the model fingerprint in the
+     * checkpoint header guards this). False on any decode failure.
+     */
+    bool restoreState(common::BinReader &in,
+                      const std::vector<const TaskAutomaton *> &automata);
+
+    /**
+     * Deterministic size estimate for the memory ceiling. Only counts
+     * state that saveState persists, so live and restored checkers
+     * agree on eviction decisions.
+     */
+    std::size_t approxRetainedBytes() const;
 
   private:
     GroupId groupId;

@@ -1090,4 +1090,260 @@ InterleavedChecker::indexConsistent() const
     return groupToSet.size() == groups.size();
 }
 
+std::uint64_t
+modelFingerprint(const std::vector<const TaskAutomaton *> &automata)
+{
+    std::uint64_t hash = 1469598103934665603ULL; // FNV-1a offset basis
+    auto mixByte = [&hash](std::uint8_t byte) {
+        hash ^= byte;
+        hash *= 1099511628211ULL; // FNV-1a prime
+    };
+    auto mix = [&mixByte](std::uint64_t value) {
+        for (int shift = 0; shift < 64; shift += 8)
+            mixByte(static_cast<std::uint8_t>(value >> shift));
+    };
+    auto mixString = [&mixByte, &mix](const std::string &s) {
+        mix(s.size());
+        for (char c : s)
+            mixByte(static_cast<std::uint8_t>(c));
+    };
+    mix(automata.size());
+    for (const TaskAutomaton *automaton : automata) {
+        mixString(automaton->name());
+        mix(automaton->eventCount());
+        for (std::size_t e = 0; e < automaton->eventCount(); ++e) {
+            const EventNode &node = automaton->event(static_cast<int>(e));
+            mix(node.tpl);
+            mix(static_cast<std::uint64_t>(node.occurrence));
+        }
+        mix(automaton->edges().size());
+        for (const DependencyEdge &edge : automaton->edges()) {
+            mix(static_cast<std::uint64_t>(edge.from));
+            mix(static_cast<std::uint64_t>(edge.to));
+            mixByte(edge.strong ? 1 : 0);
+        }
+    }
+    return hash;
+}
+
+std::vector<CheckEvent>
+InterleavedChecker::shedToMemory(std::size_t max_bytes,
+                                 common::SimTime now)
+{
+    std::vector<CheckEvent> events;
+    traceNow = now;
+    if (max_bytes == 0)
+        return events;
+    std::size_t retained = approxRetainedBytes();
+    if (retained <= max_bytes)
+        return events;
+
+    // Identical eviction order to shedToCap: zombies first, then
+    // least-recently-active, ties to the older id — the two shedding
+    // paths are one contract, differing only in the stop condition.
+    std::vector<GroupId> order;
+    order.reserve(groups.size());
+    for (const auto &[gid, group] : groups)
+        order.push_back(gid);
+    std::sort(order.begin(), order.end(),
+              [this](GroupId a, GroupId b) {
+                  const AutomatonGroup &ga = groups.at(a);
+                  const AutomatonGroup &gb = groups.at(b);
+                  if (ga.zombie() != gb.zombie())
+                      return ga.zombie();
+                  if (ga.lastActivity() != gb.lastActivity())
+                      return ga.lastActivity() < gb.lastActivity();
+                  return a < b;
+              });
+
+    for (GroupId gid : order) {
+        if (retained <= max_bytes || groups.size() <= 1)
+            break;
+        auto it = groups.find(gid);
+        if (it == groups.end())
+            continue;
+        std::size_t group_bytes = it->second.approxRetainedBytes();
+        ++counters.groupsShed;
+        traceEnd(it->second, now, obs::SpanEnd::Shed);
+        events.push_back(
+            makeEvent(CheckEventKind::Degraded, it->second, now));
+        eraseGroup(gid);
+        retained -= std::min(retained, group_bytes);
+    }
+    return events;
+}
+
+std::size_t
+InterleavedChecker::approxRetainedBytes() const
+{
+    // Bookkeeping overhead constants are rough node-size guesses; the
+    // point is a deterministic, monotone measure over persisted state,
+    // not byte-exact accounting.
+    std::size_t bytes = 0;
+    for (const auto &[gid, group] : groups)
+        bytes += group.approxRetainedBytes() + 48;
+    for (const auto &[set_id, entry] : idsets) {
+        // x2 on tokens: the postings and contents maps mirror every
+        // live set's token list.
+        bytes += 2 * entry.ids.size() * sizeof(IdToken) +
+                 entry.groupIds.size() * sizeof(GroupId) + 96;
+    }
+    bytes += groupToSet.size() * 48;
+    for (const auto &[name, edges] : removalCounts)
+        bytes += name.size() + edges.size() * 24 + 64;
+    return bytes;
+}
+
+void
+InterleavedChecker::saveState(common::BinWriter &out) const
+{
+    out.writeU64(counters.messages);
+    out.writeU64(counters.decisive);
+    out.writeU64(counters.ambiguous);
+    out.writeU64(counters.recoveredPassUnknown);
+    out.writeU64(counters.recoveredNewSequence);
+    out.writeU64(counters.recoveredOtherSet);
+    out.writeU64(counters.recoveredFalseDependency);
+    out.writeU64(counters.unmatched);
+    out.writeU64(counters.errorsReported);
+    out.writeU64(counters.timeoutsReported);
+    out.writeU64(counters.timeoutsSuppressed);
+    out.writeU64(counters.latencyAnomalies);
+    out.writeU64(counters.groupsShed);
+    out.writeU64(counters.accepted);
+    out.writeU64(counters.consumeAttempts);
+
+    out.writeU64(groups.size());
+    for (const auto &[gid, group] : groups)
+        group.saveState(out, automatonSet);
+
+    out.writeU64(removalCounts.size());
+    for (const auto &[name, edges] : removalCounts) {
+        out.writeString(name);
+        out.writeU64(edges.size());
+        for (const auto &[edge, count] : edges) {
+            out.writeI64(edge.first);
+            out.writeI64(edge.second);
+            out.writeI64(count);
+        }
+    }
+
+    out.writeU64(idsets.size());
+    for (const auto &[set_id, entry] : idsets) {
+        out.writeU64(set_id);
+        out.writeU32Vector(entry.ids.values());
+        out.writeU64Vector(entry.groupIds);
+    }
+
+    out.writeU64(groupToSet.size());
+    for (const auto &[gid, set_id] : groupToSet) {
+        out.writeU64(gid);
+        out.writeU64(set_id);
+    }
+
+    out.writeU64(nextGroupId);
+    out.writeU64(nextIdSetId);
+    out.writeU64(nextRivalSet);
+    out.writeF64(maxResolvedTimeout);
+    rng.saveState(out);
+}
+
+bool
+InterleavedChecker::restoreState(common::BinReader &in)
+{
+    groups.clear();
+    removalCounts.clear();
+    idsets.clear();
+    groupToSet.clear();
+    postings.clear();
+    setsByContents.clear();
+
+    counters = CheckerStats{};
+    counters.messages = in.readU64();
+    counters.decisive = in.readU64();
+    counters.ambiguous = in.readU64();
+    counters.recoveredPassUnknown = in.readU64();
+    counters.recoveredNewSequence = in.readU64();
+    counters.recoveredOtherSet = in.readU64();
+    counters.recoveredFalseDependency = in.readU64();
+    counters.unmatched = in.readU64();
+    counters.errorsReported = in.readU64();
+    counters.timeoutsReported = in.readU64();
+    counters.timeoutsSuppressed = in.readU64();
+    counters.latencyAnomalies = in.readU64();
+    counters.groupsShed = in.readU64();
+    counters.accepted = in.readU64();
+    counters.consumeAttempts = in.readU64();
+
+    std::uint64_t group_count = in.readU64();
+    if (!in.ok())
+        return false;
+    for (std::uint64_t i = 0; i < group_count; ++i) {
+        AutomatonGroup group(0, {});
+        if (!group.restoreState(in, automatonSet))
+            return false;
+        GroupId gid = group.id();
+        groups.emplace(gid, std::move(group));
+    }
+
+    std::uint64_t removal_tasks = in.readU64();
+    if (!in.ok())
+        return false;
+    for (std::uint64_t i = 0; i < removal_tasks; ++i) {
+        std::string name = in.readString();
+        std::uint64_t edge_count = in.readU64();
+        if (!in.ok())
+            return false;
+        auto &edges = removalCounts[name];
+        for (std::uint64_t e = 0; e < edge_count; ++e) {
+            int from = static_cast<int>(in.readI64());
+            int to = static_cast<int>(in.readI64());
+            int count = static_cast<int>(in.readI64());
+            edges[{from, to}] = count;
+        }
+    }
+
+    std::uint64_t set_count = in.readU64();
+    if (!in.ok())
+        return false;
+    for (std::uint64_t i = 0; i < set_count; ++i) {
+        std::uint64_t set_id = in.readU64();
+        std::vector<IdToken> tokens = in.readU32Vector();
+        std::vector<std::uint64_t> members = in.readU64Vector();
+        if (!in.ok())
+            return false;
+        IdSetEntry entry;
+        entry.ids = IdentifierSet(tokens);
+        entry.groupIds = std::move(members);
+        auto [pos, inserted] = idsets.emplace(set_id, std::move(entry));
+        if (!inserted) {
+            in.fail();
+            return false;
+        }
+        // Rebuild the derived routing index. Posting lists fill in
+        // ascending set-id order (map iteration), which may differ
+        // from the incremental insertion order of the live run —
+        // selection sorts candidates by set id, so the difference is
+        // unobservable.
+        indexAddSet(set_id, pos->second);
+    }
+
+    std::uint64_t relation_count = in.readU64();
+    if (!in.ok())
+        return false;
+    for (std::uint64_t i = 0; i < relation_count; ++i) {
+        GroupId gid = in.readU64();
+        std::uint64_t set_id = in.readU64();
+        groupToSet[gid] = set_id;
+    }
+
+    nextGroupId = in.readU64();
+    nextIdSetId = in.readU64();
+    nextRivalSet = in.readU64();
+    maxResolvedTimeout = in.readF64();
+    if (!rng.restoreState(in))
+        return false;
+    return in.ok();
+}
+
 } // namespace cloudseer::core

@@ -86,6 +86,15 @@ struct CheckerConfig
     std::uint64_t seed = 42;
 };
 
+/**
+ * Order-sensitive FNV-1a fingerprint of an automaton vector (names,
+ * events, edges). A vault checkpoint stores the fingerprint of the
+ * models it was taken against; restore refuses a mismatch, because
+ * serialised instance state indexes into these exact automata.
+ */
+std::uint64_t
+modelFingerprint(const std::vector<const TaskAutomaton *> &automata);
+
 /** The online checking engine. */
 class InterleavedChecker
 {
@@ -132,6 +141,44 @@ class InterleavedChecker
      */
     std::vector<CheckEvent> shedToCap(std::size_t cap,
                                       common::SimTime now);
+
+    /**
+     * Memory ceiling (seer-vault, DESIGN.md §13): evict
+     * least-recently-active groups until approxRetainedBytes() fits
+     * under `max_bytes`, with the same order, Degraded reporting, and
+     * counters as shedToCap — the two shedding paths are one contract.
+     * At least one group is always kept, so a ceiling below a single
+     * group's footprint degrades to "keep only the newest state"
+     * rather than thrashing. No-op when max_bytes is 0 (no ceiling).
+     */
+    std::vector<CheckEvent> shedToMemory(std::size_t max_bytes,
+                                         common::SimTime now);
+
+    /**
+     * Deterministic estimate of checker state size in bytes, computed
+     * only from state that saveState persists — mutable caches (group
+     * signatures) are excluded so a restored checker and the
+     * uninterrupted one make identical eviction decisions.
+     */
+    std::size_t approxRetainedBytes() const;
+
+    /**
+     * Serialise the full checking state (seer-vault, DESIGN.md §13):
+     * counters, groups, removal tallies, identifier sets, the
+     * group↔set relation, id allocators, the timeout horizon, and the
+     * RNG. The routing index (postings, contents map) is derived state
+     * and rebuilt on restore; the automaton set and config are the
+     * caller's to re-supply.
+     */
+    void saveState(common::BinWriter &out) const;
+
+    /**
+     * Overwrite this checker from a saveState image taken against an
+     * identical automaton vector (guard with modelFingerprint before
+     * calling). On failure the stream is marked bad and the checker is
+     * left cleared — construct a fresh one rather than continuing.
+     */
+    bool restoreState(common::BinReader &in);
 
     /**
      * Dependency-removal tallies accumulated by recovery (d) — the

@@ -98,4 +98,75 @@ TimeoutEstimator::publishTo(obs::MetricsRegistry &registry) const
         .set(widest);
 }
 
+void
+TimeoutPolicy::saveState(common::BinWriter &out) const
+{
+    out.writeF64(defaultTimeout);
+    out.writeU64(perTask.size());
+    for (const auto &[task, timeout] : perTask) {
+        out.writeString(task);
+        out.writeF64(timeout);
+    }
+    out.writeU64(resolutions);
+    out.writeU64(defaultFallbacks);
+}
+
+bool
+TimeoutPolicy::restoreState(common::BinReader &in)
+{
+    double fallback = in.readF64();
+    std::uint64_t count = in.readU64();
+    if (!in.ok())
+        return false;
+    std::map<std::string, double> table;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string task = in.readString();
+        double timeout = in.readF64();
+        if (!in.ok())
+            return false;
+        table[std::move(task)] = timeout;
+    }
+    std::uint64_t resolved = in.readU64();
+    std::uint64_t fell_back = in.readU64();
+    if (!in.ok())
+        return false;
+    defaultTimeout = fallback;
+    perTask = std::move(table);
+    resolutions = resolved;
+    defaultFallbacks = fell_back;
+    return true;
+}
+
+void
+TimeoutEstimator::saveState(common::BinWriter &out) const
+{
+    out.writeU64(perTask.size());
+    for (const auto &[task, entry] : perTask) {
+        out.writeString(task);
+        entry.gaps.saveState(out);
+        out.writeU64(entry.runs);
+    }
+}
+
+bool
+TimeoutEstimator::restoreState(common::BinReader &in)
+{
+    std::uint64_t count = in.readU64();
+    if (!in.ok())
+        return false;
+    std::map<std::string, TaskGaps> table;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string task = in.readString();
+        TaskGaps entry;
+        if (!entry.gaps.restoreState(in))
+            return false;
+        entry.runs = static_cast<std::size_t>(in.readU64());
+        if (!in.ok())
+            return false;
+        table.emplace(std::move(task), std::move(entry));
+    }
+    perTask = std::move(table);
+    return true;
+}
+
 } // namespace cloudseer::core

@@ -43,6 +43,12 @@ struct TimeoutPolicy
     /** Timeout for one task (default when unknown). */
     double timeoutFor(const std::string &task) const;
 
+    /** Serialise the table and tallies (seer-vault, DESIGN.md §13). */
+    void saveState(common::BinWriter &out) const;
+
+    /** Replace this policy with a saved one. */
+    bool restoreState(common::BinReader &in);
+
     /**
      * Timeout for a group still tracking several candidate tasks:
      * the most generous candidate wins (never report early just
@@ -87,6 +93,12 @@ class TimeoutEstimator
      * deployment can see how well-founded its timeout table is.
      */
     void publishTo(obs::MetricsRegistry &registry) const;
+
+    /** Serialise every task's gap samples (seer-vault). */
+    void saveState(common::BinWriter &out) const;
+
+    /** Replace this estimator with a saved one. */
+    bool restoreState(common::BinReader &in);
 
   private:
     struct TaskGaps

@@ -8,6 +8,7 @@
 #include "common/string_util.hpp"
 #include "core/monitor/report_json.hpp"
 #include "logging/identifier_interner.hpp"
+#include "logging/record_binio.hpp"
 
 namespace cloudseer::core {
 
@@ -53,6 +54,14 @@ WorkflowMonitor::WorkflowMonitor(
         obsPtr =
             std::make_unique<obs::Observability>(config.observability);
         engine.setTracer(obsPtr->tracer());
+    }
+
+    // seer-vault: cap the process-wide interner when asked. Only a
+    // non-zero knob touches the singleton — the default leaves other
+    // monitors in the process unaffected.
+    if (config.ingest.maxInternerEntries > 0) {
+        logging::IdentifierInterner::process().setCapacity(
+            config.ingest.maxInternerEntries);
     }
 
     // seer-flight: install the latency criterion when profiles ship
@@ -205,8 +214,14 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
             !config.numbersAsIdentifiers) {
             continue;
         }
-        message.identifiers.push_back(
-            logging::IdentifierInterner::process().intern(var.text));
+        logging::IdToken token =
+            logging::IdentifierInterner::process().intern(var.text);
+        // A capped interner refuses new identifiers; the message
+        // checks on without the refused token (degraded routing
+        // precision, bounded memory).
+        if (token == logging::kInvalidIdToken)
+            continue;
+        message.identifiers.push_back(token);
     }
     message.level = record.level;
     message.record = record.id;
@@ -258,6 +273,21 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
              engine.shedToCap(config.ingest.maxActiveGroups, now)) {
             ++ingest.groupsShed;
             reports.push_back({std::move(event), false});
+        }
+    }
+
+    // Memory ceiling (seer-vault): same Degraded contract, in bytes.
+    // Cadence keys off recordsDelivered — serialised state — so a
+    // restored monitor re-checks at the same stream positions.
+    if (config.ingest.maxResidentBytes > 0) {
+        std::uint64_t interval =
+            std::max<std::uint64_t>(1, config.ingest.memoryCheckInterval);
+        if (ingest.recordsDelivered % interval == 0) {
+            for (CheckEvent &event : engine.shedToMemory(
+                     config.ingest.maxResidentBytes, now)) {
+                ++ingest.memoryEvictions;
+                reports.push_back({std::move(event), false});
+            }
         }
     }
 }
@@ -380,12 +410,14 @@ WorkflowMonitor::healthSample() const
     s.duplicatesSuppressed = ingest.duplicatesSuppressed;
     s.forcedReleases = ingest.forcedReleases;
     s.reorderBufferPeak = ingest.reorderBufferPeak;
+    s.memoryEvictions = ingest.memoryEvictions;
 
     logging::InternerStats interner =
         logging::IdentifierInterner::process().stats();
     s.internerSize = interner.size;
     s.internerHits = interner.hits;
     s.internerMisses = interner.misses;
+    s.internerCapRejected = interner.capRejected;
 
     s.timeoutResolutions = timeoutPolicy.resolutions;
     s.timeoutDefaultFallbacks = timeoutPolicy.defaultFallbacks;
@@ -487,6 +519,132 @@ WorkflowMonitor::chromeTraceJson() const
     return obsPtr == nullptr || obsPtr->tracer() == nullptr
                ? std::string()
                : obsPtr->tracer()->chromeTraceJson();
+}
+
+void
+WorkflowMonitor::saveState(common::BinWriter &out) const
+{
+    out.writeF64(lastTimestamp);
+    out.writeBool(anyFed);
+
+    out.writeU64(ingest.linesSeen);
+    out.writeU64(ingest.recordsDelivered);
+    out.writeU64(ingest.malformedBadTimestamp);
+    out.writeU64(ingest.malformedBadHeader);
+    out.writeU64(ingest.malformedTruncatedPayload);
+    out.writeU64(ingest.nonMonotonicClamped);
+    out.writeF64(ingest.maxRegressionSeconds);
+    out.writeU64(ingest.duplicatesSuppressed);
+    out.writeU64(ingest.reorderBufferPeak);
+    out.writeU64(ingest.forcedReleases);
+    out.writeU64(ingest.groupsShed);
+    out.writeU64(ingest.memoryEvictions);
+
+    out.writeU64(quarantined.size());
+    for (const QuarantinedLine &entry : quarantined) {
+        out.writeString(entry.line);
+        out.writeU8(static_cast<std::uint8_t>(entry.cause));
+    }
+
+    out.writeU64(reorderBuffer.size());
+    for (const BufferedRecord &entry : reorderBuffer) {
+        logging::writeLogRecord(out, entry.record);
+        out.writeU64(entry.seq);
+    }
+    out.writeF64(highestSeen);
+    out.writeU64(nextSeq);
+
+    out.writeU64(recentOrder.size());
+    for (const auto &[time, key] : recentOrder) {
+        out.writeF64(time);
+        out.writeString(key);
+    }
+
+    timeoutPolicy.saveState(out);
+    engine.saveState(out);
+
+    out.writeBool(obsPtr != nullptr);
+    if (obsPtr != nullptr)
+        obsPtr->saveState(out);
+}
+
+bool
+WorkflowMonitor::restoreState(common::BinReader &in)
+{
+    lastTimestamp = in.readF64();
+    anyFed = in.readBool();
+
+    ingest = IngestStats{};
+    ingest.linesSeen = in.readU64();
+    ingest.recordsDelivered = in.readU64();
+    ingest.malformedBadTimestamp = in.readU64();
+    ingest.malformedBadHeader = in.readU64();
+    ingest.malformedTruncatedPayload = in.readU64();
+    ingest.nonMonotonicClamped = in.readU64();
+    ingest.maxRegressionSeconds = in.readF64();
+    ingest.duplicatesSuppressed = in.readU64();
+    ingest.reorderBufferPeak =
+        static_cast<std::size_t>(in.readU64());
+    ingest.forcedReleases = in.readU64();
+    ingest.groupsShed = in.readU64();
+    ingest.memoryEvictions = in.readU64();
+
+    std::uint64_t quarantine_count = in.readU64();
+    if (!in.ok())
+        return false;
+    quarantined.clear();
+    for (std::uint64_t i = 0; i < quarantine_count; ++i) {
+        QuarantinedLine entry;
+        entry.line = in.readString();
+        entry.cause = static_cast<logging::DecodeFailure>(in.readU8());
+        if (!in.ok())
+            return false;
+        quarantined.push_back(std::move(entry));
+    }
+
+    std::uint64_t buffered_count = in.readU64();
+    if (!in.ok())
+        return false;
+    reorderBuffer.clear();
+    for (std::uint64_t i = 0; i < buffered_count; ++i) {
+        BufferedRecord entry;
+        if (!logging::readLogRecord(in, entry.record))
+            return false;
+        entry.seq = in.readU64();
+        reorderBuffer.push_back(std::move(entry));
+    }
+    highestSeen = in.readF64();
+    nextSeq = in.readU64();
+
+    std::uint64_t recent_count = in.readU64();
+    if (!in.ok())
+        return false;
+    recentOrder.clear();
+    recentKeys.clear();
+    for (std::uint64_t i = 0; i < recent_count; ++i) {
+        double time = in.readF64();
+        std::string key = in.readString();
+        if (!in.ok())
+            return false;
+        // In-order overwrite reproduces the live map exactly: the
+        // newest occurrence of a key wins, as in deliver().
+        recentKeys[key] = time;
+        recentOrder.emplace_back(time, std::move(key));
+    }
+
+    if (!timeoutPolicy.restoreState(in))
+        return false;
+    if (!engine.restoreState(in))
+        return false;
+
+    bool has_obs = in.readBool();
+    if (!in.ok() || has_obs != (obsPtr != nullptr)) {
+        in.fail();
+        return false;
+    }
+    if (has_obs && !obsPtr->restoreState(in))
+        return false;
+    return in.ok();
 }
 
 } // namespace cloudseer::core

@@ -85,6 +85,34 @@ struct IngestConfig
 
     /** Malformed lines retained verbatim for diagnosis, per monitor. */
     std::size_t quarantineSampleCap = 16;
+
+    /**
+     * Memory ceiling over checker state (seer-vault, DESIGN.md §13):
+     * when the checker's deterministic size estimate exceeds this many
+     * bytes, least-recently-active groups are shed with Degraded
+     * reports — the same contract as maxActiveGroups, in bytes. The
+     * estimate counts only snapshot-persisted state, so a restored
+     * monitor evicts identically to the uninterrupted one. 0 = no
+     * ceiling.
+     */
+    std::size_t maxResidentBytes = 0;
+
+    /**
+     * Check the memory ceiling every this many delivered records; the
+     * estimate is O(state), so per-record checks would dominate the
+     * hot path. Cadence keys off recordsDelivered (serialised state),
+     * never wall time. Values below 1 behave as 1.
+     */
+    std::uint64_t memoryCheckInterval = 64;
+
+    /**
+     * Cap on the process-wide identifier interner (seer-vault).
+     * Non-zero installs the capacity at monitor construction; new
+     * identifiers past the cap are refused (routing precision degrades
+     * for them; memory does not grow) and tallied in seer-scope. 0 —
+     * the default — leaves the interner untouched and bit-identical.
+     */
+    std::size_t maxInternerEntries = 0;
 };
 
 /** Hardened-profile defaults (all guards on, moderate settings). */
@@ -120,7 +148,8 @@ struct IngestStats
     std::uint64_t forcedReleases = 0; ///< overflow force-outs
 
     // Shedding.
-    std::uint64_t groupsShed = 0;
+    std::uint64_t groupsShed = 0;      ///< group-cap evictions
+    std::uint64_t memoryEvictions = 0; ///< memory-ceiling evictions
 
     /** Total malformed lines across causes. */
     std::uint64_t malformed() const
@@ -325,6 +354,36 @@ class WorkflowMonitor
                    ? std::string()
                    : flightRecorder()->bundleJsonLines();
     }
+
+    // --- seer-vault (DESIGN.md §13) ------------------------------------
+
+    /**
+     * Fingerprint of the automata this monitor checks against. A
+     * vault checkpoint records it; restore refuses a mismatch.
+     */
+    std::uint64_t modelFingerprint() const
+    {
+        return core::modelFingerprint(pointersTo(specs));
+    }
+
+    /**
+     * Serialise the full mutable monitor state: clock, ingest
+     * counters, quarantine, reorder buffer, dedup window, timeout
+     * policy, checker engine, and (when configured) observability.
+     * Config, catalog, and automata are construction inputs and are
+     * the caller's to re-supply; the process-wide interner is
+     * snapshotted separately by the vault (it outlives any monitor).
+     */
+    void saveState(common::BinWriter &out) const;
+
+    /**
+     * Overwrite this monitor from a saveState image taken by a
+     * monitor with the same config, catalog, automata, and
+     * observability shape. After a successful restore, feeding the
+     * remaining stream yields reports bit-identical to the
+     * uninterrupted run's.
+     */
+    bool restoreState(common::BinReader &in);
 
   private:
     /** A record parked in the reorder buffer. */

@@ -13,6 +13,10 @@ IdentifierInterner::intern(std::string_view value)
         ++hitCount;
         return it->second;
     }
+    if (maxEntries != 0 && tokens.size() >= maxEntries) {
+        ++capRejectedCount;
+        return kInvalidIdToken;
+    }
     ++missCount;
     IdToken token = static_cast<IdToken>(tokens.size());
     CS_ASSERT(token != kInvalidIdToken, "identifier interner full");
@@ -52,7 +56,74 @@ IdentifierInterner::stats() const
     out.size = tokens.size();
     out.hits = hitCount;
     out.misses = missCount;
+    out.capacity = maxEntries;
+    out.capRejected = capRejectedCount;
     return out;
+}
+
+void
+IdentifierInterner::setCapacity(std::size_t max_entries)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    maxEntries = max_entries;
+}
+
+std::size_t
+IdentifierInterner::capacityLimit() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return maxEntries;
+}
+
+void
+IdentifierInterner::snapshotState(common::BinWriter &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    out.writeU64(tokens.size());
+    for (const std::string &entry : tokens)
+        out.writeString(entry);
+    out.writeU64(hitCount);
+    out.writeU64(missCount);
+    out.writeU64(maxEntries);
+    out.writeU64(capRejectedCount);
+}
+
+bool
+IdentifierInterner::restoreState(common::BinReader &in)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::uint64_t count = in.readU64();
+    if (!in.ok())
+        return false;
+    for (std::uint64_t expected = 0; expected < count; ++expected) {
+        std::string entry = in.readString();
+        if (!in.ok())
+            return false;
+        auto it = index.find(std::string_view(entry));
+        IdToken token;
+        if (it != index.end()) {
+            token = it->second;
+        } else {
+            token = static_cast<IdToken>(tokens.size());
+            tokens.push_back(std::move(entry));
+            index.emplace(tokens.back(), token);
+        }
+        if (token != static_cast<IdToken>(expected)) {
+            in.fail();
+            return false;
+        }
+    }
+    std::uint64_t hits = in.readU64();
+    std::uint64_t misses = in.readU64();
+    std::uint64_t cap = in.readU64();
+    std::uint64_t rejected = in.readU64();
+    if (!in.ok())
+        return false;
+    hitCount = hits;
+    missCount = misses;
+    maxEntries = static_cast<std::size_t>(cap);
+    capRejectedCount = rejected;
+    return true;
 }
 
 IdentifierInterner &

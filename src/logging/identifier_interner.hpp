@@ -13,9 +13,20 @@
  * the monitor's extraction path uses, mirroring how TemplateCatalog
  * owns template text. Unlike templates, the identifier universe is
  * unbounded (every VM boot mints fresh UUIDs); the interner therefore
- * grows for the life of the process. Epoch-based compaction once all
- * id-sets referencing a token have retired is future work (DESIGN.md
- * §9).
+ * grows for the life of the process unless a capacity is configured
+ * (seer-vault, DESIGN.md §13): at capacity, intern() refuses new
+ * identifiers with kInvalidIdToken and tallies the rejection, so a
+ * hostile identifier flood degrades routing precision instead of
+ * memory. Epoch-based compaction once all id-sets referencing a token
+ * have retired is still future work (DESIGN.md §9).
+ *
+ * Snapshot/restore (seer-vault): snapshotState writes the full
+ * token→text table; restoreState re-interns each text in token order
+ * and demands the resulting token match the saved one. That holds in
+ * the process that wrote the snapshot (tokens are stable and the
+ * table only grows) and in a fresh process whose interner has not
+ * diverged — restoring over an incompatible table refuses rather
+ * than silently renumbering, because checker state stores raw tokens.
  */
 
 #ifndef CLOUDSEER_LOGGING_IDENTIFIER_INTERNER_HPP
@@ -27,6 +38,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/binio.hpp"
 
 namespace cloudseer::logging {
 
@@ -42,6 +55,8 @@ struct InternerStats
     std::size_t size = 0;       ///< distinct identifiers interned
     std::uint64_t hits = 0;     ///< intern() served from the table
     std::uint64_t misses = 0;   ///< intern() minted a new token
+    std::size_t capacity = 0;   ///< configured growth cap (0 = none)
+    std::uint64_t capRejected = 0; ///< intern() refusals at capacity
 
     /** Fraction of intern() calls served from the table. */
     double
@@ -58,7 +73,11 @@ struct InternerStats
 class IdentifierInterner
 {
   public:
-    /** Intern a value; returns a stable dense token. */
+    /**
+     * Intern a value; returns a stable dense token — or
+     * kInvalidIdToken when a capacity is configured, the table is
+     * full, and the value is new (the rejection is tallied).
+     */
     IdToken intern(std::string_view value);
 
     /** Look up without interning; kInvalidIdToken when unknown. */
@@ -72,6 +91,34 @@ class IdentifierInterner
 
     /** Table size and hit/miss tallies since process start. */
     InternerStats stats() const;
+
+    /**
+     * Hard growth cap (seer-vault, DESIGN.md §13). 0 disables the cap
+     * (the default — bit-identical to the uncapped interner). A cap
+     * below the current size only blocks further growth; existing
+     * tokens stay valid.
+     */
+    void setCapacity(std::size_t max_entries);
+
+    /** Configured growth cap (0 = unlimited). */
+    std::size_t capacityLimit() const;
+
+    /**
+     * Serialise the table and tallies (seer-vault). The token→text
+     * table is written in token order, so restore can reproduce the
+     * exact numbering.
+     */
+    void snapshotState(common::BinWriter &out) const;
+
+    /**
+     * Restore a snapshotState image by re-interning every text in
+     * token order. Fails (returns false, table untouched beyond the
+     * re-interns already applied) when any text resolves to a token
+     * other than the saved one — i.e. when this process's table has
+     * diverged from the snapshot's. Tallies and the capacity are
+     * overwritten on success.
+     */
+    bool restoreState(common::BinReader &in);
 
     /** The process-wide instance the extraction path interns into. */
     static IdentifierInterner &process();
@@ -93,6 +140,8 @@ class IdentifierInterner
         index;
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;
+    std::size_t maxEntries = 0; ///< 0 = unlimited
+    std::uint64_t capRejectedCount = 0;
     mutable std::mutex mutex;
 };
 

@@ -90,6 +90,49 @@ Histogram::percentile(double p) const
     return maxValue; // overflow region
 }
 
+void
+Histogram::saveState(common::BinWriter &out) const
+{
+    out.writeU64(hits.size());
+    for (std::uint64_t h : hits)
+        out.writeU64(h);
+    out.writeU64(underflowCount);
+    out.writeU64(overflowCount);
+    out.writeU64(samples);
+    out.writeF64(total);
+    out.writeF64(minValue);
+    out.writeF64(maxValue);
+}
+
+bool
+Histogram::restoreState(common::BinReader &in)
+{
+    std::uint64_t bucket_count = in.readU64();
+    if (!in.ok() || bucket_count != hits.size()) {
+        in.fail();
+        return false;
+    }
+    std::vector<std::uint64_t> restored(hits.size());
+    for (std::size_t i = 0; i < restored.size(); ++i)
+        restored[i] = in.readU64();
+    std::uint64_t under = in.readU64();
+    std::uint64_t over = in.readU64();
+    std::uint64_t count = in.readU64();
+    double sum_restored = in.readF64();
+    double min_restored = in.readF64();
+    double max_restored = in.readF64();
+    if (!in.ok())
+        return false;
+    hits = std::move(restored);
+    underflowCount = under;
+    overflowCount = over;
+    samples = count;
+    total = sum_restored;
+    minValue = min_restored;
+    maxValue = max_restored;
+    return true;
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name,
                          const std::string &help)

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.hpp"
+
 namespace cloudseer::obs {
 
 /** Monotonic counter. set() exists for sampling an upstream tally. */
@@ -94,6 +96,17 @@ class Histogram
     std::uint64_t bucketHits(std::size_t i) const { return hits[i]; }
     std::uint64_t underflow() const { return underflowCount; }
     std::uint64_t overflow() const { return overflowCount; }
+
+    /**
+     * Serialise the tallies (seer-vault, DESIGN.md §13). Bucket
+     * boundaries are construction parameters, not state: restore
+     * requires a histogram built with the same exponent range and
+     * fails on a bucket-count mismatch.
+     */
+    void saveState(common::BinWriter &out) const;
+
+    /** Replace this histogram's tallies with saved ones. */
+    bool restoreState(common::BinReader &in);
 
   private:
     std::vector<double> bounds;       // buckets()+1 boundaries

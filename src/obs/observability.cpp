@@ -45,6 +45,8 @@ HealthSample::toJson() const
         << ",\"duplicates\":" << duplicatesSuppressed
         << ",\"forced\":" << forcedReleases
         << ",\"reorderPeak\":" << reorderBufferPeak << "}"
+        << ",\"memory\":{\"evictions\":" << memoryEvictions
+        << ",\"internerCapRejected\":" << internerCapRejected << "}"
         << ",\"interner\":{\"size\":" << internerSize
         << ",\"hits\":" << internerHits
         << ",\"misses\":" << internerMisses << "}"
@@ -55,6 +57,89 @@ HealthSample::toJson() const
         << ",\"p99\":" << formatNumber(feedP99us)
         << ",\"max\":" << formatNumber(feedMaxUs) << "}}";
     return out.str();
+}
+
+void
+HealthSample::saveState(common::BinWriter &out) const
+{
+    out.writeF64(time);
+    out.writeU64(messages);
+    out.writeU64(decisive);
+    out.writeU64(ambiguous);
+    out.writeU64(recoveredPassUnknown);
+    out.writeU64(recoveredNewSequence);
+    out.writeU64(recoveredOtherSet);
+    out.writeU64(recoveredFalseDependency);
+    out.writeU64(unmatched);
+    out.writeU64(accepted);
+    out.writeU64(errorsReported);
+    out.writeU64(timeoutsReported);
+    out.writeU64(timeoutsSuppressed);
+    out.writeU64(groupsShed);
+    out.writeU64(consumeAttempts);
+    out.writeF64(decisiveFraction);
+    out.writeU64(activeGroups);
+    out.writeU64(activeIdentifierSets);
+    out.writeU64(linesSeen);
+    out.writeU64(recordsDelivered);
+    out.writeU64(malformedLines);
+    out.writeU64(nonMonotonicClamped);
+    out.writeU64(duplicatesSuppressed);
+    out.writeU64(forcedReleases);
+    out.writeU64(reorderBufferPeak);
+    out.writeU64(memoryEvictions);
+    out.writeU64(internerCapRejected);
+    out.writeU64(internerSize);
+    out.writeU64(internerHits);
+    out.writeU64(internerMisses);
+    out.writeU64(timeoutResolutions);
+    out.writeU64(timeoutDefaultFallbacks);
+    out.writeF64(feedP50us);
+    out.writeF64(feedP90us);
+    out.writeF64(feedP99us);
+    out.writeF64(feedMaxUs);
+}
+
+bool
+HealthSample::restoreState(common::BinReader &in)
+{
+    time = in.readF64();
+    messages = in.readU64();
+    decisive = in.readU64();
+    ambiguous = in.readU64();
+    recoveredPassUnknown = in.readU64();
+    recoveredNewSequence = in.readU64();
+    recoveredOtherSet = in.readU64();
+    recoveredFalseDependency = in.readU64();
+    unmatched = in.readU64();
+    accepted = in.readU64();
+    errorsReported = in.readU64();
+    timeoutsReported = in.readU64();
+    timeoutsSuppressed = in.readU64();
+    groupsShed = in.readU64();
+    consumeAttempts = in.readU64();
+    decisiveFraction = in.readF64();
+    activeGroups = in.readU64();
+    activeIdentifierSets = in.readU64();
+    linesSeen = in.readU64();
+    recordsDelivered = in.readU64();
+    malformedLines = in.readU64();
+    nonMonotonicClamped = in.readU64();
+    duplicatesSuppressed = in.readU64();
+    forcedReleases = in.readU64();
+    reorderBufferPeak = in.readU64();
+    memoryEvictions = in.readU64();
+    internerCapRejected = in.readU64();
+    internerSize = in.readU64();
+    internerHits = in.readU64();
+    internerMisses = in.readU64();
+    timeoutResolutions = in.readU64();
+    timeoutDefaultFallbacks = in.readU64();
+    feedP50us = in.readF64();
+    feedP90us = in.readF64();
+    feedP99us = in.readF64();
+    feedMaxUs = in.readF64();
+    return in.ok();
 }
 
 Observability::Observability(const ObsConfig &config) : cfg(config)
@@ -167,6 +252,11 @@ Observability::updateRegistry(const HealthSample &s)
       "near-duplicate deliveries suppressed", s.duplicatesSuppressed);
     c("seer_ingest_forced_releases_total",
       "reorder-buffer overflow force-outs", s.forcedReleases);
+    c("seer_memory_evictions_total",
+      "groups evicted by the memory ceiling", s.memoryEvictions);
+    c("seer_interner_cap_rejected_total",
+      "identifiers refused at the interner capacity",
+      s.internerCapRejected);
     c("seer_timeout_resolutions_total",
       "per-group timeout resolutions", s.timeoutResolutions);
     c("seer_timeout_default_fallbacks_total",
@@ -218,6 +308,49 @@ Observability::snapshotJsonLines() const
         out += "\n";
     }
     return out;
+}
+
+void
+Observability::saveState(common::BinWriter &out) const
+{
+    out.writeBool(feedLatencyHist != nullptr);
+    if (feedLatencyHist != nullptr)
+        feedLatencyHist->saveState(out);
+    out.writeU64(history.size());
+    for (const HealthSample &sample : history)
+        sample.saveState(out);
+    out.writeF64(lastSnapshotTime);
+    out.writeBool(anySnapshot);
+}
+
+bool
+Observability::restoreState(common::BinReader &in)
+{
+    bool has_hist = in.readBool();
+    if (!in.ok() || has_hist != (feedLatencyHist != nullptr)) {
+        in.fail();
+        return false;
+    }
+    if (has_hist && !feedLatencyHist->restoreState(in))
+        return false;
+    std::uint64_t sample_count = in.readU64();
+    if (!in.ok())
+        return false;
+    history.clear();
+    history.reserve(static_cast<std::size_t>(sample_count));
+    for (std::uint64_t i = 0; i < sample_count; ++i) {
+        HealthSample sample;
+        if (!sample.restoreState(in))
+            return false;
+        history.push_back(sample);
+    }
+    lastSnapshotTime = in.readF64();
+    anySnapshot = in.readBool();
+    if (!in.ok())
+        return false;
+    if (!history.empty())
+        updateRegistry(history.back());
+    return true;
 }
 
 } // namespace cloudseer::obs

@@ -103,6 +103,10 @@ struct HealthSample
     std::uint64_t forcedReleases = 0;
     std::uint64_t reorderBufferPeak = 0;
 
+    // Bounded-memory guards (seer-vault, DESIGN.md §13).
+    std::uint64_t memoryEvictions = 0;
+    std::uint64_t internerCapRejected = 0;
+
     // Identifier interner.
     std::uint64_t internerSize = 0;
     std::uint64_t internerHits = 0;
@@ -120,6 +124,12 @@ struct HealthSample
 
     /** Single-line JSON rendering ({"kind":"HEALTH",...}). */
     std::string toJson() const;
+
+    /** Serialise every field (seer-vault, DESIGN.md §13). */
+    void saveState(common::BinWriter &out) const;
+
+    /** Replace this sample with a saved one. */
+    bool restoreState(common::BinReader &in);
 };
 
 /** The per-monitor observability bundle. */
@@ -168,6 +178,22 @@ class Observability
 
     /** The snapshot series as newline-separated JSON lines. */
     std::string snapshotJsonLines() const;
+
+    /**
+     * Serialise the durable observability state (seer-vault, DESIGN.md
+     * §13): the feed-latency histogram, the health-snapshot series,
+     * and the snapshot clock. Tracer spans and flight-recorder rings
+     * are deliberately excluded — both are short-horizon diagnostics
+     * that re-warm during WAL replay.
+     */
+    void saveState(common::BinWriter &out) const;
+
+    /**
+     * Restore state written by saveState into a facade constructed
+     * with the same ObsConfig (the config decides which sinks exist;
+     * a histogram-shape mismatch fails the restore).
+     */
+    bool restoreState(common::BinReader &in);
 
   private:
     ObsConfig cfg;

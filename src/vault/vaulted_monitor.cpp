@@ -1,0 +1,230 @@
+#include "vault/vaulted_monitor.hpp"
+
+#include <filesystem>
+
+#include "logging/identifier_interner.hpp"
+
+namespace cloudseer::vault {
+
+VaultedMonitor::VaultedMonitor(
+    VaultConfig vault_config,
+    const core::MonitorConfig &monitor_config,
+    std::shared_ptr<logging::TemplateCatalog> catalog,
+    std::vector<core::TaskAutomaton> automata)
+    : config(std::move(vault_config)), monitorConfig(monitor_config),
+      catalogPtr(std::move(catalog)), specs(std::move(automata))
+{
+    resetMonitor();
+    if (!config.enabled()) {
+        return;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(config.directory, ec);
+    ledger = std::make_unique<WriteAheadLedger>(
+        ledgerPath(config.directory));
+    recover();
+    // The post-recovery checkpoint absorbs whatever was replayed and
+    // rotates away the (possibly torn) old ledger, so the directory
+    // is always in the clean two-file state afterwards. The crash
+    // window between the two renames inside checkpoint() is safe:
+    // stale ledger frames carry seqs the new image already covers.
+    if (!checkpoint()) {
+        // Checkpointing failed (e.g. unwritable directory): keep the
+        // monitor running with whatever ledger can still be appended
+        // to rather than refusing to start.
+        ledger->open();
+    }
+}
+
+void
+VaultedMonitor::recover()
+{
+    const std::string ckpt_path = checkpointPath(config.directory);
+    std::error_code ec;
+    bool have_checkpoint = std::filesystem::exists(ckpt_path, ec);
+
+    if (have_checkpoint) {
+        recoverInfo.attempted = true;
+        CheckpointScan scan = readCheckpoint(ckpt_path);
+        if (!scan.headerOk || !scan.complete || !scan.hasMeta) {
+            recoverInfo.error = "checkpoint unreadable or incomplete";
+        } else if (scan.meta.modelFingerprint !=
+                   monitorPtr->modelFingerprint()) {
+            recoverInfo.error =
+                "checkpoint model fingerprint mismatch";
+        } else {
+            const std::string *interner_body = nullptr;
+            const std::string *monitor_body = nullptr;
+            for (const auto &[kind, body] : scan.sections) {
+                if (kind == CheckpointSection::Interner) {
+                    interner_body = &body;
+                } else if (kind == CheckpointSection::Monitor) {
+                    monitor_body = &body;
+                }
+            }
+            if (interner_body == nullptr || monitor_body == nullptr) {
+                recoverInfo.error = "checkpoint missing a section";
+            } else {
+                common::BinReader interner_in(*interner_body);
+                common::BinReader monitor_in(*monitor_body);
+                if (!logging::IdentifierInterner::process()
+                         .restoreState(interner_in)) {
+                    recoverInfo.error =
+                        "interner restore refused (table diverged)";
+                } else if (!monitorPtr->restoreState(monitor_in)) {
+                    recoverInfo.error = "monitor restore refused";
+                    // The monitor may be half-overwritten; rebuild
+                    // it from the construction inputs.
+                    resetMonitor();
+                } else {
+                    recoverInfo.recovered = true;
+                    recoverInfo.checkpointSeq = scan.meta.coveredSeq;
+                    nextSeq = scan.meta.coveredSeq;
+                }
+            }
+        }
+        if (!recoverInfo.recovered) {
+            // The on-disk state belongs to an incompatible history
+            // (wrong model, diverged interner, refused image). Its
+            // ledger must not be replayed into this monitor — the
+            // frames were recorded against the state that was just
+            // refused. Set both files aside instead of overwriting
+            // them, so an operator can still autopsy the refused
+            // vault with seer_vault.
+            std::error_code rename_ec;
+            std::filesystem::rename(ckpt_path,
+                                    ckpt_path + ".refused",
+                                    rename_ec);
+            std::filesystem::rename(ledger->filePath(),
+                                    ledger->filePath() + ".refused",
+                                    rename_ec);
+            return;
+        }
+    }
+    recoverInfo.lastReplayedSeq = recoverInfo.checkpointSeq;
+
+    // Replay the ledger tail. Frames at or below the checkpoint's
+    // covered seq are already absorbed by the image (they linger
+    // only after a crash between checkpoint-rename and ledger-
+    // rotate) and are skipped.
+    LedgerScan tail = readLedger(ledger->filePath());
+    recoverInfo.ledgerTorn = tail.torn;
+    for (const LedgerInput &input : tail.inputs) {
+        if (input.seq <= recoverInfo.checkpointSeq) {
+            continue;
+        }
+        recoverInfo.attempted = true;
+        std::vector<core::MonitorReport> reports =
+            input.kind == LedgerEntry::RawLine
+                ? monitorPtr->feedLine(input.line)
+                : monitorPtr->feed(input.record);
+        recoverInfo.replayReports.insert(
+            recoverInfo.replayReports.end(),
+            std::make_move_iterator(reports.begin()),
+            std::make_move_iterator(reports.end()));
+        ++recoverInfo.replayedInputs;
+        recoverInfo.lastReplayedSeq = input.seq;
+        nextSeq = input.seq;
+        recoverInfo.recovered = true;
+    }
+}
+
+void
+VaultedMonitor::resetMonitor()
+{
+    monitorPtr = std::make_unique<core::WorkflowMonitor>(
+        monitorConfig, catalogPtr, specs);
+}
+
+std::vector<core::MonitorReport>
+VaultedMonitor::feed(const logging::LogRecord &record)
+{
+    if (!config.enabled()) {
+        return monitorPtr->feed(record);
+    }
+    ledger->appendRecord(++nextSeq, record);
+    ++tallies.walAppends;
+    ++inputsSinceCheckpoint;
+    std::vector<core::MonitorReport> reports =
+        monitorPtr->feed(record);
+    maybeCheckpoint();
+    return reports;
+}
+
+std::vector<core::MonitorReport>
+VaultedMonitor::feedLine(const std::string &line)
+{
+    if (!config.enabled()) {
+        return monitorPtr->feedLine(line);
+    }
+    ledger->appendLine(++nextSeq, line);
+    ++tallies.walAppends;
+    ++inputsSinceCheckpoint;
+    std::vector<core::MonitorReport> reports =
+        monitorPtr->feedLine(line);
+    maybeCheckpoint();
+    return reports;
+}
+
+std::vector<core::MonitorReport>
+VaultedMonitor::finish()
+{
+    std::vector<core::MonitorReport> reports = monitorPtr->finish();
+    if (config.enabled()) {
+        checkpoint();
+    }
+    return reports;
+}
+
+bool
+VaultedMonitor::checkpoint()
+{
+    if (!config.enabled()) {
+        return false;
+    }
+    CheckpointMeta meta;
+    meta.modelFingerprint = monitorPtr->modelFingerprint();
+    meta.coveredSeq = nextSeq;
+    meta.monitorTime = monitorPtr->lastTime();
+
+    common::BinWriter interner_out;
+    logging::IdentifierInterner::process().snapshotState(interner_out);
+    common::BinWriter monitor_out;
+    monitorPtr->saveState(monitor_out);
+
+    std::vector<std::pair<CheckpointSection, std::string>> sections;
+    sections.emplace_back(CheckpointSection::Meta, encodeMeta(meta));
+    sections.emplace_back(CheckpointSection::Interner,
+                          interner_out.takeBytes());
+    sections.emplace_back(CheckpointSection::Monitor,
+                          monitor_out.takeBytes());
+
+    std::uint64_t bytes =
+        writeCheckpoint(checkpointPath(config.directory), sections);
+    if (bytes == 0) {
+        return false;
+    }
+    ++tallies.checkpointsTaken;
+    tallies.lastCheckpointBytes = bytes;
+    inputsSinceCheckpoint = 0;
+    return ledger->rotate();
+}
+
+void
+VaultedMonitor::maybeCheckpoint()
+{
+    if (config.checkpointEveryRecords > 0 &&
+        inputsSinceCheckpoint >= config.checkpointEveryRecords) {
+        checkpoint();
+    }
+}
+
+VaultStats
+VaultedMonitor::stats() const
+{
+    VaultStats out = tallies;
+    out.walBytes = ledger == nullptr ? 0 : ledger->bytes();
+    return out;
+}
+
+} // namespace cloudseer::vault

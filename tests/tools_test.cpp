@@ -1,0 +1,248 @@
+/**
+ * @file
+ * End-to-end tests for the operator CLIs, driven as real child
+ * processes (binary paths injected by CMake as compile definitions).
+ *
+ * The seer_postmortem cases pin the graceful-degradation contract:
+ * an empty input or a BUNDLE file truncated mid-record — the classic
+ * postmortem artifact, cut short by the very crash it documents —
+ * must produce a diagnostic and a nonzero exit, never confidently
+ * wrong renderings. The seer_vault cases pin the verify command's
+ * exit-code contract over sound, torn, and missing vaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/monitor/workflow_monitor.hpp"
+#include "vault/vault.hpp"
+#include "vault/vaulted_monitor.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+
+namespace {
+
+/** Exit status and combined stdout+stderr of a shell command. */
+struct RunResult
+{
+    int status = -1;
+    std::string output;
+};
+
+RunResult
+run(const std::string &command)
+{
+    RunResult result;
+    FILE *pipe = popen((command + " 2>&1").c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    char buffer[512];
+    while (fgets(buffer, sizeof buffer, pipe) != nullptr)
+        result.output += buffer;
+    int raw = pclose(pipe);
+    result.status = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+    return result;
+}
+
+/** Fresh scratch directory under the system temp root. */
+class ToolDir
+{
+  public:
+    explicit ToolDir(const std::string &name)
+        : path((std::filesystem::temp_directory_path() /
+                ("cloudseer_tools_" + name))
+                   .string())
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~ToolDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (std::filesystem::path(path) / name).string();
+    }
+
+    const std::string path;
+};
+
+/**
+ * Produce genuine BUNDLE lines by running a flight-armed monitor
+ * through a divergence and a timeout — the same producer the tool is
+ * pointed at in the field.
+ */
+std::string
+makeBundleLines()
+{
+    auto catalog = std::make_shared<logging::TemplateCatalog>();
+    logging::TemplateId ping = catalog->intern("svc-a", "ping <uuid>");
+    logging::TemplateId pong = catalog->intern("svc-b", "pong <uuid>");
+    std::vector<TaskAutomaton> automata;
+    automata.emplace_back(
+        "ping-pong", std::vector<EventNode>{{ping, 0}, {pong, 0}},
+        std::vector<DependencyEdge>{{0, 1, true}});
+    MonitorConfig config;
+    config.timeoutSeconds = 10.0;
+    config.observability.flightRecorder.perNodeCapacity = 8;
+    WorkflowMonitor monitor(config, catalog, std::move(automata));
+
+    const char *uuid1 = "11111111-1111-1111-1111-111111111111";
+    const char *uuid2 = "22222222-2222-2222-2222-222222222222";
+    logging::RecordId next = 1;
+    auto record = [&](const std::string &service,
+                      const std::string &body, double t,
+                      logging::LogLevel level) {
+        logging::LogRecord out;
+        out.id = next++;
+        out.timestamp = t;
+        out.node = "controller";
+        out.service = service;
+        out.level = level;
+        out.body = body;
+        return out;
+    };
+    monitor.feed(record("svc-a", std::string("ping ") + uuid1, 1.0,
+                        logging::LogLevel::Info));
+    monitor.feed(record("svc-a", std::string("exploded on ") + uuid1,
+                        1.5, logging::LogLevel::Error));
+    monitor.feed(record("svc-a", std::string("ping ") + uuid2, 2.0,
+                        logging::LogLevel::Info));
+    monitor.finish();
+    return monitor.forensicBundleJsonLines();
+}
+
+} // namespace
+
+// --- seer_postmortem ------------------------------------------------
+
+TEST(PostmortemTool, EmptyInputDiagnosesAndFailsNonzero)
+{
+    ToolDir dir("pm_empty");
+    std::string path = dir.file("empty.jsonl");
+    std::ofstream(path).close();
+    RunResult result =
+        run(std::string(SEER_POSTMORTEM_BIN) + " --list " + path);
+    EXPECT_NE(result.status, 0);
+    EXPECT_NE(result.output.find("empty"), std::string::npos)
+        << result.output;
+}
+
+TEST(PostmortemTool, TruncatedBundleIsSkippedWithDiagnostic)
+{
+    std::string bundles = makeBundleLines();
+    // Two bundles: the error divergence and the end-of-stream
+    // timeout.
+    ASSERT_EQ(std::count(bundles.begin(), bundles.end(), '\n'), 2);
+    std::size_t cut = bundles.find('\n');
+    ASSERT_NE(cut, std::string::npos);
+
+    ToolDir dir("pm_truncated");
+    std::string path = dir.file("bundles.jsonl");
+    {
+        // First record intact, second chopped mid-object — the shape
+        // a crashed writer or a filled disk leaves behind.
+        std::ofstream out(path);
+        out << bundles.substr(0, cut + 1)
+            << bundles.substr(cut + 1, 40) << "\n";
+    }
+    RunResult result =
+        run(std::string(SEER_POSTMORTEM_BIN) + " --list " + path);
+    EXPECT_NE(result.status, 0);
+    EXPECT_NE(result.output.find("truncated"), std::string::npos)
+        << result.output;
+    // The intact record is still listed (degraded, not refused).
+    EXPECT_NE(result.output.find("ERROR"), std::string::npos)
+        << result.output;
+}
+
+TEST(PostmortemTool, AllRecordsTruncatedIsItsOwnDiagnosis)
+{
+    ToolDir dir("pm_all_truncated");
+    std::string path = dir.file("bundles.jsonl");
+    {
+        std::ofstream out(path);
+        out << "{\"kind\":\"BUNDLE\",\"reason\":\"ERR\n";
+        out << "{\"kind\":\"BUNDLE\",\"node\":\"n\n";
+    }
+    RunResult result =
+        run(std::string(SEER_POSTMORTEM_BIN) + " --list " + path);
+    EXPECT_NE(result.status, 0);
+    EXPECT_NE(result.output.find("every BUNDLE record was truncated"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(PostmortemTool, IntactInputStillExitsZero)
+{
+    std::string bundles = makeBundleLines();
+    ToolDir dir("pm_intact");
+    std::string path = dir.file("bundles.jsonl");
+    std::ofstream(path) << bundles;
+    RunResult result =
+        run(std::string(SEER_POSTMORTEM_BIN) + " --list " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+}
+
+// --- seer_vault -----------------------------------------------------
+
+TEST(VaultTool, VerifyAcceptsSoundVaultAndRejectsTornOne)
+{
+    ToolDir dir("vault_cli");
+    auto catalog = std::make_shared<logging::TemplateCatalog>();
+    logging::TemplateId solo = catalog->intern("svc", "solo <uuid>");
+    std::vector<TaskAutomaton> automata;
+    automata.emplace_back("solo",
+                          std::vector<EventNode>{{solo, 0}},
+                          std::vector<DependencyEdge>{});
+    vault::VaultConfig vault_config;
+    vault_config.directory = dir.path;
+    {
+        vault::VaultedMonitor vaulted(vault_config, MonitorConfig{},
+                                      catalog, std::move(automata));
+        logging::LogRecord record;
+        record.id = 1;
+        record.timestamp = 1.0;
+        record.node = "n";
+        record.service = "svc";
+        record.body =
+            "solo 33333333-3333-3333-3333-333333333333";
+        vaulted.feed(record);
+    }
+
+    std::string bin(SEER_VAULT_BIN);
+    RunResult sound = run(bin + " verify " + dir.path);
+    EXPECT_EQ(sound.status, 0) << sound.output;
+    RunResult inspect = run(bin + " inspect " + dir.path);
+    EXPECT_EQ(inspect.status, 0) << inspect.output;
+    EXPECT_NE(inspect.output.find("fingerprint"), std::string::npos);
+
+    // A self-diff is clean.
+    RunResult same =
+        run(bin + " diff " + dir.path + " " + dir.path);
+    EXPECT_EQ(same.status, 0) << same.output;
+
+    // Smear garbage over the ledger tail: verify must now fail.
+    {
+        std::ofstream smear(vault::ledgerPath(dir.path),
+                            std::ios::binary | std::ios::app);
+        smear << "\x07torn";
+    }
+    RunResult torn = run(bin + " verify " + dir.path);
+    EXPECT_NE(torn.status, 0) << torn.output;
+    EXPECT_NE(torn.output.find("torn"), std::string::npos)
+        << torn.output;
+}

@@ -13,7 +13,11 @@
  *     seer-postmortem --index 2 bundles.jsonl  # render bundle 2 only
  *
  * Non-BUNDLE lines are skipped, so the tool can be pointed at a mixed
- * report stream. Reads stdin when no file is given. The parser is a
+ * report stream. Truncated bundle lines — a crashed writer or partial
+ * copy leaves unbalanced JSON — are diagnosed on stderr and skipped,
+ * and the exit status goes nonzero, rather than rendered as if whole.
+ * Empty input gets its own distinct diagnostic. Reads stdin when no
+ * file is given. The parser is a
  * purpose-built scanner for the bundle schema (strings with JSON
  * escapes, one level of nesting plus the report object), not a general
  * JSON parser — the monitor is the only producer.
@@ -157,6 +161,22 @@ bool
 isBundleLine(const std::string &line)
 {
     return line.find("\"kind\":\"BUNDLE\"") != std::string::npos;
+}
+
+/**
+ * A bundle line cut short — by a crashed writer, a partial copy, or a
+ * filled disk — has unbalanced braces (or an unterminated string,
+ * which reads as the same thing). Rendering such a line produces
+ * confidently wrong output: every field after the cut silently parses
+ * as absent or garbage. Detect it up front so it can be diagnosed and
+ * skipped instead.
+ */
+bool
+isTruncatedBundle(const std::string &line)
+{
+    std::size_t open = line.find('{');
+    return open == std::string::npos ||
+           extractBalanced(line, open).empty();
 }
 
 /** One context-array entry, pre-parsed for rendering. */
@@ -348,13 +368,37 @@ main(int argc, char **argv)
 
     std::vector<std::string> bundles;
     std::string line;
-    while (std::getline(*in, line))
-        if (isBundleLine(line))
-            bundles.push_back(line);
+    std::size_t linesSeen = 0;
+    std::size_t truncated = 0;
+    while (std::getline(*in, line)) {
+        ++linesSeen;
+        if (!isBundleLine(line))
+            continue;
+        if (isTruncatedBundle(line)) {
+            // Skip rather than render: a half-written bundle parses
+            // into confidently wrong fields. The nonzero exit below
+            // keeps scripted pipelines from trusting partial output.
+            std::cerr << "seer-postmortem: line " << linesSeen
+                      << " is a truncated BUNDLE record; skipping\n";
+            ++truncated;
+            continue;
+        }
+        bundles.push_back(line);
+    }
     if (bundles.empty()) {
-        std::cerr << "seer-postmortem: no BUNDLE records found\n";
+        if (linesSeen == 0)
+            std::cerr << "seer-postmortem: input is empty\n";
+        else if (truncated > 0)
+            std::cerr << "seer-postmortem: every BUNDLE record was "
+                         "truncated ("
+                      << truncated << " skipped)\n";
+        else
+            std::cerr << "seer-postmortem: no BUNDLE records found\n";
         return 1;
     }
+    // Render what survived, but do not report success over a damaged
+    // stream.
+    int status = truncated > 0 ? 1 : 0;
 
     if (index >= 0) {
         if (static_cast<std::size_t>(index) >= bundles.size()) {
@@ -365,17 +409,17 @@ main(int argc, char **argv)
         }
         printBundle(static_cast<std::size_t>(index),
                     bundles[static_cast<std::size_t>(index)]);
-        return 0;
+        return status;
     }
     if (listMode) {
         for (std::size_t i = 0; i < bundles.size(); ++i)
             printListRow(i, bundles[i]);
-        return 0;
+        return status;
     }
     for (std::size_t i = 0; i < bundles.size(); ++i) {
         if (i > 0)
             std::printf("\n");
         printBundle(i, bundles[i]);
     }
-    return 0;
+    return status;
 }

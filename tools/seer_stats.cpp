@@ -16,7 +16,15 @@
  * wire_replay / monitor_cloud report stream closes with, so those
  * runs are self-describing without a debugger. Reads stdin when no
  * file is given (not with --follow).
+ *
+ * --follow survives log rotation: when the path starts naming a new
+ * inode (rename-and-recreate rotation) or the file shrinks below the
+ * consumed offset (truncate-in-place), the tool reopens and resumes
+ * from the top of the new contents instead of waiting forever on the
+ * old file's EOF.
  */
+
+#include <sys/stat.h>
 
 #include <chrono>
 #include <cstdio>
@@ -219,22 +227,56 @@ follow(const std::string &path)
         std::cerr << "seer-stats: cannot open " << path << "\n";
         return 2;
     }
+    struct stat st = {};
+    ino_t inode = 0;
+    dev_t device = 0;
+    if (::stat(path.c_str(), &st) == 0) {
+        inode = st.st_ino;
+        device = st.st_dev;
+    }
     printHeader();
     std::string line;
+    std::streamoff consumed = 0;
     while (true) {
         if (std::getline(in, line)) {
+            std::streamoff at = in.tellg();
+            if (at >= 0)
+                consumed = at;
             if (isHealthLine(line))
                 printRow(line);
             continue;
         }
-        if (in.eof()) {
-            // Wait for the writer to append more, then retry from the
-            // current offset.
-            in.clear();
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(250));
-        } else {
+        if (!in.eof())
             break;
+        // Wait for the writer to append more, then retry from the
+        // current offset.
+        in.clear();
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        // Log rotation leaves us holding the old file (the path now
+        // names a different inode); truncate-in-place leaves the same
+        // inode but a size below our read offset. Either way the next
+        // appends land where we are not looking — reopen and resume
+        // from the top of the new file. A stat failure means the file
+        // is mid-rotation (renamed away, not yet recreated): keep
+        // polling until it reappears.
+        if (::stat(path.c_str(), &st) != 0)
+            continue;
+        bool rotated = st.st_ino != inode || st.st_dev != device;
+        bool truncated =
+            static_cast<std::streamoff>(st.st_size) < consumed;
+        if (rotated || truncated) {
+            in.close();
+            in.open(path);
+            if (!in) {
+                in.clear();
+                continue;
+            }
+            inode = st.st_ino;
+            device = st.st_dev;
+            consumed = 0;
+            std::cerr << "seer-stats: " << path
+                      << (rotated ? " rotated" : " truncated")
+                      << "; following the new contents\n";
         }
     }
     return 0;
