@@ -40,11 +40,28 @@
  * message loop and reports `vault_checkpoint_ms` / `_bytes`
  * separately instead of folding it into the rate.
  *
+ * With --threads N, a sharded path (seer-swarm, DESIGN.md §14) joins
+ * the sweep: shard counts {1, 2, 4, 8} up to N (plus N itself), each
+ * driving the pipelined submitFeed surface of ShardedChecker over the
+ * identical schedule. Each level reports per-count rates and the
+ * scaling ratio of the best sharded rate over the serial indexed
+ * path. The sharded event stream is digested after each timed run and
+ * compared against a serial reference digest — any divergence is a
+ * hard failure (exit 1), which makes bit-identity of the concurrent
+ * engine a CI invariant, not a test-suite-only property.
+ *
+ * Every level reports its wall-clock cost, warm-up size and rep
+ * count: the scan/indexed pair is measured best-of-three in paired
+ * alternation (like --vault) after an untimed warm-up pass, so the
+ * headline speedup is taken between adjacent runs rather than across
+ * seconds of frequency-scaling drift.
+ *
  * Usage: bench_throughput [--smoke] [--check <baseline.json>]
  *                         [--out <path>] [--obs] [--flight] [--vault]
- *                         [--trace-out <trace.json>]
+ *                         [--threads N] [--trace-out <trace.json>]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,12 +69,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/uuid.hpp"
 #include "core/checker/interleaved_checker.hpp"
+#include "core/checker/sharded_checker.hpp"
 #include "core/mining/latency_profile.hpp"
 #include "logging/identifier_interner.hpp"
 #include "logging/template_catalog.hpp"
@@ -254,6 +273,115 @@ runPath(const core::TaskAutomaton &automaton,
     return out;
 }
 
+/**
+ * Order-sensitive FNV-1a digest over everything a check event carries
+ * (kind, task, candidates, records, frontier, expected, time, group).
+ * Two event streams digest equal iff they are byte-identical in
+ * content and order — the property the sharded engine guarantees and
+ * this bench gates in CI.
+ */
+std::uint64_t
+digestEvents(const std::vector<core::CheckEvent> &events)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    auto fold = [&hash](const void *data, std::size_t len) {
+        const unsigned char *bytes =
+            static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            hash ^= bytes[i];
+            hash *= 1099511628211ull;
+        }
+    };
+    auto foldStr = [&fold](const std::string &s) {
+        fold(s.data(), s.size());
+        fold("|", 1);
+    };
+    for (const core::CheckEvent &event : events) {
+        int kind = static_cast<int>(event.kind);
+        fold(&kind, sizeof(kind));
+        foldStr(event.taskName);
+        for (const std::string &task : event.candidateTasks)
+            foldStr(task);
+        fold("|", 1);
+        for (logging::RecordId record : event.records)
+            fold(&record, sizeof(record));
+        fold("|", 1);
+        for (logging::TemplateId tpl : event.frontierTemplates)
+            fold(&tpl, sizeof(tpl));
+        fold("|", 1);
+        for (logging::TemplateId tpl : event.expectedTemplates)
+            fold(&tpl, sizeof(tpl));
+        fold(&event.time, sizeof(event.time));
+        fold(&event.group, sizeof(event.group));
+    }
+    return hash;
+}
+
+/**
+ * One timed pass of the sharded engine (seer-swarm) over the same
+ * schedule: every message through the pipelined submitFeed surface,
+ * one blocking flush at the end. Per-message latency is not reported
+ * (submitFeed returns before the check runs — that is the point);
+ * the event-stream digest is computed after the clock stops so the
+ * identity gate costs the rate nothing.
+ */
+PathResult
+runShardedPath(const core::TaskAutomaton &automaton,
+               const std::vector<core::CheckMessage> &schedule,
+               int num_shards, std::uint64_t &digest_out)
+{
+    core::CheckerConfig config;
+    config.routingIndex = true;
+    core::ShardedCheckerConfig swarm;
+    swarm.numShards = static_cast<std::size_t>(num_shards);
+    swarm.ringCapacity = 1024;
+    core::ShardedChecker checker(config, {&automaton}, swarm);
+
+    std::vector<core::CheckEvent> events;
+    events.reserve(schedule.size() / 4 + 16);
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start = Clock::now();
+    for (const core::CheckMessage &message : schedule)
+        checker.submitFeed(message);
+    checker.flush(events);
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    PathResult out;
+    out.mps = elapsed > 0.0
+                  ? static_cast<double>(schedule.size()) / elapsed
+                  : 0.0;
+    out.accepted = checker.stats().accepted;
+    digest_out = digestEvents(events);
+    checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
+    return out;
+}
+
+/**
+ * The serial reference the sharded paths are gated against: an
+ * untimed indexed pass that keeps its feed events. Returns the digest
+ * and the accepted count through the out-parameters.
+ */
+void
+serialReference(const core::TaskAutomaton &automaton,
+                const std::vector<core::CheckMessage> &schedule,
+                std::uint64_t &digest_out, std::uint64_t &accepted_out)
+{
+    core::CheckerConfig config;
+    config.routingIndex = true;
+    core::InterleavedChecker checker(config, {&automaton});
+    std::vector<core::CheckEvent> events;
+    for (const core::CheckMessage &message : schedule) {
+        std::vector<core::CheckEvent> step = checker.feed(message);
+        events.insert(events.end(),
+                      std::make_move_iterator(step.begin()),
+                      std::make_move_iterator(step.end()));
+    }
+    digest_out = digestEvents(events);
+    accepted_out = checker.stats().accepted;
+    checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
+}
+
 struct LevelResult
 {
     int inflight = 0;
@@ -264,11 +392,28 @@ struct LevelResult
     bool hasObserved = false;
     PathResult flighted; ///< indexed + seer-flight (--flight only)
     bool hasFlighted = false;
+    PathResult flightBase; ///< paired bare-indexed baseline (--flight)
     PathResult vaulted; ///< indexed + seer-vault writes (--vault only)
     bool hasVaulted = false;
     PathResult vaultBase; ///< paired bare-indexed baseline (--vault)
     double vaultCheckpointMs = 0.0; ///< one full snapshot, timed alone
     std::uint64_t vaultCheckpointBytes = 0;
+
+    /** Sharded path per shard count (--threads): {threads, best-of}. */
+    std::vector<std::pair<int, PathResult>> sharded;
+    double wallClockS = 0.0;  ///< everything this level cost, timed
+    int warmupMessages = 0;   ///< untimed prefix run before the reps
+    int reps = 0;             ///< paired alternating timed repetitions
+
+    /** Best sharded rate over the serial indexed rate (--threads). */
+    double
+    shardedScaling() const
+    {
+        double best = 0.0;
+        for (const auto &[threads, result] : sharded)
+            best = std::max(best, result.mps);
+        return indexed.mps > 0.0 ? best / indexed.mps : 0.0;
+    }
 
     double
     speedup() const
@@ -285,12 +430,13 @@ struct LevelResult
                    : 0.0;
     }
 
-    /** Fractional slowdown of the flight-enabled path. */
+    /** Fractional slowdown of the flight-enabled path, against the
+     *  baseline timed back-to-back with it (paired, like --vault). */
     double
     flightOverhead() const
     {
-        return indexed.mps > 0.0 && hasFlighted
-                   ? 1.0 - flighted.mps / indexed.mps
+        return flightBase.mps > 0.0 && hasFlighted
+                   ? 1.0 - flighted.mps / flightBase.mps
                    : 0.0;
     }
 
@@ -327,7 +473,8 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
     out.setf(std::ios::fixed);
     out.precision(3);
     out << "{\n  \"bench\": \"throughput\",\n  \"smoke\": "
-        << (smoke ? "true" : "false")
+        << (smoke ? "true" : "false") << ",\n  \"hw_threads\": "
+        << std::thread::hardware_concurrency()
         << ",\n  \"crossover_inflight\": "
         << crossoverInflight(levels) << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < levels.size(); ++i) {
@@ -352,6 +499,8 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
                 << level.flighted.mps
                 << ", \"p50_us\": " << level.flighted.p50us
                 << ", \"p99_us\": " << level.flighted.p99us << "}"
+                << ",\n     \"flight_base_mps\": "
+                << level.flightBase.mps
                 << ",\n     \"flight_overhead\": "
                 << level.flightOverhead();
         }
@@ -369,7 +518,21 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
                 << ",\n     \"vault_checkpoint_bytes\": "
                 << level.vaultCheckpointBytes;
         }
-        out << ",\n     \"speedup\": " << level.speedup() << "}"
+        if (!level.sharded.empty()) {
+            out << ",\n     \"sharded\": [";
+            for (std::size_t s = 0; s < level.sharded.size(); ++s) {
+                const auto &[threads, result] = level.sharded[s];
+                out << (s == 0 ? "" : ", ") << "{\"threads\": "
+                    << threads << ", \"mps\": " << result.mps << "}";
+            }
+            out << "]"
+                << ",\n     \"sharded_scaling\": "
+                << level.shardedScaling();
+        }
+        out << ",\n     \"wall_clock_s\": " << level.wallClockS
+            << ", \"warmup_messages\": " << level.warmupMessages
+            << ", \"reps\": " << level.reps
+            << ",\n     \"speedup\": " << level.speedup() << "}"
             << (i + 1 < levels.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -440,6 +603,7 @@ main(int argc, char **argv)
     bool with_obs = false;
     bool with_flight = false;
     bool with_vault = false;
+    int threads_max = 0; // 0 = no sharded paths
     std::string check_path;
     std::string out_path = "BENCH_throughput.json";
     std::string trace_path;
@@ -452,6 +616,13 @@ main(int argc, char **argv)
             with_flight = true;
         } else if (std::strcmp(argv[i], "--vault") == 0) {
             with_vault = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads_max = std::atoi(argv[++i]);
+            if (threads_max < 1) {
+                std::fprintf(stderr, "--threads wants a count >= 1\n");
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--check") == 0 &&
                    i + 1 < argc) {
             check_path = argv[++i];
@@ -465,10 +636,23 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--check baseline.json] "
                          "[--out path] [--obs] [--flight] [--vault] "
-                         "[--trace-out path]\n",
+                         "[--threads N] [--trace-out path]\n",
                          argv[0]);
             return 2;
         }
+    }
+
+    // Shard counts for the --threads sweep: the canonical 1/2/4/8
+    // scaling curve up to the requested maximum, always including the
+    // maximum itself (so --threads 4 in CI measures exactly 1/2/4).
+    std::vector<int> thread_counts;
+    if (threads_max > 0) {
+        for (int count : {1, 2, 4, 8})
+            if (count <= threads_max)
+                thread_counts.push_back(count);
+        if (thread_counts.empty() ||
+            thread_counts.back() != threads_max)
+            thread_counts.push_back(threads_max);
     }
 
     logging::TemplateCatalog catalog;
@@ -496,6 +680,7 @@ main(int argc, char **argv)
                 "inflight", "messages", "indexed-mps", "scan-mps",
                 "idx-p99us", "scan-p99us", "speedup");
     for (int inflight : levels) {
+        auto level_start = std::chrono::steady_clock::now();
         LevelResult level;
         level.inflight = inflight;
         // Enough messages for the slot pool to reach steady state and
@@ -505,10 +690,28 @@ main(int argc, char **argv)
         std::vector<core::CheckMessage> schedule = makeSchedule(
             automaton, inflight, level.messages,
             static_cast<std::uint64_t>(inflight) * 7919u + 11u);
-        // Scan first, then indexed: any cache warming favours neither
-        // systematically (each path builds its own checker state).
-        level.scan = runPath(automaton, schedule, false);
-        level.indexed = runPath(automaton, schedule, true);
+        // One untimed warm-up pass per path over a schedule prefix:
+        // faults the automaton, interner and allocator pools in before
+        // anything is measured.
+        level.warmupMessages = static_cast<int>(
+            std::min<std::size_t>(schedule.size(), 2000));
+        std::vector<core::CheckMessage> warmup(
+            schedule.begin(), schedule.begin() + level.warmupMessages);
+        runPath(automaton, warmup, false);
+        runPath(automaton, warmup, true);
+        // Paired best-of-three, scan and indexed alternating (the
+        // --vault discipline): the headline speedup is a ratio of
+        // adjacent runs, not of passes seconds apart. Scan first in
+        // each pair so residual warming favours neither side.
+        level.reps = 3;
+        for (int rep = 0; rep < level.reps; ++rep) {
+            PathResult scan_rep = runPath(automaton, schedule, false);
+            PathResult idx_rep = runPath(automaton, schedule, true);
+            if (scan_rep.mps > level.scan.mps)
+                level.scan = scan_rep;
+            if (idx_rep.mps > level.indexed.mps)
+                level.indexed = idx_rep;
+        }
         if (with_obs) {
             obs::ObsConfig obs_config;
             obs_config.metrics = true;
@@ -516,9 +719,15 @@ main(int argc, char **argv)
             obs::Observability sinks(obs_config);
             bool last_level = inflight == levels.back();
             std::string trace;
-            level.observed = runPath(
-                automaton, schedule, true, &sinks,
-                !trace_path.empty() && last_level ? &trace : nullptr);
+            // Best-of-reps, same as the bare paths it is compared to.
+            for (int rep = 0; rep < level.reps; ++rep) {
+                PathResult observed_rep = runPath(
+                    automaton, schedule, true, &sinks,
+                    !trace_path.empty() && last_level ? &trace
+                                                      : nullptr);
+                if (observed_rep.mps > level.observed.mps)
+                    level.observed = observed_rep;
+            }
             level.hasObserved = true;
             if (!trace.empty()) {
                 std::ofstream trace_out(trace_path);
@@ -544,8 +753,21 @@ main(int argc, char **argv)
             flight.recorder = &recorder;
             flight.rawLines = &raw_lines;
             flight.profile = &chain_profile;
-            level.flighted = runPath(automaton, schedule, true, nullptr,
-                                     nullptr, &flight);
+            // Paired best-of-reps: bare and flighted alternate so the
+            // overhead ratio is taken between adjacent runs (the
+            // --vault discipline) — drift across the level otherwise
+            // swamps the ~30 ns/msg the armed recorder costs.
+            for (int rep = 0; rep < level.reps; ++rep) {
+                PathResult base_rep =
+                    runPath(automaton, schedule, true);
+                PathResult flight_rep = runPath(
+                    automaton, schedule, true, nullptr, nullptr,
+                    &flight);
+                if (base_rep.mps > level.flightBase.mps)
+                    level.flightBase = base_rep;
+                if (flight_rep.mps > level.flighted.mps)
+                    level.flighted = flight_rep;
+            }
             level.hasFlighted = true;
         }
         if (with_vault) {
@@ -604,6 +826,46 @@ main(int argc, char **argv)
             std::error_code ec;
             std::filesystem::remove_all(vault_dir, ec);
         }
+        if (threads_max > 0) {
+            // Serial reference digest for the bit-identity gate, from
+            // an untimed pass that keeps its events.
+            std::uint64_t ref_digest = 0;
+            std::uint64_t ref_accepted = 0;
+            serialReference(automaton, schedule, ref_digest,
+                            ref_accepted);
+            for (int count : thread_counts) {
+                PathResult best;
+                for (int rep = 0; rep < level.reps; ++rep) {
+                    std::uint64_t digest = 0;
+                    PathResult run = runShardedPath(
+                        automaton, schedule, count, digest);
+                    // Every rep is gated, not just the kept one: a
+                    // divergence that shows up on one interleaving in
+                    // three is exactly the bug this exists to catch.
+                    if (digest != ref_digest ||
+                        run.accepted != ref_accepted) {
+                        std::fprintf(
+                            stderr,
+                            "FAIL: sharded path (%d shards) diverged "
+                            "from serial at %d in-flight (accepted "
+                            "%llu vs %llu, digest %016llx vs "
+                            "%016llx)\n",
+                            count, inflight,
+                            static_cast<unsigned long long>(
+                                run.accepted),
+                            static_cast<unsigned long long>(
+                                ref_accepted),
+                            static_cast<unsigned long long>(digest),
+                            static_cast<unsigned long long>(
+                                ref_digest));
+                        return 1;
+                    }
+                    if (run.mps > best.mps)
+                        best = run;
+                }
+                level.sharded.emplace_back(count, best);
+            }
+        }
         std::printf("  %-9d %-10d %-12.0f %-12.0f %-12.1f %-12.1f "
                     "%-8.2f\n",
                     level.inflight, level.messages, level.indexed.mps,
@@ -625,9 +887,10 @@ main(int argc, char **argv)
         }
         if (level.hasFlighted) {
             std::printf("  flight: %-d in-flight flighted %.0f mps "
-                        "(overhead %.1f%%)\n",
+                        "(overhead %.1f%% vs paired %.0f mps)\n",
                         inflight, level.flighted.mps,
-                        100.0 * level.flightOverhead());
+                        100.0 * level.flightOverhead(),
+                        level.flightBase.mps);
             if (level.flightOverhead() > 0.15) {
                 std::printf("  WARN: flight overhead %.1f%% exceeds "
                             "the 15%% ingest bar at %d in-flight\n",
@@ -649,6 +912,19 @@ main(int argc, char **argv)
                             100.0 * level.vaultOverhead(), inflight);
             }
         }
+        for (const auto &[count, result] : level.sharded) {
+            std::printf("  sharded: %-d in-flight, %d shard%s "
+                        "%.0f mps (%.2fx serial, bit-identical)\n",
+                        inflight, count, count == 1 ? "" : "s",
+                        result.mps,
+                        level.indexed.mps > 0.0
+                            ? result.mps / level.indexed.mps
+                            : 0.0);
+        }
+        level.wallClockS =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - level_start)
+                .count();
         if (level.indexed.accepted != level.scan.accepted ||
             (level.hasObserved &&
              level.observed.accepted != level.indexed.accepted) ||

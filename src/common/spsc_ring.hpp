@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring buffer (seer-swarm,
+ * DESIGN.md §14).
+ *
+ * The sharded checker's only inter-thread channel: the router thread
+ * pushes work items into one ring per shard and each shard pushes
+ * result batches back through its own output ring, so every ring has
+ * exactly one producer and one consumer by construction and needs no
+ * locks — just two monotonically increasing counters with
+ * acquire/release ordering.
+ *
+ * Design notes:
+ *  - Counters are free-running 64-bit (no wrap handling needed within
+ *    any realistic run); the slot index is `count % capacity`, which
+ *    supports arbitrary capacities including 1.
+ *  - Producer and consumer each keep a cached copy of the other
+ *    side's counter so the hot path usually touches only its own
+ *    cache line; the shared atomic is re-read only when the cached
+ *    value says the ring looks full (producer) or empty (consumer).
+ *  - Blocking push/pop yield to the scheduler instead of hot-spinning:
+ *    the monitor must behave on machines with fewer cores than shards
+ *    (CI runners, laptops), where a spinning producer would starve
+ *    the very consumer it waits on.
+ */
+
+#ifndef CLOUDSEER_COMMON_SPSC_RING_HPP
+#define CLOUDSEER_COMMON_SPSC_RING_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cloudseer::common {
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : slots(capacity), cap(capacity)
+    {
+        CS_ASSERT(capacity > 0, "spsc ring needs capacity >= 1");
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return cap; }
+
+    /** Producer side: push if a slot is free. */
+    bool
+    tryPush(T &&item)
+    {
+        std::uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t - headCache == cap) {
+            headCache = head.load(std::memory_order_acquire);
+            if (t - headCache == cap)
+                return false;
+        }
+        slots[static_cast<std::size_t>(t % cap)] = std::move(item);
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Producer side: push, yielding until a slot frees (backpressure). */
+    void
+    push(T &&item)
+    {
+        while (!tryPush(std::move(item)))
+            std::this_thread::yield();
+    }
+
+    /** Consumer side: pop if an item is ready. */
+    bool
+    tryPop(T &out)
+    {
+        std::uint64_t h = head.load(std::memory_order_relaxed);
+        if (h == tailCache) {
+            tailCache = tail.load(std::memory_order_acquire);
+            if (h == tailCache)
+                return false;
+        }
+        out = std::move(slots[static_cast<std::size_t>(h % cap)]);
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: pop, yielding until an item arrives. */
+    void
+    pop(T &out)
+    {
+        while (!tryPop(out))
+            std::this_thread::yield();
+    }
+
+    /**
+     * Instantaneous occupancy. Exact only from the producer or
+     * consumer thread; from anywhere else it is a racy-but-bounded
+     * sample, which is all the seer-scope ring-depth gauge needs.
+     */
+    std::size_t
+    size() const
+    {
+        std::uint64_t t = tail.load(std::memory_order_acquire);
+        std::uint64_t h = head.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(t >= h ? t - h : 0);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots;
+    std::size_t cap;
+
+    // Producer cache line: the tail it owns plus its stale view of head.
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+    std::uint64_t headCache = 0;
+
+    // Consumer cache line: the head it owns plus its stale view of tail.
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    std::uint64_t tailCache = 0;
+};
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_SPSC_RING_HPP

@@ -17,8 +17,8 @@ constexpr double kSecondsPerDay = 86400.0;
 
 } // namespace
 
-std::string
-formatTimestamp(SimTime t)
+void
+appendTimestamp(SimTime t, std::string &out)
 {
     if (t < 0)
         t = 0;
@@ -37,9 +37,19 @@ formatTimestamp(SimTime t)
     // far shorter than the remaining days of the month.
     int day = kEpochDay + static_cast<int>(days);
     char buf[48];
-    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
-                  kEpochYear, kEpochMonth, day, hh, mm, ss, millis);
-    return buf;
+    int len = std::snprintf(buf, sizeof(buf),
+                            "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                            kEpochYear, kEpochMonth, day, hh, mm, ss,
+                            millis);
+    out.append(buf, static_cast<std::size_t>(len));
+}
+
+std::string
+formatTimestamp(SimTime t)
+{
+    std::string out;
+    appendTimestamp(t, out);
+    return out;
 }
 
 bool

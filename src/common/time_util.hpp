@@ -20,6 +20,9 @@ using SimTime = double;
 /** Render seconds-from-epoch as "YYYY-MM-DD HH:MM:SS.mmm". */
 std::string formatTimestamp(SimTime t);
 
+/** Append formatTimestamp(t) to `out` without a temporary string. */
+void appendTimestamp(SimTime t, std::string &out);
+
 /**
  * Parse a "YYYY-MM-DD HH:MM:SS.mmm" timestamp back to seconds-from-epoch.
  *

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * seer-swarm: the sharded multi-core checking engine (DESIGN.md §14).
+ *
+ * CloudSeer's Algorithm 2 is partitionable by identifier affinity:
+ * two automaton groups that never share an identifier token can never
+ * compete for the same message, so they can be checked on different
+ * cores without any coordination. This engine exploits that:
+ *
+ *  - A router (the caller's thread) maintains a union-find over
+ *    interned identifier tokens. Each connected component of tokens —
+ *    an *identifier component* — is homed on one of N worker shards,
+ *    assigned round-robin at component birth. Every message routes to
+ *    the home of its tokens' component.
+ *  - Each shard owns a full serial InterleavedChecker holding exactly
+ *    the groups of its components, fed through a bounded SPSC ring
+ *    (backpressure = the router helps drain results while it waits).
+ *  - A merge stage (also the caller's thread) reassembles results in
+ *    stream order and renumbers shard-local group/set ids into the
+ *    exact id sequence the serial engine would have allocated, so
+ *    report streams are **bit-identical** to the serial engine —
+ *    including the group ids inside every report.
+ *  - Messages that cannot be partitioned — an empty identifier view
+ *    (serial scans every live group) or a view bridging components
+ *    homed on different shards — take the slow-path reconciler: the
+ *    pipeline quiesces, all shard state is consolidated into one
+ *    serial-state checker (this is literally the serial checker — the
+ *    message is fed on it for exact semantics), and the state is then
+ *    re-split across shards. Rare by construction in identifier-rich
+ *    streams; counted in ShardMetrics.
+ *
+ * Why renumbering works: within one shard, groups are created in the
+ * same relative order as the serial engine creates them (a message's
+ * creations happen atomically at its stream position, and every
+ * message of a component routes to the component's single home), so
+ * the map "k-th id allocated by shard s" → "id serial allocated at
+ * the same stream position" is order-preserving. Every gid comparison
+ * Algorithm 2 makes (candidate ordering, fork-fanout tie-breaks,
+ * equivalence-class pools) only ever compares groups of one
+ * component, so shard-local order agrees with serial order wherever
+ * it is observable.
+ */
+
+#ifndef CLOUDSEER_CORE_CHECKER_SHARDED_CHECKER_HPP
+#define CLOUDSEER_CORE_CHECKER_SHARDED_CHECKER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <semaphore>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "core/checker/interleaved_checker.hpp"
+#include "core/monitor/timeout_estimator.hpp"
+
+namespace cloudseer::core {
+
+/** What to do when a message cannot be partitioned. */
+enum class ReconcilePolicy : std::uint8_t
+{
+    /** Quiesce, run the message serially on consolidated state, and
+     *  re-split (the default; exact and always available). */
+    Consolidate,
+
+    /** Assert instead. For workloads that promise identifier-disjoint
+     *  executions (benches, property tests), a reconcile is a routing
+     *  bug — fail loudly rather than silently serialize. */
+    Forbid,
+};
+
+/** seer-swarm deployment knobs. */
+struct ShardedCheckerConfig
+{
+    /** Worker shards (each owns one serial checker + one thread). */
+    std::size_t numShards = 2;
+
+    /** Capacity of each SPSC ring (input and output alike). */
+    std::size_t ringCapacity = 512;
+
+    ReconcilePolicy reconcilePolicy = ReconcilePolicy::Consolidate;
+};
+
+/** Per-shard and reconciler counters (seer-scope, DESIGN.md §14). */
+struct ShardMetrics
+{
+    struct PerShard
+    {
+        std::uint64_t messagesRouted = 0; ///< feeds homed here
+        std::uint64_t inputRingPeak = 0;  ///< deepest input ring seen
+        std::uint64_t outputRingPeak = 0; ///< deepest output ring seen
+        std::uint64_t activeGroups = 0;   ///< groups after last result
+    };
+    std::vector<PerShard> shards;
+
+    std::uint64_t reconcilerHits = 0;   ///< consolidate+resplit cycles
+    std::uint64_t crossShardUnions = 0; ///< views bridging two homes
+    std::uint64_t globalFallbacks = 0;  ///< empty-view serialized feeds
+    std::uint64_t quiesces = 0;         ///< pipeline barrier count
+
+    /**
+     * Largest shard's routed share over the ideal share (1.0 =
+     * perfectly balanced, numShards = everything on one shard).
+     */
+    double imbalance() const;
+};
+
+/**
+ * The sharded engine. Bit-identical to InterleavedChecker on every
+ * stream (the report sequences match byte for byte); faster on
+ * identifier-disjoint streams by roughly the shard count. Not
+ * thread-safe for concurrent callers — one thread drives submit /
+ * drain / the BaseChecker surface (the monitor and benches are
+ * single-threaded drivers; the parallelism lives behind the rings).
+ */
+class ShardedChecker final : public BaseChecker
+{
+  public:
+    ShardedChecker(const CheckerConfig &config,
+                   std::vector<const TaskAutomaton *> automata,
+                   const ShardedCheckerConfig &swarm);
+    ~ShardedChecker() override;
+
+    ShardedChecker(const ShardedChecker &) = delete;
+    ShardedChecker &operator=(const ShardedChecker &) = delete;
+
+    // --- pipelined surface (the fast path) ----------------------------
+
+    /**
+     * Route one message for checking (Algorithm 2, no timeout sweep —
+     * the checker-level contract benches drive). Results surface via
+     * drainReady()/flush() in stream order.
+     */
+    void submitFeed(const CheckMessage &message);
+
+    /**
+     * Route one monitor step: a timeout sweep at `now` on *every*
+     * shard (the serial monitor sweeps all groups before each feed)
+     * followed by the feed on the owning shard. Results surface via
+     * drainReady()/flush() in stream order.
+     */
+    void submitStep(const CheckMessage &message, common::SimTime now);
+
+    /**
+     * Route a sweep-only step: every shard runs the timeout criterion
+     * at `now`, no message is fed (the monitor path for records the
+     * dedup guard suppresses — serial sweeps before it suppresses).
+     */
+    void submitSweep(common::SimTime now);
+
+    /** Move every result that is ready, in stream order (non-blocking). */
+    void drainReady(std::vector<CheckEvent> &out);
+
+    /** Complete all submitted work, then drain everything (blocking). */
+    void flush(std::vector<CheckEvent> &out);
+
+    /**
+     * Install the timeout policy submitStep sweeps resolve against.
+     * Each shard gets its own copy (resolution tallies are summed in
+     * timeoutResolutionCounts()). Call before the first submit.
+     */
+    void setTimeoutPolicy(const TimeoutPolicy &policy);
+
+    /** Summed (resolutions, defaultFallbacks) across shards. */
+    std::pair<std::uint64_t, std::uint64_t>
+    timeoutResolutionCounts() const;
+
+    /** Router / ring / reconciler counters (exact after a flush). */
+    const ShardMetrics &metrics() const { return shardMetrics; }
+
+    std::size_t shardCount() const { return shards.size(); }
+
+    /**
+     * Quiesce and cross-check every shard's routing structures
+     * (test-only; resumes the pipeline before returning).
+     */
+    bool indexesConsistent();
+
+    // --- BaseChecker surface ------------------------------------------
+    // The synchronous calls are exact but heavyweight: each one
+    // flushes the pipeline and (except feed) consolidates to serial
+    // state, delegates, and re-splits. They exist so the sharded
+    // engine is a drop-in BaseChecker; hot paths use submit/drain.
+
+    std::vector<CheckEvent> feed(const CheckMessage &message) override;
+
+    std::vector<CheckEvent>
+    sweepTimeouts(common::SimTime now,
+                  const TimeoutResolver &resolver) override;
+
+    std::vector<CheckEvent> shedToCap(std::size_t cap,
+                                      common::SimTime now) override;
+
+    std::vector<CheckEvent> shedToMemory(std::size_t max_bytes,
+                                         common::SimTime now) override;
+
+    std::size_t approxRetainedBytes() const override;
+
+    std::vector<CheckEvent> finish(common::SimTime now) override;
+
+    const CheckerStats &stats() const override;
+
+    std::size_t activeGroups() const override;
+
+    std::size_t activeIdentifierSets() const override;
+
+    const RemovalCounts &dependencyRemovals() const override;
+
+    void saveState(common::BinWriter &out) override;
+
+    bool restoreState(common::BinReader &in) override;
+
+    /** Tracing is a serial-engine feature; only the null sink is
+     *  accepted (the monitor selects the serial engine when tracing
+     *  is enabled). */
+    void setTracer(obs::ExecutionTracer *tracer) override;
+
+    void setLatencyPolicy(const std::vector<LatencyProfile> &profiles,
+                          const LatencyCheckConfig &policy = {}) override;
+
+    const char *engineName() const override { return "sharded"; }
+
+    ShardedChecker *sharded() override { return this; }
+
+  private:
+    /** Work-item kinds flowing router → shard. */
+    enum class ShardOp : std::uint8_t
+    {
+        Feed, ///< feed the message (no sweep) — bench fast path
+        Step, ///< sweep at `now`, then feed — monitor path (owner)
+        Tick, ///< sweep at `now` only — monitor path (non-owners)
+        Park, ///< ack, then block until resumed (quiesce protocol)
+        Stop, ///< exit the worker thread
+    };
+
+    struct ShardIn
+    {
+        std::uint64_t seq = 0;
+        ShardOp op = ShardOp::Feed;
+        common::SimTime now = 0.0;
+        double timeoutFloor = 0.0; ///< broadcast global max timeout
+        CheckMessage msg;
+    };
+
+    struct ShardOut
+    {
+        std::uint64_t seq = 0;
+        bool parkAck = false;
+        std::uint32_t groupBirths = 0; ///< ids allocated by this op
+        std::uint32_t setBirths = 0;
+        std::uint32_t rivalBirths = 0;
+        double localMaxTimeout = 0.0;
+        std::uint64_t groupsNow = 0;
+        std::uint64_t setsNow = 0;
+        std::uint64_t resolutions = 0;
+        std::uint64_t fallbacks = 0;
+        CheckerStats stats;
+        std::vector<CheckEvent> sweepEvents; ///< ascending local gid
+        std::vector<CheckEvent> feedEvents;
+    };
+
+    /** One worker shard. */
+    struct ShardState
+    {
+        explicit ShardState(std::size_t ring_capacity)
+            : in(ring_capacity), out(ring_capacity)
+        {
+        }
+
+        std::unique_ptr<InterleavedChecker> checker;
+        common::SpscRing<ShardIn> in;
+        common::SpscRing<ShardOut> out;
+        std::thread worker;
+        std::binary_semaphore resume{0};
+        bool stopRequested = false; ///< written before resume.release
+        TimeoutPolicy policy;       ///< this shard's private copy
+
+        // Birth scratch rebound to the checker at every op, so the
+        // checker object can be swapped (restore) while parked.
+        std::vector<GroupId> gidBirthLog;
+        std::vector<std::uint64_t> setBirthLog;
+        std::uint64_t rivalBirthCount = 0;
+    };
+
+    /**
+     * Merge-side view of one shard's id space. Shard-local ids are
+     * dense (1, 2, 3, …), so local→serial maps are plain vectors
+     * indexed by local id (slot 0 unused). Entries are never erased —
+     * a stale lineage link must renumber like a live one — so the
+     * vectors grow with ids-ever-allocated until the next re-split
+     * resets them to the live population (every reconcile, checkpoint,
+     * and sync operation re-splits, bounding growth in practice).
+     */
+    struct MergeShard
+    {
+        std::vector<std::uint64_t> gidL2G{0};
+        std::vector<std::uint64_t> setL2G{0};
+        std::vector<std::uint64_t> rivalL2G{0};
+
+        /** Local ids ≥ kStaleBase (stale lineage links assigned at
+         *  split time) → their serial ids. */
+        std::unordered_map<std::uint64_t, std::uint64_t> staleL2G;
+
+        CheckerStats lastStats;
+        std::uint64_t groupsNow = 0;
+        std::uint64_t setsNow = 0;
+        std::uint64_t resolutions = 0;
+        std::uint64_t fallbacks = 0;
+    };
+
+    /** One submitted stream position awaiting its results. */
+    struct Pending
+    {
+        bool step = false;      ///< true: needs one result per shard
+        std::uint8_t owner = 0; ///< shard that feeds the message
+        std::uint32_t seen = 0;
+        ShardOut primary;            ///< the owner's result
+        std::vector<ShardOut> ticks; ///< step mode only, by shard
+    };
+
+    /** Local ids at or above this value are stale-lineage sentinels:
+     *  they never collide with live dense ids and never resolve in
+     *  group lookups, mirroring serial's never-reused id semantics. */
+    static constexpr std::uint64_t kStaleBase = 1ULL << 63;
+
+    enum class PipelineState : std::uint8_t
+    {
+        Running,
+        Parked,
+    };
+
+    CheckerConfig config;
+    std::vector<const TaskAutomaton *> automatonSet;
+    ShardedCheckerConfig swarm;
+
+    /** Router's copy of the template alphabet (see templateKnown). */
+    std::vector<char> knownTemplates;
+
+    /** Timeout policy used by reconciler-path sweeps (shards hold
+     *  their own zeroed copies; see setTimeoutPolicy). */
+    TimeoutPolicy masterPolicy;
+
+    std::vector<std::unique_ptr<ShardState>> shards;
+    std::vector<MergeShard> mergeShards;
+    PipelineState state = PipelineState::Running;
+
+    // Serial id allocators mirrored by the merge stage.
+    std::uint64_t serialNextGroupId = 1;
+    std::uint64_t serialNextIdSetId = 1;
+    std::uint64_t serialNextRivalSet = 1;
+    double globalMaxTimeout = 0.0;
+
+    // Router: union-find over identifier tokens, home per root.
+    std::vector<std::uint32_t> dsuParent;
+    std::vector<std::int32_t> dsuHome;
+    std::size_t roundRobinNext = 0;
+
+    // In-order reassembly.
+    std::uint64_t nextSeq = 0;
+    std::uint64_t windowBase = 0;
+    std::deque<Pending> window;
+    std::vector<CheckEvent> readyEvents;
+
+    ShardMetrics shardMetrics;
+
+    // Retained latency policy so restored/recreated shard checkers
+    // can be re-armed.
+    std::vector<LatencyProfile> latProfiles;
+    LatencyCheckConfig latConfig;
+
+    // Aggregation caches for the const BaseChecker getters.
+    mutable CheckerStats statsCache;
+    mutable RemovalCounts removalsCache;
+
+    void shardMain(std::size_t idx);
+
+    bool templateKnown(logging::TemplateId tpl) const;
+
+    // Router helpers.
+    std::uint32_t dsuFind(std::uint32_t token);
+    void dsuEnsure(std::uint32_t token);
+    /** Shard for this view, unioning tokens; <0 = needs reconcile. */
+    int routeShard(const std::vector<logging::IdToken> &view,
+                   bool template_known);
+    void pushToShard(std::size_t shard, ShardIn &&item);
+
+    // Merge helpers.
+    void pumpOutputs();
+    void emitReady();
+    void processSeq(Pending &pending);
+    void rewriteEvents(std::size_t shard, std::vector<CheckEvent> &events);
+    std::uint64_t mapLocalGid(std::size_t shard, std::uint64_t gid) const;
+
+    // Quiesce / reconcile protocol (caller thread).
+    void flushInternal();
+    void quiesce();
+    void resumeShards();
+    /** Consolidate all shard state into shards[0] (serial state). */
+    InterleavedChecker &consolidate();
+    /** Distribute shards[0]'s serial state across all shards. */
+    void resplit();
+    /** Feed one unpartitionable message on consolidated state. */
+    std::vector<CheckEvent> reconcileFeed(const CheckMessage &message,
+                                          bool step,
+                                          common::SimTime now);
+    /** Run `op` on consolidated serial state, then re-split. */
+    template <typename Op>
+    std::vector<CheckEvent> consolidatedOp(Op &&op);
+};
+
+} // namespace cloudseer::core
+
+#endif // CLOUDSEER_CORE_CHECKER_SHARDED_CHECKER_HPP

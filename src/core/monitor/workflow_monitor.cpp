@@ -41,19 +41,40 @@ WorkflowMonitor::WorkflowMonitor(
     std::vector<TaskAutomaton> automata)
     : config(config_),
       catalogPtr(std::move(catalog)),
-      specs(std::move(automata)),
-      engine(config_.checker, pointersTo(specs))
+      specs(std::move(automata))
 {
     CS_ASSERT(catalogPtr != nullptr, "monitor needs a catalog");
     timeoutPolicy.defaultTimeout = config.timeoutSeconds;
     timeoutPolicy.perTask = config.perTaskTimeouts;
+
+    // Engine selection (seer-swarm, DESIGN.md §14). Sharding needs the
+    // routing index (the shard key is derived from it) and is pointless
+    // under tracing (per-message spans would serialise the shards
+    // anyway), so those configurations silently fall back to serial —
+    // the two engines are bit-identical, only throughput differs.
+    const bool sharded = config.ingest.numShards > 1 &&
+                         config.checker.identifierRouting &&
+                         !config.observability.tracing;
+    if (sharded) {
+        ShardedCheckerConfig swarm;
+        swarm.numShards = config.ingest.numShards;
+        swarm.ringCapacity = config.ingest.shardRingCapacity;
+        auto owned = std::make_unique<ShardedChecker>(
+            config.checker, pointersTo(specs), swarm);
+        swarmEngine = owned.get();
+        enginePtr = std::move(owned);
+        swarmEngine->setTimeoutPolicy(timeoutPolicy);
+    } else {
+        enginePtr = std::make_unique<InterleavedChecker>(
+            config.checker, pointersTo(specs));
+    }
 
     // seer-scope: only instantiated when some sink is on; the null
     // sink is a null pointer, not a disabled object.
     if (config.observability.enabled()) {
         obsPtr =
             std::make_unique<obs::Observability>(config.observability);
-        engine.setTracer(obsPtr->tracer());
+        engine().setTracer(obsPtr->tracer());
     }
 
     // seer-vault: cap the process-wide interner when asked. Only a
@@ -67,8 +88,8 @@ WorkflowMonitor::WorkflowMonitor(
     // seer-flight: install the latency criterion when profiles ship
     // with the model. Tasks without a sampled profile stay exempt.
     if (!config.latencyProfiles.empty())
-        engine.setLatencyPolicy(config.latencyProfiles,
-                                config.latencyCheck);
+        engine().setLatencyPolicy(config.latencyProfiles,
+                                  config.latencyCheck);
 
     // Load-time model verification (seer-lint): a structurally broken
     // specification produces confidently wrong reports for as long as
@@ -110,9 +131,12 @@ WorkflowMonitor::feed(const logging::LogRecord &record)
 
     // seer-flight: capture the raw line at arrival, before reordering
     // — a forensic context must show the stream as it actually came in.
+    // Encoded into a reused scratch buffer: this runs per message, and
+    // the recorder copies into its own slot anyway.
     if (obsPtr != nullptr && obsPtr->flight() != nullptr) {
+        logging::encodeLogLineTo(record, flightScratch);
         obsPtr->flight()->record(record.node, record.timestamp,
-                                 logging::encodeLogLine(record));
+                                 flightScratch);
     }
 
     if (config.ingest.reorderWindowSeconds > 0.0)
@@ -199,13 +223,6 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     lastTimestamp = now;
     anyFed = true;
 
-    for (CheckEvent &event : engine.sweepTimeouts(
-             now, [this](const std::vector<std::string> &tasks) {
-                 return timeoutPolicy.timeoutForCandidates(tasks);
-             })) {
-        reports.push_back({std::move(event), false});
-    }
-
     logging::ParsedBody parsed = extractor.parse(record.body);
     CheckMessage message;
     message.tpl = catalogPtr->find(record.service, parsed.templateText);
@@ -230,7 +247,11 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     // Near-duplicate suppression: an at-least-once shipper re-delivers
     // byte-identical lines, so the key is everything the checker would
     // see — keyed on the *original* stamp so a clamped re-delivery
-    // still matches its first delivery.
+    // still matches its first delivery. The verdict is computed before
+    // the engine runs (serial sweeps happen even for records that end
+    // up suppressed, so the sharded path must know whether to ship a
+    // sweep-only tick or a full step).
+    bool suppressed = false;
     if (config.ingest.dedupWindowSeconds > 0.0) {
         std::string key = record.node;
         key += '\x1f';
@@ -259,18 +280,46 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
         recentOrder.emplace_back(now, std::move(key));
         if (!inserted) {
             ++ingest.duplicatesSuppressed;
-            return;
+            suppressed = true;
         }
     }
 
-    for (CheckEvent &event : engine.feed(message))
-        reports.push_back({std::move(event), false});
+    if (swarmEngine != nullptr) {
+        // seer-swarm: one pipelined step — every shard sweeps at `now`
+        // (the serial engine sweeps all groups before each feed), the
+        // owner feeds, and flush() reassembles the events in serial
+        // order (sweeps first, then the feed). The per-record barrier
+        // keeps the cap/memory criteria and checkpoints exact; the
+        // parallel win is the sweep and the consume work, not ingest
+        // pipelining (bench_throughput drives submitFeed for that).
+        if (suppressed)
+            swarmEngine->submitSweep(now);
+        else
+            swarmEngine->submitStep(message, now);
+        stepEvents.clear();
+        swarmEngine->flush(stepEvents);
+        for (CheckEvent &event : stepEvents)
+            reports.push_back({std::move(event), false});
+    } else {
+        for (CheckEvent &event : engine().sweepTimeouts(
+                 now, [this](const std::vector<std::string> &tasks) {
+                     return timeoutPolicy.timeoutForCandidates(tasks);
+                 })) {
+            reports.push_back({std::move(event), false});
+        }
+        if (!suppressed) {
+            for (CheckEvent &event : engine().feed(message))
+                reports.push_back({std::move(event), false});
+        }
+    }
+    if (suppressed)
+        return;
 
     // Group-cap shedding: bound live state, loudly.
     if (config.ingest.maxActiveGroups > 0 &&
-        engine.activeGroups() > config.ingest.maxActiveGroups) {
+        engine().activeGroups() > config.ingest.maxActiveGroups) {
         for (CheckEvent &event :
-             engine.shedToCap(config.ingest.maxActiveGroups, now)) {
+             engine().shedToCap(config.ingest.maxActiveGroups, now)) {
             ++ingest.groupsShed;
             reports.push_back({std::move(event), false});
         }
@@ -283,7 +332,7 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
         std::uint64_t interval =
             std::max<std::uint64_t>(1, config.ingest.memoryCheckInterval);
         if (ingest.recordsDelivered % interval == 0) {
-            for (CheckEvent &event : engine.shedToMemory(
+            for (CheckEvent &event : engine().shedToMemory(
                      config.ingest.maxResidentBytes, now)) {
                 ++ingest.memoryEvictions;
                 reports.push_back({std::move(event), false});
@@ -351,13 +400,13 @@ WorkflowMonitor::finish()
     for (const auto &[task, value] : timeoutPolicy.perTask)
         max_timeout = std::max(max_timeout, value);
     common::SimTime horizon = lastTimestamp + max_timeout * 1.001;
-    for (CheckEvent &event : engine.sweepTimeouts(
+    for (CheckEvent &event : engine().sweepTimeouts(
              horizon, [this](const std::vector<std::string> &tasks) {
                  return timeoutPolicy.timeoutForCandidates(tasks);
              })) {
         reports.push_back({std::move(event), true});
     }
-    for (CheckEvent &event : engine.finish(horizon))
+    for (CheckEvent &event : engine().finish(horizon))
         reports.push_back({std::move(event), true});
     captureBundles(reports);
 
@@ -373,7 +422,7 @@ WorkflowMonitor::finish()
 std::vector<TaskAutomaton>
 WorkflowMonitor::refinedAutomata(int min_removals) const
 {
-    return refineFromRemovals(specs, engine.dependencyRemovals(),
+    return refineFromRemovals(specs, engine().dependencyRemovals(),
                               min_removals);
 }
 
@@ -383,7 +432,7 @@ WorkflowMonitor::healthSample() const
     obs::HealthSample s;
     s.time = lastTimestamp;
 
-    const CheckerStats &c = engine.stats();
+    const CheckerStats &c = engine().stats();
     s.messages = c.messages;
     s.decisive = c.decisive;
     s.ambiguous = c.ambiguous;
@@ -400,8 +449,8 @@ WorkflowMonitor::healthSample() const
     s.consumeAttempts = c.consumeAttempts;
     s.decisiveFraction = c.decisiveFraction();
 
-    s.activeGroups = engine.activeGroups();
-    s.activeIdentifierSets = engine.activeIdentifierSets();
+    s.activeGroups = engine().activeGroups();
+    s.activeIdentifierSets = engine().activeIdentifierSets();
 
     s.linesSeen = ingest.linesSeen;
     s.recordsDelivered = ingest.recordsDelivered;
@@ -419,8 +468,34 @@ WorkflowMonitor::healthSample() const
     s.internerMisses = interner.misses;
     s.internerCapRejected = interner.capRejected;
 
+    // Sharded sweeps resolve against per-shard policy copies; the
+    // monitor's own policy only sees the finish()-time horizon sweep
+    // (and checkpoint-restored history), so the totals are the sum.
     s.timeoutResolutions = timeoutPolicy.resolutions;
     s.timeoutDefaultFallbacks = timeoutPolicy.defaultFallbacks;
+    if (swarmEngine != nullptr) {
+        auto [res, fb] = swarmEngine->timeoutResolutionCounts();
+        s.timeoutResolutions += res;
+        s.timeoutDefaultFallbacks += fb;
+    }
+
+    if (swarmEngine != nullptr) {
+        // Exact: the monitor flushes the pipeline every record, so
+        // the merge-side counters are not mid-flight samples here.
+        const ShardMetrics &m = swarmEngine->metrics();
+        s.shardLanes.reserve(m.shards.size());
+        for (const ShardMetrics::PerShard &lane : m.shards) {
+            s.shardLanes.push_back({lane.messagesRouted,
+                                    lane.inputRingPeak,
+                                    lane.outputRingPeak,
+                                    lane.activeGroups});
+        }
+        s.shardReconcilerHits = m.reconcilerHits;
+        s.shardCrossUnions = m.crossShardUnions;
+        s.shardGlobalFallbacks = m.globalFallbacks;
+        s.shardQuiesces = m.quiesces;
+        s.shardImbalance = m.imbalance();
+    }
 
     if (obsPtr != nullptr && obsPtr->feedLatency() != nullptr) {
         const obs::Histogram &latency = *obsPtr->feedLatency();
@@ -560,8 +635,21 @@ WorkflowMonitor::saveState(common::BinWriter &out) const
         out.writeString(key);
     }
 
-    timeoutPolicy.saveState(out);
-    engine.saveState(out);
+    // Sharded resolution tallies live in per-shard policy copies; fold
+    // them in (and back out) so the serialised policy carries the same
+    // totals a serial monitor would — checkpoints stay interchangeable
+    // between engines.
+    if (swarmEngine != nullptr) {
+        auto [res, fb] = swarmEngine->timeoutResolutionCounts();
+        timeoutPolicy.resolutions += res;
+        timeoutPolicy.defaultFallbacks += fb;
+        timeoutPolicy.saveState(out);
+        timeoutPolicy.resolutions -= res;
+        timeoutPolicy.defaultFallbacks -= fb;
+    } else {
+        timeoutPolicy.saveState(out);
+    }
+    enginePtr->saveState(out);
 
     out.writeBool(obsPtr != nullptr);
     if (obsPtr != nullptr)
@@ -634,7 +722,7 @@ WorkflowMonitor::restoreState(common::BinReader &in)
 
     if (!timeoutPolicy.restoreState(in))
         return false;
-    if (!engine.restoreState(in))
+    if (!engine().restoreState(in))
         return false;
 
     bool has_obs = in.readBool();

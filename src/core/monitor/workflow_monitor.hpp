@@ -26,6 +26,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "core/checker/interleaved_checker.hpp"
+#include "core/checker/sharded_checker.hpp"
 #include "core/monitor/report.hpp"
 #include "core/monitor/timeout_estimator.hpp"
 #include "logging/log_codec.hpp"
@@ -113,6 +114,19 @@ struct IngestConfig
      * the default — leaves the interner untouched and bit-identical.
      */
     std::size_t maxInternerEntries = 0;
+
+    /**
+     * Checking engine selection (seer-swarm, DESIGN.md §14): 0 or 1
+     * keeps the serial reference engine; N > 1 deploys the sharded
+     * engine with N worker shards. Reports are bit-identical either
+     * way — sharding is a throughput decision, not a semantic one.
+     * Execution tracing pins the engine to serial (a span's identity
+     * is engine-internal); the monitor falls back silently.
+     */
+    std::size_t numShards = 0;
+
+    /** Capacity of each shard's SPSC rings (sharded engine only). */
+    std::size_t shardRingCapacity = 512;
 };
 
 /** Hardened-profile defaults (all guards on, moderate settings). */
@@ -247,7 +261,17 @@ class WorkflowMonitor
     std::vector<MonitorReport> finish();
 
     /** Checker counters. */
-    const CheckerStats &stats() const { return engine.stats(); }
+    const CheckerStats &stats() const { return engine().stats(); }
+
+    /** The checking engine behind the monitor ("serial"/"sharded"). */
+    const char *engineName() const { return engine().engineName(); }
+
+    /** Shard/ring/reconciler counters; nullptr on the serial engine. */
+    const ShardMetrics *shardMetrics() const
+    {
+        return swarmEngine == nullptr ? nullptr
+                                      : &swarmEngine->metrics();
+    }
 
     /** Ingest-pipeline counters. */
     const IngestStats &ingestStats() const { return ingest; }
@@ -262,12 +286,12 @@ class WorkflowMonitor
     common::SimTime lastTime() const { return lastTimestamp; }
 
     /** Groups currently in flight. */
-    std::size_t activeGroups() const { return engine.activeGroups(); }
+    std::size_t activeGroups() const { return engine().activeGroups(); }
 
     /** Identifier sets currently tracked. */
     std::size_t activeIdentifierSets() const
     {
-        return engine.activeIdentifierSets();
+        return engine().activeIdentifierSets();
     }
 
     /** The shared template catalog. */
@@ -291,7 +315,7 @@ class WorkflowMonitor
     /** Dependency-removal tallies from recovery (d). */
     const RemovalCounts &dependencyRemovals() const
     {
-        return engine.dependencyRemovals();
+        return engine().dependencyRemovals();
     }
 
     /** The load-time seer-lint report over the model bundle (always
@@ -399,7 +423,16 @@ class WorkflowMonitor
     std::vector<TaskAutomaton> specs;
     logging::VariableExtractor extractor;
     analysis::LintReport loadReport;
-    InterleavedChecker engine;
+
+    /** The checking engine (serial or sharded per IngestConfig). */
+    std::unique_ptr<BaseChecker> enginePtr;
+
+    /** Non-null iff enginePtr is the sharded engine (fast probe). */
+    ShardedChecker *swarmEngine = nullptr;
+
+    BaseChecker &engine() { return *enginePtr; }
+    const BaseChecker &engine() const { return *enginePtr; }
+
     std::unique_ptr<obs::Observability> obsPtr; ///< null = null sink
     common::SimTime lastTimestamp = 0.0;
     bool anyFed = false;
@@ -414,6 +447,12 @@ class WorkflowMonitor
     // Dedup state: key -> newest message time, plus an expiry queue.
     std::unordered_map<std::string, common::SimTime> recentKeys;
     std::deque<std::pair<common::SimTime, std::string>> recentOrder;
+
+    /** Scratch for the sharded per-record flush (avoids reallocating). */
+    std::vector<CheckEvent> stepEvents;
+
+    /** Scratch for flight-recorder line encoding (reused per record). */
+    std::string flightScratch;
 
     /** Guarded delivery: clock, dedup, checker, shedding. */
     void deliver(const logging::LogRecord &record,

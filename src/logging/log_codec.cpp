@@ -26,10 +26,11 @@ takeToken(const std::string &line, std::size_t &pos)
 
 } // namespace
 
-std::string
-encodeLogLine(const LogRecord &record)
+void
+encodeLogLineTo(const LogRecord &record, std::string &out)
 {
-    std::string out = common::formatTimestamp(record.timestamp);
+    out.clear();
+    common::appendTimestamp(record.timestamp, out);
     out += ' ';
     out += record.node;
     out += ' ';
@@ -38,6 +39,13 @@ encodeLogLine(const LogRecord &record)
     out += logLevelName(record.level);
     out += ' ';
     out += record.body;
+}
+
+std::string
+encodeLogLine(const LogRecord &record)
+{
+    std::string out;
+    encodeLogLineTo(record, out);
     return out;
 }
 

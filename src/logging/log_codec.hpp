@@ -24,6 +24,14 @@ namespace cloudseer::logging {
 /** Render a record as one log line (no trailing newline). */
 std::string encodeLogLine(const LogRecord &record);
 
+/**
+ * Render into a caller-owned buffer (replacing its contents). The
+ * monitor's flight-recorder path encodes every delivered record, so
+ * reusing one scratch string keeps that path allocation-free once the
+ * buffer has warmed up to the longest line seen.
+ */
+void encodeLogLineTo(const LogRecord &record, std::string &out);
+
 /** Why a line failed to parse (for quarantine accounting). */
 enum class DecodeFailure
 {

@@ -10,8 +10,8 @@ FlightRecorder::FlightRecorder(const FlightRecorderConfig &config)
 }
 
 void
-FlightRecorder::record(const std::string &node, double time,
-                       const std::string &line)
+FlightRecorder::record(std::string_view node, double time,
+                       std::string_view line)
 {
     if (cfg.perNodeCapacity == 0)
         return;
@@ -21,15 +21,18 @@ FlightRecorder::record(const std::string &node, double time,
             ++droppedLineCount;
             return;
         }
-        it = rings.emplace(node, NodeRing{}).first;
-        it->second.lines.reserve(cfg.perNodeCapacity);
+        it = rings.emplace(std::string(node), NodeRing{}).first;
+        it->second.slots.reserve(cfg.perNodeCapacity);
     }
     NodeRing &ring = it->second;
-    ContextLine entry{node, time, line};
-    if (ring.lines.size() < cfg.perNodeCapacity) {
-        ring.lines.push_back(std::move(entry));
+    if (ring.slots.size() < cfg.perNodeCapacity) {
+        ring.slots.push_back({time, std::string(line)});
     } else {
-        ring.lines[ring.next] = std::move(entry);
+        // Overwrite in place: assign() reuses the evicted line's
+        // capacity, so a warmed-up ring records without allocating.
+        Slot &slot = ring.slots[ring.next];
+        slot.time = time;
+        slot.line.assign(line.data(), line.size());
         ring.next = (ring.next + 1) % cfg.perNodeCapacity;
     }
     ++ring.seq;
@@ -42,11 +45,12 @@ FlightRecorder::context() const
     std::vector<ContextLine> out;
     for (const auto &[node, ring] : rings) {
         // Oldest-first within the ring: the wrap point is `next`.
-        for (std::size_t i = 0; i < ring.lines.size(); ++i) {
-            std::size_t at = ring.lines.size() < cfg.perNodeCapacity
+        for (std::size_t i = 0; i < ring.slots.size(); ++i) {
+            std::size_t at = ring.slots.size() < cfg.perNodeCapacity
                                  ? i
-                                 : (ring.next + i) % ring.lines.size();
-            out.push_back(ring.lines[at]);
+                                 : (ring.next + i) % ring.slots.size();
+            out.push_back(
+                {node, ring.slots[at].time, ring.slots[at].line});
         }
     }
     std::stable_sort(out.begin(), out.end(),

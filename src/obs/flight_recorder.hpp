@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cloudseer::obs {
@@ -61,9 +62,15 @@ class FlightRecorder
 
     const FlightRecorderConfig &config() const { return cfg; }
 
-    /** Capture one raw line into its node's ring. */
-    void record(const std::string &node, double time,
-                const std::string &line);
+    /**
+     * Capture one raw line into its node's ring. This sits on the
+     * per-message ingest path, so it takes views and copies into the
+     * slot's existing buffer: once every slot has seen a line at
+     * least as long as the current one, recording allocates nothing
+     * (the node text lives once in the ring key, not per entry).
+     */
+    void record(std::string_view node, double time,
+                std::string_view line);
 
     /**
      * Merged snapshot of every ring, time order (ties by node then
@@ -90,17 +97,26 @@ class FlightRecorder
     std::string bundleJsonLines() const;
 
   private:
-    /** Fixed-size ring: `lines` grows to capacity then wraps at
+    /** One retained line; the node is the owning ring's map key. */
+    struct Slot
+    {
+        double time = 0.0;
+        std::string line; ///< capacity reused across overwrites
+    };
+
+    /** Fixed-size ring: `slots` grows to capacity then wraps at
      *  `next`; `seq` preserves capture order across the wrap. */
     struct NodeRing
     {
-        std::vector<ContextLine> lines;
+        std::vector<Slot> slots;
         std::size_t next = 0;
         std::uint64_t seq = 0;
     };
 
     FlightRecorderConfig cfg;
-    std::map<std::string, NodeRing> rings;
+    // std::less<> lets record() probe with a string_view; the node
+    // string is materialised only when a new ring is created.
+    std::map<std::string, NodeRing, std::less<>> rings;
     std::vector<std::string> store;
     std::uint64_t recorded = 0;
     std::uint64_t droppedLineCount = 0;

@@ -55,7 +55,25 @@ HealthSample::toJson() const
         << ",\"feedLatencyUs\":{\"p50\":" << formatNumber(feedP50us)
         << ",\"p90\":" << formatNumber(feedP90us)
         << ",\"p99\":" << formatNumber(feedP99us)
-        << ",\"max\":" << formatNumber(feedMaxUs) << "}}";
+        << ",\"max\":" << formatNumber(feedMaxUs) << "}";
+    if (!shardLanes.empty()) {
+        out << ",\"shards\":{\"count\":" << shardLanes.size()
+            << ",\"reconciles\":" << shardReconcilerHits
+            << ",\"crossUnions\":" << shardCrossUnions
+            << ",\"globalFallbacks\":" << shardGlobalFallbacks
+            << ",\"quiesces\":" << shardQuiesces
+            << ",\"imbalance\":" << formatNumber(shardImbalance)
+            << ",\"lanes\":[";
+        for (std::size_t i = 0; i < shardLanes.size(); ++i) {
+            const ShardLane &lane = shardLanes[i];
+            out << (i == 0 ? "" : ",") << "{\"routed\":" << lane.routed
+                << ",\"inPeak\":" << lane.inputPeak
+                << ",\"outPeak\":" << lane.outputPeak
+                << ",\"groups\":" << lane.activeGroups << "}";
+        }
+        out << "]}";
+    }
+    out << "}";
     return out.str();
 }
 
@@ -98,6 +116,18 @@ HealthSample::saveState(common::BinWriter &out) const
     out.writeF64(feedP90us);
     out.writeF64(feedP99us);
     out.writeF64(feedMaxUs);
+    out.writeU64(shardLanes.size());
+    for (const ShardLane &lane : shardLanes) {
+        out.writeU64(lane.routed);
+        out.writeU64(lane.inputPeak);
+        out.writeU64(lane.outputPeak);
+        out.writeU64(lane.activeGroups);
+    }
+    out.writeU64(shardReconcilerHits);
+    out.writeU64(shardCrossUnions);
+    out.writeU64(shardGlobalFallbacks);
+    out.writeU64(shardQuiesces);
+    out.writeF64(shardImbalance);
 }
 
 bool
@@ -139,6 +169,25 @@ HealthSample::restoreState(common::BinReader &in)
     feedP90us = in.readF64();
     feedP99us = in.readF64();
     feedMaxUs = in.readF64();
+    std::uint64_t lane_count = in.readU64();
+    if (!in.ok())
+        return false;
+    shardLanes.clear();
+    for (std::uint64_t i = 0; i < lane_count; ++i) {
+        ShardLane lane;
+        lane.routed = in.readU64();
+        lane.inputPeak = in.readU64();
+        lane.outputPeak = in.readU64();
+        lane.activeGroups = in.readU64();
+        if (!in.ok())
+            return false;
+        shardLanes.push_back(lane);
+    }
+    shardReconcilerHits = in.readU64();
+    shardCrossUnions = in.readU64();
+    shardGlobalFallbacks = in.readU64();
+    shardQuiesces = in.readU64();
+    shardImbalance = in.readF64();
     return in.ok();
 }
 

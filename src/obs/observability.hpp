@@ -122,6 +122,23 @@ struct HealthSample
     double feedP99us = 0.0;
     double feedMaxUs = 0.0;
 
+    /** One sharded-engine worker lane (seer-swarm, DESIGN.md §14). */
+    struct ShardLane
+    {
+        std::uint64_t routed = 0;       ///< messages homed here
+        std::uint64_t inputPeak = 0;    ///< deepest input ring seen
+        std::uint64_t outputPeak = 0;   ///< deepest output ring seen
+        std::uint64_t activeGroups = 0; ///< live groups on this shard
+    };
+
+    // Sharded engine (seer-swarm); all zero / empty on serial.
+    std::vector<ShardLane> shardLanes;
+    std::uint64_t shardReconcilerHits = 0;
+    std::uint64_t shardCrossUnions = 0;
+    std::uint64_t shardGlobalFallbacks = 0;
+    std::uint64_t shardQuiesces = 0;
+    double shardImbalance = 0.0;
+
     /** Single-line JSON rendering ({"kind":"HEALTH",...}). */
     std::string toJson() const;
 

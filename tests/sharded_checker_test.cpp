@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Tests for the sharded checker (seer-swarm, DESIGN.md §14): targeted
+ * checker-level exercises of routing, reconciliation, quiesce and
+ * metrics over hand-built letter automata, plus the differential
+ * guarantee — a monitor running the sharded engine produces reports
+ * bit-identical to the serial engine on clean and transport-perturbed
+ * streams, across checkpoint save/restore, with either engine able to
+ * restore the other's image.
+ */
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collect/stream_perturber.hpp"
+#include "common/binio.hpp"
+#include "core/checker/interleaved_checker.hpp"
+#include "core/checker/sharded_checker.hpp"
+#include "core/monitor/workflow_monitor.hpp"
+#include "eval/accuracy_harness.hpp"
+#include "eval/modeling_harness.hpp"
+#include "test_util.hpp"
+
+using namespace cloudseer;
+using namespace cloudseer::core;
+using cloudseer::testutil::LetterCatalog;
+using cloudseer::testutil::makeLetterAutomaton;
+using cloudseer::testutil::makeMessage;
+
+namespace {
+
+/** Paper Figure 3 boot automaton over letters. */
+TaskAutomaton
+bootAutomaton(LetterCatalog &letters)
+{
+    return makeLetterAutomaton(letters, "boot",
+                               {"A", "P", "S", "G", "T", "W"},
+                               {{"A", "P"},
+                                {"P", "S"},
+                                {"S", "G"},
+                                {"S", "T"},
+                                {"G", "W"},
+                                {"T", "W"}});
+}
+
+/** Byte-exact fingerprint of everything a check event carries. */
+std::string
+fingerprint(const CheckEvent &event)
+{
+    std::string out;
+    out += std::to_string(static_cast<int>(event.kind));
+    out += '|';
+    out += event.taskName;
+    out += '|';
+    for (const std::string &task : event.candidateTasks) {
+        out += task;
+        out += ',';
+    }
+    out += '|';
+    for (logging::RecordId record : event.records) {
+        out += std::to_string(record);
+        out += ',';
+    }
+    out += '|';
+    for (logging::TemplateId tpl : event.frontierTemplates) {
+        out += std::to_string(tpl);
+        out += ',';
+    }
+    out += '|';
+    for (logging::TemplateId tpl : event.expectedTemplates) {
+        out += std::to_string(tpl);
+        out += ',';
+    }
+    char time_buf[32];
+    std::snprintf(time_buf, sizeof(time_buf), "|%.9f|", event.time);
+    out += time_buf;
+    out += std::to_string(event.group);
+    return out;
+}
+
+std::string
+fingerprint(const MonitorReport &report)
+{
+    return fingerprint(report.event) +
+           (report.endOfStream ? "|1" : "|0");
+}
+
+void
+expectIdenticalEvents(const std::vector<CheckEvent> &sharded,
+                      const std::vector<CheckEvent> &serial,
+                      const char *where, std::size_t step)
+{
+    ASSERT_EQ(sharded.size(), serial.size())
+        << where << " diverged at step " << step;
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+        ASSERT_EQ(fingerprint(sharded[i]), fingerprint(serial[i]))
+            << where << " diverged at step " << step << " event " << i;
+    }
+}
+
+void
+expectIdenticalStats(const CheckerStats &a, const CheckerStats &b)
+{
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.decisive, b.decisive);
+    EXPECT_EQ(a.ambiguous, b.ambiguous);
+    EXPECT_EQ(a.recoveredPassUnknown, b.recoveredPassUnknown);
+    EXPECT_EQ(a.recoveredNewSequence, b.recoveredNewSequence);
+    EXPECT_EQ(a.recoveredOtherSet, b.recoveredOtherSet);
+    EXPECT_EQ(a.recoveredFalseDependency, b.recoveredFalseDependency);
+    EXPECT_EQ(a.unmatched, b.unmatched);
+    EXPECT_EQ(a.errorsReported, b.errorsReported);
+    EXPECT_EQ(a.timeoutsReported, b.timeoutsReported);
+    EXPECT_EQ(a.timeoutsSuppressed, b.timeoutsSuppressed);
+    EXPECT_EQ(a.accepted, b.accepted);
+}
+
+/**
+ * A deterministic interleaved letter workload: `users` concurrent
+ * boot sequences with distinct identifiers, advanced round-robin with
+ * a per-user phase offset so the interleavings differ. Some users
+ * stall mid-sequence (timeout fodder), one step is identifier-less
+ * (ambiguous between every live sequence — the sharded engine must
+ * reconcile), and one step names two users' identifiers (a
+ * cross-shard bridge).
+ */
+std::vector<std::pair<CheckMessage, common::SimTime>>
+letterWorkload(LetterCatalog &letters, int users)
+{
+    const std::vector<std::string> path = {"A", "P", "S", "G",
+                                           "T", "W"};
+    std::vector<std::pair<CheckMessage, common::SimTime>> out;
+    logging::RecordId record = 1;
+    common::SimTime now = 0.0;
+    std::vector<std::size_t> progress(
+        static_cast<std::size_t>(users), 0);
+    bool bridged = false;
+    bool pooled = false;
+    for (int round = 0; round < static_cast<int>(path.size()) + 2;
+         ++round) {
+        for (int user = 0; user < users; ++user) {
+            auto u = static_cast<std::size_t>(user);
+            // Every third user abandons its run after "S": those
+            // groups can only resolve through the timeout sweep.
+            if (user % 3 == 2 && progress[u] >= 3)
+                continue;
+            if (progress[u] >= path.size())
+                continue;
+            now += 0.05;
+            std::string id = "swarm-u" + std::to_string(user);
+            std::vector<std::string> ids = {id};
+            if (!bridged && round == 2 && user == 1 && users > 1) {
+                // Bridge two sequences' identifiers in one message.
+                ids.push_back("swarm-u0");
+                bridged = true;
+            }
+            if (!pooled && round == 3 && user == 0) {
+                // Identifier-less: ambiguous between all live runs.
+                ids.clear();
+                pooled = true;
+            }
+            out.emplace_back(makeMessage(letters, path[progress[u]],
+                                         ids, record++, now),
+                             now);
+            ++progress[u];
+        }
+    }
+    // Park the clock far enough past the default 10 s timeout that a
+    // final sweep resolves the abandoned runs.
+    out.emplace_back(makeMessage(letters, "A", {"swarm-late"},
+                                 record++, now + 15.0),
+                     now + 15.0);
+    return out;
+}
+
+} // namespace
+
+// --- checker-level: pipelined surface ≡ serial --------------------------
+
+TEST(ShardedChecker, SubmitStepMatchesSerialStepForStep)
+{
+    LetterCatalog letters;
+    TaskAutomaton boot = bootAutomaton(letters);
+    CheckerConfig config;
+
+    InterleavedChecker serial(config, {&boot});
+    ShardedCheckerConfig swarm;
+    swarm.numShards = 3;
+    swarm.ringCapacity = 4; // tiny: exercise backpressure + pumping
+    ShardedChecker sharded(config, {&boot}, swarm);
+
+    TimeoutPolicy policy;
+    sharded.setTimeoutPolicy(policy);
+    auto resolver = [&policy](const std::vector<std::string> &tasks) {
+        return policy.timeoutForCandidates(tasks);
+    };
+
+    auto workload = letterWorkload(letters, 7);
+    std::vector<CheckEvent> got;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        const auto &[message, now] = workload[i];
+        std::vector<CheckEvent> want =
+            serial.sweepTimeouts(now, resolver);
+        for (CheckEvent &event : serial.feed(message))
+            want.push_back(std::move(event));
+
+        sharded.submitStep(message, now);
+        got.clear();
+        sharded.flush(got);
+        expectIdenticalEvents(got, want, "step", i);
+    }
+    expectIdenticalStats(sharded.stats(), serial.stats());
+    EXPECT_GT(sharded.stats().accepted, 0u);
+    EXPECT_GT(sharded.stats().timeoutsReported, 0u);
+    EXPECT_GT(sharded.metrics().reconcilerHits, 0u)
+        << "workload never exercised the slow path; test is weaker "
+           "than intended";
+    EXPECT_TRUE(sharded.indexesConsistent());
+}
+
+TEST(ShardedChecker, DeepPipelinedSubmitFeedMatchesSerialFeed)
+{
+    LetterCatalog letters;
+    TaskAutomaton boot = bootAutomaton(letters);
+    CheckerConfig config;
+
+    InterleavedChecker serial(config, {&boot});
+    ShardedCheckerConfig swarm;
+    swarm.numShards = 4;
+    swarm.ringCapacity = 8;
+    ShardedChecker sharded(config, {&boot}, swarm);
+
+    // The bench fast path: submit everything, flush once. No sweeps,
+    // so the serial reference is plain feed() concatenation.
+    auto workload = letterWorkload(letters, 11);
+    std::vector<CheckEvent> want;
+    for (const auto &[message, now] : workload) {
+        for (CheckEvent &event : serial.feed(message))
+            want.push_back(std::move(event));
+    }
+    for (const auto &[message, now] : workload)
+        sharded.submitFeed(message);
+    std::vector<CheckEvent> got;
+    sharded.flush(got);
+    expectIdenticalEvents(got, want, "pipelined", workload.size());
+    expectIdenticalStats(sharded.stats(), serial.stats());
+
+    // Routed messages plus slow-path fallbacks account for the whole
+    // stream; nothing is silently dropped.
+    std::uint64_t routed = 0;
+    for (const auto &shard : sharded.metrics().shards)
+        routed += shard.messagesRouted;
+    EXPECT_EQ(routed + sharded.metrics().reconcilerHits,
+              workload.size());
+}
+
+TEST(ShardedChecker, SingleShardDegeneratesToSerial)
+{
+    LetterCatalog letters;
+    TaskAutomaton boot = bootAutomaton(letters);
+    CheckerConfig config;
+
+    InterleavedChecker serial(config, {&boot});
+    ShardedCheckerConfig swarm;
+    swarm.numShards = 1;
+    swarm.ringCapacity = 1; // rendezvous rings still make progress
+    ShardedChecker sharded(config, {&boot}, swarm);
+
+    auto workload = letterWorkload(letters, 5);
+    std::vector<CheckEvent> want;
+    std::vector<CheckEvent> got;
+    for (const auto &[message, now] : workload) {
+        for (CheckEvent &event : serial.feed(message))
+            want.push_back(std::move(event));
+        sharded.submitFeed(message);
+    }
+    sharded.flush(got);
+    expectIdenticalEvents(got, want, "one-shard", workload.size());
+    expectIdenticalStats(sharded.stats(), serial.stats());
+}
+
+TEST(ShardedChecker, ForbidPolicyIsExactOnPartitionableStreams)
+{
+    LetterCatalog letters;
+    TaskAutomaton boot = bootAutomaton(letters);
+    CheckerConfig config;
+
+    InterleavedChecker serial(config, {&boot});
+    ShardedCheckerConfig swarm;
+    swarm.numShards = 2;
+    swarm.reconcilePolicy = ReconcilePolicy::Forbid;
+    ShardedChecker sharded(config, {&boot}, swarm);
+
+    // Fully partitionable: every message names exactly one sequence's
+    // identifier, so the slow path must never trigger.
+    std::vector<CheckEvent> want;
+    std::vector<CheckEvent> got;
+    logging::RecordId record = 1;
+    for (const char *letter : {"A", "P", "S", "G", "T", "W"}) {
+        for (int user = 0; user < 4; ++user) {
+            CheckMessage message = makeMessage(
+                letters, letter,
+                {"forbid-u" + std::to_string(user)}, record,
+                0.01 * static_cast<double>(record));
+            ++record;
+            for (CheckEvent &event : serial.feed(message))
+                want.push_back(std::move(event));
+            sharded.submitFeed(message);
+        }
+    }
+    sharded.flush(got);
+    expectIdenticalEvents(got, want, "forbid", 0);
+    EXPECT_EQ(sharded.metrics().reconcilerHits, 0u);
+    EXPECT_GT(sharded.stats().accepted, 0u);
+}
+
+TEST(ShardedChecker, MetricsCountRoutingReconcileAndQuiesce)
+{
+    LetterCatalog letters;
+    TaskAutomaton boot = bootAutomaton(letters);
+    ShardedCheckerConfig swarm;
+    swarm.numShards = 2;
+    ShardedChecker sharded(CheckerConfig{}, {&boot}, swarm);
+
+    sharded.submitFeed(makeMessage(letters, "A", {"m-1"}, 1, 0.1));
+    sharded.submitFeed(makeMessage(letters, "A", {"m-2"}, 2, 0.2));
+    // Bridges m-1 and m-2: if their homes differ this is a
+    // cross-shard union; either way it lands somewhere legal.
+    sharded.submitFeed(
+        makeMessage(letters, "P", {"m-1", "m-2"}, 3, 0.3));
+    // Identifier-less known template: always the global slow path.
+    sharded.submitFeed(makeMessage(letters, "S", {}, 4, 0.4));
+    std::vector<CheckEvent> sink;
+    sharded.flush(sink);
+
+    const ShardMetrics &m = sharded.metrics();
+    ASSERT_EQ(m.shards.size(), 2u);
+    EXPECT_GE(m.globalFallbacks, 1u);
+    EXPECT_GE(m.reconcilerHits, 1u);
+    EXPECT_GE(m.quiesces, 1u); // every reconcile quiesces
+    std::uint64_t routed = 0;
+    for (const auto &shard : m.shards)
+        routed += shard.messagesRouted;
+    EXPECT_EQ(routed + m.reconcilerHits, 4u);
+    EXPECT_GE(m.imbalance(), 1.0);
+
+    // A checkpoint parks the pipeline too.
+    std::uint64_t quiesces_before = m.quiesces;
+    common::BinWriter out;
+    sharded.saveState(out);
+    EXPECT_GT(sharded.metrics().quiesces, quiesces_before);
+}
+
+TEST(ShardedChecker, CheckpointImagesInterchangeWithSerial)
+{
+    LetterCatalog letters;
+    TaskAutomaton boot = bootAutomaton(letters);
+    CheckerConfig config;
+
+    InterleavedChecker serial(config, {&boot});
+    ShardedCheckerConfig swarm;
+    swarm.numShards = 3;
+    ShardedChecker sharded(config, {&boot}, swarm);
+
+    auto workload = letterWorkload(letters, 9);
+    std::size_t half = workload.size() / 2;
+    std::vector<CheckEvent> sink;
+    for (std::size_t i = 0; i < half; ++i) {
+        serial.feed(workload[i].first);
+        sharded.submitFeed(workload[i].first);
+    }
+    sharded.flush(sink);
+
+    // Cross-restore: the serial image into a fresh sharded engine and
+    // the sharded image into a fresh serial engine.
+    common::BinWriter from_serial;
+    serial.saveState(from_serial);
+    common::BinWriter from_sharded;
+    sharded.saveState(from_sharded);
+    EXPECT_EQ(from_serial.bytes(), from_sharded.bytes())
+        << "the sharded checkpoint is not the serial image";
+
+    ShardedChecker restored_sharded(config, {&boot}, swarm);
+    common::BinReader serial_image(from_serial.bytes());
+    ASSERT_TRUE(restored_sharded.restoreState(serial_image));
+    InterleavedChecker restored_serial(config, {&boot});
+    common::BinReader sharded_image(from_sharded.bytes());
+    ASSERT_TRUE(restored_serial.restoreState(sharded_image));
+
+    // All four engines finish the stream in lockstep.
+    std::vector<CheckEvent> want;
+    std::vector<CheckEvent> want_restored;
+    std::vector<CheckEvent> got;
+    std::vector<CheckEvent> got_restored;
+    for (std::size_t i = half; i < workload.size(); ++i) {
+        const CheckMessage &message = workload[i].first;
+        for (CheckEvent &event : serial.feed(message))
+            want.push_back(std::move(event));
+        for (CheckEvent &event : restored_serial.feed(message))
+            want_restored.push_back(std::move(event));
+        sharded.submitFeed(message);
+        restored_sharded.submitFeed(message);
+    }
+    sharded.flush(got);
+    restored_sharded.flush(got_restored);
+    expectIdenticalEvents(got, want, "continue", 0);
+    expectIdenticalEvents(got_restored, want_restored, "restored", 0);
+    expectIdenticalEvents(got_restored, got, "cross", 0);
+    expectIdenticalStats(restored_sharded.stats(), serial.stats());
+    EXPECT_TRUE(restored_sharded.indexesConsistent());
+}
+
+// --- monitor-level differential: sharded ≡ serial -----------------------
+
+namespace {
+
+const eval::ModeledSystem &
+models()
+{
+    static eval::ModeledSystem system = [] {
+        eval::ModelingConfig config;
+        config.minRuns = 60;
+        config.checkEvery = 20;
+        config.stableChecks = 3;
+        config.maxRuns = 300;
+        return eval::buildModels(config);
+    }();
+    return system;
+}
+
+MonitorConfig
+monitorConfigFor(std::size_t num_shards)
+{
+    MonitorConfig config;
+    config.ingest = hardenedIngestDefaults();
+    config.ingest.numShards = num_shards;
+    config.ingest.shardRingCapacity = 16;
+    return config;
+}
+
+void
+expectIdenticalReports(const std::vector<MonitorReport> &sharded,
+                       const std::vector<MonitorReport> &serial,
+                       const char *where, std::size_t step)
+{
+    ASSERT_EQ(sharded.size(), serial.size())
+        << where << " diverged at step " << step;
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+        ASSERT_EQ(fingerprint(sharded[i]), fingerprint(serial[i]))
+            << where << " diverged at step " << step << " report "
+            << i;
+    }
+}
+
+} // namespace
+
+TEST(ShardedMonitorDifferential, EngineSelectionFollowsConfig)
+{
+    const eval::ModeledSystem &system = models();
+    WorkflowMonitor serial(monitorConfigFor(0), system.catalog,
+                           system.automataCopy());
+    EXPECT_STREQ(serial.engineName(), "serial");
+    EXPECT_EQ(serial.shardMetrics(), nullptr);
+
+    WorkflowMonitor sharded(monitorConfigFor(4), system.catalog,
+                            system.automataCopy());
+    EXPECT_STREQ(sharded.engineName(), "sharded");
+    ASSERT_NE(sharded.shardMetrics(), nullptr);
+    EXPECT_EQ(sharded.shardMetrics()->shards.size(), 4u);
+
+    // Tracing pins the serial engine (span identity is shard-local).
+    MonitorConfig traced = monitorConfigFor(4);
+    traced.observability.tracing = true;
+    WorkflowMonitor pinned(traced, system.catalog,
+                           system.automataCopy());
+    EXPECT_STREQ(pinned.engineName(), "serial");
+}
+
+TEST(ShardedMonitorDifferential, CleanStreamReportsBitIdentical)
+{
+    const eval::ModeledSystem &system = models();
+    eval::DatasetConfig dataset_config;
+    dataset_config.users = 3;
+    dataset_config.tasksPerUser = 40;
+    dataset_config.seed = 2027;
+    eval::GeneratedDataset dataset =
+        eval::generateDataset(dataset_config);
+    ASSERT_FALSE(dataset.stream.empty());
+
+    WorkflowMonitor sharded(monitorConfigFor(4), system.catalog,
+                            system.automataCopy());
+    WorkflowMonitor serial(monitorConfigFor(0), system.catalog,
+                           system.automataCopy());
+
+    for (std::size_t i = 0; i < dataset.stream.size(); ++i) {
+        std::vector<MonitorReport> a = sharded.feed(dataset.stream[i]);
+        std::vector<MonitorReport> b = serial.feed(dataset.stream[i]);
+        expectIdenticalReports(a, b, "clean-feed", i);
+    }
+    expectIdenticalReports(sharded.finish(), serial.finish(),
+                           "clean-finish", dataset.stream.size());
+    expectIdenticalStats(sharded.stats(), serial.stats());
+    EXPECT_GT(sharded.stats().accepted, 0u)
+        << "workload produced no acceptances; differential is vacuous";
+}
+
+TEST(ShardedMonitorDifferential, PerturbedWireStreamsBitIdentical)
+{
+    // The randomized property: across perturbation seeds, a sharded
+    // monitor is indistinguishable from serial on hostile wire
+    // streams (drops, dups, truncation, corruption, skew, bursts).
+    const eval::ModeledSystem &system = models();
+    for (std::uint64_t seed : {99ull, 4242ull, 31337ull}) {
+        eval::DatasetConfig dataset_config;
+        dataset_config.users = 3;
+        dataset_config.tasksPerUser = 20;
+        dataset_config.seed = 700 + seed;
+        eval::GeneratedDataset dataset =
+            eval::generateDataset(dataset_config);
+
+        collect::PerturbationConfig adversity;
+        adversity.dropProbability = 0.02;
+        adversity.duplicateProbability = 0.02;
+        adversity.truncateProbability = 0.005;
+        adversity.corruptProbability = 0.005;
+        adversity.clockSkewMaxSeconds = 0.05;
+        adversity.burstProbability = 0.0005;
+        adversity.seed = seed;
+        collect::StreamPerturber perturber(adversity);
+        collect::PerturbedStream wire = perturber.apply(dataset.stream);
+        ASSERT_FALSE(wire.lines.empty());
+
+        std::size_t shard_count = 2 + seed % 3;
+        WorkflowMonitor sharded(monitorConfigFor(shard_count),
+                                system.catalog, system.automataCopy());
+        WorkflowMonitor serial(monitorConfigFor(0), system.catalog,
+                               system.automataCopy());
+
+        for (std::size_t i = 0; i < wire.lines.size(); ++i) {
+            std::vector<MonitorReport> a =
+                sharded.feedLine(wire.lines[i]);
+            std::vector<MonitorReport> b =
+                serial.feedLine(wire.lines[i]);
+            expectIdenticalReports(a, b, "wire-feed", i);
+        }
+        expectIdenticalReports(sharded.finish(), serial.finish(),
+                               "wire-finish", wire.lines.size());
+        expectIdenticalStats(sharded.stats(), serial.stats());
+    }
+}
+
+TEST(ShardedMonitorDifferential, CheckpointInterchangesAcrossEngines)
+{
+    // seer-vault x seer-swarm: a checkpoint saved by a sharded
+    // monitor restores into a serial one (and vice versa), and both
+    // finish the stream identically to an uninterrupted serial run.
+    const eval::ModeledSystem &system = models();
+    eval::DatasetConfig dataset_config;
+    dataset_config.users = 2;
+    dataset_config.tasksPerUser = 24;
+    dataset_config.seed = 555;
+    eval::GeneratedDataset dataset =
+        eval::generateDataset(dataset_config);
+    std::size_t half = dataset.stream.size() / 2;
+
+    WorkflowMonitor sharded(monitorConfigFor(3), system.catalog,
+                            system.automataCopy());
+    WorkflowMonitor serial(monitorConfigFor(0), system.catalog,
+                           system.automataCopy());
+    for (std::size_t i = 0; i < half; ++i) {
+        std::vector<MonitorReport> a = sharded.feed(dataset.stream[i]);
+        std::vector<MonitorReport> b = serial.feed(dataset.stream[i]);
+        expectIdenticalReports(a, b, "pre-ckpt", i);
+    }
+
+    common::BinWriter from_sharded;
+    sharded.saveState(from_sharded);
+    common::BinWriter from_serial;
+    serial.saveState(from_serial);
+    EXPECT_EQ(from_sharded.bytes(), from_serial.bytes())
+        << "engine choice leaked into the checkpoint image";
+
+    // Cross-restore into fresh monitors of the *other* engine.
+    WorkflowMonitor serial_restored(monitorConfigFor(0), system.catalog,
+                                    system.automataCopy());
+    common::BinReader sharded_image(from_sharded.bytes());
+    ASSERT_TRUE(serial_restored.restoreState(sharded_image));
+    WorkflowMonitor sharded_restored(monitorConfigFor(3),
+                                     system.catalog,
+                                     system.automataCopy());
+    common::BinReader serial_image(from_serial.bytes());
+    ASSERT_TRUE(sharded_restored.restoreState(serial_image));
+
+    for (std::size_t i = half; i < dataset.stream.size(); ++i) {
+        std::vector<MonitorReport> a = sharded.feed(dataset.stream[i]);
+        std::vector<MonitorReport> b = serial.feed(dataset.stream[i]);
+        std::vector<MonitorReport> c =
+            serial_restored.feed(dataset.stream[i]);
+        std::vector<MonitorReport> d =
+            sharded_restored.feed(dataset.stream[i]);
+        expectIdenticalReports(a, b, "post-ckpt-live", i);
+        expectIdenticalReports(c, b, "post-ckpt-serial-restored", i);
+        expectIdenticalReports(d, b, "post-ckpt-sharded-restored", i);
+    }
+    std::vector<MonitorReport> fb = serial.finish();
+    expectIdenticalReports(sharded.finish(), fb, "fin-live", 0);
+    expectIdenticalReports(serial_restored.finish(), fb, "fin-ser", 0);
+    expectIdenticalReports(sharded_restored.finish(), fb, "fin-shd", 0);
+    expectIdenticalStats(sharded_restored.stats(), serial.stats());
+}
