@@ -72,6 +72,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/interference.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/uuid.hpp"
@@ -98,8 +99,13 @@ chainAutomaton(logging::TemplateCatalog &catalog)
     std::vector<core::EventNode> events;
     std::vector<core::DependencyEdge> edges;
     for (int i = 0; i < kChainLength; ++i) {
-        events.push_back(
-            {catalog.intern("svc", "step-" + std::to_string(i)), 0});
+        // The <uuid> placeholder matches the schedule's uuid-pair
+        // identifiers, so seer-prove certifies every step and the
+        // --prove path has a real fast-path surface to measure.
+        events.push_back({catalog.intern("svc", "step-" +
+                                                    std::to_string(i) +
+                                                    " <uuid>"),
+                          0});
         if (i > 0)
             edges.push_back({i - 1, i, false});
     }
@@ -223,11 +229,14 @@ runPath(const core::TaskAutomaton &automaton,
         bool routing_index, obs::Observability *sinks = nullptr,
         std::string *trace_json = nullptr,
         const FlightPath *flight = nullptr,
-        const VaultPath *vaulted = nullptr)
+        const VaultPath *vaulted = nullptr,
+        const std::vector<char> *certified = nullptr)
 {
     core::CheckerConfig config;
     config.routingIndex = routing_index;
     core::InterleavedChecker checker(config, {&automaton});
+    if (certified != nullptr)
+        checker.setCertifiedTemplates(*certified);
     if (sinks != nullptr)
         checker.setTracer(sinks->tracer());
     if (flight != nullptr && flight->profile != nullptr)
@@ -365,11 +374,14 @@ runShardedPath(const core::TaskAutomaton &automaton,
 void
 serialReference(const core::TaskAutomaton &automaton,
                 const std::vector<core::CheckMessage> &schedule,
-                std::uint64_t &digest_out, std::uint64_t &accepted_out)
+                std::uint64_t &digest_out, std::uint64_t &accepted_out,
+                const std::vector<char> *certified = nullptr)
 {
     core::CheckerConfig config;
     config.routingIndex = true;
     core::InterleavedChecker checker(config, {&automaton});
+    if (certified != nullptr)
+        checker.setCertifiedTemplates(*certified);
     std::vector<core::CheckEvent> events;
     for (const core::CheckMessage &message : schedule) {
         std::vector<core::CheckEvent> step = checker.feed(message);
@@ -396,6 +408,9 @@ struct LevelResult
     PathResult vaulted; ///< indexed + seer-vault writes (--vault only)
     bool hasVaulted = false;
     PathResult vaultBase; ///< paired bare-indexed baseline (--vault)
+    PathResult proved; ///< indexed + seer-prove fast path (--prove only)
+    bool hasProved = false;
+    PathResult proveBase; ///< paired bare-indexed baseline (--prove)
     double vaultCheckpointMs = 0.0; ///< one full snapshot, timed alone
     std::uint64_t vaultCheckpointBytes = 0;
 
@@ -448,6 +463,16 @@ struct LevelResult
     {
         return vaultBase.mps > 0.0 && hasVaulted
                    ? 1.0 - vaulted.mps / vaultBase.mps
+                   : 0.0;
+    }
+
+    /** Certified-fast-path rate over the baseline timed back-to-back
+     *  with it (paired, like --vault; >1.0 = the proof pays off). */
+    double
+    proveSpeedup() const
+    {
+        return proveBase.mps > 0.0 && hasProved
+                   ? proved.mps / proveBase.mps
                    : 0.0;
     }
 };
@@ -517,6 +542,16 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
                 << level.vaultCheckpointMs
                 << ",\n     \"vault_checkpoint_bytes\": "
                 << level.vaultCheckpointBytes;
+        }
+        if (level.hasProved) {
+            out << ",\n     \"indexed_prove\": {\"mps\": "
+                << level.proved.mps
+                << ", \"p50_us\": " << level.proved.p50us
+                << ", \"p99_us\": " << level.proved.p99us << "}"
+                << ",\n     \"prove_base_mps\": "
+                << level.proveBase.mps
+                << ",\n     \"prove_speedup\": "
+                << level.proveSpeedup();
         }
         if (!level.sharded.empty()) {
             out << ",\n     \"sharded\": [";
@@ -603,6 +638,7 @@ main(int argc, char **argv)
     bool with_obs = false;
     bool with_flight = false;
     bool with_vault = false;
+    bool with_prove = false;
     int threads_max = 0; // 0 = no sharded paths
     std::string check_path;
     std::string out_path = "BENCH_throughput.json";
@@ -616,6 +652,8 @@ main(int argc, char **argv)
             with_flight = true;
         } else if (std::strcmp(argv[i], "--vault") == 0) {
             with_vault = true;
+        } else if (std::strcmp(argv[i], "--prove") == 0) {
+            with_prove = true;
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             threads_max = std::atoi(argv[++i]);
@@ -636,7 +674,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--check baseline.json] "
                          "[--out path] [--obs] [--flight] [--vault] "
-                         "[--threads N] [--trace-out path]\n",
+                         "[--prove] [--threads N] [--trace-out path]\n",
                          argv[0]);
             return 2;
         }
@@ -657,6 +695,28 @@ main(int argc, char **argv)
 
     logging::TemplateCatalog catalog;
     core::TaskAutomaton automaton = chainAutomaton(catalog);
+
+    // seer-prove certificate for the --prove path: the analysis runs
+    // once (the model never changes across levels) and must certify
+    // every chain step — anything else means the bench model drifted
+    // out from under the fast path it is supposed to measure.
+    std::vector<char> certified_bits;
+    if (with_prove) {
+        std::vector<core::TaskAutomaton> bundle;
+        bundle.push_back(automaton);
+        analysis::InterferenceResult proof =
+            analysis::analyzeInterference(bundle, catalog);
+        certified_bits = proof.certificate.certifiedBits(catalog.size());
+        if (proof.certificate.certifiedCount() !=
+            static_cast<std::size_t>(kChainLength)) {
+            std::fprintf(stderr,
+                         "FAIL: seer-prove certified %zu of %d bench "
+                         "templates\n",
+                         proof.certificate.certifiedCount(),
+                         kChainLength);
+            return 1;
+        }
+    }
 
     // Latency profile for the flighted path: mined from a nominal
     // chain run so annotateLatency does real per-edge work on every
@@ -826,6 +886,49 @@ main(int argc, char **argv)
             std::error_code ec;
             std::filesystem::remove_all(vault_dir, ec);
         }
+        if (with_prove) {
+            // Untimed digest-identity gate first: the certified fast
+            // path must be bit-identical to the reference on this
+            // exact schedule before its rate means anything.
+            std::uint64_t base_digest = 0;
+            std::uint64_t base_accepted = 0;
+            std::uint64_t prove_digest = 0;
+            std::uint64_t prove_accepted = 0;
+            serialReference(automaton, schedule, base_digest,
+                            base_accepted);
+            serialReference(automaton, schedule, prove_digest,
+                            prove_accepted, &certified_bits);
+            if (prove_digest != base_digest ||
+                prove_accepted != base_accepted) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: certified fast path diverged from the "
+                    "reference at %d in-flight (accepted %llu vs "
+                    "%llu, digest %016llx vs %016llx)\n",
+                    inflight,
+                    static_cast<unsigned long long>(prove_accepted),
+                    static_cast<unsigned long long>(base_accepted),
+                    static_cast<unsigned long long>(prove_digest),
+                    static_cast<unsigned long long>(base_digest));
+                return 1;
+            }
+            // Paired best-of-reps, bare and proved alternating (the
+            // --vault discipline): the speedup is a ratio of adjacent
+            // runs, not of passes seconds apart.
+            for (int rep = 0; rep < level.reps; ++rep) {
+                PathResult base_rep =
+                    runPath(automaton, schedule, true);
+                PathResult prove_rep =
+                    runPath(automaton, schedule, true, nullptr,
+                            nullptr, nullptr, nullptr,
+                            &certified_bits);
+                if (base_rep.mps > level.proveBase.mps)
+                    level.proveBase = base_rep;
+                if (prove_rep.mps > level.proved.mps)
+                    level.proved = prove_rep;
+            }
+            level.hasProved = true;
+        }
         if (threads_max > 0) {
             // Serial reference digest for the bit-identity gate, from
             // an untimed pass that keeps its events.
@@ -912,6 +1015,12 @@ main(int argc, char **argv)
                             100.0 * level.vaultOverhead(), inflight);
             }
         }
+        if (level.hasProved) {
+            std::printf("  prove: %-d in-flight certified %.0f mps "
+                        "(%.2fx vs paired %.0f mps, bit-identical)\n",
+                        inflight, level.proved.mps,
+                        level.proveSpeedup(), level.proveBase.mps);
+        }
         for (const auto &[count, result] : level.sharded) {
             std::printf("  sharded: %-d in-flight, %d shard%s "
                         "%.0f mps (%.2fx serial, bit-identical)\n",
@@ -931,7 +1040,9 @@ main(int argc, char **argv)
             (level.hasFlighted &&
              level.flighted.accepted != level.indexed.accepted) ||
             (level.hasVaulted &&
-             level.vaulted.accepted != level.indexed.accepted)) {
+             level.vaulted.accepted != level.indexed.accepted) ||
+            (level.hasProved &&
+             level.proved.accepted != level.proveBase.accepted)) {
             std::fprintf(stderr,
                          "FAIL: paths diverged at %d in-flight "
                          "(indexed accepted %llu, scan %llu, "

@@ -79,6 +79,38 @@ diagnosticCatalog()
          "that covers only part of the dependency edges, or an "
          "automaton deployed with no profile at all, leaves "
          "transitions unbudgeted and silently unmonitored (warning)."},
+        {"SL020", Severity::Warning, "ambiguous interleaving",
+         "Two task automata can both consume a run of two or more "
+         "shared templates back to back (a joint walk of the pairwise "
+         "product), so one interleaved stream sustains rival "
+         "hypotheses across several messages instead of resolving at "
+         "the first divergence. When the templates on the joint run "
+         "carry no instance identifier the rivals are provably "
+         "inseparable (warning); with a UUID-class identifier the "
+         "runtime identifier sets can still split them (info)."},
+        {"SL021", Severity::Warning, "identifier-inseparable collision",
+         "A template shared by several automata extracts no "
+         "identifier at all, so Algorithm 2 cannot ever separate the "
+         "executions its messages could belong to (warning). A shared "
+         "template whose only identifiers are shared-class values "
+         "such as node IPs routes, but the values repeat across "
+         "concurrent executions on one node and do not disambiguate "
+         "(info)."},
+        {"SL022", Severity::Warning, "super-linear pending-set growth",
+         "One directed path of an automaton consumes two or more "
+         "inseparable shared templates, so every in-flight execution "
+         "multiplies its rival fan-out at each such step: the "
+         "worst-case pending-set size grows super-linearly in the "
+         "number of concurrent executions (the product of the "
+         "cross-automaton site counts bounds one execution's "
+         "hypotheses)."},
+        {"SL023", Severity::Warning, "dead-end divergence anchor",
+         "A non-initial event's template also starts some automaton, "
+         "so a message that diverges from its true group re-anchors "
+         "as a fresh bogus execution (recovery (b)) that can never "
+         "accept — a dead end that survives until timeout. Without an "
+         "instance identifier the bogus group also captures follow-up "
+         "messages (warning); with one it times out quietly (info)."},
     };
     return catalog;
 }

@@ -3,10 +3,12 @@
  * Diagnostic value types of the seer-lint static model verifier.
  *
  * Every defect the analysis passes can find carries a stable ID
- * (SL001..SL009), a severity, and enough structure (automaton, event
- * ids, edge flag) for a caller with a model-file source map to print
- * file:line locations. The catalog below is the authoritative list;
- * DESIGN.md §10 documents each entry with rationale and an example.
+ * (SL001..SL010 from seer-lint, SL020..SL023 from the seer-prove
+ * interference analysis), a severity, and enough structure (automaton,
+ * event ids, edge flag) for a caller with a model-file source map to
+ * print file:line locations. The catalog below is the authoritative
+ * list; DESIGN.md §10 and §15 document each entry with rationale and
+ * an example.
  */
 
 #ifndef CLOUDSEER_ANALYSIS_DIAGNOSTICS_HPP

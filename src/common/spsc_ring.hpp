@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace cloudseer::common {
 
@@ -52,9 +53,20 @@ class SpscRing
 
     std::size_t capacity() const { return cap; }
 
+    /**
+     * The ring's two thread roles (compile-time capabilities, see
+     * thread_annotations.hpp). The owning thread claims its role with
+     * a RoleGuard; Clang's thread-safety analysis then enforces that
+     * producer methods run only under producerRole and consumer
+     * methods only under consumerRole — the single-producer /
+     * single-consumer discipline stated in the header comment.
+     */
+    const ThreadRole producerRole;
+    const ThreadRole consumerRole;
+
     /** Producer side: push if a slot is free. */
     bool
-    tryPush(T &&item)
+    tryPush(T &&item) CS_REQUIRES(producerRole)
     {
         std::uint64_t t = tail.load(std::memory_order_relaxed);
         if (t - headCache == cap) {
@@ -69,7 +81,7 @@ class SpscRing
 
     /** Producer side: push, yielding until a slot frees (backpressure). */
     void
-    push(T &&item)
+    push(T &&item) CS_REQUIRES(producerRole)
     {
         while (!tryPush(std::move(item)))
             std::this_thread::yield();
@@ -77,7 +89,7 @@ class SpscRing
 
     /** Consumer side: pop if an item is ready. */
     bool
-    tryPop(T &out)
+    tryPop(T &out) CS_REQUIRES(consumerRole)
     {
         std::uint64_t h = head.load(std::memory_order_relaxed);
         if (h == tailCache) {
@@ -92,7 +104,7 @@ class SpscRing
 
     /** Consumer side: pop, yielding until an item arrives. */
     void
-    pop(T &out)
+    pop(T &out) CS_REQUIRES(consumerRole)
     {
         while (!tryPop(out))
             std::this_thread::yield();
@@ -119,11 +131,11 @@ class SpscRing
 
     // Producer cache line: the tail it owns plus its stale view of head.
     alignas(64) std::atomic<std::uint64_t> tail{0};
-    std::uint64_t headCache = 0;
+    std::uint64_t headCache CS_GUARDED_BY(producerRole) = 0;
 
     // Consumer cache line: the head it owns plus its stale view of tail.
     alignas(64) std::atomic<std::uint64_t> head{0};
-    std::uint64_t tailCache = 0;
+    std::uint64_t tailCache CS_GUARDED_BY(consumerRole) = 0;
 };
 
 } // namespace cloudseer::common

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotations (seer-swarm, DESIGN.md §14).
+ *
+ * Thin macro wrappers over Clang's `-Wthread-safety` attributes so the
+ * sharded checker's threading contracts — which side of an SPSC ring a
+ * method belongs to, which thread owns a shard's checker — are checked
+ * at compile time under Clang and compile away to nothing elsewhere.
+ * The CI clang job builds with `-Wthread-safety
+ * -Werror=thread-safety`; GCC builds see empty macros.
+ *
+ * The SPSC ring has no mutex, so the annotated capabilities are
+ * *roles*, not locks: a `ThreadRole` is a zero-size capability object
+ * that a thread claims by constructing a `RoleGuard` at the top of its
+ * loop. The analysis then proves statically that producer-side methods
+ * are only called while holding the producer role and consumer-side
+ * methods the consumer role — the exact single-producer /
+ * single-consumer discipline the ring's correctness depends on. This
+ * is the standard role-capability idiom from the Clang thread-safety
+ * docs ("negative" mutex-free capabilities).
+ */
+
+#ifndef CLOUDSEER_COMMON_THREAD_ANNOTATIONS_HPP
+#define CLOUDSEER_COMMON_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef CS_THREAD_ANNOTATION
+#define CS_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+#define CS_CAPABILITY(name) CS_THREAD_ANNOTATION(capability(name))
+#define CS_SCOPED_CAPABILITY CS_THREAD_ANNOTATION(scoped_lockable)
+#define CS_GUARDED_BY(x) CS_THREAD_ANNOTATION(guarded_by(x))
+#define CS_REQUIRES(...) \
+    CS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CS_ACQUIRE(...) \
+    CS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CS_RELEASE(...) \
+    CS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CS_EXCLUDES(...) CS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CS_NO_THREAD_SAFETY_ANALYSIS \
+    CS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cloudseer::common {
+
+/**
+ * A compile-time-only capability standing for "this code runs on the
+ * thread that owns this role". Zero size, no runtime behaviour — it
+ * exists so Clang's analysis has a capability to track.
+ */
+class CS_CAPABILITY("role") ThreadRole
+{
+  public:
+    // User-provided (not defaulted): a const ThreadRole member would
+    // otherwise be ill-formed under GCC's uninitialized-const rule.
+    ThreadRole() {}
+};
+
+/**
+ * RAII claim of a ThreadRole for the current scope. Constructing one
+ * asserts (statically, to the analysis; nothing at runtime) that this
+ * scope runs on the role's owning thread, unlocking calls to
+ * CS_REQUIRES(role) methods.
+ */
+class CS_SCOPED_CAPABILITY RoleGuard
+{
+  public:
+    explicit RoleGuard(const ThreadRole &role) CS_ACQUIRE(role)
+    {
+        (void)role;
+    }
+    ~RoleGuard() CS_RELEASE() {}
+
+    RoleGuard(const RoleGuard &) = delete;
+    RoleGuard &operator=(const RoleGuard &) = delete;
+};
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_THREAD_ANNOTATIONS_HPP

@@ -100,6 +100,16 @@ class BaseChecker
     setLatencyPolicy(const std::vector<LatencyProfile> &profiles,
                      const LatencyCheckConfig &policy = {}) = 0;
 
+    /**
+     * Install the seer-prove certified-unambiguous template bitmap
+     * (DESIGN.md §15), indexed by TemplateId. Messages of certified
+     * templates take provably equivalent shortcut paths through
+     * Algorithm 2's selection, rekeying, and lineage pruning; reports
+     * stay bit-identical either way. An empty bitmap (the default)
+     * disables the fast path entirely.
+     */
+    virtual void setCertifiedTemplates(std::vector<char> certified) = 0;
+
     /** Stable engine name for logs and exposition. */
     virtual const char *engineName() const = 0;
 

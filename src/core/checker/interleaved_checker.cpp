@@ -34,6 +34,22 @@ InterleavedChecker::templateKnown(logging::TemplateId tpl) const
 }
 
 void
+InterleavedChecker::setCertifiedTemplates(std::vector<char> certified)
+{
+    certifiedTemplates = std::move(certified);
+    certFastActive = false;
+}
+
+std::size_t
+InterleavedChecker::certifiedTemplateCount() const
+{
+    std::size_t n = 0;
+    for (char bit : certifiedTemplates)
+        n += bit != 0;
+    return n;
+}
+
+void
 InterleavedChecker::setLatencyPolicy(
     const std::vector<LatencyProfile> &profiles,
     const LatencyCheckConfig &policy)
@@ -258,6 +274,15 @@ InterleavedChecker::candidateGroups(
             }
             continue;
         }
+        // seer-prove fast path: a sole-member set yields at most one
+        // class with a one-element pool — the member itself, with no
+        // equivalence draw (pickSalt only advances for pools > 1). Skip
+        // building the signature classes; the result is identical.
+        if (certFastActive && members.size() == 1) {
+            if (groups.count(members.front()))
+                out.push_back(members.front());
+            continue;
+        }
         // Paper heuristic 2: among equivalent groups under one set,
         // randomly select a single representative. Classes are keyed
         // by the cached state signature (equal signatures ⟺
@@ -411,6 +436,14 @@ InterleavedChecker::applyDecisiveIdUpdate(
     IdSetEntry &entry = set_it->second;
 
     if (entry.groupIds.size() == 1) {
+        // seer-prove fast path: when every message token is already in
+        // the set, the insert below adds nothing — the remove/add
+        // re-key and the posting scan are identity operations. One
+        // linear overlap check skips both map round-trips.
+        if (certFastActive &&
+            entry.ids.overlap(view) == static_cast<int>(view.size())) {
+            return;
+        }
         // Sole owner: expand in place (the paper's ID ∪ m.Sv). The
         // index follows: new tokens gain a posting, and the set is
         // re-keyed under its new contents.
@@ -479,6 +512,19 @@ InterleavedChecker::collectDescendants(GroupId group,
 void
 InterleavedChecker::pruneLineageOnAccept(GroupId winner)
 {
+    // seer-prove fast path: a winner with no rival set, no parent, and
+    // no children removes exactly itself — addRivalsOf is a no-op on
+    // rivalSet() == 0, the ancestor walk never starts, and there are
+    // no descendants. Skip the removal-set construction.
+    if (certFastActive) {
+        auto it = groups.find(winner);
+        if (it != groups.end() && it->second.rivalSet() == 0 &&
+            it->second.parent() == 0 && it->second.children().empty()) {
+            eraseGroup(winner);
+            return;
+        }
+    }
+
     std::vector<GroupId> removal;
 
     auto addRivalsOf = [this, &removal](GroupId gid) {
@@ -648,6 +694,8 @@ InterleavedChecker::feed(const CheckMessage &message)
     traceNow = message.time;
     currentRecord = message.record;
     pickSalt = 0;
+    certFastActive = message.tpl < certifiedTemplates.size() &&
+                     certifiedTemplates[message.tpl] != 0;
 
     // One dedup per message: every overlap / difference / insert below
     // works on this sorted-unique token view.

@@ -265,6 +265,17 @@ class InterleavedChecker : public BaseChecker
     /** True when a latency policy with at least one profile is set. */
     bool latencyPolicyActive() const { return !latencyProfiles.empty(); }
 
+    /**
+     * Install the seer-prove fast-path bitmap (DESIGN.md §15).
+     * Configuration, not checker state: saveState images never carry
+     * it and restoreState leaves it in place, mirroring the latency
+     * policy's lifecycle.
+     */
+    void setCertifiedTemplates(std::vector<char> certified) override;
+
+    /** Number of certified templates currently installed. */
+    std::size_t certifiedTemplateCount() const;
+
   private:
     /**
      * The sharded engine (DESIGN.md §14) owns one serial checker per
@@ -286,6 +297,14 @@ class InterleavedChecker : public BaseChecker
     std::vector<const TaskAutomaton *> automatonSet;
     std::vector<char> knownTemplates; // indexed by TemplateId
     CheckerStats counters;
+
+    /** seer-prove certified-unambiguous bitmap (config-like; empty =
+     *  fast path off). */
+    std::vector<char> certifiedTemplates;
+
+    /** True while the message in feed() has a certified template; the
+     *  gate on every fast-path shortcut below. */
+    bool certFastActive = false;
 
     /** Record id of the message currently in feed(); the hash basis
      *  of the equivalence-class pick. */

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/checker/identifier_set.hpp"
 
 namespace cloudseer::core {
@@ -103,6 +104,7 @@ ShardedChecker::~ShardedChecker()
         for (auto &shard : shards) {
             ShardIn stop;
             stop.op = ShardOp::Stop;
+            common::RoleGuard produce(shard->in.producerRole);
             shard->in.push(std::move(stop));
         }
     } else {
@@ -130,6 +132,12 @@ void
 ShardedChecker::shardMain(std::size_t idx)
 {
     ShardState &s = *shards[idx];
+
+    // This thread is the sole consumer of its input ring and the sole
+    // producer of its output ring, for the worker's whole lifetime.
+    common::RoleGuard consumeIn(s.in.consumerRole);
+    common::RoleGuard produceOut(s.out.producerRole);
+
     BaseChecker::TimeoutResolver resolver =
         [&s](const std::vector<std::string> &tasks) {
             return s.policy.timeoutForCandidates(tasks);
@@ -252,6 +260,7 @@ void
 ShardedChecker::pushToShard(std::size_t shard, ShardIn &&item)
 {
     auto &ring = shards[shard]->in;
+    common::RoleGuard produce(ring.producerRole);
     while (!ring.tryPush(std::move(item))) {
         // Backpressure: help drain results instead of busy-waiting —
         // a blocked router would deadlock against a shard blocked on
@@ -422,6 +431,7 @@ ShardedChecker::pumpOutputs()
         if (depth > m.outputRingPeak)
             m.outputRingPeak = depth;
         ShardOut out;
+        common::RoleGuard consume(ring.consumerRole);
         while (ring.tryPop(out)) {
             CS_ASSERT(!out.parkAck, "park ack outside quiesce");
             CS_ASSERT(out.seq >= windowBase &&
@@ -561,10 +571,12 @@ ShardedChecker::quiesce()
     for (auto &shard : shards) {
         ShardIn park;
         park.op = ShardOp::Park;
+        common::RoleGuard produce(shard->in.producerRole);
         shard->in.push(std::move(park));
     }
     for (auto &shard : shards) {
         ShardOut ack;
+        common::RoleGuard consume(shard->out.consumerRole);
         shard->out.pop(ack);
         CS_ASSERT(ack.parkAck, "expected park ack");
     }
@@ -1027,6 +1039,16 @@ ShardedChecker::setLatencyPolicy(
     quiesce();
     for (const auto &shard : shards)
         shard->checker->setLatencyPolicy(profiles, policy);
+    resumeShards();
+}
+
+void
+ShardedChecker::setCertifiedTemplates(std::vector<char> certified)
+{
+    certBits = std::move(certified);
+    quiesce();
+    for (const auto &shard : shards)
+        shard->checker->setCertifiedTemplates(certBits);
     resumeShards();
 }
 

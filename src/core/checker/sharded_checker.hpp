@@ -221,6 +221,8 @@ class ShardedChecker final : public BaseChecker
     void setLatencyPolicy(const std::vector<LatencyProfile> &profiles,
                           const LatencyCheckConfig &policy = {}) override;
 
+    void setCertifiedTemplates(std::vector<char> certified) override;
+
     const char *engineName() const override { return "sharded"; }
 
     ShardedChecker *sharded() override { return this; }
@@ -370,6 +372,10 @@ class ShardedChecker final : public BaseChecker
     // can be re-armed.
     std::vector<LatencyProfile> latProfiles;
     LatencyCheckConfig latConfig;
+
+    // Retained seer-prove certified-template bitmap (same lifecycle
+    // as the latency policy: configuration, not checkpointed state).
+    std::vector<char> certBits;
 
     // Aggregation caches for the const BaseChecker getters.
     mutable CheckerStats statsCache;

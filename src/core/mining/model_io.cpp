@@ -131,6 +131,15 @@ saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
            const std::vector<TaskAutomaton> &automata,
            const std::vector<LatencyProfile> &profiles)
 {
+    saveModels(out, catalog, automata, profiles, {});
+}
+
+void
+saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
+           const std::vector<TaskAutomaton> &automata,
+           const std::vector<LatencyProfile> &profiles,
+           const CertificateRecord &certificate)
+{
     out << kMagic << " " << kVersion << "\n";
 
     std::map<std::string, const LatencyProfile *> profile_of;
@@ -177,6 +186,17 @@ saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
             }
         }
         out << "end\n";
+    }
+
+    if (certificate.present) {
+        out << "certificate " << certificate.fingerprint << "\n";
+        for (const SignatureVerdictRecord &record : certificate.verdicts) {
+            if (!used.count(record.tpl))
+                continue; // unresolvable on load; drop
+            out << "verdict " << record.tpl << " "
+                << encodeModelToken(record.verdict) << " "
+                << record.automata << " " << record.sites << "\n";
+        }
     }
 }
 
@@ -360,6 +380,43 @@ loadModels(std::istream &in, ModelSourceMap *source_map)
         } else if (kind == "end") {
             if (!pending.open || !finishAutomaton())
                 return std::nullopt;
+        } else if (kind == "certificate") {
+            if (fields.size() != 2 || pending.open ||
+                bundle.certificate.present) {
+                return std::nullopt;
+            }
+            try {
+                bundle.certificate.fingerprint = std::stoull(fields[1]);
+            } catch (...) {
+                return std::nullopt;
+            }
+            bundle.certificate.present = true;
+        } else if (kind == "verdict") {
+            if (fields.size() != 5 || pending.open ||
+                !bundle.certificate.present) {
+                return std::nullopt;
+            }
+            SignatureVerdictRecord record;
+            logging::TemplateId file_id = 0;
+            auto word = decodeModelToken(fields[2]);
+            if (!word)
+                return std::nullopt;
+            try {
+                file_id = static_cast<logging::TemplateId>(
+                    std::stoul(fields[1]));
+                record.automata =
+                    static_cast<std::uint32_t>(std::stoul(fields[3]));
+                record.sites =
+                    static_cast<std::uint32_t>(std::stoul(fields[4]));
+            } catch (...) {
+                return std::nullopt;
+            }
+            auto it = remap.find(file_id);
+            if (it == remap.end())
+                return std::nullopt; // verdict on an unknown template
+            record.tpl = it->second;
+            record.verdict = *word;
+            bundle.certificate.verdicts.push_back(std::move(record));
         } else {
             return std::nullopt; // unknown directive
         }

@@ -15,6 +15,8 @@
  *     tasklat <runs> <count> <p50> <p95> <p99> <max>
  *     edgelat <from> <to> <count> <p50> <p95> <p99> <max>
  *     end
+ *     certificate <model-fingerprint>
+ *     verdict <template-id> <verdict-word> <automata> <sites>
  *
  * Template text is percent-encoded so embedded spaces and newlines
  * survive the tokenizer.
@@ -24,11 +26,20 @@
  * them loads with empty profiles, preserving the version-1 magic.
  * Latency seconds are printed with %.17g so a loaded profile replays
  * bit-identically against the stream it was mined from.
+ *
+ * The `certificate`/`verdict` directives persist the seer-prove
+ * ambiguity certificate (DESIGN.md §15) and are equally optional:
+ * they appear after the last automaton section, reference template
+ * ids from the same file (re-interned on load), and a pre-seer-prove
+ * file simply loads with `certificate.present == false`. The records
+ * here are dumb storage; analysis/interference.hpp owns the verdict
+ * semantics and re-derivation.
  */
 
 #ifndef CLOUDSEER_CORE_MINING_MODEL_IO_HPP
 #define CLOUDSEER_CORE_MINING_MODEL_IO_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -42,6 +53,30 @@
 
 namespace cloudseer::core {
 
+/** One template's persisted seer-prove verdict (storage only; the
+ *  analysis layer interprets the verdict word). */
+struct SignatureVerdictRecord
+{
+    logging::TemplateId tpl = 0;
+    std::string verdict;
+    std::uint32_t automata = 0;
+    std::uint32_t sites = 0;
+};
+
+/** Persisted ambiguity certificate (seer-prove, DESIGN.md §15). */
+struct CertificateRecord
+{
+    /** True when the file carried a `certificate` directive. */
+    bool present = false;
+
+    /** Checker model fingerprint of the bundle the certificate was
+     *  computed over (guards against stale certificates). */
+    std::uint64_t fingerprint = 0;
+
+    /** Per-template verdicts, ascending by re-interned template id. */
+    std::vector<SignatureVerdictRecord> verdicts;
+};
+
 /** A catalog plus the automata defined over it. */
 struct ModelBundle
 {
@@ -54,6 +89,9 @@ struct ModelBundle
      * automaton carried no latency directives).
      */
     std::vector<LatencyProfile> profiles;
+
+    /** Ambiguity certificate, when the file carried one. */
+    CertificateRecord certificate;
 };
 
 /**
@@ -105,6 +143,18 @@ void saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
 void saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
                 const std::vector<TaskAutomaton> &automata,
                 const std::vector<LatencyProfile> &profiles);
+
+/**
+ * Serialise a bundle with latency profiles and an ambiguity
+ * certificate. Verdicts for templates no automaton references are
+ * dropped (they could not be re-interned on load); a certificate with
+ * `present == false` writes nothing, matching the pre-seer-prove
+ * format byte for byte.
+ */
+void saveModels(std::ostream &out, const logging::TemplateCatalog &catalog,
+                const std::vector<TaskAutomaton> &automata,
+                const std::vector<LatencyProfile> &profiles,
+                const CertificateRecord &certificate);
 
 /** Serialise a bundle to a string. */
 std::string saveModelsToString(const logging::TemplateCatalog &catalog,

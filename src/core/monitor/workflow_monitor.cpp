@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/interference.hpp"
 #include "analysis/model_lint.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -104,6 +105,23 @@ WorkflowMonitor::WorkflowMonitor(
         loadReport.merge(analysis::lintLatencyProfiles(
             specs, config.latencyProfiles));
     }
+
+    // seer-prove (DESIGN.md §15): the interference analysis runs at
+    // every load — its SL02x findings belong in the load report — and
+    // its certificate arms the checker's provably equivalent fast
+    // path unless the deployment opts out.
+    analysis::InterferenceOptions prove;
+    prove.maxForkFanout = config.checker.maxForkFanout;
+    prove.numbersAsIdentifiers = config.numbersAsIdentifiers;
+    analysis::InterferenceResult interference =
+        analysis::analyzeInterference(specs, *catalogPtr, prove);
+    loadReport.merge(std::move(interference.report));
+    loadReport.sortStable();
+    if (config.proveFastPath) {
+        engine().setCertifiedTemplates(
+            interference.certificate.certifiedBits(catalogPtr->size()));
+    }
+
     if (config.verifyModelOnLoad && loadReport.hasErrors()) {
         std::string msg = "seer-lint rejected the model bundle:";
         for (const std::string &finding :

@@ -206,6 +206,17 @@ struct MonitorConfig
     bool verifyModelOnLoad = true;
 
     /**
+     * Run the seer-prove interference analysis at construction and arm
+     * the checker's certified-unambiguous fast path (DESIGN.md §15).
+     * The analysis findings (SL020-SL023) are merged into loadLint()
+     * either way; only the fast-path dispatch is gated by this flag.
+     * Reports are bit-identical with the flag on or off — the
+     * certificate selects where provably equivalent shortcuts apply,
+     * it never changes what Algorithm 2 decides.
+     */
+    bool proveFastPath = true;
+
+    /**
      * seer-scope observability (DESIGN.md §11). All-off by default —
      * the null sink — in which case no Observability object is even
      * constructed and the monitor is bit-identical to an

@@ -21,7 +21,10 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/diagnostics.hpp"
+#include "core/mining/model_io.hpp"
 #include "core/monitor/workflow_monitor.hpp"
+#include "test_util.hpp"
 #include "vault/vault.hpp"
 #include "vault/vaulted_monitor.hpp"
 
@@ -309,4 +312,125 @@ TEST(VaultTool, VerifyAcceptsSoundVaultAndRejectsTornOne)
     EXPECT_NE(torn.status, 0) << torn.output;
     EXPECT_NE(torn.output.find("torn"), std::string::npos)
         << torn.output;
+}
+
+// --- seer_prove ---------------------------------------------------------
+
+namespace {
+
+std::string
+goldenPath(const std::string &relative)
+{
+    return std::string(CLOUDSEER_SOURCE_DIR) + "/" + relative;
+}
+
+} // namespace
+
+TEST(SeerProveCli, GoldenBundlesPassTheWerrorGate)
+{
+    const std::string bin = SEER_PROVE_BIN;
+    RunResult gate = run(
+        bin + " --werror " + goldenPath("tests/golden/handcrafted.model") +
+        " " + goldenPath("tests/golden/mined_tasks.model"));
+    EXPECT_EQ(gate.status, 0) << gate.output;
+    EXPECT_NE(gate.output.find("certified unambiguous"),
+              std::string::npos)
+        << gate.output;
+    EXPECT_NE(gate.output.find("0 error(s), 0 warning(s)"),
+              std::string::npos)
+        << gate.output;
+}
+
+TEST(SeerProveCli, JsonReportIsGoldenPinned)
+{
+    const std::string bin = SEER_PROVE_BIN;
+    RunResult report = run(
+        bin + " --json " + goldenPath("tests/golden/handcrafted.model"));
+    EXPECT_EQ(report.status, 0) << report.output;
+    EXPECT_NE(report.output.find("\"tool\": \"seer-prove\""),
+              std::string::npos)
+        << report.output;
+    EXPECT_NE(report.output.find("\"errors\": 0"), std::string::npos);
+    // All 8 handcrafted signatures are uuid-separated and certify;
+    // any drift here is a calibration regression.
+    EXPECT_NE(report.output.find("\"certified\": 8"), std::string::npos)
+        << report.output;
+}
+
+TEST(SeerProveCli, CertificateOutEmbedsAndReloads)
+{
+    const std::string bin = SEER_PROVE_BIN;
+    ToolDir dir("prove_cert");
+    std::string out = dir.file("proved.model");
+    RunResult embed = run(
+        bin + " --certificate-out " + out + " " +
+        goldenPath("tests/golden/handcrafted.model"));
+    EXPECT_EQ(embed.status, 0) << embed.output;
+
+    std::ifstream proved(out);
+    ASSERT_TRUE(proved.good());
+    std::string contents((std::istreambuf_iterator<char>(proved)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("certificate "), std::string::npos);
+    EXPECT_NE(contents.find("verdict "), std::string::npos);
+
+    // The certified bundle re-analyzes identically.
+    RunResult again = run(bin + " --werror " + out);
+    EXPECT_EQ(again.status, 0) << again.output;
+}
+
+TEST(SeerProveCli, AmbiguousBundleFailsUnderWerror)
+{
+    // Two tasks sharing an identifier-free template chain: the
+    // injected-ambiguity acceptance case, via the CLI gate.
+    testutil::LetterCatalog letters;
+    std::vector<TaskAutomaton> bundle;
+    bundle.push_back(testutil::makeLetterAutomaton(
+        letters, "alpha", {"S", "T"}, {{"S", "T"}}));
+    bundle.push_back(testutil::makeLetterAutomaton(
+        letters, "beta", {"S", "T"}, {{"S", "T"}}));
+    ToolDir dir("prove_ambig");
+    std::string path = dir.file("ambiguous.model");
+    {
+        std::ofstream out(path);
+        saveModels(out, *letters.catalog, bundle, {});
+    }
+
+    const std::string bin = SEER_PROVE_BIN;
+    RunResult plain = run(bin + " " + path);
+    EXPECT_EQ(plain.status, 0) << plain.output;
+    EXPECT_NE(plain.output.find("SL020"), std::string::npos)
+        << plain.output;
+    EXPECT_NE(plain.output.find("SL021"), std::string::npos)
+        << plain.output;
+
+    RunResult werror = run(bin + " --werror " + path);
+    EXPECT_EQ(werror.status, 1) << werror.output;
+}
+
+// The --list/--explain catalog is generated from
+// analysis::diagnosticCatalog(), the same table the passes emit from.
+// This test is the drift gate: every ID the library can produce must
+// be listed and explainable by the CLI, so a new diagnostic that
+// forgets the catalog entry (the old SL010 hole) fails here, not in
+// an operator's terminal.
+TEST(SeerLintCli, CatalogParityWithTheAnalysisLayer)
+{
+    const std::string bin = SEER_LINT_BIN;
+    RunResult list = run(bin + " --list");
+    ASSERT_EQ(list.status, 0) << list.output;
+
+    for (const analysis::DiagnosticInfo &info :
+         analysis::diagnosticCatalog()) {
+        EXPECT_NE(list.output.find(info.id), std::string::npos)
+            << "--list is missing " << info.id;
+
+        RunResult explain = run(bin + " --explain " + info.id);
+        EXPECT_EQ(explain.status, 0) << info.id << ": " << explain.output;
+        EXPECT_NE(explain.output.find(info.title), std::string::npos)
+            << "--explain " << info.id << " lost its title";
+    }
+
+    // Unknown IDs must stay an error, or typos would pass silently.
+    EXPECT_NE(run(bin + " --explain SL999").status, 0);
 }

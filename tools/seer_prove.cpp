@@ -1,0 +1,190 @@
+/**
+ * @file
+ * seer-prove: the static interference & ambiguity analysis as a
+ * command-line tool (DESIGN.md §15).
+ *
+ * Runs the whole-model-set product-walk analysis over one or more
+ * serialized bundles, prints SL020-SL023 findings with file:line
+ * locations, and can persist the proven AmbiguityCertificate back
+ * into a model file for the checker's fast-path dispatch. Exit status
+ * mirrors seer-lint: 0 clean, 1 findings at or above the gating
+ * severity, 2 usage or I/O failure.
+ *
+ *     seer-prove [options] model-file...
+ *
+ * Options:
+ *     --json                    machine-readable report + verdict table
+ *     --werror                  gate on warnings as well as errors
+ *     --certificate-out FILE    rewrite the (single) input bundle with
+ *                               the certificate embedded
+ *     --max-fanout N            checker hypothesis cap (SL022 context)
+ *     --numbers-as-identifiers  <num> placeholders count as instance ids
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/interference.hpp"
+#include "core/checker/check_types.hpp"
+#include "core/checker/interleaved_checker.hpp"
+#include "core/mining/model_io.hpp"
+
+namespace {
+
+using namespace cloudseer;
+
+int
+usage(std::ostream &out, int status)
+{
+    out << "usage: seer-prove [options] model-file...\n"
+           "options:\n"
+           "  --json                    JSON report + verdict table\n"
+           "  --werror                  nonzero exit on warnings too\n"
+           "  --certificate-out FILE    write bundle + certificate\n"
+           "  --max-fanout N            checker hypothesis cap (SL022)\n"
+           "  --numbers-as-identifiers  <num> counts as an instance id\n";
+    return status;
+}
+
+/** file:line prefix for a finding, best-effort via the source map. */
+std::string
+location(const std::string &file, const core::ModelBundle &bundle,
+         const core::ModelSourceMap &sources,
+         const analysis::Diagnostic &diagnostic)
+{
+    int line = 0;
+    for (std::size_t i = 0; i < bundle.automata.size(); ++i) {
+        if (bundle.automata[i].name() != diagnostic.automaton)
+            continue;
+        if (diagnostic.isEdge)
+            line = sources.edgeLine(i, diagnostic.eventA,
+                                    diagnostic.eventB);
+        if (line == 0 && diagnostic.eventA >= 0)
+            line = sources.eventLine(i, diagnostic.eventA);
+        if (line == 0)
+            line = sources.declLine(i);
+        break;
+    }
+    if (line == 0)
+        return file;
+    return file + ":" + std::to_string(line);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    analysis::InterferenceOptions options;
+    options.maxForkFanout = core::kDefaultMaxForkFanout;
+    bool json = false;
+    bool werror = false;
+    std::string certificate_out;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "seer-prove: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--certificate-out") {
+            certificate_out = next("--certificate-out");
+        } else if (arg == "--max-fanout") {
+            options.maxForkFanout =
+                static_cast<int>(std::stoul(next("--max-fanout")));
+        } else if (arg == "--numbers-as-identifiers") {
+            options.numbersAsIdentifiers = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "seer-prove: unknown option " << arg << "\n";
+            return usage(std::cerr, 2);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage(std::cerr, 2);
+    if (!certificate_out.empty() && files.size() != 1) {
+        std::cerr << "seer-prove: --certificate-out takes exactly one "
+                     "input bundle\n";
+        return 2;
+    }
+
+    bool gate = false;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "seer-prove: cannot open " << file << "\n";
+            return 2;
+        }
+        core::ModelSourceMap sources;
+        auto bundle = core::loadModels(in, &sources);
+        if (!bundle) {
+            std::cerr << "seer-prove: " << file
+                      << ": not a valid model bundle\n";
+            return 2;
+        }
+        analysis::InterferenceResult result = analysis::analyzeInterference(
+            bundle->automata, *bundle->catalog, options);
+        std::vector<const core::TaskAutomaton *> automata;
+        for (const core::TaskAutomaton &automaton : bundle->automata)
+            automata.push_back(&automaton);
+        result.certificate.modelFingerprint =
+            core::modelFingerprint(automata);
+        if (json) {
+            std::cout << analysis::proveReportJson(
+                result.report, result.certificate, *bundle->catalog);
+        } else {
+            for (const analysis::Diagnostic &diagnostic :
+                 result.report.diagnostics) {
+                std::cout
+                    << location(file, *bundle, sources, diagnostic)
+                    << ": " << analysis::severityName(diagnostic.severity)
+                    << ": [" << diagnostic.id << "] ";
+                if (!diagnostic.automaton.empty())
+                    std::cout << diagnostic.automaton << ": ";
+                std::cout << diagnostic.message << "\n";
+            }
+            std::cout << file << ": " << result.report.automataChecked
+                      << " automata, "
+                      << result.certificate.verdicts.size()
+                      << " signatures ("
+                      << result.certificate.certifiedCount()
+                      << " certified unambiguous), "
+                      << result.report.count(analysis::Severity::Error)
+                      << " error(s), "
+                      << result.report.count(analysis::Severity::Warning)
+                      << " warning(s), "
+                      << result.report.count(analysis::Severity::Info)
+                      << " info(s)\n";
+        }
+        if (!certificate_out.empty()) {
+            std::ofstream out(certificate_out,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                std::cerr << "seer-prove: cannot write "
+                          << certificate_out << "\n";
+                return 2;
+            }
+            core::saveModels(out, *bundle->catalog, bundle->automata,
+                             bundle->profiles,
+                             result.certificate.toRecord());
+        }
+        gate = gate || result.report.hasErrors() ||
+               (werror &&
+                result.report.count(analysis::Severity::Warning) > 0);
+    }
+    return gate ? 1 : 0;
+}
