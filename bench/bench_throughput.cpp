@@ -40,6 +40,29 @@
  * message loop and reports `vault_checkpoint_ms` / `_bytes`
  * separately instead of folding it into the rate.
  *
+ * With --pulse, a sixth path runs the indexed checker with the
+ * seer-pulse telemetry plane armed: every feed latency lands in the
+ * seer-scope histogram and every 2000 messages the checker state is
+ * flattened into a health sample and pushed through the rate + alert
+ * engines — the work a pulse-enabled monitor does at snapshot
+ * cadence. The pulsed path and a bare baseline alternate best-of-three
+ * (the --vault discipline) and each level reports `pulse_overhead`.
+ * Before anything is timed, an untimed pass gates bit-identity: the
+ * pulse plane is observation-only, so its event stream must digest
+ * equal to the bare reference — any divergence is a hard failure, and
+ * so is overhead above the 15% ingest bar at the 1000 in-flight level.
+ *
+ * With --pulse-port, the bench becomes a scrape target instead of a
+ * sweep: it builds a pulse-enabled WorkflowMonitor with a live
+ * /metrics | /healthz | /alerts | /buildz endpoint, trickles complete
+ * chains through it, then (after --pulse-degrade-after seconds)
+ * injects a burst of half-open groups past the group cap so shedding
+ * flips /healthz to degraded and fires shed_burn — the CI scrape-smoke
+ * job curls the endpoint while this runs. --pulse-port-file publishes
+ * the bound (possibly ephemeral) port; --pulse-stop-file and
+ * --pulse-serve-seconds bound the serve loop; --pulse-alert-log tees
+ * ALERT records to a file CI uploads as an artifact.
+ *
  * With --threads N, a sharded path (seer-swarm, DESIGN.md §14) joins
  * the sweep: shard counts {1, 2, 4, 8} up to N (plus N itself), each
  * driving the pipelined submitFeed surface of ShardedChecker over the
@@ -58,7 +81,13 @@
  *
  * Usage: bench_throughput [--smoke] [--check <baseline.json>]
  *                         [--out <path>] [--obs] [--flight] [--vault]
- *                         [--threads N] [--trace-out <trace.json>]
+ *                         [--pulse] [--threads N]
+ *                         [--trace-out <trace.json>]
+ *        bench_throughput --pulse-port P [--pulse-port-file <path>]
+ *                         [--pulse-serve-seconds S]
+ *                         [--pulse-stop-file <path>]
+ *                         [--pulse-degrade-after S]
+ *                         [--pulse-alert-log <path>]
  */
 
 #include <algorithm>
@@ -79,10 +108,13 @@
 #include "core/checker/interleaved_checker.hpp"
 #include "core/checker/sharded_checker.hpp"
 #include "core/mining/latency_profile.hpp"
+#include "core/monitor/workflow_monitor.hpp"
 #include "logging/identifier_interner.hpp"
+#include "logging/log_record.hpp"
 #include "logging/template_catalog.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
+#include "obs/pulse.hpp"
 #include "vault/vault.hpp"
 
 using namespace cloudseer;
@@ -394,6 +426,136 @@ serialReference(const core::TaskAutomaton &automaton,
     checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
 }
 
+// --- seer-pulse (--pulse / --pulse-port, DESIGN.md §16) ---------------
+
+/** Snapshot cadence of the pulsed path, in messages: 2000 messages is
+ *  0.2 s of schedule message time — denser than any monitor would
+ *  snapshot, so the measured overhead upper-bounds the deployed one. */
+constexpr std::size_t kPulseSnapshotEvery = 2000;
+
+/** Flatten checker + sink state into the health sample the rate
+ *  engine chews on — the checker-level slice of what
+ *  WorkflowMonitor::healthSample() assembles. */
+obs::HealthSample
+pulseSample(const core::InterleavedChecker &checker,
+            const obs::Observability &sinks, double now)
+{
+    const core::CheckerStats &stats = checker.stats();
+    obs::HealthSample sample;
+    sample.time = now;
+    sample.messages = stats.messages;
+    sample.recoveredPassUnknown = stats.recoveredPassUnknown;
+    sample.recoveredOtherSet = stats.recoveredOtherSet;
+    sample.recoveredFalseDependency = stats.recoveredFalseDependency;
+    sample.errorsReported = stats.errorsReported;
+    sample.timeoutsReported = stats.timeoutsReported;
+    sample.groupsShed = stats.groupsShed;
+    if (const obs::Histogram *feed = sinks.feedLatency()) {
+        sample.feedP50us = feed->percentile(50.0);
+        sample.feedP99us = feed->percentile(99.0);
+    }
+    return sample;
+}
+
+/**
+ * One timed pass with the pulse plane armed: feed latencies recorded
+ * into the seer-scope histogram, a health sample flattened and pushed
+ * through the rate + alert engines every kPulseSnapshotEvery messages.
+ * Snapshot/alert-record tallies return through the out-parameters.
+ */
+PathResult
+runPulsedPath(const core::TaskAutomaton &automaton,
+              const std::vector<core::CheckMessage> &schedule,
+              std::uint64_t &snapshots_out, std::uint64_t &alerts_out)
+{
+    core::CheckerConfig config;
+    config.routingIndex = true;
+    core::InterleavedChecker checker(config, {&automaton});
+    obs::ObsConfig obs_config;
+    obs_config.metrics = true;
+    obs::Observability sinks(obs_config);
+    obs::PulseConfig pulse_config;
+    pulse_config.enabled = true;
+    obs::PulseEngine engine(pulse_config);
+
+    using Clock = std::chrono::steady_clock;
+    common::SampleStats latency;
+    std::uint64_t snapshots = 0;
+    Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const core::CheckMessage &message = schedule[i];
+        Clock::time_point before = Clock::now();
+        checker.feed(message);
+        Clock::time_point after = Clock::now();
+        double micros =
+            std::chrono::duration<double, std::micro>(after - before)
+                .count();
+        latency.add(micros);
+        sinks.recordFeedLatency(micros);
+        if ((i + 1) % kPulseSnapshotEvery == 0) {
+            obs::HealthSample sample =
+                pulseSample(checker, sinks, message.time);
+            sinks.addSnapshot(sample);
+            engine.observe(sample);
+            ++snapshots;
+        }
+    }
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    PathResult out;
+    out.mps = elapsed > 0.0
+                  ? static_cast<double>(schedule.size()) / elapsed
+                  : 0.0;
+    out.p50us = latency.percentile(50.0);
+    out.p99us = latency.percentile(99.0);
+    out.accepted = checker.stats().accepted;
+    snapshots_out = snapshots;
+    alerts_out = engine.drainAlertLines().size();
+    checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
+    return out;
+}
+
+/**
+ * The pulse bit-identity gate's instrumented side: an untimed indexed
+ * pass that keeps its events while the pulse plane observes at the
+ * same cadence the timed path uses. The pulse plane is
+ * observation-only, so this must digest equal to serialReference on
+ * the identical schedule.
+ */
+void
+pulsedReference(const core::TaskAutomaton &automaton,
+                const std::vector<core::CheckMessage> &schedule,
+                std::uint64_t &digest_out, std::uint64_t &accepted_out)
+{
+    core::CheckerConfig config;
+    config.routingIndex = true;
+    core::InterleavedChecker checker(config, {&automaton});
+    obs::ObsConfig obs_config;
+    obs_config.metrics = true;
+    obs::Observability sinks(obs_config);
+    obs::PulseConfig pulse_config;
+    pulse_config.enabled = true;
+    obs::PulseEngine engine(pulse_config);
+    std::vector<core::CheckEvent> events;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        std::vector<core::CheckEvent> step = checker.feed(schedule[i]);
+        events.insert(events.end(),
+                      std::make_move_iterator(step.begin()),
+                      std::make_move_iterator(step.end()));
+        sinks.recordFeedLatency(1.0);
+        if ((i + 1) % kPulseSnapshotEvery == 0) {
+            obs::HealthSample sample =
+                pulseSample(checker, sinks, schedule[i].time);
+            sinks.addSnapshot(sample);
+            engine.observe(sample);
+        }
+    }
+    digest_out = digestEvents(events);
+    accepted_out = checker.stats().accepted;
+    checker.finish(schedule.empty() ? 0.0 : schedule.back().time + 1.0);
+}
+
 struct LevelResult
 {
     int inflight = 0;
@@ -411,6 +573,11 @@ struct LevelResult
     PathResult proved; ///< indexed + seer-prove fast path (--prove only)
     bool hasProved = false;
     PathResult proveBase; ///< paired bare-indexed baseline (--prove)
+    PathResult pulsed; ///< indexed + seer-pulse plane (--pulse only)
+    bool hasPulsed = false;
+    PathResult pulseBase; ///< paired bare-indexed baseline (--pulse)
+    std::uint64_t pulseSnapshots = 0; ///< samples the best rep pushed
+    std::uint64_t pulseAlerts = 0;    ///< ALERT records it emitted
     double vaultCheckpointMs = 0.0; ///< one full snapshot, timed alone
     std::uint64_t vaultCheckpointBytes = 0;
 
@@ -463,6 +630,16 @@ struct LevelResult
     {
         return vaultBase.mps > 0.0 && hasVaulted
                    ? 1.0 - vaulted.mps / vaultBase.mps
+                   : 0.0;
+    }
+
+    /** Fractional slowdown of the pulse-enabled path, against the
+     *  baseline timed back-to-back with it (paired, like --vault). */
+    double
+    pulseOverhead() const
+    {
+        return pulseBase.mps > 0.0 && hasPulsed
+                   ? 1.0 - pulsed.mps / pulseBase.mps
                    : 0.0;
     }
 
@@ -542,6 +719,19 @@ toJson(const std::vector<LevelResult> &levels, bool smoke)
                 << level.vaultCheckpointMs
                 << ",\n     \"vault_checkpoint_bytes\": "
                 << level.vaultCheckpointBytes;
+        }
+        if (level.hasPulsed) {
+            out << ",\n     \"indexed_pulse\": {\"mps\": "
+                << level.pulsed.mps
+                << ", \"p50_us\": " << level.pulsed.p50us
+                << ", \"p99_us\": " << level.pulsed.p99us << "}"
+                << ",\n     \"pulse_base_mps\": "
+                << level.pulseBase.mps
+                << ",\n     \"pulse_overhead\": "
+                << level.pulseOverhead()
+                << ",\n     \"pulse_snapshots\": "
+                << level.pulseSnapshots
+                << ",\n     \"pulse_alerts\": " << level.pulseAlerts;
         }
         if (level.hasProved) {
             out << ",\n     \"indexed_prove\": {\"mps\": "
@@ -629,6 +819,157 @@ resolveBaselinePath(const std::string &path, const char *argv0)
     return path; // let the caller report the original name
 }
 
+// --- scrape-target serve mode (--pulse-port) --------------------------
+
+struct PulseServeOptions
+{
+    int port = 0;             ///< 0 = ephemeral, published via portFile
+    std::string portFile;     ///< bound port written here, if set
+    std::string stopFile;     ///< existence ends the loop, if set
+    std::string alertLog;     ///< pulse.alertLogPath, if set
+    double serveSeconds = 30.0;
+    double degradeAfter = 5.0; ///< shed burst fires after this long
+};
+
+/** Step suffixes for the serve-mode chain. Letters, not digits: the
+ *  variable extractor rewrites bare numbers to <num>, so a "step-0"
+ *  body would never match a "step-0 <uuid>" template on the wire
+ *  path this mode exercises (the sweep builds CheckMessages directly
+ *  and never parses). */
+constexpr const char *kServeSteps[kChainLength] = {"a", "b", "c", "d",
+                                                  "e", "f", "g", "h"};
+
+/** The chain automaton again, with extractor-stable step names. */
+core::TaskAutomaton
+serveChainAutomaton(logging::TemplateCatalog &catalog)
+{
+    std::vector<core::EventNode> events;
+    std::vector<core::DependencyEdge> edges;
+    for (int i = 0; i < kChainLength; ++i) {
+        events.push_back({catalog.intern("svc",
+                                         std::string("step-") +
+                                             kServeSteps[i] +
+                                             " <uuid>"),
+                          0});
+        if (i > 0)
+            edges.push_back({i - 1, i, false});
+    }
+    return core::TaskAutomaton("chain", std::move(events),
+                               std::move(edges));
+}
+
+logging::LogRecord
+serveRecord(logging::RecordId id, double t, const std::string &body)
+{
+    logging::LogRecord record;
+    record.id = id;
+    record.timestamp = t;
+    record.node = "bench-node";
+    record.service = "svc";
+    record.level = logging::LogLevel::Info;
+    record.body = body;
+    return record;
+}
+
+/**
+ * Serve mode: a pulse-enabled WorkflowMonitor over the chain model
+ * with a live scrape endpoint, fed a trickle of complete chains; after
+ * degradeAfter seconds a burst of half-open groups blows past the
+ * group cap so shedding flips /healthz to degraded and shed_burn
+ * fires — everything the CI scrape-smoke job curls for. ALERT records
+ * stream to stdout (and the alert log, when configured).
+ */
+int
+runPulseServe(const PulseServeOptions &opt)
+{
+    auto catalog = std::make_shared<logging::TemplateCatalog>();
+    core::TaskAutomaton automaton = serveChainAutomaton(*catalog);
+    std::vector<core::TaskAutomaton> automata;
+    automata.push_back(automaton);
+
+    core::MonitorConfig config;
+    config.timeoutSeconds = 30.0;
+    config.ingest.maxActiveGroups = 64; // the burst's shed target
+    config.pulse.enabled = true;
+    config.pulse.httpPort = opt.port;
+    config.pulse.windowSeconds = 12.0; // snapshots every 2 s of clock
+    config.pulse.stageSampleEvery = 16;
+    config.pulse.alertLogPath = opt.alertLog;
+    core::WorkflowMonitor monitor(config, catalog,
+                                  std::move(automata));
+
+    int bound = monitor.pulsePort();
+    if (bound < 0) {
+        std::fprintf(stderr,
+                     "FAIL: pulse endpoint did not bind (port %d)\n",
+                     opt.port);
+        return 1;
+    }
+    if (!opt.portFile.empty()) {
+        std::ofstream port_out(opt.portFile);
+        port_out << bound << "\n";
+    }
+    std::printf("pulse: serving 127.0.0.1:%d for up to %.0fs "
+                "(degrade after %.0fs)\n",
+                bound, opt.serveSeconds, opt.degradeAfter);
+    std::fflush(stdout);
+
+    common::Rng rng(1234);
+    logging::RecordId next_record = 1;
+    std::uint64_t alerts = 0;
+    bool burst_fired = false;
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start = Clock::now();
+    for (;;) {
+        double elapsed =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        if (elapsed >= opt.serveSeconds)
+            break;
+        if (!opt.stopFile.empty() &&
+            std::ifstream(opt.stopFile).good())
+            break;
+        // The message clock tracks the wall clock, so the monitor's
+        // snapshot cadence (message time) fires in real time too.
+        if (!burst_fired && elapsed >= opt.degradeAfter) {
+            burst_fired = true;
+            for (int i = 0; i < 192; ++i) {
+                monitor.feed(serveRecord(
+                    next_record++, elapsed,
+                    "step-a " + common::makeUuid(rng)));
+            }
+        }
+        std::string uuid = common::makeUuid(rng);
+        for (int i = 0; i < kChainLength; ++i) {
+            monitor.feed(serveRecord(
+                next_record++, elapsed + 0.001 * i,
+                std::string("step-") + kServeSteps[i] + " " + uuid));
+        }
+        for (const std::string &line : monitor.drainAlertJson()) {
+            ++alerts;
+            std::printf("%s\n", line.c_str());
+        }
+        monitor.publishPulse(); // fresh documents for every scrape
+        std::fflush(stdout);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::string healthz = monitor.healthzJson();
+    monitor.finish();
+    for (const std::string &line : monitor.drainAlertJson()) {
+        ++alerts;
+        std::printf("%s\n", line.c_str());
+    }
+    std::printf("pulse: served %llu records, %llu alert records, "
+                "final %s\n",
+                static_cast<unsigned long long>(next_record - 1),
+                static_cast<unsigned long long>(alerts),
+                healthz.find("\"status\":\"degraded\"") !=
+                        std::string::npos
+                    ? "degraded"
+                    : "ok");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -639,6 +980,9 @@ main(int argc, char **argv)
     bool with_flight = false;
     bool with_vault = false;
     bool with_prove = false;
+    bool with_pulse = false;
+    bool serve_mode = false;
+    PulseServeOptions serve;
     int threads_max = 0; // 0 = no sharded paths
     std::string check_path;
     std::string out_path = "BENCH_throughput.json";
@@ -654,6 +998,27 @@ main(int argc, char **argv)
             with_vault = true;
         } else if (std::strcmp(argv[i], "--prove") == 0) {
             with_prove = true;
+        } else if (std::strcmp(argv[i], "--pulse") == 0) {
+            with_pulse = true;
+        } else if (std::strcmp(argv[i], "--pulse-port") == 0 &&
+                   i + 1 < argc) {
+            serve_mode = true;
+            serve.port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--pulse-port-file") == 0 &&
+                   i + 1 < argc) {
+            serve.portFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--pulse-serve-seconds") == 0 &&
+                   i + 1 < argc) {
+            serve.serveSeconds = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--pulse-stop-file") == 0 &&
+                   i + 1 < argc) {
+            serve.stopFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--pulse-degrade-after") == 0 &&
+                   i + 1 < argc) {
+            serve.degradeAfter = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--pulse-alert-log") == 0 &&
+                   i + 1 < argc) {
+            serve.alertLog = argv[++i];
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             threads_max = std::atoi(argv[++i]);
@@ -674,11 +1039,20 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--check baseline.json] "
                          "[--out path] [--obs] [--flight] [--vault] "
-                         "[--prove] [--threads N] [--trace-out path]\n",
-                         argv[0]);
+                         "[--prove] [--pulse] [--threads N] "
+                         "[--trace-out path]\n"
+                         "   or: %s --pulse-port P "
+                         "[--pulse-port-file path] "
+                         "[--pulse-serve-seconds S] "
+                         "[--pulse-stop-file path] "
+                         "[--pulse-degrade-after S] "
+                         "[--pulse-alert-log path]\n",
+                         argv[0], argv[0]);
             return 2;
         }
     }
+    if (serve_mode)
+        return runPulseServe(serve);
 
     // Shard counts for the --threads sweep: the canonical 1/2/4/8
     // scaling curve up to the requested maximum, always including the
@@ -929,6 +1303,53 @@ main(int argc, char **argv)
             }
             level.hasProved = true;
         }
+        if (with_pulse) {
+            // Untimed bit-identity gate first: arming the pulse plane
+            // must not perturb the event stream — the rate + alert
+            // engines only observe, and this makes that a CI
+            // invariant rather than a code-review promise.
+            std::uint64_t base_digest = 0;
+            std::uint64_t base_accepted = 0;
+            std::uint64_t pulse_digest = 0;
+            std::uint64_t pulse_accepted = 0;
+            serialReference(automaton, schedule, base_digest,
+                            base_accepted);
+            pulsedReference(automaton, schedule, pulse_digest,
+                            pulse_accepted);
+            if (pulse_digest != base_digest ||
+                pulse_accepted != base_accepted) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: pulsed path diverged from the reference at "
+                    "%d in-flight (accepted %llu vs %llu, digest "
+                    "%016llx vs %016llx)\n",
+                    inflight,
+                    static_cast<unsigned long long>(pulse_accepted),
+                    static_cast<unsigned long long>(base_accepted),
+                    static_cast<unsigned long long>(pulse_digest),
+                    static_cast<unsigned long long>(base_digest));
+                return 1;
+            }
+            // Paired best-of-reps, bare and pulsed alternating (the
+            // --vault discipline): the overhead ratio is taken
+            // between adjacent runs, not passes seconds apart.
+            for (int rep = 0; rep < level.reps; ++rep) {
+                PathResult base_rep =
+                    runPath(automaton, schedule, true);
+                std::uint64_t snapshots = 0;
+                std::uint64_t alert_records = 0;
+                PathResult pulse_rep = runPulsedPath(
+                    automaton, schedule, snapshots, alert_records);
+                if (base_rep.mps > level.pulseBase.mps)
+                    level.pulseBase = base_rep;
+                if (pulse_rep.mps > level.pulsed.mps) {
+                    level.pulsed = pulse_rep;
+                    level.pulseSnapshots = snapshots;
+                    level.pulseAlerts = alert_records;
+                }
+            }
+            level.hasPulsed = true;
+        }
         if (threads_max > 0) {
             // Serial reference digest for the bit-identity gate, from
             // an untimed pass that keeps its events.
@@ -1015,6 +1436,32 @@ main(int argc, char **argv)
                             100.0 * level.vaultOverhead(), inflight);
             }
         }
+        if (level.hasPulsed) {
+            std::printf("  pulse: %-d in-flight pulsed %.0f mps "
+                        "(overhead %.1f%% vs paired %.0f mps, "
+                        "%llu snapshots, bit-identical)\n",
+                        inflight, level.pulsed.mps,
+                        100.0 * level.pulseOverhead(),
+                        level.pulseBase.mps,
+                        static_cast<unsigned long long>(
+                            level.pulseSnapshots));
+            if (level.pulseOverhead() > 0.15) {
+                // The 15% ingest bar is a hard gate at the deepest
+                // level (DESIGN.md §16 acceptance); shallower levels
+                // warn, as the other instrumented paths do.
+                if (inflight == levels.back()) {
+                    std::fprintf(
+                        stderr,
+                        "FAIL: pulse overhead %.1f%% exceeds the "
+                        "15%% ingest bar at %d in-flight\n",
+                        100.0 * level.pulseOverhead(), inflight);
+                    return 1;
+                }
+                std::printf("  WARN: pulse overhead %.1f%% exceeds "
+                            "the 15%% ingest bar at %d in-flight\n",
+                            100.0 * level.pulseOverhead(), inflight);
+            }
+        }
         if (level.hasProved) {
             std::printf("  prove: %-d in-flight certified %.0f mps "
                         "(%.2fx vs paired %.0f mps, bit-identical)\n",
@@ -1042,7 +1489,9 @@ main(int argc, char **argv)
             (level.hasVaulted &&
              level.vaulted.accepted != level.indexed.accepted) ||
             (level.hasProved &&
-             level.proved.accepted != level.proveBase.accepted)) {
+             level.proved.accepted != level.proveBase.accepted) ||
+            (level.hasPulsed &&
+             level.pulsed.accepted != level.pulseBase.accepted)) {
             std::fprintf(stderr,
                          "FAIL: paths diverged at %d in-flight "
                          "(indexed accepted %llu, scan %llu, "

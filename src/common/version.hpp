@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Build identity for self-describing scrapes (seer-pulse /buildz and
+ * the seer_build_info gauge, DESIGN.md §16). A plain constant — no
+ * git or configure-time machinery — bumped when a PR lands.
+ */
+
+#ifndef CLOUDSEER_COMMON_VERSION_HPP
+#define CLOUDSEER_COMMON_VERSION_HPP
+
+namespace cloudseer::common {
+
+inline constexpr const char *kVersion = "0.9.0-pulse";
+
+} // namespace cloudseer::common
+
+#endif // CLOUDSEER_COMMON_VERSION_HPP

@@ -1,6 +1,7 @@
 #include "core/checker/sharded_checker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/error.hpp"
@@ -126,6 +127,28 @@ ShardedChecker::templateKnown(logging::TemplateId tpl) const
            tpl < knownTemplates.size() && knownTemplates[tpl] != 0;
 }
 
+void
+ShardedChecker::enableStageTimers(std::size_t sample_every)
+{
+    // Pre-first-submit contract (see header): the worker only reads
+    // these fields after popping a work item pushed later, so the
+    // ring's release/acquire pair orders this write before that read.
+    for (auto &shard : shards) {
+        shard->stageEvery = sample_every;
+        shard->opsSeen = 0;
+        if (sample_every > 0 && shard->checkLatency == nullptr)
+            shard->checkLatency =
+                std::make_unique<obs::Histogram>(-1, 6);
+    }
+}
+
+const obs::Histogram *
+ShardedChecker::shardCheckLatency(std::size_t idx) const
+{
+    return idx < shards.size() ? shards[idx]->checkLatency.get()
+                               : nullptr;
+}
+
 // --- shard worker ------------------------------------------------------
 
 void
@@ -171,10 +194,25 @@ ShardedChecker::shardMain(std::size_t idx)
                              &s.rivalBirthCount);
         checker.noteTimeoutFloor(item.timeoutFloor);
 
+        // seer-pulse: sampled check-stage timing around the actual
+        // checking work (sweep + feed), one in stageEvery ops.
+        const bool timed =
+            s.stageEvery > 0 && s.opsSeen++ % s.stageEvery == 0;
+        std::chrono::steady_clock::time_point before;
+        if (timed)
+            before = std::chrono::steady_clock::now();
+
         if (item.op != ShardOp::Feed)
             out.sweepEvents = checker.sweepTimeouts(item.now, resolver);
         if (item.op != ShardOp::Tick)
             out.feedEvents = checker.feed(item.msg);
+
+        if (timed) {
+            s.checkLatency->record(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - before)
+                    .count());
+        }
 
         out.groupBirths = static_cast<std::uint32_t>(s.gidBirthLog.size());
         out.setBirths = static_cast<std::uint32_t>(s.setBirthLog.size());

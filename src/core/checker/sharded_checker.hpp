@@ -56,6 +56,7 @@
 #include "common/spsc_ring.hpp"
 #include "core/checker/interleaved_checker.hpp"
 #include "core/monitor/timeout_estimator.hpp"
+#include "obs/metrics.hpp"
 
 namespace cloudseer::core {
 
@@ -174,6 +175,19 @@ class ShardedChecker final : public BaseChecker
     std::size_t shardCount() const { return shards.size(); }
 
     /**
+     * seer-pulse (DESIGN.md §16): give every shard a check-stage
+     * latency histogram sampling one in `sample_every` work items
+     * (0 = off, the default). Call before the first submit: the
+     * worker reads the pointer and cadence without further
+     * synchronisation (ring push/pop provides the happens-before),
+     * and the caller must only read the histograms after a flush.
+     */
+    void enableStageTimers(std::size_t sample_every);
+
+    /** Shard `idx`'s check-stage histogram; null when timers are off. */
+    const obs::Histogram *shardCheckLatency(std::size_t idx) const;
+
+    /**
      * Quiesce and cross-check every shard's routing structures
      * (test-only; resumes the pipeline before returning).
      */
@@ -285,6 +299,12 @@ class ShardedChecker final : public BaseChecker
         std::vector<GroupId> gidBirthLog;
         std::vector<std::uint64_t> setBirthLog;
         std::uint64_t rivalBirthCount = 0;
+
+        // seer-pulse stage timer (set before the worker's first op;
+        // the worker is the only writer of the histogram afterwards).
+        std::unique_ptr<obs::Histogram> checkLatency;
+        std::size_t stageEvery = 0;
+        std::uint64_t opsSeen = 0; ///< worker-private sample counter
     };
 
     /**

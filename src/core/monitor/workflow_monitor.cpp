@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "analysis/interference.hpp"
 #include "analysis/model_lint.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "common/version.hpp"
 #include "core/monitor/report_json.hpp"
 #include "logging/identifier_interner.hpp"
 #include "logging/record_binio.hpp"
@@ -47,6 +49,17 @@ WorkflowMonitor::WorkflowMonitor(
     CS_ASSERT(catalogPtr != nullptr, "monitor needs a catalog");
     timeoutPolicy.defaultTimeout = config.timeoutSeconds;
     timeoutPolicy.perTask = config.perTaskTimeouts;
+
+    // seer-pulse implies metrics (the /metrics document and the stage
+    // histograms live in the registry) and a snapshot heartbeat (the
+    // rate engine consumes the health series at snapshot cadence).
+    if (config.pulse.enabled) {
+        config.observability.metrics = true;
+        if (config.observability.snapshotIntervalSeconds <= 0.0) {
+            config.observability.snapshotIntervalSeconds =
+                std::max(1.0, config.pulse.windowSeconds / 6.0);
+        }
+    }
 
     // Engine selection (seer-swarm, DESIGN.md §14). Sharding needs the
     // routing index (the shard key is derived from it) and is pointless
@@ -132,6 +145,58 @@ WorkflowMonitor::WorkflowMonitor(
                "(--no-verify)";
         common::fatal(msg);
     }
+
+    // seer-pulse (DESIGN.md §16): build identity, the rate + alert
+    // engines, sampled stage timers, and — when a port is configured —
+    // the scrape endpoint. Placed after the lint gate so a rejected
+    // model never opens a socket.
+    if (obsPtr != nullptr) {
+        std::ostringstream fp;
+        fp << std::hex << modelFingerprint();
+        obsPtr->setBuildInfo(
+            common::kVersion, fp.str(),
+            swarmEngine == nullptr ? 0 : config.ingest.numShards);
+    }
+    if (config.pulse.enabled) {
+        pulsePtr = std::make_unique<obs::PulseEngine>(config.pulse);
+        stageEvery = config.pulse.stageSampleEvery;
+        if (stageEvery > 0) {
+            obs::MetricsRegistry &reg = obsPtr->metrics();
+            stageSink = &reg.histogram(
+                "seer_stage_sink_us",
+                "sampled wire-decode stage latency, microseconds", -1,
+                6);
+            stageParse = &reg.histogram(
+                "seer_stage_parse_us",
+                "sampled parse+intern stage latency, microseconds", -1,
+                6);
+            stageRoute = &reg.histogram(
+                "seer_stage_route_us",
+                "sampled clock-guard+dedup stage latency, microseconds",
+                -1, 6);
+            stageCheck = &reg.histogram(
+                "seer_stage_check_us",
+                "sampled checking-engine stage latency, microseconds",
+                -1, 6);
+            stageVerdict = &reg.histogram(
+                "seer_stage_verdict_us",
+                "sampled verdict+shedding stage latency, microseconds",
+                -1, 6);
+            if (swarmEngine != nullptr)
+                swarmEngine->enableStageTimers(stageEvery);
+        }
+        if (config.pulse.httpPort >= 0) {
+            pulseServer = std::make_unique<obs::TelemetryServer>(
+                config.pulse.httpBindAddress,
+                static_cast<std::uint16_t>(config.pulse.httpPort));
+            if (!pulseServer->start()) {
+                common::fatal(
+                    "seer-pulse: cannot bind scrape endpoint: " +
+                    pulseServer->error());
+            }
+            publishPulse();
+        }
+    }
 }
 
 std::vector<MonitorReport>
@@ -169,8 +234,10 @@ WorkflowMonitor::feed(const logging::LogRecord &record)
                 std::chrono::steady_clock::now() - before)
                 .count());
     }
-    if (obsPtr != nullptr && obsPtr->snapshotDue(lastTimestamp))
+    if (obsPtr != nullptr && obsPtr->snapshotDue(lastTimestamp)) {
         obsPtr->addSnapshot(healthSample());
+        pulseStep();
+    }
     return reports;
 }
 
@@ -223,6 +290,23 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
 {
     ++ingest.recordsDelivered;
 
+    // seer-pulse stage timers (DESIGN.md §16): one-in-N records
+    // measure each pipeline stage. Unsampled records (and every record
+    // when timers are off) see a single integer test.
+    using StageClock = std::chrono::steady_clock;
+    const bool staged =
+        stageEvery > 0 && (ingest.recordsDelivered - 1) % stageEvery == 0;
+    auto stageUs = [](StageClock::time_point from,
+                      StageClock::time_point to) {
+        return std::chrono::duration<double, std::micro>(to - from)
+            .count();
+    };
+    StageClock::time_point stageT0;
+    StageClock::time_point stageT1;
+    double routeAccUs = 0.0;
+    if (staged)
+        stageT0 = StageClock::now();
+
     // Timestamp guard. The stream can be slightly out of timestamp
     // order (shipping skew); the monitor clock never moves backwards.
     // With the clamp on, the *message* time is pinned to the clock
@@ -240,6 +324,12 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     common::SimTime now = std::max(lastTimestamp, message_time);
     lastTimestamp = now;
     anyFed = true;
+
+    if (staged) {
+        stageT1 = StageClock::now();
+        routeAccUs += stageUs(stageT0, stageT1);
+        stageT0 = stageT1;
+    }
 
     logging::ParsedBody parsed = extractor.parse(record.body);
     CheckMessage message;
@@ -261,6 +351,12 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     message.level = record.level;
     message.record = record.id;
     message.time = message_time;
+
+    if (staged) {
+        stageT1 = StageClock::now();
+        stageParse->record(stageUs(stageT0, stageT1));
+        stageT0 = stageT1;
+    }
 
     // Near-duplicate suppression: an at-least-once shipper re-delivers
     // byte-identical lines, so the key is everything the checker would
@@ -302,6 +398,14 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
         }
     }
 
+    // Route = clock guard + dedup: the two spans that decide where and
+    // whether the message goes, with the parse sandwiched between them.
+    if (staged) {
+        stageT1 = StageClock::now();
+        stageRoute->record(routeAccUs + stageUs(stageT0, stageT1));
+        stageT0 = stageT1;
+    }
+
     if (swarmEngine != nullptr) {
         // seer-swarm: one pipelined step — every shard sweeps at `now`
         // (the serial engine sweeps all groups before each feed), the
@@ -330,6 +434,11 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
                 reports.push_back({std::move(event), false});
         }
     }
+    if (staged) {
+        stageT1 = StageClock::now();
+        stageCheck->record(stageUs(stageT0, stageT1));
+        stageT0 = stageT1;
+    }
     if (suppressed)
         return;
 
@@ -357,14 +466,33 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
             }
         }
     }
+
+    if (staged)
+        stageVerdict->record(stageUs(stageT0, StageClock::now()));
 }
 
 std::vector<MonitorReport>
 WorkflowMonitor::feedLine(const std::string &line)
 {
     ++ingest.linesSeen;
+
+    // Sink stage: the wire decode, sampled on the line counter (the
+    // record counter has not been assigned yet).
+    const bool staged =
+        stageEvery > 0 && (ingest.linesSeen - 1) % stageEvery == 0;
+    std::chrono::steady_clock::time_point sinkStart;
+    if (staged)
+        sinkStart = std::chrono::steady_clock::now();
+
     logging::DecodeFailure why = logging::DecodeFailure::None;
     auto record = logging::decodeLogLine(line, &why);
+
+    if (staged) {
+        stageSink->record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() -
+                              sinkStart)
+                              .count());
+    }
     if (!record) {
         switch (why) {
           case logging::DecodeFailure::BadTimestamp:
@@ -433,6 +561,7 @@ WorkflowMonitor::finish()
     if (obsPtr != nullptr &&
         obsPtr->config().snapshotIntervalSeconds > 0.0) {
         obsPtr->addSnapshot(healthSample());
+        pulseStep();
     }
     return reports;
 }
@@ -502,11 +631,19 @@ WorkflowMonitor::healthSample() const
         // the merge-side counters are not mid-flight samples here.
         const ShardMetrics &m = swarmEngine->metrics();
         s.shardLanes.reserve(m.shards.size());
-        for (const ShardMetrics::PerShard &lane : m.shards) {
-            s.shardLanes.push_back({lane.messagesRouted,
-                                    lane.inputRingPeak,
-                                    lane.outputRingPeak,
-                                    lane.activeGroups});
+        for (std::size_t i = 0; i < m.shards.size(); ++i) {
+            const ShardMetrics::PerShard &lane = m.shards[i];
+            obs::HealthSample::ShardLane out;
+            out.routed = lane.messagesRouted;
+            out.inputPeak = lane.inputRingPeak;
+            out.outputPeak = lane.outputRingPeak;
+            out.activeGroups = lane.activeGroups;
+            if (const obs::Histogram *check =
+                    swarmEngine->shardCheckLatency(i)) {
+                out.checkP50us = check->percentile(50.0);
+                out.checkP99us = check->percentile(99.0);
+            }
+            s.shardLanes.push_back(out);
         }
         s.shardReconcilerHits = m.reconcilerHits;
         s.shardCrossUnions = m.crossShardUnions;
@@ -521,6 +658,13 @@ WorkflowMonitor::healthSample() const
         s.feedP90us = latency.percentile(90.0);
         s.feedP99us = latency.percentile(99.0);
         s.feedMaxUs = latency.maxSeen();
+    }
+    if (obsPtr != nullptr) {
+        if (const obs::Histogram *wal =
+                obsPtr->walAppendLatencyIfAny()) {
+            s.walAppendP50us = wal->percentile(50.0);
+            s.walAppendP99us = wal->percentile(99.0);
+        }
     }
     return s;
 }
@@ -537,6 +681,64 @@ WorkflowMonitor::healthSnapshotJson() const
 {
     return obsPtr == nullptr ? std::string()
                              : healthSample().toJson();
+}
+
+void
+WorkflowMonitor::pulseStep()
+{
+    if (pulsePtr == nullptr)
+        return;
+    const std::vector<obs::HealthSample> &series = obsPtr->snapshots();
+    if (series.empty())
+        return;
+    pulsePtr->observe(series.back());
+    if (pulseServer != nullptr)
+        publishPulse();
+}
+
+void
+WorkflowMonitor::publishPulse()
+{
+    if (pulseServer == nullptr || pulsePtr == nullptr)
+        return;
+    obs::TelemetryServer::Documents docs;
+    docs.metrics = prometheusText();
+    docs.healthz = pulsePtr->healthzJson();
+    docs.alerts = pulsePtr->alertsJson();
+    docs.buildz = buildzJson();
+    pulseServer->publish(std::move(docs));
+}
+
+std::vector<std::string>
+WorkflowMonitor::drainAlertJson()
+{
+    return pulsePtr == nullptr ? std::vector<std::string>()
+                               : pulsePtr->drainAlertLines();
+}
+
+int
+WorkflowMonitor::pulsePort() const
+{
+    return pulseServer == nullptr || !pulseServer->running()
+               ? -1
+               : static_cast<int>(pulseServer->port());
+}
+
+std::string
+WorkflowMonitor::healthzJson() const
+{
+    return pulsePtr == nullptr ? std::string()
+                               : pulsePtr->healthzJson();
+}
+
+std::string
+WorkflowMonitor::buildzJson() const
+{
+    if (obsPtr == nullptr)
+        return std::string();
+    return obs::buildInfoJson(
+        obsPtr->buildVersion(), obsPtr->modelFingerprint(),
+        obsPtr->shardCount(), obsPtr->uptimeSeconds());
 }
 
 void

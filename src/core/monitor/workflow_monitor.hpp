@@ -33,6 +33,7 @@
 #include "logging/log_record.hpp"
 #include "logging/variable_extractor.hpp"
 #include "obs/observability.hpp"
+#include "obs/pulse.hpp"
 
 namespace cloudseer::core {
 
@@ -237,6 +238,14 @@ struct MonitorConfig
 
     /** Budget rule applied to the profile quantiles. */
     LatencyCheckConfig latencyCheck;
+
+    /**
+     * seer-pulse live telemetry + alerting (DESIGN.md §16). Off by
+     * default — the null sink. Enabling it implies metrics and a
+     * snapshot cadence (forced to windowSeconds/6 when no interval is
+     * configured) so the rate engine has a heartbeat to chew on.
+     */
+    obs::PulseConfig pulse;
 };
 
 /** Online workflow monitor (modeling output in, reports out). */
@@ -370,6 +379,42 @@ class WorkflowMonitor
      */
     std::string chromeTraceJson() const;
 
+    // --- seer-pulse (DESIGN.md §16) ------------------------------------
+
+    /** True when the pulse plane (rate + alert engines) is armed. */
+    bool pulseEnabled() const { return pulsePtr != nullptr; }
+
+    /** The pulse engine, or nullptr when pulse is off. */
+    const obs::PulseEngine *pulse() const { return pulsePtr.get(); }
+
+    /**
+     * ALERT JSONL records emitted since the last drain, for
+     * interleaving into the report stream (the dedicated alert log,
+     * when configured, receives them regardless). Empty when pulse
+     * is off.
+     */
+    std::vector<std::string> drainAlertJson();
+
+    /**
+     * The scrape endpoint's bound TCP port (resolves an ephemeral
+     * pulse.httpPort = 0), or -1 when no endpoint is serving.
+     */
+    int pulsePort() const;
+
+    /** /healthz body ("" when pulse is off). */
+    std::string healthzJson() const;
+
+    /** /buildz body ("" when observability is off). */
+    std::string buildzJson() const;
+
+    /**
+     * Re-render and publish all four scrape documents to the
+     * telemetry server. Runs automatically at snapshot cadence; call
+     * explicitly to tighten freshness (e.g. a serve loop). No-op
+     * without an endpoint.
+     */
+    void publishPulse();
+
     // --- seer-flight (DESIGN.md §12) -----------------------------------
 
     /** The flight recorder, or nullptr when it is off. */
@@ -445,6 +490,20 @@ class WorkflowMonitor
     const BaseChecker &engine() const { return *enginePtr; }
 
     std::unique_ptr<obs::Observability> obsPtr; ///< null = null sink
+
+    // seer-pulse (DESIGN.md §16); both null when pulse is off.
+    std::unique_ptr<obs::PulseEngine> pulsePtr;
+    std::unique_ptr<obs::TelemetryServer> pulseServer;
+
+    // Sampled per-stage pipeline timers (sink→parse→route→check→
+    // verdict); all null unless pulse.stageSampleEvery > 0.
+    obs::Histogram *stageSink = nullptr;
+    obs::Histogram *stageParse = nullptr;
+    obs::Histogram *stageRoute = nullptr;
+    obs::Histogram *stageCheck = nullptr;
+    obs::Histogram *stageVerdict = nullptr;
+    std::size_t stageEvery = 0;
+
     common::SimTime lastTimestamp = 0.0;
     bool anyFed = false;
     IngestStats ingest;
@@ -482,6 +541,9 @@ class WorkflowMonitor
 
     /** Render one report's forensic bundle as single-line JSON. */
     std::string forensicBundleJson(const MonitorReport &report) const;
+
+    /** Feed the newest snapshot to the pulse engine and publish. */
+    void pulseStep();
 
     static std::vector<const TaskAutomaton *>
     pointersTo(const std::vector<TaskAutomaton> &automata);

@@ -20,6 +20,64 @@ formatNumber(double value)
     return out.str();
 }
 
+/**
+ * HELP-text escaping per the Prometheus exposition spec: backslash
+ * and line feed only (quotes are legal in HELP).
+ */
+std::string
+escapeHelp(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Label-value escaping: backslash, double quote, and line feed. */
+std::string
+escapeLabelValue(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Minimal JSON string escaping for metric keys in jsonSnapshot. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
 } // namespace
 
 Histogram::Histogram(int min_exp, int max_exp)
@@ -90,6 +148,41 @@ Histogram::percentile(double p) const
     return maxValue; // overflow region
 }
 
+double
+Histogram::percentileInterpolated(double p) const
+{
+    if (samples == 0)
+        return 0.0;
+    double clamped = std::min(100.0, std::max(0.0, p));
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(samples)));
+    rank = std::max<std::uint64_t>(rank, 1);
+
+    // Linear interpolation of the rank's position within its region;
+    // the clamp keeps estimates inside the observed [min, max].
+    std::uint64_t before = 0;
+    auto interpolate = [&](double lo, double hi,
+                           std::uint64_t region_hits) {
+        double fraction =
+            (static_cast<double>(rank) - static_cast<double>(before)) /
+            static_cast<double>(region_hits);
+        double value = lo + fraction * (hi - lo);
+        return std::max(minValue, std::min(value, maxValue));
+    };
+
+    if (rank <= underflowCount)
+        return interpolate(minValue, bounds.front(), underflowCount);
+    before = underflowCount;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        if (hits[i] != 0 && rank <= before + hits[i])
+            return interpolate(bounds[i], bounds[i + 1], hits[i]);
+        before += hits[i];
+    }
+    if (overflowCount == 0)
+        return maxValue;
+    return interpolate(bounds.back(), maxValue, overflowCount);
+}
+
 void
 Histogram::saveState(common::BinWriter &out) const
 {
@@ -152,6 +245,28 @@ MetricsRegistry::gauge(const std::string &name, const std::string &help)
     return it->second.metric;
 }
 
+Gauge &
+MetricsRegistry::labeledGauge(
+    const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &labels,
+    const std::string &help)
+{
+    // The rendered label block becomes part of the storage key, so
+    // two label sets on one family are two series, and re-requesting
+    // the same set yields the same instrument.
+    std::string key = name + "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        key += (i == 0 ? "" : ",");
+        key += labels[i].first + "=\"" +
+               escapeLabelValue(labels[i].second) + "\"";
+    }
+    key += "}";
+    auto [it, fresh] = gauges.try_emplace(key);
+    if (fresh)
+        it->second.help = help;
+    return it->second.metric;
+}
+
 Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            const std::string &help, int min_exp,
@@ -179,19 +294,35 @@ MetricsRegistry::prometheusText() const
 {
     std::ostringstream out;
     for (const auto &[name, entry] : counters) {
-        out << "# HELP " << name << " " << entry.help << "\n";
+        out << "# HELP " << name << " " << escapeHelp(entry.help)
+            << "\n";
         out << "# TYPE " << name << " counter\n";
         out << name << " " << entry.metric.value() << "\n";
     }
-    for (const auto &[name, entry] : gauges) {
-        out << "# HELP " << name << " " << entry.help << "\n";
-        out << "# TYPE " << name << " gauge\n";
-        out << name << " " << formatNumber(entry.metric.value())
-            << "\n";
+    // Gauge keys may carry a rendered label block; HELP/TYPE belong
+    // to the family (the key up to '{') and must appear exactly once
+    // per family, so group series by family before emitting.
+    std::map<std::string,
+             std::vector<std::pair<std::string, const Named<Gauge> *>>>
+        families;
+    for (const auto &[key, entry] : gauges) {
+        std::size_t brace = key.find('{');
+        std::string family =
+            brace == std::string::npos ? key : key.substr(0, brace);
+        families[family].emplace_back(key, &entry);
+    }
+    for (const auto &[family, series] : families) {
+        out << "# HELP " << family << " "
+            << escapeHelp(series.front().second->help) << "\n";
+        out << "# TYPE " << family << " gauge\n";
+        for (const auto &[key, entry] : series)
+            out << key << " " << formatNumber(entry->metric.value())
+                << "\n";
     }
     for (const auto &[name, entry] : histograms) {
         const Histogram &h = entry.metric;
-        out << "# HELP " << name << " " << entry.help << "\n";
+        out << "# HELP " << name << " " << escapeHelp(entry.help)
+            << "\n";
         out << "# TYPE " << name << " histogram\n";
         // Cumulative buckets; the underflow region folds into the
         // first bucket's tally, per Prometheus le-semantics.
@@ -202,8 +333,8 @@ MetricsRegistry::prometheusText() const
             if (h.bucketHits(i) == 0 && i + 1 != h.buckets())
                 continue;
             out << name << "_bucket{le=\""
-                << formatNumber(h.bucketUpper(i)) << "\"} "
-                << cumulative << "\n";
+                << escapeLabelValue(formatNumber(h.bucketUpper(i)))
+                << "\"} " << cumulative << "\n";
         }
         out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
         out << name << "_sum " << formatNumber(h.sum()) << "\n";
@@ -226,7 +357,7 @@ MetricsRegistry::jsonSnapshot() const
     out << "},\"gauges\":{";
     first = true;
     for (const auto &[name, entry] : gauges) {
-        out << (first ? "" : ",") << "\"" << name
+        out << (first ? "" : ",") << "\"" << jsonEscape(name)
             << "\":" << formatNumber(entry.metric.value());
         first = false;
     }
@@ -238,9 +369,14 @@ MetricsRegistry::jsonSnapshot() const
             << h.count() << ",\"sum\":" << formatNumber(h.sum())
             << ",\"min\":" << formatNumber(h.minSeen())
             << ",\"max\":" << formatNumber(h.maxSeen())
-            << ",\"p50\":" << formatNumber(h.percentile(50.0))
-            << ",\"p90\":" << formatNumber(h.percentile(90.0))
-            << ",\"p99\":" << formatNumber(h.percentile(99.0))
+            << ",\"p50\":"
+            << formatNumber(h.percentileInterpolated(50.0))
+            << ",\"p90\":"
+            << formatNumber(h.percentileInterpolated(90.0))
+            << ",\"p95\":"
+            << formatNumber(h.percentileInterpolated(95.0))
+            << ",\"p99\":"
+            << formatNumber(h.percentileInterpolated(99.0))
             << ",\"underflow\":" << h.underflow()
             << ",\"overflow\":" << h.overflow() << "}";
         first = false;

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/binio.hpp"
@@ -89,6 +90,14 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /**
+     * Percentile estimate with linear interpolation inside the
+     * bucket holding the rank (clamped to the exact min/max). Tighter
+     * than percentile() — use for dashboards and JSON exposition;
+     * percentile() remains the conservative never-under-report bound.
+     */
+    double percentileInterpolated(double p) const;
+
     // Bucket introspection (exposition and tests).
     std::size_t buckets() const { return hits.size(); }
     double bucketLower(std::size_t i) const { return bounds[i]; }
@@ -133,6 +142,17 @@ class MetricsRegistry
     Histogram &histogram(const std::string &name,
                          const std::string &help, int min_exp,
                          int max_exp);
+
+    /**
+     * A gauge carrying constant labels (seer_build_info-style info
+     * metrics). Label values are escaped per the exposition spec at
+     * registration; the same (name, labels) pair always yields the
+     * same instrument.
+     */
+    Gauge &labeledGauge(
+        const std::string &name,
+        const std::vector<std::pair<std::string, std::string>> &labels,
+        const std::string &help);
 
     /** Prometheus text exposition format (sorted by metric name). */
     std::string prometheusText() const;

@@ -55,7 +55,9 @@ HealthSample::toJson() const
         << ",\"feedLatencyUs\":{\"p50\":" << formatNumber(feedP50us)
         << ",\"p90\":" << formatNumber(feedP90us)
         << ",\"p99\":" << formatNumber(feedP99us)
-        << ",\"max\":" << formatNumber(feedMaxUs) << "}";
+        << ",\"max\":" << formatNumber(feedMaxUs) << "}"
+        << ",\"walAppendUs\":{\"p50\":" << formatNumber(walAppendP50us)
+        << ",\"p99\":" << formatNumber(walAppendP99us) << "}";
     if (!shardLanes.empty()) {
         out << ",\"shards\":{\"count\":" << shardLanes.size()
             << ",\"reconciles\":" << shardReconcilerHits
@@ -69,7 +71,10 @@ HealthSample::toJson() const
             out << (i == 0 ? "" : ",") << "{\"routed\":" << lane.routed
                 << ",\"inPeak\":" << lane.inputPeak
                 << ",\"outPeak\":" << lane.outputPeak
-                << ",\"groups\":" << lane.activeGroups << "}";
+                << ",\"groups\":" << lane.activeGroups
+                << ",\"checkP50us\":" << formatNumber(lane.checkP50us)
+                << ",\"checkP99us\":" << formatNumber(lane.checkP99us)
+                << "}";
         }
         out << "]}";
     }
@@ -116,12 +121,16 @@ HealthSample::saveState(common::BinWriter &out) const
     out.writeF64(feedP90us);
     out.writeF64(feedP99us);
     out.writeF64(feedMaxUs);
+    out.writeF64(walAppendP50us);
+    out.writeF64(walAppendP99us);
     out.writeU64(shardLanes.size());
     for (const ShardLane &lane : shardLanes) {
         out.writeU64(lane.routed);
         out.writeU64(lane.inputPeak);
         out.writeU64(lane.outputPeak);
         out.writeU64(lane.activeGroups);
+        out.writeF64(lane.checkP50us);
+        out.writeF64(lane.checkP99us);
     }
     out.writeU64(shardReconcilerHits);
     out.writeU64(shardCrossUnions);
@@ -169,6 +178,8 @@ HealthSample::restoreState(common::BinReader &in)
     feedP90us = in.readF64();
     feedP99us = in.readF64();
     feedMaxUs = in.readF64();
+    walAppendP50us = in.readF64();
+    walAppendP99us = in.readF64();
     std::uint64_t lane_count = in.readU64();
     if (!in.ok())
         return false;
@@ -179,6 +190,8 @@ HealthSample::restoreState(common::BinReader &in)
         lane.inputPeak = in.readU64();
         lane.outputPeak = in.readU64();
         lane.activeGroups = in.readU64();
+        lane.checkP50us = in.readF64();
+        lane.checkP99us = in.readF64();
         if (!in.ok())
             return false;
         shardLanes.push_back(lane);
@@ -191,7 +204,8 @@ HealthSample::restoreState(common::BinReader &in)
     return in.ok();
 }
 
-Observability::Observability(const ObsConfig &config) : cfg(config)
+Observability::Observability(const ObsConfig &config)
+    : cfg(config), startedAt(std::chrono::steady_clock::now())
 {
     if (cfg.metrics) {
         // Feed latencies span sub-microsecond to seconds: 0.1us..1s.
@@ -222,6 +236,39 @@ Observability::recordFeedLatency(double micros)
 {
     if (feedLatencyHist != nullptr)
         feedLatencyHist->record(micros);
+}
+
+Histogram *
+Observability::walAppendLatency()
+{
+    if (!cfg.metrics)
+        return nullptr;
+    if (walHist == nullptr) {
+        // Group-committed appends span sub-microsecond (coalesced)
+        // to milliseconds (fsync'd): 0.1us..1s.
+        walHist = &registry.histogram(
+            "seer_wal_append_us",
+            "vault ledger append latency, microseconds", -1, 6);
+    }
+    return walHist;
+}
+
+void
+Observability::setBuildInfo(const std::string &build_version,
+                            const std::string &model_fingerprint,
+                            std::size_t shard_count)
+{
+    version = build_version;
+    fingerprint = model_fingerprint;
+    shards = shard_count;
+}
+
+double
+Observability::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - startedAt)
+        .count();
 }
 
 bool
@@ -337,6 +384,21 @@ Observability::updateRegistry(const HealthSample &s)
         g("seer_trace_open_spans", "spans currently open",
           static_cast<double>(tracerPtr->openSpans()));
     }
+
+    // Build identity (seer-pulse: scrapes are self-describing).
+    if (!version.empty() || !fingerprint.empty()) {
+        registry
+            .labeledGauge("seer_build_info",
+                          {{"model_fingerprint", fingerprint},
+                           {"version", version}},
+                          "build identity; value is always 1")
+            .set(1.0);
+        g("seer_shard_count", "checker shards (0 = serial engine)",
+          static_cast<double>(shards));
+        g("seer_uptime_seconds",
+          "wall-clock seconds since the monitor came up",
+          uptimeSeconds());
+    }
 }
 
 std::string
@@ -365,6 +427,9 @@ Observability::saveState(common::BinWriter &out) const
     out.writeBool(feedLatencyHist != nullptr);
     if (feedLatencyHist != nullptr)
         feedLatencyHist->saveState(out);
+    out.writeBool(walHist != nullptr);
+    if (walHist != nullptr)
+        walHist->saveState(out);
     out.writeU64(history.size());
     for (const HealthSample &sample : history)
         sample.saveState(out);
@@ -382,6 +447,18 @@ Observability::restoreState(common::BinReader &in)
     }
     if (has_hist && !feedLatencyHist->restoreState(in))
         return false;
+    bool has_wal = in.readBool();
+    if (!in.ok())
+        return false;
+    if (has_wal) {
+        // Created on demand: a restoring vaulted monitor may not
+        // have touched the ledger yet, so materialise it here.
+        Histogram *wal = walAppendLatency();
+        if (wal == nullptr || !wal->restoreState(in)) {
+            in.fail();
+            return false;
+        }
+    }
     std::uint64_t sample_count = in.readU64();
     if (!in.ok())
         return false;

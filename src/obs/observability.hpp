@@ -20,6 +20,7 @@
 #ifndef CLOUDSEER_OBS_OBSERVABILITY_HPP
 #define CLOUDSEER_OBS_OBSERVABILITY_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -122,6 +123,11 @@ struct HealthSample
     double feedP99us = 0.0;
     double feedMaxUs = 0.0;
 
+    // WAL append latency (seer-vault ledger; zero unless a
+    // VaultedMonitor with metrics is recording, seer-pulse §16).
+    double walAppendP50us = 0.0;
+    double walAppendP99us = 0.0;
+
     /** One sharded-engine worker lane (seer-swarm, DESIGN.md §14). */
     struct ShardLane
     {
@@ -129,6 +135,8 @@ struct HealthSample
         std::uint64_t inputPeak = 0;    ///< deepest input ring seen
         std::uint64_t outputPeak = 0;   ///< deepest output ring seen
         std::uint64_t activeGroups = 0; ///< live groups on this shard
+        double checkP50us = 0.0; ///< sampled check-stage latency
+        double checkP99us = 0.0; ///< (zero unless stage timers on)
     };
 
     // Sharded engine (seer-swarm); all zero / empty on serial.
@@ -174,6 +182,31 @@ class Observability
     /** Feed-latency histogram (null when metrics are off). */
     const Histogram *feedLatency() const { return feedLatencyHist; }
 
+    /**
+     * WAL append-latency histogram, created on first request (null
+     * when metrics are off). VaultedMonitor requests it at
+     * construction so a vaulted instrumented monitor always exposes
+     * seer_wal_append_us; bare monitors never create it.
+     */
+    Histogram *walAppendLatency();
+    const Histogram *walAppendLatencyIfAny() const { return walHist; }
+
+    /**
+     * Identify this build in exposition (seer_build_info,
+     * seer_shard_count, seer_uptime_seconds and the /buildz payload —
+     * seer-pulse, DESIGN.md §16). Uptime counts from construction.
+     */
+    void setBuildInfo(const std::string &version,
+                      const std::string &model_fingerprint,
+                      std::size_t shard_count);
+
+    const std::string &buildVersion() const { return version; }
+    const std::string &modelFingerprint() const { return fingerprint; }
+    std::size_t shardCount() const { return shards; }
+
+    /** Wall-clock seconds since this facade was constructed. */
+    double uptimeSeconds() const;
+
     /** True when the message clock crossed the snapshot interval. */
     bool snapshotDue(double message_time) const;
 
@@ -218,9 +251,14 @@ class Observability
     std::unique_ptr<ExecutionTracer> tracerPtr;
     std::unique_ptr<FlightRecorder> flightPtr;
     Histogram *feedLatencyHist = nullptr;
+    Histogram *walHist = nullptr;
     std::vector<HealthSample> history;
     double lastSnapshotTime = 0.0;
     bool anySnapshot = false;
+    std::string version;
+    std::string fingerprint;
+    std::size_t shards = 0;
+    std::chrono::steady_clock::time_point startedAt;
 
     void updateRegistry(const HealthSample &sample);
 };

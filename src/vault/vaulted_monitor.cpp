@@ -1,10 +1,24 @@
 #include "vault/vaulted_monitor.hpp"
 
+#include <chrono>
 #include <filesystem>
 
 #include "logging/identifier_interner.hpp"
 
 namespace cloudseer::vault {
+
+namespace {
+
+/** Microseconds elapsed since `from` (WAL append timing). */
+double
+microsSince(std::chrono::steady_clock::time_point from)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - from)
+        .count();
+}
+
+} // namespace
 
 VaultedMonitor::VaultedMonitor(
     VaultConfig vault_config,
@@ -134,6 +148,15 @@ VaultedMonitor::resetMonitor()
 {
     monitorPtr = std::make_unique<core::WorkflowMonitor>(
         monitorConfig, catalogPtr, specs);
+    // seer-pulse: request the WAL append-latency histogram up front so
+    // every vaulted instrumented monitor exposes seer_wal_append_us
+    // and checkpoint save/restore shapes agree across processes. The
+    // registry hands back a stable pointer; restores refill it in
+    // place. Null (and appends untimed) when metrics are off.
+    walLatency = monitorPtr->observability() == nullptr
+                     ? nullptr
+                     : monitorPtr->observability()->walAppendLatency();
+    walTick = 0;
 }
 
 std::vector<core::MonitorReport>
@@ -142,7 +165,13 @@ VaultedMonitor::feed(const logging::LogRecord &record)
     if (!config.enabled()) {
         return monitorPtr->feed(record);
     }
+    const bool timed = walLatency != nullptr && walTick++ % 8 == 0;
+    std::chrono::steady_clock::time_point before;
+    if (timed)
+        before = std::chrono::steady_clock::now();
     ledger->appendRecord(++nextSeq, record);
+    if (timed)
+        walLatency->record(microsSince(before));
     ++tallies.walAppends;
     ++inputsSinceCheckpoint;
     std::vector<core::MonitorReport> reports =
@@ -157,7 +186,13 @@ VaultedMonitor::feedLine(const std::string &line)
     if (!config.enabled()) {
         return monitorPtr->feedLine(line);
     }
+    const bool timed = walLatency != nullptr && walTick++ % 8 == 0;
+    std::chrono::steady_clock::time_point before;
+    if (timed)
+        before = std::chrono::steady_clock::now();
     ledger->appendLine(++nextSeq, line);
+    if (timed)
+        walLatency->record(microsSince(before));
     ++tallies.walAppends;
     ++inputsSinceCheckpoint;
     std::vector<core::MonitorReport> reports =

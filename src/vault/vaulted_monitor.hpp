@@ -135,6 +135,12 @@ class VaultedMonitor
     std::uint64_t nextSeq = 0; ///< seq of the last ledgered input
     std::uint64_t inputsSinceCheckpoint = 0;
 
+    // seer-pulse (DESIGN.md §16): sampled ledger append latency, fed
+    // into the monitor's seer_wal_append_us histogram. Null unless the
+    // wrapped monitor has metrics on.
+    obs::Histogram *walLatency = nullptr;
+    std::uint64_t walTick = 0; ///< 1-in-8 sampling counter
+
     /** Restore checkpoint + replay tail; fills recoverInfo. */
     void recover();
 

@@ -24,6 +24,8 @@
 #include "analysis/diagnostics.hpp"
 #include "core/mining/model_io.hpp"
 #include "core/monitor/workflow_monitor.hpp"
+#include "obs/observability.hpp"
+#include "obs/pulse.hpp"
 #include "test_util.hpp"
 #include "vault/vault.hpp"
 #include "vault/vaulted_monitor.hpp"
@@ -433,4 +435,156 @@ TEST(SeerLintCli, CatalogParityWithTheAnalysisLayer)
 
     // Unknown IDs must stay an error, or typos would pass silently.
     EXPECT_NE(run(bin + " --explain SL999").status, 0);
+}
+
+// --- seer_pulse -----------------------------------------------------
+
+namespace {
+
+/** Three HEALTH snapshots that walk shed_burn fire → resolve. */
+std::string
+makeHealthLines()
+{
+    obs::HealthSample s0;
+    s0.time = 0.0;
+    s0.messages = 100;
+    obs::HealthSample s1 = s0;
+    s1.time = 1.0;
+    s1.messages = 200;
+    s1.groupsShed = 5; // shed in-window: shed_burn fires immediately
+    obs::HealthSample s2 = s1;
+    s2.time = 100.0; // the shed ages out of the 60 s window
+    s2.messages = 300;
+    return s0.toJson() + "\n" + s1.toJson() + "\n" + s2.toJson() +
+           "\n";
+}
+
+} // namespace
+
+TEST(PulseTool, RulesCheckValidatesAndRejectsWithLineNumbers)
+{
+    ToolDir dir("pulse_rules");
+    std::string good = dir.file("good.rules");
+    std::ofstream(good)
+        << "# pack\n"
+           "rule err signal=error_rate threshold=0.02 pending=30 "
+           "hold=60 resolve=0.4\n"
+           "rule wal signal=wal_append_p99_us threshold=500 ewma\n";
+    const std::string bin = SEER_PULSE_BIN;
+    RunResult ok = run(bin + " rules-check " + good);
+    EXPECT_EQ(ok.status, 0) << ok.output;
+    EXPECT_NE(ok.output.find("2 rules ok"), std::string::npos)
+        << ok.output;
+    EXPECT_NE(ok.output.find("error_rate"), std::string::npos);
+    EXPECT_NE(ok.output.find("(ewma)"), std::string::npos);
+
+    std::string bad = dir.file("bad.rules");
+    std::ofstream(bad) << "rule ok signal=error_rate threshold=0.1\n"
+                          "rule bad signal=cpu_rate threshold=1\n";
+    RunResult rejected = run(bin + " rules-check " + bad);
+    EXPECT_EQ(rejected.status, 1) << rejected.output;
+    EXPECT_NE(rejected.output.find("line 2"), std::string::npos)
+        << rejected.output;
+
+    EXPECT_EQ(run(bin + " rules-check " + dir.file("missing.rules"))
+                  .status,
+              2);
+}
+
+TEST(PulseTool, ReplayRehearsesAlertsOverRecordedHealth)
+{
+    ToolDir dir("pulse_replay");
+    std::string path = dir.file("health.jsonl");
+    std::ofstream(path) << makeHealthLines();
+
+    const std::string bin = SEER_PULSE_BIN;
+    RunResult result = run(bin + " replay " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("\"kind\":\"ALERT\""),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("\"rule\":\"shed_burn\""),
+              std::string::npos);
+    EXPECT_NE(result.output.find("\"state\":\"firing\""),
+              std::string::npos);
+    EXPECT_NE(result.output.find("\"state\":\"resolved\""),
+              std::string::npos);
+    EXPECT_NE(result.output.find("replayed 3 snapshots, 2 alert"),
+              std::string::npos)
+        << result.output;
+
+    // A stream with no HEALTH records is a diagnosed failure.
+    std::string empty = dir.file("empty.jsonl");
+    std::ofstream(empty) << "{\"kind\":\"SUMMARY\"}\n";
+    RunResult refused = run(bin + " replay " + empty);
+    EXPECT_EQ(refused.status, 1) << refused.output;
+    EXPECT_NE(refused.output.find("no HEALTH records"),
+              std::string::npos);
+}
+
+TEST(PulseTool, ScrapeDiagnosesBadAndUnreachableEndpoints)
+{
+    const std::string bin = SEER_PULSE_BIN;
+    RunResult malformed = run(bin + " scrape not-an-endpoint");
+    EXPECT_EQ(malformed.status, 2) << malformed.output;
+    EXPECT_NE(malformed.output.find("bad endpoint"),
+              std::string::npos);
+    // Port 1 is never listening: connect failure, exit 2.
+    RunResult unreachable = run(bin + " scrape 127.0.0.1:1");
+    EXPECT_EQ(unreachable.status, 2) << unreachable.output;
+    EXPECT_NE(unreachable.output.find("cannot reach"),
+              std::string::npos);
+}
+
+// --- seer_stats × seer_pulse (ALERT interleave) ---------------------
+
+namespace {
+
+/** One genuine ALERT line from the same renderer the monitor uses. */
+std::string
+makeAlertLine()
+{
+    obs::AlertRecord rec;
+    rec.rule = "shed_burn";
+    rec.signal = obs::PulseSignal::ShedRate;
+    rec.state = "firing";
+    rec.time = 1.0;
+    rec.since = 1.0;
+    rec.value = 5.0;
+    rec.threshold = 0.0;
+    return rec.toJson() + "\n";
+}
+
+} // namespace
+
+TEST(StatsTool, TableInterleavesAlertCallouts)
+{
+    ToolDir dir("stats_alerts");
+    std::string path = dir.file("stream.jsonl");
+    std::ofstream(path) << makeHealthLines() << makeAlertLine();
+
+    RunResult result = run(std::string(SEER_STATS_BIN) + " " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("ALERT firing"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("shed_burn"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("shed_rate=5"), std::string::npos)
+        << result.output;
+}
+
+TEST(StatsTool, FollowSurfacesAlertsAndHonorsPollLimit)
+{
+    ToolDir dir("stats_follow");
+    std::string path = dir.file("stream.jsonl");
+    std::ofstream(path) << makeHealthLines() << makeAlertLine();
+
+    // --poll-limit bounds the tail so the test terminates: the rows
+    // already present are printed, then two idle polls end the run.
+    RunResult result = run(std::string(SEER_STATS_BIN) +
+                           " --follow --poll-limit 2 " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("ALERT firing"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("shed_burn"), std::string::npos);
 }

@@ -11,11 +11,13 @@
  *     seer-stats --follow health.jsonl   # tail the file as it grows
  *     seer-stats --summary report.jsonl  # final {"kind":"SUMMARY"}
  *
- * The first three modes read HEALTH snapshots and skip everything
- * else; --summary reads the trailing checker+ingest SUMMARY record a
- * wire_replay / monitor_cloud report stream closes with, so those
- * runs are self-describing without a debugger. Reads stdin when no
- * file is given (not with --follow).
+ * The first three modes read HEALTH snapshots (the table and --follow
+ * views also surface seer-pulse {"kind":"ALERT"} records interleaved
+ * where the stream carries them) and skip everything else; --summary
+ * reads the trailing checker+ingest SUMMARY record a wire_replay /
+ * monitor_cloud report stream closes with, so those runs are
+ * self-describing without a debugger. Reads stdin when no file is
+ * given (not with --follow).
  *
  * --follow survives log rotation: when the path starts naming a new
  * inode (rename-and-recreate rotation) or the file shrinks below the
@@ -28,6 +30,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -89,6 +92,46 @@ bool
 isSummaryLine(const std::string &line)
 {
     return line.find("\"kind\":\"SUMMARY\"") != std::string::npos;
+}
+
+bool
+isAlertLine(const std::string &line)
+{
+    return line.find("\"kind\":\"ALERT\"") != std::string::npos;
+}
+
+/** The value after `"key":"` up to the closing quote ("" if absent). */
+std::string
+stringValue(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":\"";
+    std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::size_t start = at + needle.size();
+    std::size_t end = line.find('"', start);
+    if (end == std::string::npos)
+        return "";
+    return line.substr(start, end - start);
+}
+
+/**
+ * One {"kind":"ALERT"} lifecycle record (seer-pulse, DESIGN.md §16),
+ * rendered as a full-width callout so it stands out between table
+ * rows in the default and --follow views.
+ */
+void
+printAlert(const std::string &line)
+{
+    std::printf("%10.2f ALERT %-8s %s: %s=%.6g threshold=%.6g "
+                "(since t=%.2f)\n",
+                numberValue(line, "time"),
+                stringValue(line, "state").c_str(),
+                stringValue(line, "rule").c_str(),
+                stringValue(line, "signal").c_str(),
+                numberValue(line, "value"),
+                numberValue(line, "threshold"),
+                numberValue(line, "since"));
 }
 
 /** Detailed view of one {"kind":"SUMMARY"} checker+ingest record. */
@@ -273,24 +316,27 @@ usage(std::ostream &out, int status)
 {
     out << "usage: seer-stats [--last | --follow | --summary | "
            "--shards] [stream.jsonl]\n"
-           "  (default) one table row per HEALTH snapshot\n"
+           "  (default) one table row per HEALTH snapshot, ALERT\n"
+           "            records interleaved where they occurred\n"
            "  --last    detailed view of the final snapshot\n"
            "  --follow  tail the file, printing rows as they appear\n"
            "  --summary detailed view of the trailing SUMMARY record\n"
            "  --shards  per-shard view of the final snapshot "
            "(sharded engine)\n"
+           "  --poll-limit N  with --follow: exit after N idle polls\n"
            "reads stdin when no file is given (except --follow)\n";
     return status;
 }
 
 int
-follow(const std::string &path)
+follow(const std::string &path, long poll_limit)
 {
     std::ifstream in(path);
     if (!in) {
         std::cerr << "seer-stats: cannot open " << path << "\n";
         return 2;
     }
+    long idle_polls = 0;
     struct stat st = {};
     ino_t inode = 0;
     dev_t device = 0;
@@ -308,12 +354,17 @@ follow(const std::string &path)
                 consumed = at;
             if (isHealthLine(line))
                 printRow(line);
+            else if (isAlertLine(line))
+                printAlert(line);
             continue;
         }
         if (!in.eof())
             break;
         // Wait for the writer to append more, then retry from the
-        // current offset.
+        // current offset. poll_limit bounds the idle polls (testing
+        // knob; 0 = follow forever).
+        if (poll_limit > 0 && ++idle_polls >= poll_limit)
+            return 0;
         in.clear();
         std::this_thread::sleep_for(std::chrono::milliseconds(250));
         // Log rotation leaves us holding the old file (the path now
@@ -355,6 +406,7 @@ main(int argc, char **argv)
     bool tailMode = false;
     bool summaryMode = false;
     bool shardsMode = false;
+    long pollLimit = 0;
     std::string path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -366,6 +418,8 @@ main(int argc, char **argv)
             summaryMode = true;
         } else if (arg == "--shards") {
             shardsMode = true;
+        } else if (arg == "--poll-limit" && i + 1 < argc) {
+            pollLimit = std::atol(argv[++i]);
         } else if (arg == "--help" || arg == "-h") {
             return usage(std::cout, 0);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -379,7 +433,7 @@ main(int argc, char **argv)
     if (tailMode) {
         if (lastOnly || summaryMode || shardsMode || path.empty())
             return usage(std::cerr, 2);
-        return follow(path);
+        return follow(path, pollLimit);
     }
     if ((summaryMode && lastOnly) || (shardsMode && summaryMode) ||
         (shardsMode && lastOnly)) {
@@ -397,11 +451,18 @@ main(int argc, char **argv)
         in = &file;
     }
 
+    // The table view interleaves ALERT records where the stream
+    // carries them; every other mode keys off HEALTH/SUMMARY only.
+    const bool tableMode = !summaryMode && !lastOnly && !shardsMode;
     std::vector<std::string> samples;
     std::string line;
-    while (std::getline(*in, line))
-        if (summaryMode ? isSummaryLine(line) : isHealthLine(line))
+    while (std::getline(*in, line)) {
+        if (summaryMode ? isSummaryLine(line)
+                        : (isHealthLine(line) ||
+                           (tableMode && isAlertLine(line)))) {
             samples.push_back(line);
+        }
+    }
     if (samples.empty()) {
         std::cerr << "seer-stats: no "
                   << (summaryMode ? "SUMMARY" : "HEALTH")
@@ -419,8 +480,12 @@ main(int argc, char **argv)
         printDetail(samples.back());
     } else {
         printHeader();
-        for (const std::string &sample : samples)
-            printRow(sample);
+        for (const std::string &sample : samples) {
+            if (isAlertLine(sample))
+                printAlert(sample);
+            else
+                printRow(sample);
+        }
     }
     return 0;
 }
