@@ -67,6 +67,28 @@ sendResponse(int fd, const HttpResponse &response)
     writeAll(fd, wire);
 }
 
+/**
+ * Swallow whatever the client is still sending (bounded by the socket
+ * timeout and a 1 MiB cap). Used after answering a request we stopped
+ * reading early: closing with unread bytes in the receive buffer
+ * makes the kernel send RST, and the client may then never see the
+ * status line we just wrote.
+ */
+void
+drainRequest(int fd)
+{
+    char buf[4096];
+    std::size_t total = 0;
+    while (total < (1u << 20)) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // peer closed or timed out
+        total += static_cast<std::size_t>(n);
+    }
+}
+
 } // namespace
 
 HttpServer::HttpServer(std::string bind_address, std::uint16_t port)
@@ -80,6 +102,13 @@ void
 HttpServer::handle(const std::string &path, Handler handler)
 {
     handlers[path] = std::move(handler);
+}
+
+void
+HttpServer::handleWithQuery(const std::string &path,
+                            QueryHandler handler)
+{
+    queryHandlers[path] = std::move(handler);
 }
 
 bool
@@ -195,6 +224,7 @@ HttpServer::serveConnection(int fd)
     if (request.size() > kMaxRequestBytes) {
         sendResponse(fd, {431, "text/plain; charset=utf-8",
                           "request too large\n"});
+        drainRequest(fd);
         return;
     }
     if (!complete) {
@@ -218,9 +248,17 @@ HttpServer::serveConnection(int fd)
         return;
     }
     std::size_t query = target.find('?');
-    if (query != std::string::npos)
+    std::string query_string;
+    if (query != std::string::npos) {
+        query_string = target.substr(query + 1);
         target.resize(query);
+    }
 
+    auto qit = queryHandlers.find(target);
+    if (qit != queryHandlers.end()) {
+        sendResponse(fd, qit->second(query_string));
+        return;
+    }
     auto it = handlers.find(target);
     if (it == handlers.end()) {
         sendResponse(fd, {404, "text/plain; charset=utf-8",
@@ -262,6 +300,10 @@ httpGet(const std::string &host, std::uint16_t port,
         return false;
     }
 
+    // A broken or hostile server must not balloon the client: cap the
+    // response at 64 MiB (every document this client fetches is far
+    // smaller) and fail instead of buffering without bound.
+    constexpr std::size_t kMaxResponseBytes = 64u << 20;
     std::string wire;
     char buf[4096];
     for (;;) {
@@ -271,6 +313,10 @@ httpGet(const std::string &host, std::uint16_t port,
         if (n <= 0)
             break;
         wire.append(buf, static_cast<std::size_t>(n));
+        if (wire.size() > kMaxResponseBytes) {
+            ::close(fd);
+            return false;
+        }
     }
     ::close(fd);
 

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace cloudseer::core {
 
@@ -689,6 +690,15 @@ InterleavedChecker::applyErrorCriterion(const CheckMessage &message,
 std::vector<CheckEvent>
 InterleavedChecker::feed(const CheckMessage &message)
 {
+    // seer-probe: Algorithm 2 samples as "check" even when this
+    // engine is driven directly (bench paths), not via the monitor.
+    // Inside a shard worker the per-shard lane wins — re-assert it so
+    // shard attribution survives this nested scope.
+    const bool in_shard =
+        obs::currentProfStage() == obs::ProfStage::ShardCheck;
+    obs::StageScope profScope(in_shard ? obs::ProfStage::ShardCheck
+                                       : obs::ProfStage::Check,
+                              in_shard ? obs::currentProfShard() : 0);
     std::vector<CheckEvent> events;
     ++counters.messages;
     traceNow = message.time;

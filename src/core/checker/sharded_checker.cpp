@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/profiler.hpp"
 #include "core/checker/identifier_set.hpp"
 
 namespace cloudseer::core {
@@ -161,6 +162,10 @@ ShardedChecker::shardMain(std::size_t idx)
     common::RoleGuard consumeIn(s.in.consumerRole);
     common::RoleGuard produceOut(s.out.producerRole);
 
+    // seer-probe: cache this thread's stack bounds once so in-handler
+    // captures can walk frame pointers instead of unwinding.
+    obs::prepareThreadForProfiling();
+
     BaseChecker::TimeoutResolver resolver =
         [&s](const std::vector<std::string> &tasks) {
             return s.policy.timeoutForCandidates(tasks);
@@ -181,6 +186,10 @@ ShardedChecker::shardMain(std::size_t idx)
             continue;
         }
 
+        // seer-probe: the whole op — sweep, feed, stats assembly —
+        // samples into this shard's check lane.
+        obs::StageScope profScope(obs::ProfStage::ShardCheck,
+                                  static_cast<unsigned>(idx));
         ShardOut out;
         out.seq = item.seq;
         s.gidBirthLog.clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "analysis/interference.hpp"
 #include "analysis/model_lint.hpp"
@@ -189,6 +190,12 @@ WorkflowMonitor::WorkflowMonitor(
             pulseServer = std::make_unique<obs::TelemetryServer>(
                 config.pulse.httpBindAddress,
                 static_cast<std::uint16_t>(config.pulse.httpPort));
+            // seer-probe: /profilez?seconds=N pulls a live profile.
+            // Registered before start() — the handler table freezes
+            // when the server launches.
+            pulseServer->setProfileProvider([this](double seconds) {
+                return liveProfileJson(seconds);
+            });
             if (!pulseServer->start()) {
                 common::fatal(
                     "seer-pulse: cannot bind scrape endpoint: " +
@@ -197,11 +204,26 @@ WorkflowMonitor::WorkflowMonitor(
             publishPulse();
         }
     }
+
+    // seer-probe continuous profiler (DESIGN.md §17): disabled means
+    // nothing is constructed — no SIGPROF handler, no timer, reports
+    // bit-identical (pinned by tests/profiler_test).
+    if (config.profiler.enabled) {
+        profPtr = std::make_unique<obs::Profiler>(config.profiler);
+        if (!profPtr->start()) {
+            common::fatal("seer-probe: cannot start profiler "
+                          "(SIGPROF slot already taken or the "
+                          "profiling timer failed)");
+        }
+    }
 }
 
 std::vector<MonitorReport>
 WorkflowMonitor::feed(const logging::LogRecord &record)
 {
+    // seer-probe: everything from arrival onward samples as "sink"
+    // unless an interior stage (parse/route/check/verdict) re-tags.
+    obs::StageScope profScope(obs::ProfStage::Sink);
     std::vector<MonitorReport> reports;
 
     // Feed-latency timing only exists when metrics are on; the
@@ -313,17 +335,21 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     // too, so a backwards stamp cannot plant a group in the past and
     // have the next sweep retroactively time it out.
     common::SimTime message_time = record.timestamp;
-    if (record.timestamp < lastTimestamp) {
-        ++ingest.nonMonotonicClamped;
-        ingest.maxRegressionSeconds =
-            std::max(ingest.maxRegressionSeconds,
-                     lastTimestamp - record.timestamp);
-        if (config.ingest.clampNonMonotonic)
-            message_time = lastTimestamp;
+    common::SimTime now;
+    {
+        obs::StageScope profScope(obs::ProfStage::Route);
+        if (record.timestamp < lastTimestamp) {
+            ++ingest.nonMonotonicClamped;
+            ingest.maxRegressionSeconds =
+                std::max(ingest.maxRegressionSeconds,
+                         lastTimestamp - record.timestamp);
+            if (config.ingest.clampNonMonotonic)
+                message_time = lastTimestamp;
+        }
+        now = std::max(lastTimestamp, message_time);
+        lastTimestamp = now;
+        anyFed = true;
     }
-    common::SimTime now = std::max(lastTimestamp, message_time);
-    lastTimestamp = now;
-    anyFed = true;
 
     if (staged) {
         stageT1 = StageClock::now();
@@ -331,26 +357,30 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
         stageT0 = stageT1;
     }
 
-    logging::ParsedBody parsed = extractor.parse(record.body);
     CheckMessage message;
-    message.tpl = catalogPtr->find(record.service, parsed.templateText);
-    for (logging::Variable &var : parsed.variables) {
-        if (var.kind == logging::VariableKind::Number &&
-            !config.numbersAsIdentifiers) {
-            continue;
+    {
+        obs::StageScope profScope(obs::ProfStage::Parse);
+        logging::ParsedBody parsed = extractor.parse(record.body);
+        message.tpl =
+            catalogPtr->find(record.service, parsed.templateText);
+        for (logging::Variable &var : parsed.variables) {
+            if (var.kind == logging::VariableKind::Number &&
+                !config.numbersAsIdentifiers) {
+                continue;
+            }
+            logging::IdToken token =
+                logging::IdentifierInterner::process().intern(var.text);
+            // A capped interner refuses new identifiers; the message
+            // checks on without the refused token (degraded routing
+            // precision, bounded memory).
+            if (token == logging::kInvalidIdToken)
+                continue;
+            message.identifiers.push_back(token);
         }
-        logging::IdToken token =
-            logging::IdentifierInterner::process().intern(var.text);
-        // A capped interner refuses new identifiers; the message
-        // checks on without the refused token (degraded routing
-        // precision, bounded memory).
-        if (token == logging::kInvalidIdToken)
-            continue;
-        message.identifiers.push_back(token);
+        message.level = record.level;
+        message.record = record.id;
+        message.time = message_time;
     }
-    message.level = record.level;
-    message.record = record.id;
-    message.time = message_time;
 
     if (staged) {
         stageT1 = StageClock::now();
@@ -367,6 +397,7 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     // sweep-only tick or a full step).
     bool suppressed = false;
     if (config.ingest.dedupWindowSeconds > 0.0) {
+        obs::StageScope profScope(obs::ProfStage::Route);
         std::string key = record.node;
         key += '\x1f';
         key += record.service;
@@ -406,32 +437,38 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
         stageT0 = stageT1;
     }
 
-    if (swarmEngine != nullptr) {
-        // seer-swarm: one pipelined step — every shard sweeps at `now`
-        // (the serial engine sweeps all groups before each feed), the
-        // owner feeds, and flush() reassembles the events in serial
-        // order (sweeps first, then the feed). The per-record barrier
-        // keeps the cap/memory criteria and checkpoints exact; the
-        // parallel win is the sweep and the consume work, not ingest
-        // pipelining (bench_throughput drives submitFeed for that).
-        if (suppressed)
-            swarmEngine->submitSweep(now);
-        else
-            swarmEngine->submitStep(message, now);
-        stepEvents.clear();
-        swarmEngine->flush(stepEvents);
-        for (CheckEvent &event : stepEvents)
-            reports.push_back({std::move(event), false});
-    } else {
-        for (CheckEvent &event : engine().sweepTimeouts(
-                 now, [this](const std::vector<std::string> &tasks) {
-                     return timeoutPolicy.timeoutForCandidates(tasks);
-                 })) {
-            reports.push_back({std::move(event), false});
-        }
-        if (!suppressed) {
-            for (CheckEvent &event : engine().feed(message))
+    {
+        obs::StageScope profScope(obs::ProfStage::Check);
+        if (swarmEngine != nullptr) {
+            // seer-swarm: one pipelined step — every shard sweeps at
+            // `now` (the serial engine sweeps all groups before each
+            // feed), the owner feeds, and flush() reassembles the
+            // events in serial order (sweeps first, then the feed).
+            // The per-record barrier keeps the cap/memory criteria and
+            // checkpoints exact; the parallel win is the sweep and the
+            // consume work, not ingest pipelining (bench_throughput
+            // drives submitFeed for that).
+            if (suppressed)
+                swarmEngine->submitSweep(now);
+            else
+                swarmEngine->submitStep(message, now);
+            stepEvents.clear();
+            swarmEngine->flush(stepEvents);
+            for (CheckEvent &event : stepEvents)
                 reports.push_back({std::move(event), false});
+        } else {
+            for (CheckEvent &event : engine().sweepTimeouts(
+                     now,
+                     [this](const std::vector<std::string> &tasks) {
+                         return timeoutPolicy.timeoutForCandidates(
+                             tasks);
+                     })) {
+                reports.push_back({std::move(event), false});
+            }
+            if (!suppressed) {
+                for (CheckEvent &event : engine().feed(message))
+                    reports.push_back({std::move(event), false});
+            }
         }
     }
     if (staged) {
@@ -442,27 +479,31 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
     if (suppressed)
         return;
 
-    // Group-cap shedding: bound live state, loudly.
-    if (config.ingest.maxActiveGroups > 0 &&
-        engine().activeGroups() > config.ingest.maxActiveGroups) {
-        for (CheckEvent &event :
-             engine().shedToCap(config.ingest.maxActiveGroups, now)) {
-            ++ingest.groupsShed;
-            reports.push_back({std::move(event), false});
-        }
-    }
-
-    // Memory ceiling (seer-vault): same Degraded contract, in bytes.
-    // Cadence keys off recordsDelivered — serialised state — so a
-    // restored monitor re-checks at the same stream positions.
-    if (config.ingest.maxResidentBytes > 0) {
-        std::uint64_t interval =
-            std::max<std::uint64_t>(1, config.ingest.memoryCheckInterval);
-        if (ingest.recordsDelivered % interval == 0) {
-            for (CheckEvent &event : engine().shedToMemory(
-                     config.ingest.maxResidentBytes, now)) {
-                ++ingest.memoryEvictions;
+    {
+        obs::StageScope profScope(obs::ProfStage::Verdict);
+        // Group-cap shedding: bound live state, loudly.
+        if (config.ingest.maxActiveGroups > 0 &&
+            engine().activeGroups() > config.ingest.maxActiveGroups) {
+            for (CheckEvent &event : engine().shedToCap(
+                     config.ingest.maxActiveGroups, now)) {
+                ++ingest.groupsShed;
                 reports.push_back({std::move(event), false});
+            }
+        }
+
+        // Memory ceiling (seer-vault): same Degraded contract, in
+        // bytes. Cadence keys off recordsDelivered — serialised state
+        // — so a restored monitor re-checks at the same stream
+        // positions.
+        if (config.ingest.maxResidentBytes > 0) {
+            std::uint64_t interval = std::max<std::uint64_t>(
+                1, config.ingest.memoryCheckInterval);
+            if (ingest.recordsDelivered % interval == 0) {
+                for (CheckEvent &event : engine().shedToMemory(
+                         config.ingest.maxResidentBytes, now)) {
+                    ++ingest.memoryEvictions;
+                    reports.push_back({std::move(event), false});
+                }
             }
         }
     }
@@ -474,6 +515,7 @@ WorkflowMonitor::deliver(const logging::LogRecord &record,
 std::vector<MonitorReport>
 WorkflowMonitor::feedLine(const std::string &line)
 {
+    obs::StageScope profScope(obs::ProfStage::Sink);
     ++ingest.linesSeen;
 
     // Sink stage: the wire decode, sampled on the line counter (the
@@ -707,6 +749,27 @@ WorkflowMonitor::publishPulse()
     docs.alerts = pulsePtr->alertsJson();
     docs.buildz = buildzJson();
     pulseServer->publish(std::move(docs));
+}
+
+std::string
+WorkflowMonitor::liveProfileJson(double seconds)
+{
+    auto window = std::chrono::duration<double>(
+        std::max(seconds, 0.0));
+    if (profPtr != nullptr) {
+        // The continuous profiler keeps sampling; let the window pass
+        // and hand back everything it holds so far.
+        std::this_thread::sleep_for(window);
+        return profPtr->collect().toJson();
+    }
+    obs::ProfilerConfig transient = config.profiler;
+    transient.enabled = true;
+    obs::Profiler profiler(transient);
+    if (!profiler.start())
+        return std::string(); // SIGPROF slot held elsewhere
+    std::this_thread::sleep_for(window);
+    profiler.stop();
+    return profiler.collect().toJson();
 }
 
 std::vector<std::string>

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "logging/record_binio.hpp"
+#include "obs/profiler.hpp"
 
 namespace cloudseer::vault {
 
@@ -178,6 +179,7 @@ WriteAheadLedger::sealFrame(std::size_t start)
 void
 WriteAheadLedger::appendLine(std::uint64_t seq, const std::string &line)
 {
+    obs::StageScope profScope(obs::ProfStage::WalAppend);
     // Raw lines are the ingest hot path: frame straight into the
     // pending batch — header placeholder first, patched by sealFrame
     // once the payload is in place — so each append is one CRC pass
@@ -200,6 +202,7 @@ void
 WriteAheadLedger::appendRecord(std::uint64_t seq,
                                const logging::LogRecord &record)
 {
+    obs::StageScope profScope(obs::ProfStage::WalAppend);
     scratch.clear();
     scratch.writeU8(static_cast<std::uint8_t>(LedgerEntry::Record));
     scratch.writeU64(seq);

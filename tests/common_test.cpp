@@ -332,3 +332,168 @@ TEST(TextTable, RangeFormatter)
     s.add(1.0);
     EXPECT_EQ(formatRange(s, 2), "0.93 - 1.00");
 }
+
+// --- HttpServer hardening against malformed clients -------------------
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/http_server.hpp"
+
+namespace {
+
+/**
+ * A raw TCP client for speaking deliberately broken HTTP: send
+ * `request` verbatim, optionally half-close the write side (so a
+ * server waiting for more bytes sees EOF instead of blocking), and
+ * return everything the server answered.
+ */
+std::string
+rawHttpExchange(std::uint16_t port, const std::string &request,
+                bool half_close = true)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+    if (half_close)
+        ::shutdown(fd, SHUT_WR);
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+}
+
+/** An HttpServer on an ephemeral port with one document mounted. */
+struct ScratchServer
+{
+    HttpServer server{"127.0.0.1", 0};
+
+    ScratchServer()
+    {
+        server.handle("/doc", [] {
+            return HttpResponse{200, "text/plain", "payload\n"};
+        });
+        EXPECT_TRUE(server.start()) << server.error();
+    }
+};
+
+} // namespace
+
+TEST(HttpServerHardening, OversizedRequestLineGets431)
+{
+    ScratchServer scratch;
+    // 16 KiB of request line, never terminated: twice the 8 KiB cap,
+    // so the server must answer 431 without waiting for the end.
+    std::string request =
+        "GET /" + std::string(16384, 'a') + " HTTP/1.0\r\n";
+    std::string reply =
+        rawHttpExchange(scratch.server.boundPort(), request);
+    EXPECT_NE(reply.find("431"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("request too large"), std::string::npos)
+        << reply;
+    // The connection was drained, not reset: a well-formed request on
+    // a fresh connection still works.
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(httpGet("127.0.0.1", scratch.server.boundPort(),
+                        "/doc", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "payload\n");
+}
+
+TEST(HttpServerHardening, UnterminatedRequestGets400)
+{
+    ScratchServer scratch;
+    // The client hangs up before ever sending the blank line.
+    std::string reply = rawHttpExchange(scratch.server.boundPort(),
+                                        "GET /doc HTTP/1.0\r\n");
+    EXPECT_NE(reply.find("400"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("malformed request"), std::string::npos);
+}
+
+TEST(HttpServerHardening, GarbageRequestLineGets400)
+{
+    ScratchServer scratch;
+    std::string reply = rawHttpExchange(scratch.server.boundPort(),
+                                        "GARBAGE\r\n\r\n");
+    EXPECT_NE(reply.find("400"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("malformed request line"), std::string::npos)
+        << reply;
+    // Absolute-form target (no leading slash) is equally malformed.
+    reply = rawHttpExchange(scratch.server.boundPort(),
+                            "GET example.com HTTP/1.0\r\n\r\n");
+    EXPECT_NE(reply.find("malformed request line"), std::string::npos)
+        << reply;
+}
+
+TEST(HttpServerHardening, NonGetMethodGets405)
+{
+    ScratchServer scratch;
+    std::string reply =
+        rawHttpExchange(scratch.server.boundPort(),
+                        "POST /doc HTTP/1.0\r\n\r\n");
+    EXPECT_NE(reply.find("405"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("only GET is supported"), std::string::npos);
+}
+
+TEST(HttpServerHardening, UnknownPathGets404WithNamedTarget)
+{
+    ScratchServer scratch;
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(httpGet("127.0.0.1", scratch.server.boundPort(),
+                        "/nowhere", status, body));
+    EXPECT_EQ(status, 404);
+    EXPECT_EQ(body, "unknown path: /nowhere\n");
+}
+
+TEST(HttpServerHardening, SurvivesClientDisconnectingMidRequest)
+{
+    ScratchServer scratch;
+    // A burst of clients that connect and vanish without a byte: the
+    // response write hits a dead socket (EPIPE, suppressed by
+    // MSG_NOSIGNAL), and the accept loop must shrug all of it off.
+    for (int i = 0; i < 5; ++i) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(scratch.server.boundPort());
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        ::close(fd);
+    }
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(httpGet("127.0.0.1", scratch.server.boundPort(),
+                        "/doc", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "payload\n");
+}

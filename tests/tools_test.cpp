@@ -25,6 +25,7 @@
 #include "core/mining/model_io.hpp"
 #include "core/monitor/workflow_monitor.hpp"
 #include "obs/observability.hpp"
+#include "obs/profiler.hpp"
 #include "obs/pulse.hpp"
 #include "test_util.hpp"
 #include "vault/vault.hpp"
@@ -587,4 +588,296 @@ TEST(StatsTool, FollowSurfacesAlertsAndHonorsPollLimit)
     EXPECT_NE(result.output.find("ALERT firing"), std::string::npos)
         << result.output;
     EXPECT_NE(result.output.find("shed_burn"), std::string::npos);
+}
+
+// --- seer_prof --------------------------------------------------------
+
+namespace {
+
+/**
+ * A hand-built profile with known shares (check 12, sink 6, untagged
+ * 2 of 20 samples → 90% tagged), serialised through the same toJson()
+ * every real producer uses — deterministic input for the viewer.
+ */
+obs::Profile
+syntheticProfile(std::uint64_t check, std::uint64_t sink,
+                 std::uint64_t untagged)
+{
+    obs::Profile profile;
+    profile.hz = 99;
+    profile.durationSeconds = 2.0;
+    profile.samples = check + sink + untagged;
+    profile.dropped = 1;
+    profile.stageSamples[static_cast<std::size_t>(
+        obs::ProfStage::Check)] = check;
+    profile.stageSamples[static_cast<std::size_t>(
+        obs::ProfStage::Sink)] = sink;
+    profile.stageSamples[static_cast<std::size_t>(
+        obs::ProfStage::None)] = untagged;
+    obs::ProfileStack stack;
+    stack.stage = obs::ProfStage::Check;
+    stack.count = check;
+    stack.frames = {"main", "WorkflowMonitor::feed",
+                    "InterleavedChecker::feed"};
+    profile.stacks.push_back(stack);
+    stack = {};
+    stack.stage = obs::ProfStage::Sink;
+    stack.count = sink;
+    stack.frames = {"main", "ingestLoop"};
+    profile.stacks.push_back(stack);
+    stack = {};
+    stack.stage = obs::ProfStage::None;
+    stack.count = untagged;
+    stack.frames = {"main", "idleWait"};
+    profile.stacks.push_back(stack);
+    return profile;
+}
+
+} // namespace
+
+TEST(ProfTool, TopRendersStageTableAndMinTaggedGate)
+{
+    ToolDir dir("prof_top");
+    std::string path = dir.file("profile.json");
+    std::ofstream(path) << syntheticProfile(12, 6, 2).toJson();
+    const std::string bin = SEER_PROF_BIN;
+
+    RunResult result = run(bin + " top " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("20 samples at 99 Hz"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("90.0% tagged"), std::string::npos)
+        << result.output;
+    // Stage table carries check at 60% and the hottest self frame is
+    // the checker's leaf.
+    EXPECT_NE(result.output.find("check"), std::string::npos);
+    EXPECT_NE(result.output.find("60.0%"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("InterleavedChecker::feed"),
+              std::string::npos);
+
+    // The CI gate: 90% tagged clears a 0.85 floor, misses 0.95.
+    EXPECT_EQ(run(bin + " top " + path + " --min-tagged 0.85").status,
+              0);
+    RunResult failed = run(bin + " top " + path + " --min-tagged 0.95");
+    EXPECT_EQ(failed.status, 1) << failed.output;
+    EXPECT_NE(failed.output.find("FAIL: tagged fraction"),
+              std::string::npos)
+        << failed.output;
+
+    // Unreadable and non-profile inputs are usage-class failures.
+    EXPECT_EQ(run(bin + " top " + dir.file("absent.json")).status, 2);
+    std::ofstream(dir.file("other.json")) << "{\"kind\": \"HEALTH\"}";
+    EXPECT_EQ(run(bin + " top " + dir.file("other.json")).status, 2);
+}
+
+TEST(ProfTool, FoldedMatchesTheProfilesOwnCollapsedForm)
+{
+    ToolDir dir("prof_folded");
+    obs::Profile profile = syntheticProfile(12, 6, 2);
+    std::string path = dir.file("profile.json");
+    std::ofstream(path) << profile.toJson();
+
+    RunResult result =
+        run(std::string(SEER_PROF_BIN) + " folded " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+    // The JSON round-trips to exactly the folded text the profile
+    // itself renders — one archived artifact regenerates the other.
+    EXPECT_EQ(result.output, profile.toFolded());
+    EXPECT_NE(result.output.find("[check];main;"), std::string::npos)
+        << result.output;
+}
+
+TEST(ProfTool, DiffRanksGrownFramesFirstAndRefusesEmptyProfiles)
+{
+    ToolDir dir("prof_diff");
+    std::string base_path = dir.file("base.json");
+    std::string fresh_path = dir.file("fresh.json");
+    // Check share grows 60% → 80%: the checker frames must top the
+    // regression ranking; the shrinking ingest frame must not.
+    std::ofstream(base_path) << syntheticProfile(12, 6, 2).toJson();
+    std::ofstream(fresh_path) << syntheticProfile(20, 3, 2).toJson();
+    const std::string bin = SEER_PROF_BIN;
+
+    RunResult result = run(bin + " diff " + base_path + " " +
+                           fresh_path + " --limit 2");
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("base 20 samples vs fresh 25"),
+              std::string::npos)
+        << result.output;
+    std::size_t checker =
+        result.output.find("InterleavedChecker::feed");
+    ASSERT_NE(checker, std::string::npos) << result.output;
+    EXPECT_EQ(result.output.find("ingestLoop"), std::string::npos)
+        << result.output;
+
+    std::string empty_path = dir.file("empty.json");
+    std::ofstream(empty_path) << syntheticProfile(0, 0, 0).toJson();
+    RunResult refused =
+        run(bin + " diff " + base_path + " " + empty_path);
+    EXPECT_EQ(refused.status, 2) << refused.output;
+    EXPECT_NE(refused.output.find("empty profile"), std::string::npos);
+}
+
+// --- seer_bench_diff --------------------------------------------------
+
+namespace {
+
+/** A one-level throughput document in the bench's own key layout. */
+std::string
+benchJson(double indexed_mps, double prove_speedup,
+          double obs_overhead, bool with_speedup = true)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\n  \"bench\": \"throughput\",\n  \"levels\": [\n"
+        << "    {\"inflight\": 10, \"messages\": 4000,\n"
+        << "     \"indexed\": {\"mps\": " << indexed_mps
+        << ", \"p50_us\": 0.5, \"p99_us\": 1.2},\n"
+        << "     \"obs_overhead\": " << obs_overhead << ",\n";
+    if (with_speedup)
+        out << "     \"prove_speedup\": " << prove_speedup << ",\n";
+    out << "     \"sharded\": [{\"threads\": 2, \"mps\": "
+        << indexed_mps * 0.9 << "}]}\n  ]\n}\n";
+    return out.str();
+}
+
+} // namespace
+
+TEST(BenchDiffTool, CommittedBaselineSelfCompareIsClean)
+{
+    std::string committed =
+        std::string(CLOUDSEER_SOURCE_DIR) + "/BENCH_throughput.json";
+    RunResult result = run(std::string(SEER_BENCH_DIFF_BIN) + " " +
+                           committed + " " + committed);
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("ok: no regressions"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(BenchDiffTool, SyntheticRegressionTripsAndRatiosOnlyScopes)
+{
+    ToolDir dir("bench_diff");
+    std::string base_path = dir.file("base.json");
+    std::string fresh_path = dir.file("fresh.json");
+    std::ofstream(base_path) << benchJson(1000000.0, 1.5, 0.05);
+    // A 20% throughput drop — past the default 10% band — with the
+    // hardware-independent ratios and overheads held steady.
+    std::ofstream(fresh_path) << benchJson(800000.0, 1.5, 0.05);
+    const std::string bin = SEER_BENCH_DIFF_BIN;
+
+    RunResult tripped = run(bin + " " + base_path + " " + fresh_path);
+    EXPECT_EQ(tripped.status, 1) << tripped.output;
+    EXPECT_NE(tripped.output.find("indexed.mps"), std::string::npos)
+        << tripped.output;
+    EXPECT_NE(tripped.output.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(tripped.output.find("FAIL:"), std::string::npos);
+
+    // --ratios-only drops the absolute-throughput class (the
+    // cross-hardware CI mode), and nothing else regressed here.
+    RunResult scoped = run(bin + " --ratios-only " + base_path + " " +
+                           fresh_path);
+    EXPECT_EQ(scoped.status, 0) << scoped.output;
+
+    // A generous tolerance absorbs the same drop.
+    EXPECT_EQ(run(bin + " --tolerance 0.25 " + base_path + " " +
+                  fresh_path)
+                  .status,
+              0);
+
+    // A ratio regression (speedup 1.5 → 1.0) survives --ratios-only.
+    std::string slow_path = dir.file("slow.json");
+    std::ofstream(slow_path) << benchJson(1000000.0, 1.0, 0.05);
+    RunResult ratio = run(bin + " --ratios-only " + base_path + " " +
+                          slow_path);
+    EXPECT_EQ(ratio.status, 1) << ratio.output;
+    EXPECT_NE(ratio.output.find("prove_speedup"), std::string::npos);
+
+    // Overheads gate on an absolute band: +0.15 regresses, +0.05 not.
+    std::string heavy_path = dir.file("heavy.json");
+    std::ofstream(heavy_path) << benchJson(1000000.0, 1.5, 0.20);
+    EXPECT_EQ(run(bin + " " + base_path + " " + heavy_path).status, 1);
+    std::string light_path = dir.file("light.json");
+    std::ofstream(light_path) << benchJson(1000000.0, 1.5, 0.10);
+    EXPECT_EQ(run(bin + " " + base_path + " " + light_path).status, 0);
+}
+
+TEST(BenchDiffTool, MetricMissingFromFreshRunIsARegression)
+{
+    ToolDir dir("bench_diff_missing");
+    std::string base_path = dir.file("base.json");
+    std::string fresh_path = dir.file("fresh.json");
+    std::ofstream(base_path) << benchJson(1000000.0, 1.5, 0.05);
+    std::ofstream(fresh_path)
+        << benchJson(1000000.0, 1.5, 0.05, /*with_speedup=*/false);
+    RunResult result = run(std::string(SEER_BENCH_DIFF_BIN) + " " +
+                           base_path + " " + fresh_path);
+    EXPECT_EQ(result.status, 1) << result.output;
+    EXPECT_NE(result.output.find("MISSING from fresh run"),
+              std::string::npos)
+        << result.output;
+
+    // --json renders the same verdicts machine-readably.
+    RunResult as_json = run(std::string(SEER_BENCH_DIFF_BIN) +
+                            " --json " + base_path + " " + fresh_path);
+    EXPECT_EQ(as_json.status, 1);
+    EXPECT_NE(as_json.output.find("\"kind\": \"BENCH_DIFF\""),
+              std::string::npos)
+        << as_json.output;
+    EXPECT_NE(as_json.output.find("prove_speedup"), std::string::npos);
+
+    // Non-bench input is a usage-class failure, not a verdict.
+    std::string bogus_path = dir.file("bogus.json");
+    std::ofstream(bogus_path) << "{\"bench\": \"soak\"}";
+    EXPECT_EQ(run(std::string(SEER_BENCH_DIFF_BIN) + " " + bogus_path +
+                  " " + fresh_path)
+                  .status,
+              2);
+}
+
+// --- idle-stream warnings (seer_stats --follow, seer_pulse watch) -----
+
+TEST(StatsTool, FollowWarnsOnceWhenTheStreamYieldsNothing)
+{
+    ToolDir dir("stats_idle");
+    std::string path = dir.file("stream.jsonl");
+    std::ofstream(path) << ""; // a stream that never produces
+    // Five idle polls (~1.25 s) cross the one-second warning
+    // threshold before --poll-limit ends the run.
+    RunResult result = run(std::string(SEER_STATS_BIN) +
+                           " --follow --poll-limit 5 " + path);
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("no records from"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("still waiting"), std::string::npos);
+}
+
+TEST(PulseTool, WatchWarnsWhenHealthzTimeFreezes)
+{
+    obs::TelemetryServer server("127.0.0.1", 0);
+    ASSERT_TRUE(server.start()) << server.error();
+    obs::TelemetryServer::Documents docs;
+    // A monitor that answers but never publishes anything new: the
+    // snapshot clock is frozen across every poll.
+    docs.healthz = "{\"status\":\"ok\",\"time\":42.5,\"firing\":[]}";
+    docs.metrics = "seer_up 1\n";
+    server.publish(std::move(docs));
+
+    RunResult result =
+        run(std::string(SEER_PULSE_BIN) + " watch 127.0.0.1:" +
+            std::to_string(server.port()) +
+            " --interval 0.05 --count 3");
+    server.stop();
+    EXPECT_EQ(result.status, 0) << result.output;
+    EXPECT_NE(result.output.find("time stuck at 42.5"),
+              std::string::npos)
+        << result.output;
+    // The warning is once-per-stretch, not once-per-poll.
+    std::size_t first = result.output.find("time stuck");
+    EXPECT_EQ(result.output.find("time stuck", first + 1),
+              std::string::npos)
+        << result.output;
 }

@@ -123,6 +123,8 @@ cmdWatch(const std::vector<std::string> &args)
     }
 
     bool lastDegraded = false;
+    double lastTime = -1.0;
+    bool warnedStale = false;
     for (long polls = 0; count == 0 || polls < count; ++polls) {
         if (polls > 0) {
             std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -137,6 +139,28 @@ cmdWatch(const std::vector<std::string> &args)
             lastDegraded = true;
             continue;
         }
+        // The snapshot clock freezing across a full poll interval
+        // means the monitor answered but published nothing new — an
+        // idle or wedged pipeline looks exactly like a healthy quiet
+        // one otherwise. Say so once per stale stretch (stderr, so
+        // scripted consumers of the poll lines are untouched).
+        double time = 0.0;
+        std::size_t at = body.find("\"time\":");
+        if (at != std::string::npos)
+            time = std::atof(body.c_str() + at + 7);
+        if (polls > 0 && time == lastTime) {
+            if (!warnedStale) {
+                std::fprintf(stderr,
+                             "seer-pulse: /healthz time stuck at %g "
+                             "for a full poll interval; monitor is "
+                             "idle or wedged\n",
+                             time);
+                warnedStale = true;
+            }
+        } else {
+            warnedStale = false;
+        }
+        lastTime = time;
         bool degraded =
             body.find("\"status\":\"degraded\"") != std::string::npos;
         lastDegraded = degraded;

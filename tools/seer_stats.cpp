@@ -336,7 +336,10 @@ follow(const std::string &path, long poll_limit)
         std::cerr << "seer-stats: cannot open " << path << "\n";
         return 2;
     }
+    // One full second of 250ms polls with nothing new = one warning.
+    constexpr long kIdleWarnPolls = 4;
     long idle_polls = 0;
+    bool warned_idle = false;
     struct stat st = {};
     ino_t inode = 0;
     dev_t device = 0;
@@ -352,6 +355,8 @@ follow(const std::string &path, long poll_limit)
             std::streamoff at = in.tellg();
             if (at >= 0)
                 consumed = at;
+            idle_polls = 0;
+            warned_idle = false;
             if (isHealthLine(line))
                 printRow(line);
             else if (isAlertLine(line))
@@ -361,9 +366,21 @@ follow(const std::string &path, long poll_limit)
         if (!in.eof())
             break;
         // Wait for the writer to append more, then retry from the
-        // current offset. poll_limit bounds the idle polls (testing
-        // knob; 0 = follow forever).
-        if (poll_limit > 0 && ++idle_polls >= poll_limit)
+        // current offset. A follow that sees nothing for a full
+        // stretch says so once (stderr, so piped tables stay clean)
+        // instead of sitting silently on a dead or mistargeted file;
+        // the counter re-arms as soon as data flows again.
+        // poll_limit bounds the idle polls (testing knob;
+        // 0 = follow forever).
+        ++idle_polls;
+        if (!warned_idle && idle_polls >= kIdleWarnPolls) {
+            std::cerr << "seer-stats: no records from " << path
+                      << " for "
+                      << 0.25 * static_cast<double>(idle_polls)
+                      << "s; still waiting\n";
+            warned_idle = true;
+        }
+        if (poll_limit > 0 && idle_polls >= poll_limit)
             return 0;
         in.clear();
         std::this_thread::sleep_for(std::chrono::milliseconds(250));
